@@ -1,0 +1,53 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one table or figure from the paper's evaluation
+(see DESIGN.md's experiment index) and prints the same rows/series the
+paper reports, then asserts the *shape* claims -- who wins, orderings,
+crossovers -- rather than absolute picoseconds.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SAMPLES`` -- Monte Carlo samples per population
+  (default 20; the paper's plots use a few dozen points).
+* ``REPRO_BENCH_TIMESTEP_PS`` -- transistor-engine timestep in ps
+  (default 2).
+"""
+
+import os
+
+import pytest
+
+from repro.core.segments import RingOscillatorConfig
+from repro.core.engines import AnalyticEngine, StageDelayEngine
+from repro.spice.montecarlo import ProcessVariation
+
+
+def bench_samples() -> int:
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", "20"))
+
+
+def bench_timestep() -> float:
+    return float(os.environ.get("REPRO_BENCH_TIMESTEP_PS", "2")) * 1e-12
+
+
+@pytest.fixture(scope="session")
+def variation():
+    return ProcessVariation()
+
+
+@pytest.fixture(scope="session")
+def stage_engines():
+    """Stage-delay engines for the paper's supply voltages, shared."""
+    def make(vdd: float) -> StageDelayEngine:
+        return StageDelayEngine(
+            config=RingOscillatorConfig(vdd=vdd), timestep=bench_timestep()
+        )
+    return {v: make(v) for v in (0.70, 0.75, 0.8, 0.95, 1.1)}
+
+
+@pytest.fixture(scope="session")
+def analytic_engines():
+    return {
+        v: AnalyticEngine(RingOscillatorConfig(vdd=v))
+        for v in (0.75, 0.8, 0.95, 1.1)
+    }

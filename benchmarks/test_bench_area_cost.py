@@ -1,0 +1,50 @@
+"""E9 -- Sec. IV-D: DfT area cost.
+
+The paper's accounting: 2 muxes per TSV (3.75 um^2 each) plus one
+inverter (1.41 um^2) per group of N = 5, so 1000 TSVs cost
+2000 * 3.75 + 200 * 1.41 = 7782 um^2 < 0.01 mm^2 -- under 0.04% of a
+25 mm^2 die.  We regenerate that row exactly and extend it with the
+group-size ablation and the shared measurement/control logic.
+"""
+
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.core.area import DftAreaModel
+from repro.dft.architecture import DftArchitecture
+
+
+def test_bench_area_cost(benchmark):
+    table = Table(
+        ["TSVs", "N", "muxes", "inverters", "oscillator area (um^2)",
+         "total DfT (um^2)", "% of 25 mm^2 die"],
+        title="E9 / Sec. IV-D: standard-cell DfT area",
+    )
+    for num_tsvs, n in ((1000, 5), (1000, 2), (1000, 10), (10000, 5)):
+        model = DftAreaModel(num_tsvs=num_tsvs, group_size=n)
+        table.add_row([
+            num_tsvs, n, num_tsvs * 2, model.num_groups,
+            round(model.oscillator_area_um2, 1),
+            round(model.total_area_um2(), 1),
+            f"{100 * model.fraction_of_die(25.0):.4f}",
+        ])
+    table.print()
+
+    # The paper's row, exactly.
+    paper = DftAreaModel(num_tsvs=1000, group_size=5)
+    assert paper.oscillator_area_um2 == pytest.approx(7782.0)
+    assert paper.oscillator_area_um2 < 0.01e6          # < 0.01 mm^2
+    assert paper.oscillator_area_um2 / 25e6 < 0.0004   # < 0.04 %
+    # Even with the measurement + control logic the DfT stays negligible.
+    assert paper.fraction_of_die(25.0) < 0.001
+
+    # Extended view: the whole-architecture summary.
+    arch = DftArchitecture(num_tsvs=1000, group_size=5)
+    summary = arch.summary()
+    print(f"\narchitecture: {summary['num_groups']:.0f} groups, "
+          f"{summary['decoder_select_bits']:.0f} select bits, "
+          f"test time (4 voltages, per-TSV isolation) = "
+          f"{summary['test_time_s_per_tsv_isolation'] * 1e3:.1f} ms")
+    assert summary["test_time_s_per_tsv_isolation"] < 1.0
+
+    benchmark(lambda: DftAreaModel(num_tsvs=1000, group_size=5).report())

@@ -1,0 +1,83 @@
+"""E8 -- Sec. IV-C: counter quantization error and the worked example.
+
+The paper derives t/T - 1 <= c <= t/T + 1 from the two extreme
+reset/stop phases (Fig. 11), giving a period-estimate error
+E ~ T^2 / t, and works the example: T = 5 ns (200 MHz), target
+E = 0.005 ns -> window t = 5 us, count 1000, a 10-bit counter.  We
+regenerate the example row plus an error-vs-window table, validated
+against both the behavioural counter and the gate-level ripple counter,
+and the LFSR alternative.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import Table, format_si
+from repro.dft.counter import (
+    BinaryCounter,
+    CounterMeasurement,
+    count_bounds,
+    measurement_error_bound,
+    required_counter_bits,
+    required_window,
+)
+from repro.dft.lfsr import LfsrMeasurement
+
+PERIOD = 5e-9  # the paper's 200 MHz example oscillator
+
+
+def test_bench_counter_error_analysis(benchmark):
+    table = Table(
+        ["window t", "count bounds", "E+ (worst)", "bits needed",
+         "measured worst |err| (63 phases)"],
+        title="E8 / Sec. IV-C: counter error vs measurement window "
+              "(T = 5 ns)",
+    )
+    for window in (0.5e-6, 1e-6, 5e-6, 20e-6):
+        lo, hi = count_bounds(PERIOD, window)
+        _, e_plus = measurement_error_bound(PERIOD, window)
+        bits = required_counter_bits(PERIOD, window)
+        cm = CounterMeasurement(bits=bits, window=window)
+        worst = max(
+            abs(cm.measure(PERIOD, phase) - PERIOD)
+            for phase in np.linspace(0.0, PERIOD, 63)
+        )
+        table.add_row([
+            format_si(window, "s"),
+            f"[{lo}, {hi}]",
+            format_si(e_plus, "s"),
+            bits,
+            format_si(worst, "s"),
+        ])
+        assert worst <= e_plus * 1.001
+    table.print()
+
+    # The paper's worked example, verbatim.
+    window = required_window(PERIOD, 0.005e-9)
+    bits = required_counter_bits(PERIOD, window)
+    count = CounterMeasurement(bits=bits, window=window).count_edges(PERIOD)
+    print(f"\npaper example: E = 5 ps -> t = {format_si(window, 's')}, "
+          f"count ~ {count}, counter bits = {bits}")
+    assert window == pytest.approx(5e-6)
+    assert bits == 10
+    assert 999 <= count <= 1001
+
+    # Gate-level cross-check at a shorter window (sim cost), plus LFSR.
+    short = 400e-9
+    cm = CounterMeasurement(bits=8, window=short)
+    gate = BinaryCounter(8)
+    gate.apply_clock_edges(PERIOD, 1.3e-9, short)
+    assert gate.read() == cm.count_edges(PERIOD, 1.3e-9)
+    lfsr = LfsrMeasurement(bits=12, window=short)
+    assert lfsr.measure(PERIOD, 1.3e-9) == pytest.approx(
+        cm.measure(PERIOD, 1.3e-9)
+    )
+    print("gate-level ripple counter and LFSR decode agree with the "
+          "behavioural model")
+
+    def kernel():
+        counter = BinaryCounter(8)
+        counter.apply_clock_edges(PERIOD, 1.3e-9, short)
+        return counter.read()
+
+    benchmark(kernel)

@@ -1,0 +1,76 @@
+"""E7 -- Fig. 10: spread overlap grows with M (TSVs tested in parallel).
+
+Testing M TSVs in one oscillator measurement saves time, but the
+process-variation contribution of all M segments under test adds up
+while the defect signature of a single faulty TSV stays fixed -- so the
+fault-free and faulty spreads overlap more as M grows (the paper shows
+M = 1 nearly alias-free and larger M indistinguishable).
+
+Faulty population: one 1 kOhm open at x = 0.5 among the M TSVs under
+test (the paper's Fig. 10 fault).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_samples
+from repro.analysis.reporting import Table, format_si
+from repro.core.aliasing import SpreadPair
+from repro.core.tsv import ResistiveOpen, Tsv
+
+M_VALUES = (1, 2, 4)
+FAULT = Tsv(fault=ResistiveOpen(1000.0, 0.5))
+
+
+@pytest.fixture(scope="module")
+def spreads(stage_engines, variation):
+    """For each M: fault-free group vs group with one faulty member."""
+    engine = stage_engines[1.1]
+    n = bench_samples()
+    out = {}
+    for m in M_VALUES:
+        ff = engine.delta_t_mc(Tsv(), variation, n, m=m, seed=10)
+        if m == 1:
+            faulty = engine.delta_t_mc(FAULT, variation, n, m=1, seed=21)
+        else:
+            # One faulty TSV plus m-1 healthy ones, independent mismatch.
+            bad = engine.delta_t_mc(FAULT, variation, n, m=1, seed=21)
+            good = engine.delta_t_mc(Tsv(), variation, n, m=m - 1, seed=33)
+            faulty = bad + good
+        out[m] = SpreadPair(fault_free=ff, faulty=faulty, vdd=1.1, m=m)
+    return out
+
+
+def test_bench_fig10_overlap_vs_m(spreads, benchmark, stage_engines,
+                                  variation):
+    table = Table(
+        ["M", "ff spread", "faulty spread", "range overlap",
+         "detect prob"],
+        title="E7 / Fig. 10: spread overlap vs number of TSVs tested "
+              "simultaneously (one 1 kOhm open)",
+    )
+    overlaps = []
+    for m in M_VALUES:
+        stats = spreads[m].stats()
+        overlaps.append(stats["overlap"])
+        table.add_row([
+            m,
+            format_si(stats["ff_spread"], "s"),
+            format_si(stats["faulty_spread"], "s"),
+            f"{stats['overlap']:.2f}",
+            f"{stats['detectability']:.2f}",
+        ])
+    table.print()
+
+    # Shape claims: overlap grows with M; M = 1 is (nearly) alias-free
+    # while the largest M aliases badly.
+    assert overlaps[0] <= 0.2
+    assert overlaps[-1] >= overlaps[0]
+    assert overlaps[-1] > 0.3
+    assert spreads[1].detectability > spreads[M_VALUES[-1]].detectability
+
+    engine = stage_engines[1.1]
+    benchmark.pedantic(
+        engine.delta_t_mc, args=(Tsv(), variation, 4),
+        kwargs={"m": 2, "seed": 3}, rounds=1, iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""E3 -- Fig. 6: DeltaT as a function of R_O (x = 0.5, V_DD = 1.1 V).
+
+The paper sweeps the open resistance from 0 (fault-free) to 3 kOhm in
+the N = 5 oscillator and finds DeltaT decreasing monotonically, with a
+1 kOhm defect reducing DeltaT by ~10% -- "can be identified".  We
+regenerate the series with the batched stage-delay engine (the same
+transistor-level segment circuit, all sweep points in one stacked run).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import Table, format_si
+
+R_OPEN_VALUES = [0.0, 250.0, 500.0, 750.0, 1000.0, 1500.0,
+                 2000.0, 2500.0, 3000.0]
+
+
+@pytest.fixture(scope="module")
+def sweep(stage_engines):
+    engine = stage_engines[1.1]
+    return engine.delta_t_sweep_ro(R_OPEN_VALUES, x=0.5)
+
+
+def test_bench_fig6_delta_t_vs_r_open(sweep, stage_engines, benchmark):
+    delta_ts = sweep
+    ff = delta_ts[0]
+    table = Table(
+        ["R_O (Ohm)", "DeltaT", "change vs fault-free"],
+        title="E3 / Fig. 6: DeltaT vs open resistance "
+              "(x = 0.5, V_DD = 1.1 V, N = 5)",
+    )
+    for r, dt in zip(R_OPEN_VALUES, delta_ts):
+        table.add_row([r, format_si(dt, "s"),
+                       f"{100 * (dt - ff) / ff:+.1f} %"])
+    table.print()
+
+    # Shape claims: monotone decreasing, and ~10% reduction at 1 kOhm.
+    assert np.all(np.isfinite(delta_ts))
+    assert all(b < a for a, b in zip(delta_ts, delta_ts[1:]))
+    reduction_1k = (ff - delta_ts[R_OPEN_VALUES.index(1000.0)]) / ff
+    print(f"\n1 kOhm reduction: {100 * reduction_1k:.1f} % "
+          f"(paper: ~10 %)")
+    assert 0.03 < reduction_1k < 0.20
+
+    engine = stage_engines[1.1]
+    benchmark.pedantic(
+        engine.delta_t_sweep_ro, args=([0.0, 1000.0],), rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,85 @@
+"""E5 -- Fig. 8: DeltaT vs leakage resistance at four supply voltages.
+
+The paper sweeps R_L at V_DD in {1.1, 0.95, 0.8, 0.75} V and observes:
+
+1. leakage increases the oscillation period (detectable as DeltaT above
+   fault-free);
+2. below a voltage-dependent threshold (~1 kOhm scale) the oscillator
+   stops entirely (stuck-at-0);
+3. the threshold drops as V_DD increases, and just above each threshold
+   DeltaT is extremely sensitive -- so a *set* of voltages covers a wide
+   leakage range (strong leakage shows at high V_DD, weak at low V_DD).
+
+We regenerate the full DeltaT(R_L) family with the batched stage-delay
+engine and report the oscillation-stop thresholds.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import Table, format_si
+
+VOLTAGES = (1.1, 0.95, 0.8, 0.75)
+R_LEAK_VALUES = [300.0, 500.0, 700.0, 1000.0, 1500.0, 2000.0, 3000.0,
+                 5000.0, 10000.0, 100000.0]
+
+
+@pytest.fixture(scope="module")
+def family(stage_engines):
+    out = {}
+    for vdd in VOLTAGES:
+        engine = stage_engines[vdd]
+        dts = engine.delta_t_sweep_rl(R_LEAK_VALUES)
+        ff = engine.delta_t_sweep_ro([0.0])[0]  # fault-free reference
+        out[vdd] = (dts, ff)
+    return out
+
+
+def stop_threshold(dts):
+    """Largest swept R_L whose measurement is stuck (NaN)."""
+    stuck = [r for r, dt in zip(R_LEAK_VALUES, dts) if math.isnan(dt)]
+    return max(stuck) if stuck else 0.0
+
+
+def test_bench_fig8_delta_t_vs_r_leak(family, benchmark, stage_engines):
+    table = Table(
+        ["R_L (Ohm)"] + [f"DeltaT @ {v} V" for v in VOLTAGES],
+        title="E5 / Fig. 8: DeltaT vs leakage resistance per supply "
+              "('stuck' = oscillation stop)",
+    )
+    for i, r in enumerate(R_LEAK_VALUES):
+        table.add_row(
+            [r] + [format_si(family[v][0][i], "s")
+                   if math.isfinite(family[v][0][i]) else float("nan")
+                   for v in VOLTAGES]
+        )
+    table.print()
+
+    thresholds = {v: stop_threshold(family[v][0]) for v in VOLTAGES}
+    print("\noscillation-stop thresholds (largest stuck R_L in sweep):")
+    for v in VOLTAGES:
+        print(f"  V_DD = {v} V: R_L,stop in ({thresholds[v]:.0f} Ohm, "
+              f"next sweep point]")
+
+    # Shape claim 2+3: thresholds exist and drop as V_DD increases.
+    ordered = [thresholds[v] for v in VOLTAGES]  # descending voltage
+    assert all(t > 0 for t in ordered)
+    assert all(b >= a for a, b in zip(ordered, ordered[1:]))
+    assert ordered[-1] > ordered[0]  # strictly wider stop range at 0.75 V
+
+    # Shape claim 1: just above each voltage's threshold, DeltaT sits
+    # clearly above the fault-free value (steep sensitive region).
+    for vdd in VOLTAGES:
+        dts, ff = family[vdd]
+        finite = [(r, dt) for r, dt in zip(R_LEAK_VALUES, dts)
+                  if math.isfinite(dt)]
+        r_first, dt_first = finite[0]  # smallest oscillating R_L
+        assert dt_first > ff, f"no sensitive region at {vdd} V"
+
+    engine = stage_engines[1.1]
+    benchmark.pedantic(
+        engine.delta_t_sweep_rl, args=([1000.0, 5000.0],), rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,90 @@
+"""E6 -- Fig. 9: MC DeltaT spread vs supply voltage (3 kOhm leakage).
+
+The paper's result: in the sensitive region just above the oscillation
+threshold (~0.75 V for a 3 kOhm leak), the fault-free and faulty spreads
+do not overlap; as V_DD rises toward nominal, the positive leakage
+signature collapses and the two cases cannot be distinguished (as a
+leakage).  We regenerate the per-voltage spread statistics, including the
+positive-side exceedance that a leakage classification needs.
+
+Known deviation (documented in EXPERIMENTS.md): at nominal supply our
+circuit shows a small *negative* DeltaT shift for weak leakage (pad
+droop during driver handoff).  It does not restore leakage
+identifiability at 1.1 V -- a negative shift aliases with small resistive
+opens -- so the paper's conclusion stands.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_samples
+from repro.analysis.reporting import Table, format_si
+from repro.core.aliasing import mc_delta_t_spread
+from repro.core.tsv import Leakage, Tsv
+
+VOLTAGES = (0.70, 0.75, 0.8, 0.95, 1.1)
+FAULT = Tsv(fault=Leakage(3000.0))
+
+
+def leakage_exceedance(pair):
+    """Fraction of faulty samples ABOVE the fault-free band (or stuck):
+    the evidence that supports a *leakage* classification."""
+    ff = pair.fault_free[np.isfinite(pair.fault_free)]
+    hi = ff.max()
+    above = pair.faulty > hi
+    stuck = ~np.isfinite(pair.faulty)
+    return float(np.mean(above | stuck))
+
+
+@pytest.fixture(scope="module")
+def spreads(stage_engines, variation):
+    n = bench_samples()
+    return {
+        vdd: mc_delta_t_spread(stage_engines[vdd], FAULT, variation, n,
+                               seed=77)
+        for vdd in VOLTAGES
+    }
+
+
+def test_bench_fig9_spread_vs_vdd(spreads, benchmark, stage_engines,
+                                  variation):
+    table = Table(
+        ["V_DD (V)", "ff mean", "faulty mean", "shift", "stuck frac",
+         "leak evidence", "range overlap"],
+        title="E6 / Fig. 9: MC spread, fault-free vs 3 kOhm leakage",
+    )
+    evidence = {}
+    for vdd in VOLTAGES:
+        pair = spreads[vdd]
+        stats = pair.stats()
+        evidence[vdd] = leakage_exceedance(pair)
+        table.add_row([
+            vdd,
+            format_si(stats["ff_mean"], "s"),
+            format_si(stats["faulty_mean"], "s"),
+            format_si(stats["faulty_mean"] - stats["ff_mean"], "s"),
+            f"{stats['stuck_fraction']:.2f}",
+            f"{evidence[vdd]:.2f}",
+            f"{stats['overlap']:.2f}",
+        ])
+    table.print()
+
+    # Shape claims: the leakage is identifiable (positive shift / stuck)
+    # at the low end of the voltage range and NOT at nominal supply.
+    assert max(evidence[0.70], evidence[0.75]) >= 0.6
+    assert evidence[1.1] <= 0.1
+    # And the positive signature decays with V_DD.
+    assert evidence[0.70] >= evidence[0.95]
+    assert evidence[0.75] >= evidence[0.95] >= evidence[1.1]
+    # At the sensitive voltage the faulty population sits clearly above
+    # (parametrically or stuck).
+    low = spreads[0.75].stats()
+    assert (low["faulty_mean"] > low["ff_mean"]
+            or low["stuck_fraction"] > 0.3)
+
+    benchmark.pedantic(
+        mc_delta_t_spread,
+        args=(stage_engines[0.75], FAULT, variation, 4),
+        kwargs={"seed": 5},
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,78 @@
+"""E1 -- Sec. III-A validation: lumped capacitor vs distributed RC ladder.
+
+The paper justifies modeling a fault-free TSV (R = 0.1 Ohm, C = 59 fF)
+as a single capacitor by comparing HSPICE charge curves of the RC ladder
+and the lumped cap, both driven by an X4 buffer: "no measurable
+difference".  This bench reproduces that comparison and reports the
+worst-case voltage difference and the 50%-crossing skew.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import Table, format_si
+from repro.cells import CellKit
+from repro.core.tsv import Tsv
+from repro.spice import Circuit, DC, Pulse, transient
+from repro.spice.netlist import GROUND
+
+VDD = 1.1
+
+
+def charge_curve(distributed: bool, segments: int = 10):
+    c = Circuit()
+    c.add_vsource("vdd", "vdd", GROUND, DC(VDD))
+    c.add_vsource("vin", "in", GROUND,
+                  Pulse(0.0, VDD, delay=100e-12, rise=20e-12,
+                        fall=20e-12, width=700e-12))
+    kit = CellKit(c)
+    kit.buffer("drv", "in", "pad", strength=4.0)
+    if distributed:
+        Tsv().build_distributed(c, "tsv", "pad", segments=segments)
+        probe = f"tsv.n{segments}"  # far end of the ladder
+    else:
+        Tsv().build(c, "tsv", "pad")
+        probe = "pad"
+    res = transient(c, 1.2e-9, 1e-12, record=["pad", probe])
+    return res
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return charge_curve(False), charge_curve(True)
+
+
+def test_bench_lumped_vs_distributed(curves, benchmark):
+    lumped, ladder = curves
+    t = lumped.time
+    v_lumped = lumped["pad"]
+    v_ladder = ladder["pad"]
+    max_dv = float(np.max(np.abs(v_lumped - v_ladder)))
+    t50_lumped = lumped.waveform("pad").crossings(VDD / 2, "rise")[0]
+    t50_ladder = ladder.waveform("pad").crossings(VDD / 2, "rise")[0]
+    skew = abs(t50_lumped - t50_ladder)
+
+    table = Table(
+        ["model", "t50 rise", "V(pad) @ 300 ps", "V(pad) @ 600 ps"],
+        title="E1: fault-free TSV, lumped C vs 10-segment RC ladder "
+              "(X4 buffer driver)",
+    )
+    for label, res in (("lumped 59 fF", lumped), ("RC ladder", ladder)):
+        w = res.waveform("pad")
+        table.add_row([
+            label,
+            format_si(w.crossings(VDD / 2, "rise")[0], "s"),
+            f"{w.value_at(300e-12):.4f} V",
+            f"{w.value_at(600e-12):.4f} V",
+        ])
+    table.print()
+    print(f"max |dV| between models: {max_dv * 1e3:.3f} mV; "
+          f"t50 skew: {skew * 1e15:.1f} fs")
+
+    # Paper: "no measurable difference".  0.1 Ohm against a ~kOhm driver
+    # must stay below a millivolt-scale deviation and ~50 fs of skew.
+    assert max_dv < 2e-3
+    assert skew < 0.2e-12
+
+    # Benchmark kernel: one lumped-model transient.
+    benchmark.pedantic(charge_curve, args=(False,), rounds=1, iterations=1)

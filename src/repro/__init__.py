@@ -1,0 +1,15 @@
+"""repro: reproduction of "Non-Invasive Pre-Bond TSV Test Using Ring
+Oscillators and Multiple Voltage Levels" (Deutsch & Chakrabarty, DATE 2013).
+
+Public API highlights:
+
+* :mod:`repro.spice` -- the circuit-simulation substrate.
+* :mod:`repro.cells` -- the 45nm-like standard-cell library.
+* :mod:`repro.core` -- TSV fault models, ring-oscillator test method,
+  multi-voltage planning, aliasing analysis, and DfT area costing.
+* :mod:`repro.dft` -- gate-level measurement logic (counter/LFSR).
+* :mod:`repro.baselines` -- prior-work comparator methods.
+* :mod:`repro.workloads` -- synthetic defect populations and screening flows.
+"""
+
+__version__ = "1.0.0"

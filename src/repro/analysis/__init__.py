@@ -1,0 +1,20 @@
+"""Analysis helpers shared by the benches and examples.
+
+* :mod:`repro.analysis.stats` -- ROC analysis and distribution summaries
+  on top of the overlap metrics in :mod:`repro.core.aliasing`.
+* :mod:`repro.analysis.reporting` -- fixed-width table/series rendering
+  so every bench prints the same rows the paper's tables and figures
+  report.
+"""
+
+from repro.analysis.reporting import Table, format_seconds, format_si
+from repro.analysis.stats import roc_auc, roc_points, summarize
+
+__all__ = [
+    "Table",
+    "format_seconds",
+    "format_si",
+    "roc_auc",
+    "roc_points",
+    "summarize",
+]

@@ -1,0 +1,99 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+Every bench regenerates a paper table or figure as printed rows/series;
+this module is the one place that formats them, so the output style of
+``pytest benchmarks/ --benchmark-only`` is uniform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+_SI_PREFIXES = [
+    (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"),
+    (1.0, ""), (1e-3, "m"), (1e-6, "u"), (1e-9, "n"),
+    (1e-12, "p"), (1e-15, "f"),
+]
+
+
+def format_si(value: Number, unit: str = "", digits: int = 3) -> str:
+    """Engineering notation: 5.9e-14 F -> '59 fF'."""
+    if value is None or (isinstance(value, float) and not math.isfinite(value)):
+        if isinstance(value, float) and math.isinf(value):
+            return ("inf" if value > 0 else "-inf") + (f" {unit}" if unit else "")
+        return "n/a"
+    if value == 0:
+        return f"0 {unit}".strip()
+    mag = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if mag >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".strip()
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".strip()
+
+
+def format_seconds(value: Number, digits: int = 3) -> str:
+    return format_si(value, "s", digits)
+
+
+class Table:
+    """A fixed-width text table with typed columns.
+
+    Example:
+        >>> t = Table(["R_O (Ohm)", "DeltaT (ps)"])
+        >>> t.add_row([1000, 245.1])
+        >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Sequence[object]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([self._fmt(v) for v in values])
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if not math.isfinite(value):
+                return "stuck" if math.isnan(value) else (
+                    "inf" if value > 0 else "-inf")
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e5 or abs(value) < 1e-3:
+                return f"{value:.4g}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        widths = [
+            max(len(col), *(len(r[i]) for r in self.rows)) if self.rows
+            else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(header)
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())

@@ -1,0 +1,84 @@
+"""Distribution statistics and ROC analysis for DeltaT populations.
+
+The paper argues separability from scatter plots; ROC curves quantify
+the same thing: sweep the decision threshold over DeltaT and trace the
+(false-positive, true-positive) trade-off.  Stuck samples (NaN DeltaT)
+count as detected at every threshold -- a dead oscillator is always
+flagged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+def summarize(samples: np.ndarray) -> Dict[str, float]:
+    """Finite-sample summary: mean/std/min/max plus the stuck fraction."""
+    samples = np.asarray(samples, dtype=float)
+    finite = samples[np.isfinite(samples)]
+    out = {
+        "n": float(len(samples)),
+        "stuck_fraction": float(np.mean(~np.isfinite(samples)))
+        if len(samples) else math.nan,
+    }
+    if len(finite):
+        out.update(
+            mean=float(finite.mean()),
+            std=float(finite.std()),
+            min=float(finite.min()),
+            max=float(finite.max()),
+            spread=float(finite.max() - finite.min()),
+        )
+    else:
+        out.update(mean=math.nan, std=math.nan, min=math.nan,
+                   max=math.nan, spread=math.nan)
+    return out
+
+
+def roc_points(
+    faulty: np.ndarray, fault_free: np.ndarray, num_thresholds: int = 101
+) -> List[Tuple[float, float]]:
+    """(FPR, TPR) points for a |DeltaT - center| threshold classifier.
+
+    The classifier flags a sample when its distance from the fault-free
+    center exceeds the threshold (two-sided, matching the band decision
+    of :class:`repro.core.session.PrebondTestSession`).
+    """
+    faulty = np.asarray(faulty, dtype=float)
+    ff = np.asarray(fault_free, dtype=float)
+    ff_finite = ff[np.isfinite(ff)]
+    if len(ff_finite) == 0:
+        raise ValueError("need finite fault-free samples")
+    center = float(np.median(ff_finite))
+
+    def scores(x: np.ndarray) -> np.ndarray:
+        s = np.abs(x - center)
+        s[~np.isfinite(x)] = np.inf  # stuck == maximally anomalous
+        return s
+
+    s_faulty = scores(faulty)
+    s_ff = scores(ff)
+    all_scores = np.concatenate([s_faulty, s_ff])
+    finite_scores = all_scores[np.isfinite(all_scores)]
+    hi = float(finite_scores.max()) if len(finite_scores) else 1.0
+    thresholds = np.linspace(0.0, hi * 1.01, num_thresholds)
+    points = []
+    for thr in thresholds[::-1]:  # ascending FPR order
+        tpr = float(np.mean(s_faulty > thr))
+        fpr = float(np.mean(s_ff > thr))
+        points.append((fpr, tpr))
+    points.append((1.0, 1.0))
+    return points
+
+
+def roc_auc(faulty: np.ndarray, fault_free: np.ndarray) -> float:
+    """Area under the ROC curve; 1.0 means perfectly separable spreads."""
+    pts = roc_points(faulty, fault_free)
+    pts = sorted(set(pts))
+    auc = 0.0
+    for (x1, y1), (x2, y2) in zip(pts, pts[1:]):
+        auc += (x2 - x1) * (y1 + y2) / 2.0
+    return min(max(auc, 0.0), 1.0)

@@ -1,0 +1,24 @@
+"""Prior-work pre-bond TSV test methods (paper Sec. II), as comparators.
+
+Each baseline models a published alternative at the same level of
+abstraction the paper discusses it, exposing a common interface:
+``detection_probability(tsv, ...)`` plus a cost model (area, test time,
+and method-specific liabilities such as probe touchdowns).
+
+* :mod:`repro.baselines.probe_capacitance` -- Noia & Chakrabarty [13]:
+  mechanical probing of multiple TSVs per needle, capacitance metering.
+* :mod:`repro.baselines.charge_sharing` -- Chen et al. [6]: on-chip
+  charge sharing into a sense amplifier.
+* :mod:`repro.baselines.single_tsv_ro` -- Huang et al. [14]: one TSV per
+  ring oscillator with custom I/O cells (the paper's closest relative).
+"""
+
+from repro.baselines.probe_capacitance import ProbeCapacitanceTest
+from repro.baselines.charge_sharing import ChargeSharingTest
+from repro.baselines.single_tsv_ro import SingleTsvRingOscillatorTest
+
+__all__ = [
+    "ChargeSharingTest",
+    "ProbeCapacitanceTest",
+    "SingleTsvRingOscillatorTest",
+]

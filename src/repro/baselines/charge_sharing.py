@@ -1,0 +1,106 @@
+"""Charge-sharing TSV test (Chen, Wu, Kwai, VTS 2010 [6]).
+
+The TSV under test is pre-charged to V_DD and then connected to a bank
+of ``sharing_tsvs`` discharged TSVs; the settled voltage
+
+    V_share = C_t * V_DD / (C_t + K * C)
+
+encodes the TSV capacitance C_t, read by an on-chip sense amplifier.
+Leakage is detected by waiting ``leak_wait`` before sharing: the
+pre-charged voltage decays as exp(-t / (R_L * C_t)).
+
+The paper's criticisms, modeled here:
+
+* susceptibility to process variations -- the sense amplifier's offset
+  directly masks small capacitance changes;
+* the sense amp and analog switches are custom analog structures, not
+  standard cells (a design-cost liability, captured in the cost model).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tsv import FaultFree, Leakage, ResistiveOpen, Tsv
+
+
+@dataclass
+class ChargeSharingTest:
+    """Behavioural model of the charge-sharing measurement.
+
+    Attributes:
+        sharing_tsvs: K, the discharged TSVs the charge is shared with.
+        vdd: Pre-charge voltage.
+        sense_offset_sigma: 1-sigma sense-amplifier input offset (V) --
+            the process-variation susceptibility the paper highlights.
+        detection_sigmas: Decision threshold in offset sigmas.
+        leak_wait: Hold time before sharing, for leakage detection (s).
+    """
+
+    sharing_tsvs: int = 4
+    vdd: float = 1.1
+    sense_offset_sigma: float = 0.015
+    detection_sigmas: float = 3.0
+    leak_wait: float = 100e-9
+
+    # ------------------------------------------------------------------
+    def effective_capacitance(self, tsv: Tsv) -> float:
+        """Capacitance observable from the front side during sharing."""
+        c = tsv.params.capacitance
+        fault = tsv.fault
+        if isinstance(fault, ResistiveOpen):
+            # The shared-charge settling is fast (~ns); the far segment
+            # behind a large open cannot participate.
+            settle = 5e-9
+            tau_far = fault.r_open * (1.0 - fault.x) * c
+            participation = 1.0 - math.exp(-settle / max(tau_far, 1e-15))
+            return fault.x * c + (1.0 - fault.x) * c * participation
+        return c
+
+    def shared_voltage(self, tsv: Tsv) -> float:
+        """Settled voltage after hold + share, before the sense amp."""
+        c_t = self.effective_capacitance(tsv)
+        v0 = self.vdd
+        if isinstance(tsv.fault, Leakage):
+            tau = tsv.fault.r_leak * c_t
+            v0 = self.vdd * math.exp(-self.leak_wait / tau)
+        c_bank = self.sharing_tsvs * tsv.params.capacitance
+        return v0 * c_t / (c_t + c_bank)
+
+    def nominal_shared_voltage(self, tsv: Tsv) -> float:
+        c = tsv.params.capacitance
+        return self.vdd * c / (c + self.sharing_tsvs * c)
+
+    # ------------------------------------------------------------------
+    def detection_probability(self, tsv: Tsv, num_trials: int = 200,
+                              seed: int = 0) -> float:
+        """Probability the sense amp flags the TSV as deviating."""
+        v_nom = self.nominal_shared_voltage(tsv)
+        v_meas = self.shared_voltage(tsv)
+        sigma = self.sense_offset_sigma
+        threshold = self.detection_sigmas * sigma
+        if isinstance(tsv.fault, FaultFree):
+            return 2.0 * (1.0 - _phi(self.detection_sigmas))
+        rng = np.random.default_rng(seed)
+        observed = v_meas + rng.normal(0.0, sigma, num_trials)
+        return float(np.mean(np.abs(observed - v_nom) > threshold))
+
+    # ------------------------------------------------------------------
+    def test_time(self, num_tsvs: int, cycle_time: float = 1e-6) -> float:
+        """One precharge/hold/share/sense cycle per TSV."""
+        return num_tsvs * cycle_time
+
+    def requires_custom_analog(self) -> bool:
+        """Sense amps and analog switches are not standard cells."""
+        return True
+
+    def area_per_sense_amp_um2(self) -> float:
+        """Hand-designed sense amp + switches, per TSV bank (estimate)."""
+        return 25.0
+
+
+def _phi(z: float) -> float:
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))

@@ -1,0 +1,121 @@
+"""Probe-based TSV capacitance test (Noia & Chakrabarty, ITC 2011 [13]).
+
+One probe needle mechanically contacts ``tsvs_per_touchdown`` TSV tips on
+the thinned wafer back side and meters their *combined* capacitance; a
+resistive open at depth x hides the bottom ``(1-x)C``... but seen from
+the BACK side it hides the top ``x*C`` -- the complementary observability
+of our front-side method.  Leakage shows as a DC current.
+
+Liabilities the paper calls out, all modeled here:
+
+* parallel measurement trades resolution for test time: a single faulty
+  TSV changes the group capacitance by only ``dC / K``;
+* probe contact resistance varies per touchdown (adds metering noise);
+* mechanical force can damage TSV tips and micro-bumps (a per-touchdown
+  damage probability -- a *cost*, not a detection mechanism);
+* it requires wafer thinning first and an active probe card.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tsv import FaultFree, Leakage, ResistiveOpen, Tsv
+
+
+@dataclass
+class ProbeCapacitanceTest:
+    """Behavioural model of the probe-based capacitance measurement.
+
+    Attributes:
+        tsvs_per_touchdown: TSVs contacted (and measured) together.
+        capacitance_noise_rel: 1-sigma relative metering noise per
+            touchdown (probe contact variation + instrument).
+        detection_sigmas: Threshold in sigmas of the group capacitance
+            noise for flagging a deviation.
+        leak_current_floor: Minimum detectable DC leakage current (A).
+        test_voltage: Voltage applied during the leak measurement.
+        damage_probability: Chance a touchdown damages a contacted TSV.
+    """
+
+    tsvs_per_touchdown: int = 5
+    capacitance_noise_rel: float = 0.01
+    detection_sigmas: float = 3.0
+    leak_current_floor: float = 1e-6
+    test_voltage: float = 1.1
+    damage_probability: float = 1e-4
+
+    # ------------------------------------------------------------------
+    def observable_capacitance(self, tsv: Tsv) -> float:
+        """Capacitance seen from the back side probe."""
+        c = tsv.params.capacitance
+        fault = tsv.fault
+        if isinstance(fault, ResistiveOpen):
+            if math.isinf(fault.r_open):
+                return (1.0 - fault.x) * c
+            # A finite open still charges the far segment, only slower;
+            # a quasi-static C meter sees nearly the full capacitance
+            # unless the open is large.  Model the visible fraction with
+            # the measurement-bandwidth roll-off.
+            f_meter = 10e6  # 10 MHz metering tone
+            cutoff = 1.0 / (2 * math.pi * fault.r_open * fault.x * c)
+            visible_far = 1.0 / math.hypot(1.0, f_meter / cutoff)
+            return (1.0 - fault.x) * c + fault.x * c * visible_far
+        return c
+
+    def leak_current(self, tsv: Tsv) -> float:
+        if isinstance(tsv.fault, Leakage):
+            return self.test_voltage / tsv.fault.r_leak
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def detection_probability(self, tsv: Tsv, num_trials: int = 200,
+                              seed: int = 0) -> float:
+        """Monte Carlo probability that the faulty TSV is flagged.
+
+        The group measurement flags when the metered capacitance falls
+        outside ``detection_sigmas`` of the expected group value; the
+        leak measurement flags when the DC current exceeds the floor.
+        """
+        if isinstance(tsv.fault, FaultFree):
+            # False-positive rate of the 3-sigma test.
+            return 2.0 * (1.0 - _phi(self.detection_sigmas))
+        if self.leak_current(tsv) >= self.leak_current_floor:
+            return 1.0
+        k = self.tsvs_per_touchdown
+        c_nom = tsv.params.capacitance
+        group_nominal = k * c_nom
+        group_faulty = (k - 1) * c_nom + self.observable_capacitance(tsv)
+        sigma = self.capacitance_noise_rel * group_nominal
+        if sigma <= 0:
+            return 1.0 if group_faulty != group_nominal else 0.0
+        rng = np.random.default_rng(seed)
+        measured = group_faulty + rng.normal(0.0, sigma, num_trials)
+        flagged = np.abs(measured - group_nominal) > self.detection_sigmas * sigma
+        return float(np.mean(flagged))
+
+    # ------------------------------------------------------------------
+    def touchdowns_for(self, num_tsvs: int) -> int:
+        return math.ceil(num_tsvs / self.tsvs_per_touchdown)
+
+    def expected_damaged_tsvs(self, num_tsvs: int) -> float:
+        """Expected TSVs damaged by probing a whole die once."""
+        return num_tsvs * self.damage_probability
+
+    def test_time(self, num_tsvs: int, seconds_per_touchdown: float = 0.05) -> float:
+        """Mechanical stepping dominates (50 ms per touchdown default)."""
+        return self.touchdowns_for(num_tsvs) * seconds_per_touchdown
+
+    def requires_wafer_thinning(self) -> bool:
+        return True
+
+    def requires_custom_probe_card(self) -> bool:
+        return True
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))

@@ -1,0 +1,94 @@
+"""Single-TSV ring-oscillator test (Huang et al. [14]).
+
+The paper's closest relative: also a ring-oscillator delay test, but one
+TSV at a time and with *custom* I/O cells rather than the functional
+ones.  Detection behaviour is therefore identical to our method at
+M = 1; the differences the paper claims are structural:
+
+* custom I/O cells must be designed and inserted (area + design cost);
+* no grouping: every TSV needs its own oscillator loop and measurement
+  connection, so wiring and DfT logic scale linearly with the TSV count
+  rather than with the group count.
+
+We model it by delegating detection to any of our engines configured
+with ``num_segments = 1`` and layering the different cost model on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.cells.technology import CELL_AREAS_UM2
+from repro.core.engines import AnalyticEngine
+from repro.core.segments import RingOscillatorConfig
+from repro.core.tsv import FaultFree, Tsv
+from repro.spice.montecarlo import ProcessVariation
+
+
+@dataclass
+class SingleTsvRingOscillatorTest:
+    """Huang-style one-TSV-per-oscillator test.
+
+    Attributes:
+        config: Oscillator configuration (forced to one segment).
+        variation: Process variation for the detection statistics.
+        num_characterization_samples: MC samples for the fault-free band.
+        custom_cell_area_um2: Area of the custom I/O + oscillator cells
+            per TSV (beyond the functional I/O cell our method reuses).
+    """
+
+    config: RingOscillatorConfig = field(
+        default_factory=lambda: RingOscillatorConfig(num_segments=1)
+    )
+    variation: ProcessVariation = field(default_factory=ProcessVariation)
+    num_characterization_samples: int = 100
+    custom_cell_area_um2: float = (
+        CELL_AREAS_UM2["TRIBUF_X4"] + CELL_AREAS_UM2["MUX2_X1"]
+        + CELL_AREAS_UM2["INV_X1"]
+    )
+
+    def __post_init__(self) -> None:
+        if self.config.num_segments != 1:
+            self.config = replace(self.config, num_segments=1)
+        self._engine = AnalyticEngine(self.config)
+
+    # ------------------------------------------------------------------
+    def detection_probability(self, tsv: Tsv, num_trials: int = 200,
+                              seed: int = 0) -> float:
+        """Probability the DeltaT test flags the TSV (M = 1)."""
+        ff = self._engine.delta_t_mc(
+            Tsv(params=tsv.params), self.variation,
+            self.num_characterization_samples, seed=seed,
+        )
+        if isinstance(tsv.fault, FaultFree):
+            # By construction the band covers the characterization set;
+            # report the out-of-sample false-positive rate.
+            fresh = self._engine.delta_t_mc(
+                Tsv(params=tsv.params), self.variation, num_trials,
+                seed=seed + 1,
+            )
+        else:
+            fresh = self._engine.delta_t_mc(
+                tsv, self.variation, num_trials, seed=seed + 1
+            )
+        finite_ff = ff[np.isfinite(ff)]
+        lo, hi = finite_ff.min(), finite_ff.max()
+        stuck = ~np.isfinite(fresh)
+        outside = (fresh < lo) | (fresh > hi)
+        return float(np.mean(stuck | outside))
+
+    # ------------------------------------------------------------------
+    def dft_area_um2(self, num_tsvs: int) -> float:
+        """Custom cells per TSV; no sharing of the loop inverter."""
+        return num_tsvs * self.custom_cell_area_um2
+
+    def test_time(self, num_tsvs: int, window: float = 5e-6,
+                  overhead: float = 1e-6) -> float:
+        """Two measurements (T1, T2) per TSV, no group amortization."""
+        return num_tsvs * 2.0 * (window + overhead)
+
+    def uses_functional_io_cells(self) -> bool:
+        return False

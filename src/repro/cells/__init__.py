@@ -1,0 +1,20 @@
+"""A 45nm-like standard-cell library built on the transistor-level engine.
+
+Mirrors the cells the paper instantiates from the Nangate 45nm Open Cell
+Library: X1 inverters/NAND/NOR/MUX2, X4 buffers for TSV drivers, and the
+tri-state bidirectional I/O cell of Fig. 3.  Cells are *builder methods*
+on a :class:`CellKit`, which expands them into flat transistor netlists
+(optionally applying per-instance Monte Carlo mismatch).
+
+Standard-cell areas (used by the DfT cost model of Sec. IV-D) are the
+paper's own numbers for the Nangate library.
+"""
+
+from repro.cells.technology import (
+    CELL_AREAS_UM2,
+    Technology,
+    TECH_45LP,
+)
+from repro.cells.kit import CellKit
+
+__all__ = ["CELL_AREAS_UM2", "CellKit", "TECH_45LP", "Technology"]

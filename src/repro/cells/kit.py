@@ -1,0 +1,216 @@
+"""The :class:`CellKit`: standard-cell builders over a flat circuit.
+
+A kit binds a :class:`repro.spice.netlist.Circuit` to supply rails, a
+technology, and (optionally) a Monte Carlo :class:`ProcessSample`; its
+methods instantiate gate topologies as flat transistor netlists.  Internal
+nodes are namespaced as ``<instance>.<pin>``, so cells never collide.
+
+Topologies:
+
+* ``inverter``     -- 2 FETs.
+* ``buffer``       -- two tapered inverters (non-inverting).
+* ``nand2/nor2``   -- 4 FETs, standard series/parallel stacks.
+* ``tgate``        -- complementary transmission gate.
+* ``mux2``         -- 2 transmission gates + select inverter
+  (tgate-style MUX2, 6 FETs; output is driven resistively, which is fine
+  for the gate-capacitance loads it sees inside the ring).
+* ``tristate_buffer`` -- input inverter + clocked-inverter output stage:
+  non-inverting, high-Z when disabled.
+* ``io_cell``      -- the bidirectional I/O cell of Fig. 3: tri-state
+  driver onto ``pad`` (the TSV front side) plus a receiver buffer from
+  ``pad`` back ``to core``.  Non-inverting in both directions, so the
+  ring-oscillator parity is set purely by the loop's single inverter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cells.technology import CELL_AREAS_UM2, TECH_45LP, Technology
+from repro.spice.montecarlo import ProcessSample
+from repro.spice.netlist import Circuit, GROUND
+
+
+@dataclass
+class CellKit:
+    """Standard-cell factory bound to one circuit and one process sample.
+
+    Attributes:
+        circuit: Target circuit (cells are expanded flat into it).
+        vdd: Name of the supply node (the rail itself; the kit does not
+            create the supply source).
+        tech: Sizing rules and device models.
+        sample: Optional per-instance mismatch source; ``None`` means
+            nominal devices (batched Monte Carlo perturbs the flat netlist
+            afterwards instead).
+    """
+
+    circuit: Circuit
+    vdd: str = "vdd"
+    tech: Technology = TECH_45LP
+    sample: Optional[ProcessSample] = None
+    instances: List[str] = field(default_factory=list)
+    _areas: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Transistor primitives
+    # ------------------------------------------------------------------
+    def nmos(self, name: str, d: str, g: str, s: str, w: float) -> None:
+        model = self.tech.nmos
+        if self.sample is not None:
+            model = self.sample.perturb(model)
+        self.circuit.add_mosfet(name, d, g, s, GROUND, model, w=w)
+
+    def pmos(self, name: str, d: str, g: str, s: str, w: float) -> None:
+        model = self.tech.pmos
+        if self.sample is not None:
+            model = self.sample.perturb(model)
+        self.circuit.add_mosfet(name, d, g, s, self.vdd, model, w=w)
+
+    def _track(self, name: str, cell_type: str) -> None:
+        self.instances.append(name)
+        self._areas[name] = CELL_AREAS_UM2.get(cell_type, 0.0)
+
+    @property
+    def total_cell_area_um2(self) -> float:
+        """Sum of the standard-cell areas instantiated through this kit."""
+        return sum(self._areas.values())
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+    def inverter(self, name: str, a: str, y: str, strength: float = 1.0) -> str:
+        """CMOS inverter; returns the output node ``y``."""
+        self.pmos(f"{name}.mp", y, a, self.vdd, self.tech.pmos_width(strength))
+        self.nmos(f"{name}.mn", y, a, GROUND, self.tech.nmos_width(strength))
+        self._track(name, f"INV_X{int(max(strength, 1))}")
+        return y
+
+    def buffer(self, name: str, a: str, y: str, strength: float = 4.0) -> str:
+        """Two-stage tapered buffer (non-inverting); returns ``y``.
+
+        The first stage is sized at half the output strength (min X1),
+        matching the internal taper of library BUF cells.
+        """
+        mid = f"{name}.mid"
+        first = max(strength / 2.0, 1.0)
+        self.inverter(f"{name}.i0", a, mid, strength=first)
+        self.inverter(f"{name}.i1", mid, y, strength=strength)
+        self.instances.pop()  # collapse the two INV records into one BUF
+        self.instances.pop()
+        del self._areas[f"{name}.i0"], self._areas[f"{name}.i1"]
+        self._track(name, f"BUF_X{int(max(strength, 1))}")
+        return y
+
+    def nand2(self, name: str, a: str, b: str, y: str, strength: float = 1.0) -> str:
+        wn = self.tech.nmos_width(strength) * 2.0  # series stack upsized
+        wp = self.tech.pmos_width(strength)
+        mid = f"{name}.n1"
+        self.pmos(f"{name}.mpa", y, a, self.vdd, wp)
+        self.pmos(f"{name}.mpb", y, b, self.vdd, wp)
+        self.nmos(f"{name}.mna", y, a, mid, wn)
+        self.nmos(f"{name}.mnb", mid, b, GROUND, wn)
+        self._track(name, "NAND2_X1")
+        return y
+
+    def nor2(self, name: str, a: str, b: str, y: str, strength: float = 1.0) -> str:
+        wn = self.tech.nmos_width(strength)
+        wp = self.tech.pmos_width(strength) * 2.0
+        mid = f"{name}.p1"
+        self.pmos(f"{name}.mpa", mid, a, self.vdd, wp)
+        self.pmos(f"{name}.mpb", y, b, mid, wp)
+        self.nmos(f"{name}.mna", y, a, GROUND, wn)
+        self.nmos(f"{name}.mnb", y, b, GROUND, wn)
+        self._track(name, "NOR2_X1")
+        return y
+
+    def tgate(self, name: str, a: str, y: str, s: str, s_b: str,
+              strength: float = 1.0) -> str:
+        """Transmission gate: conducts a<->y when ``s`` is high."""
+        self.nmos(f"{name}.mn", y, s, a, self.tech.nmos_width(strength))
+        self.pmos(f"{name}.mp", y, s_b, a, self.tech.pmos_width(strength))
+        return y
+
+    def mux2(self, name: str, a: str, b: str, sel: str, y: str,
+             strength: float = 1.0) -> str:
+        """2:1 mux: ``y = a`` when ``sel`` low, ``y = b`` when ``sel`` high.
+
+        Buffered static-CMOS topology matching library MUX2 cells: the
+        inputs are inverted, transmission gates select between the
+        inverted signals, and an output inverter restores polarity and
+        drive.  The buffered output is essential in the ring: bypassed
+        segments chain mux-to-mux, and unbuffered tgates would build an
+        RC ladder whose delay grows quadratically with N.
+        """
+        sel_b = f"{name}.selb"
+        a_b = f"{name}.ab"
+        b_b = f"{name}.bb"
+        mid = f"{name}.m"
+        self.inverter(f"{name}.isel", sel, sel_b, strength=1.0)
+        self.inverter(f"{name}.ia", a, a_b, strength=1.0)
+        self.inverter(f"{name}.ib", b, b_b, strength=1.0)
+        for inst in (f"{name}.isel", f"{name}.ia", f"{name}.ib"):
+            self.instances.pop()
+            del self._areas[inst]
+        self.tgate(f"{name}.ta", a_b, mid, sel_b, sel, strength)
+        self.tgate(f"{name}.tb", b_b, mid, sel, sel_b, strength)
+        self.inverter(f"{name}.iy", mid, y, strength=strength)
+        self.instances.pop()
+        del self._areas[f"{name}.iy"]
+        self._track(name, "MUX2_X1")
+        return y
+
+    def tristate_buffer(self, name: str, a: str, en: str, y: str,
+                        strength: float = 4.0) -> str:
+        """Non-inverting tri-state driver: drives ``y`` when ``en`` high.
+
+        Topology: input inverter (half strength) feeding a clocked
+        inverter output stage -- PMOS stack gated by ``en_b``, NMOS stack
+        gated by ``en``.  The stacked output devices are doubled in width
+        so the *effective* drive matches the nominal strength (standard
+        tri-state sizing practice).
+        """
+        a_b = f"{name}.ab"
+        en_b = f"{name}.enb"
+        self.inverter(f"{name}.iin", a, a_b, strength=max(strength / 2.0, 1.0))
+        self.inverter(f"{name}.ien", en, en_b, strength=1.0)
+        for inst in (f"{name}.iin", f"{name}.ien"):
+            self.instances.pop()
+            del self._areas[inst]
+        wp = self.tech.pmos_width(strength) * 2.0
+        wn = self.tech.nmos_width(strength) * 2.0
+        pm = f"{name}.pm"
+        nm = f"{name}.nm"
+        self.pmos(f"{name}.mp_en", pm, en_b, self.vdd, wp)
+        self.pmos(f"{name}.mp_in", y, a_b, pm, wp)
+        self.nmos(f"{name}.mn_in", y, a_b, nm, wn)
+        self.nmos(f"{name}.mn_en", nm, en, GROUND, wn)
+        self._track(name, f"TRIBUF_X{int(max(strength, 1))}")
+        return y
+
+    def io_cell(self, name: str, a: str, en: str, pad: str, y: str,
+                driver_strength: float = 4.0) -> str:
+        """Bidirectional I/O cell (Fig. 3): tri-state driver + receiver.
+
+        Args:
+            name: Instance name.
+            a: Data input from the core side.
+            en: Output enable (the OE signal).
+            pad: The pad node -- the TSV front side.
+            y: Receiver output ("to core").
+            driver_strength: Output-stage strength (the paper uses X4
+                drivers and X1 elsewhere).
+
+        Returns:
+            The receiver output node ``y``.
+        """
+        self.tristate_buffer(f"{name}.drv", a, en, pad, strength=driver_strength)
+        rec_mid = f"{name}.rm"
+        self.inverter(f"{name}.rx0", pad, rec_mid, strength=1.0)
+        self.inverter(f"{name}.rx1", rec_mid, y, strength=1.0)
+        for inst in (f"{name}.drv", f"{name}.rx0", f"{name}.rx1"):
+            self.instances.pop()
+            del self._areas[inst]
+        self._track(name, "IOCELL_X4")
+        return y

@@ -1,0 +1,54 @@
+"""Technology constants for the 45nm-LP-like cell library.
+
+Transistor widths follow the Nangate 45nm convention of roughly
+W_n = 0.4 um / W_p = 0.8 um for an X1 inverter, scaled linearly with
+drive strength.  The standard-cell areas are the values the paper quotes
+for the Nangate library (Sec. IV-D): 3.75 um^2 for a MUX2 and 1.41 um^2
+for an inverter; the remaining areas are taken from the same library's
+datasheet granularity (multiples of the 0.38 um x 1.97 um site less a
+rounding, consistent with the two anchored values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spice.mosfet import MosfetModel, NMOS_45LP, PMOS_45LP
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Device models plus sizing rules for the cell library."""
+
+    name: str
+    nmos: MosfetModel
+    pmos: MosfetModel
+    wn_x1: float = 0.4e-6     # NMOS width of an X1 inverter (m)
+    wp_x1: float = 0.8e-6     # PMOS width of an X1 inverter (m)
+    nominal_vdd: float = 1.1  # volts
+
+    def nmos_width(self, strength: float) -> float:
+        return self.wn_x1 * strength
+
+    def pmos_width(self, strength: float) -> float:
+        return self.wp_x1 * strength
+
+
+#: Default technology: the 45 nm low-power flavour used throughout.
+TECH_45LP = Technology(name="45lp", nmos=NMOS_45LP, pmos=PMOS_45LP)
+
+
+#: Standard-cell areas in um^2; MUX2 and INV are the paper's numbers.
+CELL_AREAS_UM2 = {
+    "INV_X1": 1.41,
+    "INV_X2": 1.88,
+    "INV_X4": 2.82,
+    "BUF_X1": 2.35,
+    "BUF_X4": 3.76,
+    "NAND2_X1": 1.88,
+    "NOR2_X1": 1.88,
+    "MUX2_X1": 3.75,
+    "TRIBUF_X4": 4.70,
+    "DFF_X1": 7.52,
+    "IOCELL_X4": 9.40,
+}

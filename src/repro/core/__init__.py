@@ -1,0 +1,74 @@
+"""The paper's contribution: non-invasive pre-bond TSV test.
+
+Submodules:
+
+* :mod:`repro.core.tsv` -- electrical TSV models and the fault taxonomy
+  (fault-free, resistive open, leakage; Fig. 2 of the paper).
+* :mod:`repro.core.segments` -- the ring-oscillator DfT netlist builders
+  (Fig. 3: I/O segments, TE/BY/OE controls, shared inverter).
+* :mod:`repro.core.engines` -- three period-measurement engines at
+  different accuracy/speed points.
+* :mod:`repro.core.session` -- the T1/T2 measurement flow and the
+  DeltaT-based pass/fail decision.
+* :mod:`repro.core.multivoltage` -- multiple-supply-voltage test planning
+  (Sec. IV-B: leakage oscillation-stop thresholds and detectable ranges).
+* :mod:`repro.core.aliasing` -- Monte Carlo spread/overlap analysis
+  (Figs. 7, 9, 10).
+* :mod:`repro.core.area` -- the DfT area-cost model (Sec. IV-D).
+"""
+
+from repro.core.tsv import (
+    FaultFree,
+    Leakage,
+    ResistiveOpen,
+    Tsv,
+    TsvFault,
+    TsvParameters,
+    TSV_DEFAULT,
+)
+from repro.core.segments import RingOscillator, RingOscillatorConfig
+from repro.core.engines import (
+    AnalyticEngine,
+    StageDelayEngine,
+    TransistorLevelEngine,
+)
+from repro.core.diagnosis import (
+    EngineGroupMeasurer,
+    GroupDiagnosis,
+    fault_free_band_per_tsv,
+)
+from repro.core.session import PrebondTestSession, TestDecision, TestOutcome
+from repro.core.multivoltage import (
+    MultiVoltagePlan,
+    detectable_leakage_range,
+    leakage_stop_threshold,
+)
+from repro.core.aliasing import SpreadPair, mc_delta_t_spread
+from repro.core.area import DftAreaModel
+
+__all__ = [
+    "AnalyticEngine",
+    "DftAreaModel",
+    "EngineGroupMeasurer",
+    "FaultFree",
+    "GroupDiagnosis",
+    "Leakage",
+    "MultiVoltagePlan",
+    "PrebondTestSession",
+    "ResistiveOpen",
+    "RingOscillator",
+    "RingOscillatorConfig",
+    "SpreadPair",
+    "StageDelayEngine",
+    "TestDecision",
+    "TestOutcome",
+    "TransistorLevelEngine",
+    "Tsv",
+    "TsvFault",
+    "TsvParameters",
+    "TSV_DEFAULT",
+    "detectable_leakage_range",
+    "fault_free_band_per_tsv",
+    "leakage_stop_threshold",
+    "mc_delta_t_spread",
+]

@@ -1,0 +1,173 @@
+"""Monte Carlo spread/overlap analysis (paper Figs. 7, 9, 10 and Sec. IV-C).
+
+Process variation spreads the DeltaT of both the fault-free and the
+faulty populations; where the spreads overlap, a measurement cannot be
+attributed (aliasing).  The paper reports this overlap qualitatively in
+its MC scatter plots; we quantify it with:
+
+* :func:`range_overlap_fraction` -- the fraction of the combined spread
+  interval covered by both populations' ranges (the visual metric of
+  Fig. 10);
+* :func:`histogram_overlap` -- the overlap coefficient of the two
+  empirical distributions (integral of the pointwise minimum);
+* :func:`separation_gap` -- signed gap between the populations' nearest
+  edges, normalized by the combined spread;
+* :func:`detection_probability` -- probability that a faulty die falls
+  outside the fault-free band (with stuck samples always detected).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.tsv import Tsv
+from repro.spice.montecarlo import ProcessVariation
+
+
+def _finite(samples: np.ndarray) -> np.ndarray:
+    samples = np.asarray(samples, dtype=float)
+    return samples[np.isfinite(samples)]
+
+
+def range_overlap_fraction(a: np.ndarray, b: np.ndarray) -> float:
+    """Overlap of the two sample ranges, normalized to the union width.
+
+    Returns 0 when the ranges are disjoint (perfectly separable spreads)
+    and approaches 1 when one range engulfs the other.
+    """
+    a, b = _finite(a), _finite(b)
+    if len(a) == 0 or len(b) == 0:
+        return 0.0
+    lo = max(a.min(), b.min())
+    hi = min(a.max(), b.max())
+    union = max(a.max(), b.max()) - min(a.min(), b.min())
+    if union <= 0:
+        return 1.0
+    return max(0.0, (hi - lo) / union)
+
+
+def histogram_overlap(a: np.ndarray, b: np.ndarray, bins: int = 30) -> float:
+    """Overlap coefficient of the two empirical distributions in [0, 1]."""
+    a, b = _finite(a), _finite(b)
+    if len(a) == 0 or len(b) == 0:
+        return 0.0
+    lo = min(a.min(), b.min())
+    hi = max(a.max(), b.max())
+    if hi <= lo:
+        return 1.0
+    edges = np.linspace(lo, hi, bins + 1)
+    pa, _ = np.histogram(a, bins=edges, density=False)
+    pb, _ = np.histogram(b, bins=edges, density=False)
+    pa = pa / pa.sum()
+    pb = pb / pb.sum()
+    return float(np.minimum(pa, pb).sum())
+
+
+def separation_gap(a: np.ndarray, b: np.ndarray) -> float:
+    """Signed, normalized gap between the two spreads.
+
+    Positive: the ranges are disjoint by this fraction of the union
+    width.  Negative: they overlap by that fraction (equals
+    ``-range_overlap_fraction``).
+    """
+    a, b = _finite(a), _finite(b)
+    if len(a) == 0 or len(b) == 0:
+        return math.nan
+    union = max(a.max(), b.max()) - min(a.min(), b.min())
+    if union <= 0:
+        return -1.0  # identical point distributions: total aliasing
+    gap = max(a.min(), b.min()) - min(a.max(), b.max())
+    return gap / union
+
+
+def detection_probability(
+    faulty: np.ndarray, fault_free: np.ndarray, guard: float = 0.0
+) -> float:
+    """Fraction of faulty samples falling outside the fault-free band.
+
+    Non-finite faulty samples (oscillation stop) always count as
+    detected -- a dead oscillator is the most conspicuous signature.
+    """
+    faulty = np.asarray(faulty, dtype=float)
+    ff = _finite(fault_free)
+    if len(ff) == 0:
+        raise ValueError("need fault-free samples to build the band")
+    lo, hi = ff.min() - guard, ff.max() + guard
+    stuck = ~np.isfinite(faulty)
+    outside = (faulty < lo) | (faulty > hi)
+    return float(np.mean(stuck | outside))
+
+
+@dataclass
+class SpreadPair:
+    """Fault-free vs faulty DeltaT Monte Carlo spreads at one condition."""
+
+    fault_free: np.ndarray
+    faulty: np.ndarray
+    vdd: float
+    m: int = 1
+
+    @property
+    def overlap(self) -> float:
+        return range_overlap_fraction(self.fault_free, self.faulty)
+
+    @property
+    def hist_overlap(self) -> float:
+        return histogram_overlap(self.fault_free, self.faulty)
+
+    @property
+    def gap(self) -> float:
+        return separation_gap(self.fault_free, self.faulty)
+
+    @property
+    def detectability(self) -> float:
+        return detection_probability(self.faulty, self.fault_free)
+
+    @property
+    def distinguishable(self) -> bool:
+        """True when the spreads do not alias at all (disjoint ranges)."""
+        return self.overlap == 0.0
+
+    def stats(self) -> dict:
+        ff, fy = _finite(self.fault_free), _finite(self.faulty)
+        return {
+            "vdd": self.vdd,
+            "m": self.m,
+            "ff_mean": float(ff.mean()) if len(ff) else math.nan,
+            "ff_spread": float(ff.max() - ff.min()) if len(ff) else math.nan,
+            "faulty_mean": float(fy.mean()) if len(fy) else math.nan,
+            "faulty_spread": float(fy.max() - fy.min()) if len(fy) else math.nan,
+            "stuck_fraction": float(np.mean(~np.isfinite(self.faulty))),
+            "overlap": self.overlap,
+            "gap": self.gap,
+            "detectability": self.detectability,
+        }
+
+
+def mc_delta_t_spread(
+    engine,
+    faulty_tsv: Tsv,
+    variation: ProcessVariation,
+    num_samples: int,
+    m: int = 1,
+    seed: int = 0,
+    fault_free_tsv: Optional[Tsv] = None,
+) -> SpreadPair:
+    """Monte Carlo DeltaT spreads for a faulty vs fault-free TSV.
+
+    Works with any engine exposing ``delta_t_mc`` (the stage-delay and
+    analytic engines).  The two populations use different seeds, modeling
+    different dies.
+    """
+    ff_tsv = fault_free_tsv or Tsv(params=faulty_tsv.params)
+    ff = engine.delta_t_mc(ff_tsv, variation, num_samples, m=m, seed=seed)
+    fy = engine.delta_t_mc(
+        faulty_tsv, variation, num_samples, m=m, seed=seed + 7919
+    )
+    return SpreadPair(
+        fault_free=ff, faulty=fy, vdd=engine.config.vdd, m=m
+    )

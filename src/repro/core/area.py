@@ -1,0 +1,107 @@
+"""DfT area-cost model (paper Sec. IV-D).
+
+Per TSV the DfT adds two multiplexers (the TE/functional mux and the
+BY bypass mux); each group of N TSVs shares one loop inverter.  With the
+Nangate 45nm cell areas (MUX2 3.75 um^2, INV 1.41 um^2) the paper's
+example -- 1000 TSVs, N = 5 -- costs 2000 * 3.75 + 200 * 1.41 =
+7782 um^2 < 0.01 mm^2, i.e. under 0.04% of a 25 mm^2 die.
+
+The shared control/measurement logic (counter or LFSR, decoder, control
+FSM) is also estimated here so the full Fig. 5 architecture can be
+costed; the paper argues it is negligible because it is shared across
+all groups.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cells.technology import CELL_AREAS_UM2
+
+
+@dataclass(frozen=True)
+class DftAreaModel:
+    """Standard-cell area model of the pre-bond TSV test DfT.
+
+    Attributes:
+        num_tsvs: TSVs in the functional design.
+        group_size: N, TSVs per ring oscillator.
+        mux_area_um2: MUX2 standard-cell area.
+        inverter_area_um2: INV standard-cell area.
+        muxes_per_tsv: 2 in the paper's architecture.
+    """
+
+    num_tsvs: int = 1000
+    group_size: int = 5
+    mux_area_um2: float = CELL_AREAS_UM2["MUX2_X1"]
+    inverter_area_um2: float = CELL_AREAS_UM2["INV_X1"]
+    muxes_per_tsv: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_tsvs < 1 or self.group_size < 1:
+            raise ValueError("num_tsvs and group_size must be positive")
+
+    @property
+    def num_groups(self) -> int:
+        return math.ceil(self.num_tsvs / self.group_size)
+
+    @property
+    def oscillator_area_um2(self) -> float:
+        """Area of the per-TSV muxes plus the shared loop inverters."""
+        mux = self.num_tsvs * self.muxes_per_tsv * self.mux_area_um2
+        inv = self.num_groups * self.inverter_area_um2
+        return mux + inv
+
+    def measurement_area_um2(
+        self,
+        counter_bits: int = 10,
+        use_lfsr: bool = False,
+        dff_area_um2: float = CELL_AREAS_UM2["DFF_X1"],
+    ) -> float:
+        """Area of one shared measurement block (counter or LFSR).
+
+        A binary counter needs an incrementer (~one NAND-equivalent per
+        bit) on top of its flops; an LFSR needs only a couple of XORs
+        regardless of width -- the gate-count advantage the paper notes.
+        """
+        flops = counter_bits * dff_area_um2
+        if use_lfsr:
+            logic = 2 * CELL_AREAS_UM2["NAND2_X1"]
+        else:
+            logic = counter_bits * 2 * CELL_AREAS_UM2["NAND2_X1"]
+        return flops + logic
+
+    def control_area_um2(self) -> float:
+        """Rough area of the control FSM + group decoder (Fig. 5)."""
+        decode_gates = max(1, math.ceil(math.log2(max(self.num_groups, 2))))
+        decoder = self.num_groups * CELL_AREAS_UM2["NAND2_X1"]
+        fsm = 8 * CELL_AREAS_UM2["DFF_X1"] + 16 * CELL_AREAS_UM2["NAND2_X1"]
+        return decoder + fsm + decode_gates * CELL_AREAS_UM2["INV_X1"]
+
+    def total_area_um2(self, counter_bits: int = 10, use_lfsr: bool = False) -> float:
+        return (
+            self.oscillator_area_um2
+            + self.measurement_area_um2(counter_bits, use_lfsr)
+            + self.control_area_um2()
+        )
+
+    def fraction_of_die(self, die_area_mm2: float = 25.0,
+                        counter_bits: int = 10) -> float:
+        """Total DfT area as a fraction of the die area."""
+        return self.total_area_um2(counter_bits) / (die_area_mm2 * 1e6)
+
+    def report(self, die_area_mm2: float = 25.0) -> Dict[str, float]:
+        """All the numbers of Sec. IV-D in one dictionary."""
+        return {
+            "num_tsvs": self.num_tsvs,
+            "group_size": self.group_size,
+            "num_groups": self.num_groups,
+            "oscillator_area_um2": self.oscillator_area_um2,
+            "measurement_area_um2": self.measurement_area_um2(),
+            "control_area_um2": self.control_area_um2(),
+            "total_area_um2": self.total_area_um2(),
+            "die_area_mm2": die_area_mm2,
+            "fraction_of_die": self.fraction_of_die(die_area_mm2),
+        }

@@ -1,0 +1,181 @@
+"""Within-group fault isolation by subset bisection.
+
+The Fig. 3 architecture can include or exclude *any subset* of a group's
+TSVs from the oscillator loop through the BY[1..N] multiplexers.  That
+makes group-level screening recoverable: when a group's M-TSV
+measurement is anomalous, the faulty member(s) can be isolated with
+O(k log N) further measurements instead of N -- measure half the group,
+recurse into whichever halves stay anomalous.
+
+Anomaly criterion per subset S: the measured DeltaT(S) must lie within
+|S| times the single-TSV fault-free band (DeltaT contributions add
+linearly around the loop), or the oscillator must have stopped (NaN),
+which any subset containing a stuck TSV inherits.
+
+This module is engine-agnostic: callers provide ``measure(indices)``;
+:class:`EngineGroupMeasurer` adapts the DeltaT engines (with per-member
+mismatch, so diagnosis sees realistic noise).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.session import ReferenceBand
+from repro.core.tsv import Tsv
+from repro.spice.montecarlo import ProcessVariation
+
+
+@dataclass
+class DiagnosisResult:
+    """Outcome of one group diagnosis."""
+
+    suspects: List[int]
+    measurements: int
+    subset_log: List[Tuple[Tuple[int, ...], float, bool]] = field(
+        default_factory=list
+    )
+
+    @property
+    def measurement_savings_vs_isolation(self) -> float:
+        """How many measurements a full per-TSV isolation would have
+        needed, divided by what diagnosis used (>1 means we saved)."""
+        return max(len({i for s, _, _ in self.subset_log for i in s}), 1) / max(
+            self.measurements, 1
+        )
+
+
+class GroupDiagnosis:
+    """Bisection-based isolation of faulty TSVs within one group.
+
+    Args:
+        measure: ``measure(indices) -> DeltaT`` for the subset of group
+            members with the given indices enabled (NaN = stuck loop).
+        band: Fault-free DeltaT band *per TSV*.  A subset of k members is
+            anomalous when its measurement leaves
+            ``k*center +- sqrt(k)*half_width``: the means add linearly
+            but independent per-segment mismatch grows only as sqrt(k)
+            (the same statistics behind Fig. 10's overlap growth).
+    """
+
+    def __init__(
+        self,
+        measure: Callable[[Sequence[int]], float],
+        band: ReferenceBand,
+    ):
+        self._measure = measure
+        self.band = band
+        self._count = 0
+        self._log: List[Tuple[Tuple[int, ...], float, bool]] = []
+
+    def subset_bounds(self, k: int) -> Tuple[float, float]:
+        """Acceptance bounds for a k-member subset measurement."""
+        center = 0.5 * (self.band.low + self.band.high)
+        half = 0.5 * (self.band.high - self.band.low)
+        spread = math.sqrt(k) * half
+        return k * center - spread, k * center + spread
+
+    def _anomalous(self, indices: Sequence[int]) -> bool:
+        value = self._measure(indices)
+        self._count += 1
+        lo, hi = self.subset_bounds(len(indices))
+        bad = not math.isfinite(value) or not (lo <= value <= hi)
+        self._log.append((tuple(indices), value, bad))
+        return bad
+
+    def run(self, group_indices: Sequence[int]) -> DiagnosisResult:
+        """Diagnose the whole group; returns suspects and the cost."""
+        self._count = 0
+        self._log = []
+        suspects: List[int] = []
+        stack: List[List[int]] = [list(group_indices)]
+        while stack:
+            subset = stack.pop()
+            if not subset:
+                continue
+            if not self._anomalous(subset):
+                continue
+            if len(subset) == 1:
+                suspects.append(subset[0])
+                continue
+            mid = len(subset) // 2
+            stack.append(subset[:mid])
+            stack.append(subset[mid:])
+        suspects.sort()
+        return DiagnosisResult(
+            suspects=suspects,
+            measurements=self._count,
+            subset_log=self._log,
+        )
+
+
+class EngineGroupMeasurer:
+    """Adapts a DeltaT engine into the subset-measurement interface.
+
+    Each group member gets a fixed per-die DeltaT contribution drawn once
+    (its segment's mismatch is frozen for the die); a subset measurement
+    is the sum of its members' contributions -- exactly how the stage
+    delays compose around the loop -- with NaN (stuck) dominating any
+    subset it appears in.
+    """
+
+    def __init__(
+        self,
+        engine,
+        tsvs: Sequence[Tsv],
+        variation: Optional[ProcessVariation] = None,
+        seed: int = 0,
+    ):
+        self.tsvs = list(tsvs)
+        self._contribution: Dict[int, float] = {}
+        for i, tsv in enumerate(self.tsvs):
+            if variation is not None and hasattr(engine, "delta_t_mc"):
+                value = float(
+                    engine.delta_t_mc(tsv, variation, 1, seed=seed + 7 * i)[0]
+                )
+            else:
+                try:
+                    value = engine.delta_t(tsv)
+                except RuntimeError:
+                    value = math.nan
+            self._contribution[i] = value
+
+    def __call__(self, indices: Sequence[int]) -> float:
+        total = 0.0
+        for i in indices:
+            value = self._contribution[i]
+            if not math.isfinite(value):
+                return math.nan
+            total += value
+        return total
+
+
+def fault_free_band_per_tsv(
+    engine,
+    variation: ProcessVariation,
+    num_samples: int = 100,
+    guard: float = 0.0,
+    seed: int = 51,
+    sigma_band: Optional[float] = None,
+) -> ReferenceBand:
+    """Characterize the per-TSV fault-free band used by the diagnosis.
+
+    Args:
+        sigma_band: When given, the band is mean +- sigma_band * std of
+            the characterized samples (a tighter, statistically sized
+            band) instead of the conservative min/max spread.
+    """
+    samples = np.asarray(
+        engine.delta_t_mc(Tsv(), variation, num_samples, seed=seed)
+    )
+    if sigma_band is not None:
+        finite = samples[np.isfinite(samples)]
+        mean = float(finite.mean())
+        std = float(finite.std())
+        return ReferenceBand(mean - sigma_band * std - guard,
+                             mean + sigma_band * std + guard)
+    return ReferenceBand.from_samples(samples, guard=guard)

@@ -1,0 +1,211 @@
+"""Multi-voltage test planning (paper Secs. III-B, IV-B, V).
+
+The paper's key insight is that the two fault classes separate best at
+*opposite* ends of the supply range:
+
+* resistive opens: higher V_DD shrinks the process-variation spread
+  relative to the defect signature -> test at the top of the range;
+* leakage: each supply voltage has a sensitivity window just above its
+  oscillation-stop threshold R_L,stop(V_DD); since R_L,stop drops as
+  V_DD rises, a *set* of voltages tiles a wide leakage range -- strong
+  leakage shows up (as oscillation stop or a huge DeltaT) at high V_DD,
+  weak leakage at low V_DD.
+
+This module computes those thresholds and windows from any engine and
+assembles a :class:`MultiVoltagePlan` that the screening flow executes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engines import AnalyticEngine
+from repro.core.segments import RingOscillatorConfig
+from repro.core.tsv import Leakage, Tsv
+
+#: The supply voltages highlighted in the paper's Fig. 8.
+PAPER_VOLTAGES = (0.75, 0.80, 0.95, 1.10)
+
+
+def leakage_stop_threshold(
+    engine_factory: Callable[[float], object],
+    vdd: float,
+    r_low: float = 100.0,
+    r_high: float = 1e6,
+    iterations: int = 24,
+) -> float:
+    """Smallest oscillatable leakage resistance at supply ``vdd``.
+
+    Bisects between a resistance known to stop the oscillator and one
+    known to permit oscillation, using ``engine_factory(vdd)`` to build a
+    DeltaT engine per probe (engines return NaN / raise for a stuck path).
+
+    Returns:
+        The oscillation-stop resistance in Ohm (paper: ~1 kOhm at
+        nominal supply, dropping as V_DD increases).
+    """
+    engine = engine_factory(vdd)
+
+    def oscillates(r_leak: float) -> bool:
+        try:
+            value = engine.delta_t(Tsv(fault=Leakage(r_leak)))
+        except RuntimeError:
+            return False
+        return math.isfinite(value)
+
+    if oscillates(r_low):
+        return r_low
+    if not oscillates(r_high):
+        return math.inf
+    lo, hi = r_low, r_high
+    for _ in range(iterations):
+        mid = math.sqrt(lo * hi)  # geometric bisection over decades
+        if oscillates(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def detectable_leakage_range(
+    engine_factory: Callable[[float], object],
+    vdd: float,
+    min_delta_t_shift: float,
+    r_high: float = 1e7,
+) -> Tuple[float, float]:
+    """Leakage range ``[r_stop, r_max]`` detectable at supply ``vdd``.
+
+    A leakage is *detectable* if it either stops the oscillation or
+    shifts DeltaT by at least ``min_delta_t_shift`` above the fault-free
+    value (the threshold would come from the fault-free MC spread plus
+    the counter error in a real deployment).
+
+    Returns:
+        ``(r_stop, r_max)``: leakage resistances from the oscillation
+        stop up to the weakest still-detectable leakage.  Everything
+        below ``r_stop`` is detectable as a stuck oscillator.
+    """
+    engine = engine_factory(vdd)
+    ff = engine.delta_t(Tsv())
+    r_stop = leakage_stop_threshold(engine_factory, vdd)
+
+    def shift(r_leak: float) -> float:
+        try:
+            value = engine.delta_t(Tsv(fault=Leakage(r_leak)))
+        except RuntimeError:
+            return math.inf
+        if not math.isfinite(value):
+            return math.inf
+        return value - ff
+
+    if shift(r_high) >= min_delta_t_shift:
+        return r_stop, r_high
+    lo = max(r_stop * 1.01, 1.0)
+    hi = r_high
+    for _ in range(40):
+        mid = math.sqrt(lo * hi)
+        if shift(mid) >= min_delta_t_shift:
+            lo = mid
+        else:
+            hi = mid
+    return r_stop, lo
+
+
+@dataclass(frozen=True)
+class VoltagePlanEntry:
+    """One supply point of a multi-voltage plan."""
+
+    vdd: float
+    r_stop: float
+    r_max_detectable: float
+
+    @property
+    def window_decades(self) -> float:
+        if self.r_stop <= 0 or not math.isfinite(self.r_max_detectable):
+            return math.inf
+        return math.log10(self.r_max_detectable / self.r_stop)
+
+
+@dataclass
+class MultiVoltagePlan:
+    """A set of supply voltages and the leakage windows they cover.
+
+    Build with :meth:`characterize`, then use :meth:`covers` to check
+    whether a given leakage strength falls inside any voltage's window,
+    and :meth:`coverage_gaps` to find untested ranges.
+    """
+
+    entries: List[VoltagePlanEntry] = field(default_factory=list)
+
+    @classmethod
+    def characterize(
+        cls,
+        engine_factory: Callable[[float], object],
+        voltages: Sequence[float] = PAPER_VOLTAGES,
+        min_delta_t_shift: float = 20e-12,
+    ) -> "MultiVoltagePlan":
+        """Compute each voltage's detectable leakage window."""
+        entries = []
+        for vdd in voltages:
+            r_stop, r_max = detectable_leakage_range(
+                engine_factory, vdd, min_delta_t_shift
+            )
+            entries.append(VoltagePlanEntry(vdd, r_stop, r_max))
+        return cls(entries=entries)
+
+    @property
+    def voltages(self) -> List[float]:
+        return [e.vdd for e in self.entries]
+
+    def covers(self, r_leak: float) -> bool:
+        """True if some voltage detects a leakage of this resistance."""
+        return any(r_leak <= e.r_max_detectable for e in self.entries)
+
+    def best_voltage_for(self, r_leak: float) -> Optional[float]:
+        """Supply whose sensitivity window best matches ``r_leak``.
+
+        Everything below a voltage's detectability ceiling is caught
+        there (parametrically in the sensitive window, or as a stuck
+        oscillator below the stop threshold).  Among the voltages that
+        detect the leak, prefer the one with the *tightest* ceiling --
+        i.e. the window centred closest to the leak, which per Fig. 8 is
+        where DeltaT is most sensitive.  Strong leaks therefore map to
+        high supplies and weak leaks to low supplies.
+        """
+        candidates = [
+            e for e in self.entries
+            if r_leak <= e.r_max_detectable
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: e.r_max_detectable).vdd
+
+    def max_detectable_leakage(self) -> float:
+        return max((e.r_max_detectable for e in self.entries), default=0.0)
+
+    def summary_rows(self) -> List[Dict[str, float]]:
+        """Table-friendly rows (used by benches and EXPERIMENTS.md)."""
+        return [
+            {
+                "vdd": e.vdd,
+                "r_stop_ohm": e.r_stop,
+                "r_max_detect_ohm": e.r_max_detectable,
+                "window_decades": e.window_decades,
+            }
+            for e in self.entries
+        ]
+
+
+def analytic_engine_factory(
+    config: RingOscillatorConfig = RingOscillatorConfig(),
+) -> Callable[[float], AnalyticEngine]:
+    """Factory of :class:`AnalyticEngine` instances at arbitrary V_DD."""
+
+    def make(vdd: float) -> AnalyticEngine:
+        return AnalyticEngine(replace(config, vdd=vdd))
+
+    return make

@@ -1,0 +1,162 @@
+"""Ring-oscillator DfT netlist builders (paper Fig. 3).
+
+A ring oscillator groups ``N`` I/O segments with one shared inverter.
+Each segment is::
+
+        din --+--[ I/O cell: tri-state driver -> pad(TSV) -> receiver ]--+
+              |                                                          |
+              +-----------------------(bypass)-----------+              |
+                                                          |              |
+                                    BY[i] --> [ MUX2 ]: a=receiver, b=bypass --> dout
+
+``BY[i] = 0`` includes the TSV in the loop, ``BY[i] = 1`` bypasses it --
+matching the paper's polarity.  After segment N the signal passes the
+loop inverter and the TE multiplexer (test enable: TE=1 closes the loop,
+TE=0 selects the functional input) back into segment 1.  OE enables all
+tri-state drivers in test mode.
+
+All control signals are driven by voltage sources so a test program can
+reconfigure them between runs; the oscillator node recorded for period
+measurement is the inverter output (``osc``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cells import CellKit, Technology, TECH_45LP
+from repro.core.tsv import Tsv
+from repro.spice.montecarlo import ProcessSample
+from repro.spice.netlist import Circuit, GROUND
+
+
+@dataclass(frozen=True)
+class RingOscillatorConfig:
+    """Configuration of one TSV ring-oscillator group.
+
+    Attributes:
+        num_segments: N, the number of I/O segments sharing the inverter.
+            The paper uses N = 5 for its experiments.
+        vdd: Supply voltage in volts (the multi-voltage test sweeps this).
+        driver_strength: Tri-state driver strength (paper: X4).
+        tech: Cell technology.
+    """
+
+    num_segments: int = 5
+    vdd: float = 1.1
+    driver_strength: float = 4.0
+    tech: Technology = TECH_45LP
+
+    def __post_init__(self) -> None:
+        if self.num_segments < 1:
+            raise ValueError("a ring oscillator needs at least one segment")
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+
+
+@dataclass
+class RingOscillator:
+    """A built ring-oscillator circuit plus its signal bookkeeping."""
+
+    circuit: Circuit
+    config: RingOscillatorConfig
+    osc_node: str
+    pad_nodes: List[str]
+    din_nodes: List[str]
+    tsv_elements: List[Dict[str, str]]
+    kit: CellKit
+    startup_ics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def measurement_threshold(self) -> float:
+        return self.config.vdd / 2.0
+
+
+def build_ring_oscillator(
+    tsvs: Sequence[Tsv],
+    config: RingOscillatorConfig = RingOscillatorConfig(),
+    enabled: Optional[Sequence[bool]] = None,
+    sample: Optional[ProcessSample] = None,
+    test_enable: bool = True,
+    sweepable_tsvs: bool = False,
+) -> RingOscillator:
+    """Build the Fig. 3 ring oscillator.
+
+    Args:
+        tsvs: One :class:`Tsv` per segment (length ``config.num_segments``).
+        config: Group configuration.
+        enabled: Per-segment "TSV in loop" flags (``BY[i] = not enabled``).
+            Defaults to all bypassed.
+        sample: Optional Monte Carlo mismatch source applied to every
+            transistor as it is instantiated.
+        test_enable: TE value; True configures the oscillator loop.
+        sweepable_tsvs: Use :meth:`Tsv.build_sweepable` so fault resistors
+            exist in every corner of a batched sweep.
+
+    Returns:
+        The built :class:`RingOscillator` (circuit not yet simulated).
+    """
+    n = config.num_segments
+    if len(tsvs) != n:
+        raise ValueError(f"expected {n} TSVs, got {len(tsvs)}")
+    if enabled is None:
+        enabled = [False] * n
+    if len(enabled) != n:
+        raise ValueError("enabled mask length must equal num_segments")
+
+    circuit = Circuit(f"ro_n{n}")
+    vdd_value = config.vdd
+    circuit.add_vsource("vdd", "vdd", GROUND, vdd_value)
+    kit = CellKit(circuit, vdd="vdd", tech=config.tech, sample=sample)
+
+    # Control signals.
+    circuit.add_vsource("v_te", "TE", GROUND, vdd_value if test_enable else 0.0)
+    circuit.add_vsource("v_oe", "OE", GROUND, vdd_value if test_enable else 0.0)
+    circuit.add_vsource("v_func", "func_in", GROUND, 0.0)
+    for i in range(n):
+        by = 0.0 if enabled[i] else vdd_value
+        circuit.add_vsource(f"v_by{i + 1}", f"BY{i + 1}", GROUND, by)
+
+    pad_nodes: List[str] = []
+    din_nodes: List[str] = []
+    tsv_elements: List[Dict[str, str]] = []
+
+    current = "loop_in"  # output of the TE mux
+    for i in range(n):
+        seg = f"s{i + 1}"
+        din = current
+        pad = f"{seg}.pad"
+        rx = f"{seg}.rx"
+        dout = f"{seg}.out"
+        kit.io_cell(f"{seg}.io", din, "OE", pad, rx,
+                    driver_strength=config.driver_strength)
+        if sweepable_tsvs:
+            tsv_elements.append(tsvs[i].build_sweepable(circuit, f"{seg}.tsv", pad))
+        else:
+            tsv_elements.append(tsvs[i].build(circuit, f"{seg}.tsv", pad))
+        kit.mux2(f"{seg}.bymux", rx, din, f"BY{i + 1}", dout)
+        pad_nodes.append(pad)
+        din_nodes.append(din)
+        current = dout
+
+    # Shared loop inverter and the TE multiplexer closing the ring.
+    kit.inverter("loop_inv", current, "osc", strength=1.0)
+    kit.mux2("te_mux", "func_in", "osc", "TE", "loop_in")
+
+    # Startup initial conditions: clamp the loop input low so the first
+    # rising edge propagates cleanly once released (SPICE .IC style).
+    ics = {"loop_in": 0.0, "osc": vdd_value}
+    for pad in pad_nodes:
+        ics[pad] = 0.0
+
+    return RingOscillator(
+        circuit=circuit,
+        config=config,
+        osc_node="osc",
+        pad_nodes=pad_nodes,
+        din_nodes=din_nodes,
+        tsv_elements=tsv_elements,
+        kit=kit,
+        startup_ics=ics,
+    )

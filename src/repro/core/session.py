@@ -1,0 +1,160 @@
+"""The T1/T2 measurement flow and the DeltaT-based pass/fail decision.
+
+During actual test (paper Sec. IV-A), the DfT measures the oscillation
+period twice -- T1 with the TSV(s) under test in the loop and T2 with all
+TSVs bypassed -- and the tester post-processes ``DeltaT = T1 - T2``.
+The decision compares DeltaT against the fault-free expectation band:
+
+* DeltaT below the band  -> resistive open suspected (the loop got faster);
+* DeltaT above the band  -> leakage suspected (the loop got slower);
+* no oscillation in T1   -> strong leakage / stuck-at-0;
+* within the band        -> pass.
+
+The band itself comes from a Monte Carlo characterization of the
+fault-free spread (or from an explicit tolerance), exactly the role the
+spreads in Figs. 7 and 9 play.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.tsv import Tsv
+from repro.spice.montecarlo import ProcessVariation
+
+
+class DeltaTEngine(Protocol):
+    """Anything that can produce DeltaT measurements for a TSV."""
+
+    def delta_t(self, tsv: Tsv, m: int = 1) -> float: ...
+
+
+class TestDecision(enum.Enum):
+    """Verdict for a measured DeltaT."""
+
+    PASS = "pass"
+    RESISTIVE_OPEN = "resistive_open"
+    LEAKAGE = "leakage"
+    STUCK = "stuck"  # no oscillation: strong leakage / hard defect
+
+
+@dataclass(frozen=True)
+class TestOutcome:
+    """One DeltaT measurement and its classification."""
+
+    delta_t: float
+    decision: TestDecision
+    vdd: float
+    band_low: float
+    band_high: float
+
+    @property
+    def is_faulty(self) -> bool:
+        return self.decision is not TestDecision.PASS
+
+
+@dataclass
+class ReferenceBand:
+    """Fault-free DeltaT acceptance band ``[low, high]`` at one supply."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError("band low must not exceed band high")
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray, guard: float = 0.0) -> "ReferenceBand":
+        """Band spanning the fault-free MC spread plus a guard margin.
+
+        Args:
+            samples: Fault-free DeltaT Monte Carlo samples (seconds).
+            guard: Extra margin added on each side (seconds); models the
+                counter quantization error E = T^2/t of Sec. IV-C.
+        """
+        finite = samples[np.isfinite(samples)]
+        if len(finite) == 0:
+            raise ValueError("no finite fault-free samples")
+        return cls(float(finite.min()) - guard, float(finite.max()) + guard)
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+class PrebondTestSession:
+    """Runs the pre-bond TSV test for one oscillator group at one supply.
+
+    Args:
+        engine: A DeltaT engine (any of the three in
+            :mod:`repro.core.engines`).
+        band: Fault-free acceptance band.  If omitted, it is derived by
+            Monte Carlo from ``variation`` (or a 5% tolerance around the
+            nominal fault-free DeltaT when no variation is given).
+        variation: Process variation used for band characterization.
+        num_characterization_samples: MC samples for the band.
+        guard: Measurement-error guard band (seconds), e.g. the counter
+            error bound from :mod:`repro.dft.counter`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        band: Optional[ReferenceBand] = None,
+        variation: Optional[ProcessVariation] = None,
+        num_characterization_samples: int = 50,
+        guard: float = 0.0,
+        seed: int = 1234,
+    ):
+        self.engine = engine
+        self.guard = guard
+        if band is not None:
+            self.band = band
+        elif variation is not None and hasattr(engine, "delta_t_mc"):
+            samples = engine.delta_t_mc(
+                Tsv(), variation, num_characterization_samples, seed=seed
+            )
+            self.band = ReferenceBand.from_samples(samples, guard=guard)
+        else:
+            nominal = engine.delta_t(Tsv())
+            margin = 0.05 * abs(nominal) + guard
+            self.band = ReferenceBand(nominal - margin, nominal + margin)
+
+    @property
+    def vdd(self) -> float:
+        return self.engine.config.vdd
+
+    def measure(self, tsv: Tsv, m: int = 1) -> TestOutcome:
+        """Measure DeltaT for ``tsv`` and classify it."""
+        try:
+            delta_t = self.engine.delta_t(tsv, m=m)
+        except RuntimeError:
+            delta_t = math.nan
+        return self.classify(delta_t)
+
+    def classify(self, delta_t: float) -> TestOutcome:
+        """Classify an externally measured DeltaT value."""
+        if not math.isfinite(delta_t):
+            decision = TestDecision.STUCK
+        elif self.band.contains(delta_t):
+            decision = TestDecision.PASS
+        elif delta_t < self.band.low:
+            decision = TestDecision.RESISTIVE_OPEN
+        else:
+            decision = TestDecision.LEAKAGE
+        return TestOutcome(
+            delta_t=delta_t,
+            decision=decision,
+            vdd=self.vdd,
+            band_low=self.band.low,
+            band_high=self.band.high,
+        )
+
+    def screen(self, tsvs: Sequence[Tsv]) -> list:
+        """Measure each TSV individually (M = 1); returns outcomes."""
+        return [self.measure(tsv) for tsv in tsvs]

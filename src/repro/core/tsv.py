@@ -1,0 +1,233 @@
+"""Electrical TSV models and the fault taxonomy (paper Sec. III-A, Fig. 2).
+
+A fault-free TSV is a wire through the substrate: series resistance
+R = 0.1 Ohm and capacitance to substrate C = 59 fF (the literature values
+the paper adopts).  Because R is negligible against any driver's output
+resistance, the paper lumps the fault-free TSV into a single capacitor --
+and validates that simplification against a multi-segment RC ladder; we
+re-run that validation in experiment E1.
+
+Fault models:
+
+* :class:`ResistiveOpen` -- a micro-void at normalized depth ``x``
+  (0 = front side / driver, 1 = back side).  The TSV splits into a top
+  capacitance ``x*C`` at the pad, a series open resistance ``R_O``
+  (a few Ohm for a micro-void up to infinity for a full open), and the
+  bottom capacitance ``(1-x)*C`` behind it.
+* :class:`Leakage` -- a pinhole in the oxide liner: a resistance ``R_L``
+  from the TSV to the (grounded) substrate, in parallel with C.
+
+Both faults can also be embedded into an n-segment distributed ladder via
+:meth:`Tsv.build_distributed` for model-validation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.spice.netlist import Circuit, GROUND
+
+#: Literature values for current TSV technology (paper Sec. III-A).
+TSV_DEFAULT_RESISTANCE = 0.1     # Ohm
+TSV_DEFAULT_CAPACITANCE = 59e-15  # F
+
+
+@dataclass(frozen=True)
+class TsvParameters:
+    """Geometric/electrical parameters of a (fault-free) TSV.
+
+    Attributes:
+        resistance: Total series resistance in Ohm.
+        capacitance: Total capacitance to substrate in F.
+    """
+
+    resistance: float = TSV_DEFAULT_RESISTANCE
+    capacitance: float = TSV_DEFAULT_CAPACITANCE
+
+    def __post_init__(self) -> None:
+        if self.resistance < 0 or self.capacitance <= 0:
+            raise ValueError("TSV parameters must be physical")
+
+    def scaled(self, cap_factor: float) -> "TsvParameters":
+        """Capacitance-scaled copy (TSV geometry variation)."""
+        return TsvParameters(self.resistance, self.capacitance * cap_factor)
+
+
+class TsvFault:
+    """Base class for TSV fault models."""
+
+    kind: str = "abstract"
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FaultFree(TsvFault):
+    """No defect: the TSV behaves as its nominal RC."""
+
+    kind: str = field(default="fault_free", init=False)
+
+    def describe(self) -> str:
+        return "fault-free"
+
+
+@dataclass(frozen=True)
+class ResistiveOpen(TsvFault):
+    """Micro-void: series resistance ``r_open`` at normalized depth ``x``.
+
+    Attributes:
+        r_open: Open resistance in Ohm (> 0; use ``float('inf')`` for a
+            full open).
+        x: Normalized defect location, 0 (front side, next to the driver)
+            to 1 (back side).  The paper notes a defect at the very bottom
+            (x -> 1) is undetectable by *any* pre-bond method since it
+            leaves the observable capacitance unchanged.
+    """
+
+    r_open: float
+    x: float = 0.5
+    kind: str = field(default="resistive_open", init=False)
+
+    def __post_init__(self) -> None:
+        if self.r_open <= 0:
+            raise ValueError("r_open must be positive (use inf for full open)")
+        if not 0.0 <= self.x <= 1.0:
+            raise ValueError("defect location x must be within [0, 1]")
+
+    def describe(self) -> str:
+        return f"resistive open {self.r_open:.0f} Ohm at x={self.x:.2f}"
+
+
+@dataclass(frozen=True)
+class Leakage(TsvFault):
+    """Pinhole: leakage resistance ``r_leak`` from TSV to substrate."""
+
+    r_leak: float
+    kind: str = field(default="leakage", init=False)
+
+    def __post_init__(self) -> None:
+        if self.r_leak <= 0:
+            raise ValueError("r_leak must be positive")
+
+    def describe(self) -> str:
+        return f"leakage {self.r_leak:.0f} Ohm"
+
+
+@dataclass(frozen=True)
+class Tsv:
+    """A TSV instance: nominal parameters plus an optional fault.
+
+    The ``build`` methods attach the TSV's electrical model to a circuit
+    at the given pad node (the front side, where the I/O cell connects).
+    Element names are deterministic (``<name>.ctop``, ``<name>.ro``,
+    ``<name>.rl`` ...) so batched sweeps can override them per corner.
+    """
+
+    params: TsvParameters = TsvParameters()
+    fault: TsvFault = FaultFree()
+
+    @property
+    def is_faulty(self) -> bool:
+        return not isinstance(self.fault, FaultFree)
+
+    def with_fault(self, fault: TsvFault) -> "Tsv":
+        return replace(self, fault=fault)
+
+    # ------------------------------------------------------------------
+    def build(self, circuit: Circuit, name: str, pad: str) -> Dict[str, str]:
+        """Attach the lumped TSV model at ``pad``; returns element names.
+
+        The fault-free series resistance (0.1 Ohm) is neglected, exactly
+        as the paper justifies; :meth:`build_distributed` keeps it.
+        """
+        c_total = self.params.capacitance
+        elements: Dict[str, str] = {}
+        fault = self.fault
+        if isinstance(fault, FaultFree):
+            circuit.add_capacitor(f"{name}.ctop", pad, GROUND, c_total)
+            elements["ctop"] = f"{name}.ctop"
+        elif isinstance(fault, ResistiveOpen):
+            bottom = f"{name}.bottom"
+            circuit.add_capacitor(f"{name}.ctop", pad, GROUND, fault.x * c_total)
+            r_open = min(fault.r_open, 1e15)  # inf -> numerically open
+            circuit.add_resistor(f"{name}.ro", pad, bottom, r_open)
+            circuit.add_capacitor(
+                f"{name}.cbot", bottom, GROUND, (1.0 - fault.x) * c_total
+            )
+            elements.update(
+                ctop=f"{name}.ctop", ro=f"{name}.ro", cbot=f"{name}.cbot"
+            )
+        elif isinstance(fault, Leakage):
+            circuit.add_capacitor(f"{name}.ctop", pad, GROUND, c_total)
+            circuit.add_resistor(f"{name}.rl", pad, GROUND, fault.r_leak)
+            elements.update(ctop=f"{name}.ctop", rl=f"{name}.rl")
+        else:
+            raise TypeError(f"unsupported fault model {type(fault).__name__}")
+        return elements
+
+    def build_sweepable(self, circuit: Circuit, name: str, pad: str) -> Dict[str, str]:
+        """Attach a model containing *both* fault resistors at benign values.
+
+        Used by batched sweeps: the returned ``ro`` (set to ~0 Ohm) and
+        ``rl`` (set to ~infinite) resistors exist in every corner and can
+        be overridden per corner to realize fault-free, resistive-open,
+        and leakage cases within one batch.  The capacitor split between
+        ``ctop``/``cbot`` fixes the open-fault location ``x``.
+        """
+        c_total = self.params.capacitance
+        x = self.fault.x if isinstance(self.fault, ResistiveOpen) else 0.5
+        bottom = f"{name}.bottom"
+        circuit.add_capacitor(f"{name}.ctop", pad, GROUND, x * c_total)
+        circuit.add_resistor(f"{name}.ro", pad, bottom, 1e-2)
+        circuit.add_capacitor(f"{name}.cbot", bottom, GROUND, (1 - x) * c_total)
+        circuit.add_resistor(f"{name}.rl", pad, GROUND, 1e15)
+        return {
+            "ctop": f"{name}.ctop",
+            "ro": f"{name}.ro",
+            "cbot": f"{name}.cbot",
+            "rl": f"{name}.rl",
+        }
+
+    def build_distributed(
+        self, circuit: Circuit, name: str, pad: str, segments: int = 10
+    ) -> Dict[str, str]:
+        """Attach an n-segment RC ladder model (for validation studies).
+
+        The total R and C are spread uniformly over ``segments`` RC
+        sections.  A :class:`ResistiveOpen` is inserted at the segment
+        boundary nearest its ``x``; a :class:`Leakage` is attached at the
+        front side (pinholes near the top dominate observability).
+        """
+        if segments < 1:
+            raise ValueError("segments must be >= 1")
+        c_seg = self.params.capacitance / segments
+        r_seg = self.params.resistance / segments
+        elements: Dict[str, str] = {}
+        fault = self.fault
+        open_at = None
+        if isinstance(fault, ResistiveOpen):
+            open_at = int(round(fault.x * segments))
+        prev = pad
+        for k in range(segments):
+            node = f"{name}.n{k + 1}"
+            if open_at is not None and k == open_at:
+                rname = f"{name}.ro"
+                circuit.add_resistor(rname, prev, node, fault.r_open + r_seg)
+                elements["ro"] = rname
+            else:
+                circuit.add_resistor(f"{name}.r{k}", prev, node, r_seg)
+            circuit.add_capacitor(f"{name}.c{k}", node, GROUND, c_seg)
+            prev = node
+        if open_at is not None and open_at >= segments:
+            # Defect at the very bottom: nothing observable changes.
+            pass
+        if isinstance(fault, Leakage):
+            circuit.add_resistor(f"{name}.rl", pad, GROUND, fault.r_leak)
+            elements["rl"] = f"{name}.rl"
+        return elements
+
+
+#: A nominal fault-free TSV with literature parameters.
+TSV_DEFAULT = Tsv()

@@ -1,0 +1,51 @@
+"""Measurement-logic substrate: the digital half of the DfT (Fig. 5).
+
+The analog half (ring oscillators) lives in :mod:`repro.core`; this
+package implements what measures them:
+
+* :mod:`repro.dft.logicsim` -- a small event-driven gate-level logic
+  simulator (wires, combinational gates, D flip-flops).
+* :mod:`repro.dft.counter` -- binary counters built on the logic
+  simulator plus the behavioural measurement model and the quantization
+  error analysis of Sec. IV-C (bounds t/T - 1 <= c <= t/T + 1 and
+  E ~ T^2 / t).
+* :mod:`repro.dft.lfsr` -- LFSR-based measurement (fewer gates for the
+  same count range, decoded through a lookup table).
+* :mod:`repro.dft.control` -- the test-control FSM sequencing
+  reset / count / stop / shift and the quantized measurement flow.
+* :mod:`repro.dft.architecture` -- the full Fig. 5 architecture: TSV
+  groups, decoder, shared measurement block, test-time estimation.
+"""
+
+from repro.dft.logicsim import Dff, Gate, LogicSimulator, X
+from repro.dft.counter import (
+    BinaryCounter,
+    CounterMeasurement,
+    count_bounds,
+    measurement_error_bound,
+    required_counter_bits,
+    required_window,
+)
+from repro.dft.lfsr import Lfsr, LfsrMeasurement, MAXIMAL_TAPS
+from repro.dft.control import MeasurementPlan, TestController
+from repro.dft.architecture import DftArchitecture, GroupPlan
+
+__all__ = [
+    "BinaryCounter",
+    "CounterMeasurement",
+    "Dff",
+    "DftArchitecture",
+    "Gate",
+    "GroupPlan",
+    "Lfsr",
+    "LfsrMeasurement",
+    "LogicSimulator",
+    "MAXIMAL_TAPS",
+    "MeasurementPlan",
+    "TestController",
+    "X",
+    "count_bounds",
+    "measurement_error_bound",
+    "required_counter_bits",
+    "required_window",
+]

@@ -1,0 +1,122 @@
+"""The full pre-bond TSV test DfT architecture (paper Fig. 5).
+
+Ties everything together: the functional design's TSVs are partitioned
+into ring-oscillator groups of N; a decoder routes the selected group's
+oscillator to the shared measurement logic; the control block sequences
+the measurements.  This module plans that architecture for a given die --
+group assignment, per-group measurement schedule, area (via
+:class:`repro.core.area.DftAreaModel`), and total test time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.area import DftAreaModel
+from repro.dft.control import MeasurementPlan
+
+
+@dataclass(frozen=True)
+class GroupPlan:
+    """One ring-oscillator group: which TSVs it contains."""
+
+    index: int
+    tsv_ids: tuple
+
+    @property
+    def size(self) -> int:
+        return len(self.tsv_ids)
+
+    def measurements(self, per_tsv: bool = True) -> int:
+        """Measurement count to test this group.
+
+        One T2 (all bypassed) plus either one T1 per TSV (full isolation)
+        or a single T1 with all M TSVs enabled (group screening).
+        """
+        return 1 + (self.size if per_tsv else 1)
+
+
+@dataclass
+class DftArchitecture:
+    """Architecture plan for ``num_tsvs`` TSVs grouped N at a time.
+
+    Attributes:
+        num_tsvs: TSVs in the functional design.
+        group_size: N (TSVs per oscillator).
+        plan: Measurement timing plan (counter window, shift clock).
+        voltages: Supply voltages of the multi-voltage test.
+    """
+
+    num_tsvs: int
+    group_size: int = 5
+    plan: MeasurementPlan = field(default_factory=MeasurementPlan)
+    voltages: Sequence[float] = (1.1, 0.95, 0.8, 0.75)
+
+    def __post_init__(self) -> None:
+        if self.num_tsvs < 1 or self.group_size < 1:
+            raise ValueError("num_tsvs and group_size must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        return math.ceil(self.num_tsvs / self.group_size)
+
+    def groups(self) -> List[GroupPlan]:
+        """Partition TSV ids 0..num_tsvs-1 into consecutive groups."""
+        out = []
+        for g in range(self.num_groups):
+            lo = g * self.group_size
+            hi = min(lo + self.group_size, self.num_tsvs)
+            out.append(GroupPlan(index=g, tsv_ids=tuple(range(lo, hi))))
+        return out
+
+    @property
+    def decoder_select_bits(self) -> int:
+        return max(1, math.ceil(math.log2(max(self.num_groups, 2))))
+
+    # ------------------------------------------------------------------
+    def area_model(self) -> DftAreaModel:
+        return DftAreaModel(num_tsvs=self.num_tsvs, group_size=self.group_size)
+
+    def total_area_um2(self) -> float:
+        return self.area_model().total_area_um2(
+            counter_bits=self.plan.counter_bits
+        )
+
+    def area_fraction(self, die_area_mm2: float = 25.0) -> float:
+        return self.area_model().fraction_of_die(
+            die_area_mm2, counter_bits=self.plan.counter_bits
+        )
+
+    # ------------------------------------------------------------------
+    def measurements_per_group(self, per_tsv: bool = True) -> int:
+        return GroupPlan(0, tuple(range(self.group_size))).measurements(per_tsv)
+
+    def test_time(self, per_tsv: bool = True,
+                  num_voltages: Optional[int] = None) -> float:
+        """Total pre-bond TSV test time for the die, all voltages.
+
+        The paper's observation that multi-voltage testing stays cheap
+        holds because each measurement is a short count window with no
+        scan payload: the time scales linearly in the (small) number of
+        voltage levels.
+        """
+        nv = len(self.voltages) if num_voltages is None else num_voltages
+        per_group = self.measurements_per_group(per_tsv)
+        return nv * self.num_groups * per_group * self.plan.measurement_time()
+
+    def summary(self, die_area_mm2: float = 25.0) -> Dict[str, float]:
+        return {
+            "num_tsvs": self.num_tsvs,
+            "group_size": self.group_size,
+            "num_groups": self.num_groups,
+            "decoder_select_bits": self.decoder_select_bits,
+            "counter_bits": self.plan.counter_bits,
+            "total_area_um2": self.total_area_um2(),
+            "area_fraction": self.area_fraction(die_area_mm2),
+            "test_time_s_per_tsv_isolation": self.test_time(per_tsv=True),
+            "test_time_s_group_screen": self.test_time(per_tsv=False),
+            "num_voltages": float(len(self.voltages)),
+        }

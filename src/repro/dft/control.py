@@ -1,0 +1,164 @@
+"""Test-control sequencing and the quantized measurement flow.
+
+The control logic of Fig. 5 configures one ring oscillator (TE, OE,
+BY[1..N]), resets the measurement logic, counts for a reference window,
+stops, and shifts the signature out to the tester.  This module models
+that sequence: :class:`TestController` turns "measure DeltaT of TSV k in
+group g" into the signal schedule and a *quantized* measurement -- the
+true period from an engine passes through the counter model, so the
+decision sees exactly what the hardware would report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.session import PrebondTestSession, TestOutcome
+from repro.core.tsv import Tsv
+from repro.dft.counter import CounterMeasurement, required_counter_bits
+
+
+@dataclass(frozen=True)
+class MeasurementPlan:
+    """Timing plan for one period measurement.
+
+    Attributes:
+        window: Count window (s).
+        shift_clock_hz: Frequency used to shift the signature out.
+        config_cycles: Tester cycles to (re)configure TE/BY/OE.
+        counter_bits: Signature length in bits.
+    """
+
+    window: float = 5e-6
+    shift_clock_hz: float = 50e6
+    config_cycles: int = 8
+    counter_bits: int = 10
+
+    @property
+    def shift_time(self) -> float:
+        return self.counter_bits / self.shift_clock_hz
+
+    @property
+    def config_time(self) -> float:
+        return self.config_cycles / self.shift_clock_hz
+
+    def measurement_time(self) -> float:
+        """Wall-clock for one measurement: configure + count + shift."""
+        return self.config_time + self.window + self.shift_time
+
+
+@dataclass
+class SignalSchedule:
+    """The control-signal values for one oscillator configuration."""
+
+    te: int
+    oe: int
+    by: Tuple[int, ...]
+
+    @classmethod
+    def for_measurement(cls, num_segments: int,
+                        enabled: Sequence[bool]) -> "SignalSchedule":
+        if len(enabled) != num_segments:
+            raise ValueError("enabled mask must cover every segment")
+        return cls(te=1, oe=1, by=tuple(0 if on else 1 for on in enabled))
+
+    @classmethod
+    def functional(cls, num_segments: int) -> "SignalSchedule":
+        return cls(te=0, oe=0, by=tuple(1 for _ in range(num_segments)))
+
+
+class TestController:
+    """Sequences T1/T2 measurements through the counter model.
+
+    Args:
+        engine: Any period engine (``period(tsvs, enabled)``).
+        plan: Measurement timing plan.
+        phase_seed: Seeds the per-measurement counter phase, which is
+            physically arbitrary (asynchronous oscillator vs reference
+            clock).
+    """
+
+    def __init__(self, engine, plan: Optional[MeasurementPlan] = None,
+                 phase_seed: int = 0):
+        self.engine = engine
+        self.plan = plan or MeasurementPlan()
+        self._counter = CounterMeasurement(
+            bits=self.plan.counter_bits, window=self.plan.window
+        )
+        self._phase_state = phase_seed
+        self.log: List[Dict] = []
+
+    def _next_phase(self, period: float) -> float:
+        # Cheap deterministic pseudo-random phase in [0, period).
+        self._phase_state = (self._phase_state * 6364136223846793005 + 1) % (1 << 64)
+        return (self._phase_state / float(1 << 64)) * period
+
+    def measure_period(self, tsvs: Sequence[Tsv],
+                       enabled: Sequence[bool]) -> float:
+        """One hardware measurement: true period -> counter -> estimate.
+
+        Raises:
+            RuntimeError: If the oscillator is stuck (zero count), which
+                the tester observes as an all-zero signature.
+        """
+        true_period = self.engine.period(tsvs, enabled)
+        if not math.isfinite(true_period):
+            raise RuntimeError("oscillator stuck: no period to measure")
+        phase = self._next_phase(true_period)
+        count = self._counter.count_edges(true_period, phase)
+        if count == 0:
+            raise RuntimeError("zero count: oscillator stuck")
+        if self._counter.overflowed(true_period, phase):
+            raise RuntimeError(
+                "counter overflow (all-ones signature): shorten the window "
+                "or widen the counter"
+            )
+        estimate = self._counter.estimate_period(count)
+        self.log.append({
+            "enabled": tuple(enabled),
+            "true_period": true_period,
+            "count": count,
+            "estimate": estimate,
+            "overflow": self._counter.overflowed(true_period, phase),
+        })
+        return estimate
+
+    def measure_delta_t(self, tsvs: Sequence[Tsv],
+                        under_test: Sequence[int]) -> float:
+        """Quantized DeltaT = T1' - T2' for the given segment indices."""
+        n = len(tsvs)
+        enabled = [i in set(under_test) for i in range(n)]
+        t1 = self.measure_period(tsvs, enabled)
+        t2 = self.measure_period(tsvs, [False] * n)
+        return t1 - t2
+
+    def quantization_guard_band(self, typical_period: float) -> float:
+        """Guard band to add to decision thresholds: 2 * E(T, t).
+
+        DeltaT subtracts two estimates, each off by at most E, so the
+        band widens by twice the single-measurement bound.
+        """
+        return 2.0 * self._counter.worst_case_error(typical_period)
+
+    def total_test_time(self, num_groups: int, per_group_measurements: int) -> float:
+        """Wall-clock estimate for a whole die (Fig. 5 shared logic)."""
+        return (
+            num_groups * per_group_measurements * self.plan.measurement_time()
+        )
+
+
+def recommended_plan(typical_period: float, max_error: float,
+                     shift_clock_hz: float = 50e6) -> MeasurementPlan:
+    """Derive a measurement plan from accuracy requirements (Sec. IV-C).
+
+    Sizes the window from t = T^2 / E and the counter from the maximum
+    count, exactly the paper's worked example (5 ns, 5 ps -> 5 us,
+    10 bits).
+    """
+    window = typical_period**2 / max_error
+    bits = required_counter_bits(typical_period, window)
+    return MeasurementPlan(
+        window=window, shift_clock_hz=shift_clock_hz, counter_bits=bits
+    )

@@ -1,0 +1,183 @@
+"""Binary-counter period measurement and its error analysis (Sec. IV-C).
+
+The DfT measures an oscillation period T by counting oscillator rising
+edges within a reference window of length ``t``: the count ``c`` obeys
+
+    t/T - 1  <=  c  <=  t/T + 1
+
+because the reset and stop instants fall at arbitrary phases (the two
+extreme cases of the paper's Fig. 11).  The period estimate ``T' = t/c``
+then deviates from T by at most
+
+    E+ = T^2 / (t - T)     (counter missed a cycle)
+    E- = T^2 / (t + T)     (counter caught an extra cycle)
+
+and since t >> T both are ~ ``E = T^2 / t``.  The paper's worked example:
+T = 5 ns (200 MHz), target E = 0.005 ns -> t >= 5 us, count 1000, so a
+10-bit counter suffices.
+
+Two implementations are provided: a behavioural model (exact edge
+counting given a phase) and a gate-level ripple counter running on
+:class:`repro.dft.logicsim.LogicSimulator`, used to cross-check the
+behavioural model in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dft.logicsim import LogicSimulator
+
+
+def count_bounds(period: float, window: float) -> Tuple[int, int]:
+    """Inclusive (min, max) counter state after a window of length ``window``.
+
+    Implements the paper's bound t/T - 1 <= c <= t/T + 1 (restricted to
+    non-negative integers).
+    """
+    if period <= 0 or window <= 0:
+        raise ValueError("period and window must be positive")
+    ratio = window / period
+    low = max(int(math.ceil(ratio - 1.0)), 0)
+    high = int(math.floor(ratio + 1.0))
+    return low, high
+
+
+def measurement_error_bound(period: float, window: float) -> Tuple[float, float]:
+    """(E-, E+): worst-case period-estimate errors for the two phase extremes.
+
+    E+ applies when the counter misses a cycle (estimate too large),
+    E- when it catches an extra one (estimate too small).
+    """
+    if window <= period:
+        raise ValueError("window must exceed the period")
+    e_plus = period**2 / (window - period)
+    e_minus = period**2 / (window + period)
+    return e_minus, e_plus
+
+
+def required_window(period: float, max_error: float) -> float:
+    """Window length needed for a period-estimate error below ``max_error``.
+
+    From E ~ T^2 / t: t >= T^2 / E (the paper's 5 ns / 5 ps -> 5 us
+    example).
+    """
+    if max_error <= 0:
+        raise ValueError("max_error must be positive")
+    return period**2 / max_error
+
+
+def required_counter_bits(period: float, window: float) -> int:
+    """Counter width needed to hold the maximum count without overflow."""
+    _, high = count_bounds(period, window)
+    return max(1, math.ceil(math.log2(high + 1)))
+
+
+@dataclass
+class CounterMeasurement:
+    """Behavioural period measurement with an n-bit binary counter.
+
+    Attributes:
+        bits: Counter width; counts saturate at 2**bits - 1 (overflow is
+            reported, mirroring what a real tester would flag).
+        window: Reference time between reset and stop, in seconds.
+    """
+
+    bits: int = 10
+    window: float = 5e-6
+
+    @property
+    def max_count(self) -> int:
+        return 2**self.bits - 1
+
+    def count_edges(self, period: float, phase: float = 0.0) -> int:
+        """Number of oscillator rising edges inside the window.
+
+        Args:
+            period: Oscillation period (s).
+            phase: Offset of the first rising edge after reset, in
+                [0, period).
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+        phase = phase % period
+        if phase > self.window:
+            return 0
+        raw = int(math.floor((self.window - phase) / period)) + 1
+        return min(raw, self.max_count)
+
+    def overflowed(self, period: float, phase: float = 0.0) -> bool:
+        phase = phase % period
+        if phase > self.window:
+            return False
+        raw = int(math.floor((self.window - phase) / period)) + 1
+        return raw > self.max_count
+
+    def estimate_period(self, count: int) -> float:
+        """T' = t / c (the tester-side post-processing step)."""
+        if count <= 0:
+            raise ValueError("cannot estimate a period from a zero count")
+        return self.window / count
+
+    def measure(self, period: float, phase: float = 0.0) -> float:
+        """End-to-end: count edges, then estimate the period."""
+        return self.estimate_period(self.count_edges(period, phase))
+
+    def worst_case_error(self, period: float) -> float:
+        """max(|T' - T|) over all phases (the paper's E bound)."""
+        _, e_plus = measurement_error_bound(period, self.window)
+        return e_plus
+
+
+class BinaryCounter:
+    """A gate-level ripple counter on the event-driven logic simulator.
+
+    Each stage is a toggle flip-flop (D = Q_bar) whose output clocks the
+    next stage.  Used to validate :class:`CounterMeasurement` bit-exactly
+    in the test suite.
+    """
+
+    def __init__(self, bits: int, clk: str = "clk", reset: str = "rst",
+                 dff_delay: float = 50e-12):
+        if bits < 1:
+            raise ValueError("need at least one bit")
+        self.bits = bits
+        self.clk = clk
+        self.reset = reset
+        self.sim = LogicSimulator()
+        clock = clk
+        for b in range(bits):
+            q = f"q{b}"
+            qb = f"qb{b}"
+            self.sim.add_dff(d=qb, clk=clock, q=q, reset=reset,
+                             delay=dff_delay)
+            self.sim.add_gate("not", [q], qb, delay=dff_delay / 5.0)
+            clock = qb  # falling edge of q == rising edge of qb
+        self.sim.set_input(reset, 1, 0.0)
+        self.sim.set_input(reset, 0, dff_delay * 4)
+        self.sim.set_input(clk, 0, 0.0)
+        self.sim.run_until(dff_delay * 8)
+        self._t_ready = self.sim.now
+
+    def apply_clock_edges(self, period: float, phase: float,
+                          window: float) -> None:
+        """Drive the clock with the oscillator square wave for ``window``."""
+        start = self._t_ready + phase
+        self.sim.schedule_clock(self.clk, period, start,
+                                self._t_ready + window)
+        self.sim.run_until(self._t_ready + window + period)
+
+    def read(self) -> int:
+        """Current count (treats X bits as 0, as after reset)."""
+        total = 0
+        for b in range(self.bits):
+            v = self.sim.value(f"q{b}")
+            if v == 1:
+                total |= 1 << b
+        return total
+
+    def shift_out(self) -> List[int]:
+        """Counter state as a bit list, LSB first (the shifted signature)."""
+        return [max(self.sim.value(f"q{b}"), 0) for b in range(self.bits)]

@@ -1,0 +1,143 @@
+"""LFSR-based period measurement (the paper's counter alternative).
+
+A maximal-length LFSR cycles through 2^n - 1 nonzero states, so it can
+replace the binary counter: clock it with the oscillator output, stop
+after the reference window, and decode the final state back into a count
+through a lookup table.  The paper notes the trade-off explicitly: fewer
+gates for the same count ceiling (a couple of XORs instead of an
+incrementer) at the cost of the tester-side lookup table.
+
+Taps are for Fibonacci-form LFSRs with maximal-length polynomials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Maximal-length tap positions (1-indexed from the MSB side) per width.
+MAXIMAL_TAPS: Dict[int, Tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    13: (13, 12, 11, 8),
+    14: (14, 13, 12, 2),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 18, 17, 14),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+}
+
+
+@dataclass
+class Lfsr:
+    """A Fibonacci LFSR with maximal-length taps.
+
+    Attributes:
+        bits: Register width (2..24 supported out of the box).
+        state: Current state; must never be zero (the lock-up state).
+    """
+
+    bits: int
+    state: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bits not in MAXIMAL_TAPS:
+            raise ValueError(f"no maximal tap table for {self.bits} bits")
+        if not 0 < self.state < (1 << self.bits):
+            raise ValueError("state must be a nonzero n-bit value")
+        self._taps = MAXIMAL_TAPS[self.bits]
+
+    @property
+    def period(self) -> int:
+        """Sequence length before the state repeats: 2^bits - 1."""
+        return (1 << self.bits) - 1
+
+    def step(self) -> int:
+        """Advance one clock; returns the new state."""
+        fb = 0
+        for tap in self._taps:
+            fb ^= (self.state >> (self.bits - tap)) & 1
+        self.state = ((self.state >> 1) | (fb << (self.bits - 1)))
+        return self.state
+
+    def advance(self, steps: int) -> int:
+        for _ in range(steps):
+            self.step()
+        return self.state
+
+    def sequence(self, length: int) -> List[int]:
+        """The next ``length`` states (mutates the register)."""
+        return [self.step() for _ in range(length)]
+
+
+def build_count_lookup(bits: int, seed: int = 1) -> Dict[int, int]:
+    """state -> number-of-clocks lookup table for decoding signatures.
+
+    This is the tester-side table the paper mentions; its size
+    (2^bits - 1 entries) is the LFSR's cost outside the chip.
+    """
+    lfsr = Lfsr(bits, seed)
+    table = {seed: 0}
+    for k in range(1, lfsr.period):
+        table[lfsr.step()] = k
+    return table
+
+
+@dataclass
+class LfsrMeasurement:
+    """Period measurement using an LFSR instead of a binary counter.
+
+    Behaviourally identical to :class:`repro.dft.counter.CounterMeasurement`
+    except the raw signature is an LFSR state that must be decoded; the
+    decode round-trip is what the tests verify.
+    """
+
+    bits: int = 10
+    window: float = 5e-6
+    seed: int = 1
+    _table: Dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._table = build_count_lookup(self.bits, self.seed)
+
+    @property
+    def max_count(self) -> int:
+        return (1 << self.bits) - 2  # staying below a full wrap
+
+    def signature(self, period: float, phase: float = 0.0) -> int:
+        """Final LFSR state after clocking through the window."""
+        import math
+        phase = phase % period
+        if phase > self.window:
+            return self.seed
+        edges = int(math.floor((self.window - phase) / period)) + 1
+        lfsr = Lfsr(self.bits, self.seed)
+        return lfsr.advance(edges % (lfsr.period))
+
+    def decode(self, signature: int) -> int:
+        """Signature -> edge count via the lookup table."""
+        if signature not in self._table:
+            raise ValueError(f"{signature:#x} is not a reachable LFSR state")
+        return self._table[signature]
+
+    def measure(self, period: float, phase: float = 0.0) -> float:
+        """End-to-end period estimate T' = t / decode(signature)."""
+        count = self.decode(self.signature(period, phase))
+        if count <= 0:
+            raise ValueError("no oscillator edges captured in the window")
+        return self.window / count

@@ -1,0 +1,239 @@
+"""A small event-driven gate-level logic simulator.
+
+Three-valued logic (0, 1, X) with per-gate inertial-free transport
+delays.  This is deliberately minimal -- just enough to implement and
+verify the DfT's measurement hardware (counters, LFSRs, shift registers,
+decoders) at gate level, the way the paper's Sec. IV-C analyses them.
+
+Example:
+    >>> sim = LogicSimulator()
+    >>> sim.add_gate("nand", ["a", "b"], "y", delay=1e-10)
+    >>> sim.set_input("a", 1)
+    >>> sim.set_input("b", 1)
+    >>> sim.run_until(1e-9)
+    >>> sim.value("y")
+    0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: The unknown logic value.
+X = -1
+
+_EVAL: Dict[str, Callable[[Sequence[int]], int]] = {}
+
+
+def _gate_fn(name: str):
+    def wrap(fn):
+        _EVAL[name] = fn
+        return fn
+    return wrap
+
+
+def _known(vals: Sequence[int]) -> bool:
+    return all(v in (0, 1) for v in vals)
+
+
+@_gate_fn("buf")
+def _buf(v: Sequence[int]) -> int:
+    return v[0] if v[0] in (0, 1) else X
+
+
+@_gate_fn("not")
+def _not(v: Sequence[int]) -> int:
+    return 1 - v[0] if v[0] in (0, 1) else X
+
+
+@_gate_fn("and")
+def _and(v: Sequence[int]) -> int:
+    if any(x == 0 for x in v):
+        return 0
+    return 1 if _known(v) else X
+
+
+@_gate_fn("or")
+def _or(v: Sequence[int]) -> int:
+    if any(x == 1 for x in v):
+        return 1
+    return 0 if _known(v) else X
+
+
+@_gate_fn("nand")
+def _nand(v: Sequence[int]) -> int:
+    out = _and(v)
+    return X if out == X else 1 - out
+
+
+@_gate_fn("nor")
+def _nor(v: Sequence[int]) -> int:
+    out = _or(v)
+    return X if out == X else 1 - out
+
+
+@_gate_fn("xor")
+def _xor(v: Sequence[int]) -> int:
+    if not _known(v):
+        return X
+    acc = 0
+    for x in v:
+        acc ^= x
+    return acc
+
+
+@_gate_fn("mux")
+def _mux(v: Sequence[int]) -> int:
+    """Inputs: (a, b, sel): out = a when sel=0, b when sel=1."""
+    a, b, sel = v
+    if sel == 0:
+        return a if a in (0, 1) else X
+    if sel == 1:
+        return b if b in (0, 1) else X
+    return a if a == b and a in (0, 1) else X
+
+
+@dataclass
+class Gate:
+    """A combinational gate instance."""
+
+    kind: str
+    inputs: List[str]
+    output: str
+    delay: float
+
+    def evaluate(self, values: Dict[str, int]) -> int:
+        return _EVAL[self.kind]([values.get(i, X) for i in self.inputs])
+
+
+@dataclass
+class Dff:
+    """Positive-edge-triggered D flip-flop with async active-high reset."""
+
+    d: str
+    clk: str
+    q: str
+    reset: Optional[str] = None
+    delay: float = 0.0
+
+
+class LogicSimulator:
+    """Event-driven simulator over named wires.
+
+    Wires start at X.  ``set_input`` schedules a value change on a wire
+    (at the current time by default); ``run_until`` drains the event
+    queue up to a time bound.  DFFs sample their D input on the clock's
+    rising edge; an active-high asynchronous reset forces Q to 0.
+    """
+
+    def __init__(self) -> None:
+        self.values: Dict[str, int] = {}
+        self.gates: List[Gate] = []
+        self.dffs: List[Dff] = []
+        self._fanout: Dict[str, List[int]] = {}
+        self._clk_fanout: Dict[str, List[int]] = {}
+        self._rst_fanout: Dict[str, List[int]] = {}
+        self._queue: List[Tuple[float, int, str, int]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    def add_gate(self, kind: str, inputs: Sequence[str], output: str,
+                 delay: float = 0.0) -> Gate:
+        if kind not in _EVAL:
+            raise ValueError(f"unknown gate kind {kind!r}")
+        gate = Gate(kind, list(inputs), output, delay)
+        idx = len(self.gates)
+        self.gates.append(gate)
+        for wire in gate.inputs:
+            self._fanout.setdefault(wire, []).append(idx)
+        return gate
+
+    def add_dff(self, d: str, clk: str, q: str, reset: Optional[str] = None,
+                delay: float = 0.0) -> Dff:
+        dff = Dff(d, clk, q, reset, delay)
+        idx = len(self.dffs)
+        self.dffs.append(dff)
+        self._clk_fanout.setdefault(clk, []).append(idx)
+        if reset is not None:
+            self._rst_fanout.setdefault(reset, []).append(idx)
+        return dff
+
+    # ------------------------------------------------------------------
+    def value(self, wire: str) -> int:
+        return self.values.get(wire, X)
+
+    def set_input(self, wire: str, value: int, time: Optional[float] = None) -> None:
+        """Schedule a value change on ``wire`` (default: now)."""
+        if value not in (0, 1, X):
+            raise ValueError("logic values are 0, 1, or X")
+        t = self.now if time is None else time
+        if t < self.now:
+            raise ValueError("cannot schedule events in the past")
+        heapq.heappush(self._queue, (t, next(self._counter), wire, value))
+
+    def schedule_clock(self, wire: str, period: float, start: float,
+                       stop: float, first_value: int = 1) -> int:
+        """Schedule a square wave on ``wire``; returns the edge count.
+
+        Edges of ``first_value`` occur at ``start, start + period, ...``
+        and the opposite value at the half-period offsets.
+        """
+        edges = 0
+        t = start
+        while t <= stop:
+            self.set_input(wire, first_value, t)
+            edges += 1
+            if t + period / 2.0 <= stop:
+                self.set_input(wire, 1 - first_value, t + period / 2.0)
+            t += period
+        return edges
+
+    # ------------------------------------------------------------------
+    def run_until(self, stop: float) -> None:
+        """Process all events with timestamps <= ``stop``."""
+        while self._queue and self._queue[0][0] <= stop:
+            t, _, wire, value = heapq.heappop(self._queue)
+            self.now = max(self.now, t)
+            old = self.values.get(wire, X)
+            if old == value:
+                continue
+            self.values[wire] = value
+            # Flip-flop clock edges (before combinational propagation so
+            # the DFF samples pre-edge D values -- but D is stable here
+            # because our designs never clock and change D in the same
+            # instant except through the queue ordering).
+            if old == 0 and value == 1:
+                for idx in self._clk_fanout.get(wire, []):
+                    self._clock_dff(idx)
+            if value == 1:
+                for idx in self._rst_fanout.get(wire, []):
+                    dff = self.dffs[idx]
+                    self.set_input(dff.q, 0, self.now + dff.delay)
+            # Combinational fanout.
+            for idx in self._fanout.get(wire, []):
+                gate = self.gates[idx]
+                out = gate.evaluate(self.values)
+                if self.values.get(gate.output, X) != out:
+                    self.set_input(gate.output, out, self.now + gate.delay)
+        self.now = stop
+
+    def _clock_dff(self, idx: int) -> None:
+        dff = self.dffs[idx]
+        if dff.reset is not None and self.values.get(dff.reset, X) == 1:
+            self.set_input(dff.q, 0, self.now + dff.delay)
+            return
+        d_val = self.values.get(dff.d, X)
+        self.set_input(dff.q, d_val, self.now + dff.delay)
+
+    # ------------------------------------------------------------------
+    def gate_count(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.kind] = counts.get(gate.kind, 0) + 1
+        if self.dffs:
+            counts["dff"] = len(self.dffs)
+        return counts

@@ -1,0 +1,115 @@
+"""Scan-reconfigurable register: counter state shift-out (Sec. IV-C).
+
+After the count window, "the counter is reconfigured into a shift
+register and the counter state (signature) c is shifted out to the test
+equipment".  This module implements that reconfiguration at gate level
+on the event-driven logic simulator: each stage's D input goes through a
+mux -- functional data when ``scan_en`` is low, the previous stage's Q
+when high -- so one register serves as both the parallel-load signature
+latch and the serial shift-out chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.dft.logicsim import LogicSimulator
+
+
+class ScanRegister:
+    """An n-bit scan-reconfigurable register at gate level.
+
+    Wires:
+        ``d{i}``   parallel data inputs,
+        ``q{i}``   flop outputs,
+        ``scan_in``, ``scan_en``, ``clk``, ``rst``;
+        ``q{n-1}`` doubles as the serial output.
+    """
+
+    def __init__(self, bits: int, dff_delay: float = 50e-12):
+        if bits < 1:
+            raise ValueError("need at least one bit")
+        self.bits = bits
+        self._dff_delay = dff_delay
+        self.sim = LogicSimulator()
+        for b in range(bits):
+            din = f"d{b}"
+            prev_q = f"q{b - 1}" if b > 0 else "scan_in"
+            mux_out = f"m{b}"
+            self.sim.add_gate("mux", [din, prev_q, "scan_en"], mux_out,
+                              delay=dff_delay / 5.0)
+            self.sim.add_dff(d=mux_out, clk="clk", q=f"q{b}", reset="rst",
+                             delay=dff_delay)
+        self._t = 0.0
+        self._step = dff_delay * 8
+        self.sim.set_input("clk", 0, 0.0)
+        self.sim.set_input("scan_en", 0, 0.0)
+        self.sim.set_input("scan_in", 0, 0.0)
+        self.sim.set_input("rst", 1, 0.0)
+        self._advance()
+        self.sim.set_input("rst", 0, self._t)
+        self._advance()
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        self._t += self._step
+        self.sim.run_until(self._t)
+
+    def _pulse_clock(self) -> None:
+        self.sim.set_input("clk", 1, self._t + self._step / 4)
+        self.sim.set_input("clk", 0, self._t + self._step / 2)
+        self._advance()
+
+    # ------------------------------------------------------------------
+    def load(self, value: int) -> None:
+        """Parallel-load ``value`` (functional mode, one clock)."""
+        if not 0 <= value < (1 << self.bits):
+            raise ValueError(f"value does not fit in {self.bits} bits")
+        self.sim.set_input("scan_en", 0, self._t)
+        for b in range(self.bits):
+            self.sim.set_input(f"d{b}", (value >> b) & 1, self._t)
+        self._advance()
+        self._pulse_clock()
+
+    def read_parallel(self) -> int:
+        """Current register state (as the tester would not see it)."""
+        total = 0
+        for b in range(self.bits):
+            if self.sim.value(f"q{b}") == 1:
+                total |= 1 << b
+        return total
+
+    def shift_out(self, scan_in_bits: Optional[Sequence[int]] = None) -> List[int]:
+        """Serially shift the signature out; returns MSB-first bits.
+
+        Args:
+            scan_in_bits: Optional bits fed into the chain while
+                shifting (e.g. the next test's seed); zeros by default.
+
+        Returns:
+            The ``bits`` values that appeared on the serial output
+            (``q{n-1}``), in shift order -- MSB first for a parallel
+            value loaded via :meth:`load`.
+        """
+        fills = list(scan_in_bits or [0] * self.bits)
+        if len(fills) < self.bits:
+            fills += [0] * (self.bits - len(fills))
+        self.sim.set_input("scan_en", 1, self._t)
+        self._advance()
+        out: List[int] = []
+        for k in range(self.bits):
+            out.append(max(self.sim.value(f"q{self.bits - 1}"), 0))
+            self.sim.set_input("scan_in", fills[k], self._t)
+            self._pulse_clock()
+        self.sim.set_input("scan_en", 0, self._t)
+        self._advance()
+        return out
+
+    @staticmethod
+    def bits_to_int(bits_msb_first: Sequence[int]) -> int:
+        """Reassemble a shifted-out signature (tester-side step)."""
+        value = 0
+        for bit in bits_msb_first:
+            value = (value << 1) | (bit & 1)
+        return value

@@ -1,0 +1,74 @@
+"""Circuit-simulation substrate: a small SPICE-like engine built on numpy.
+
+This package replaces the HSPICE runs of the paper.  It provides:
+
+* :mod:`repro.spice.netlist` -- the :class:`Circuit` container.
+* :mod:`repro.spice.elements` -- passive elements and independent sources.
+* :mod:`repro.spice.mosfet` -- an EKV-style MOSFET model that is smooth
+  across weak/moderate/strong inversion (required for the multi-voltage
+  experiments of the paper, which operate gates between 0.7 V and 1.2 V
+  with |Vth| around 0.46 V).
+* :mod:`repro.spice.mna` -- modified nodal analysis assembly and the shared
+  Newton-Raphson solver.
+* :mod:`repro.spice.dc` -- DC operating-point analysis.
+* :mod:`repro.spice.transient` -- backward-Euler / trapezoidal transient
+  analysis.
+* :mod:`repro.spice.waveform` -- waveform post-processing (crossings,
+  periods, propagation delays).
+* :mod:`repro.spice.montecarlo` -- the process-variation model used by the
+  paper's Monte Carlo runs (3-sigma Vth and 3-sigma Leff = 10%).
+
+Everything is expressed in SI units: volts, amperes, ohms, farads, seconds.
+"""
+
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    DC,
+    PieceWiseLinear,
+    Pulse,
+    Resistor,
+    Step,
+    VoltageSource,
+)
+from repro.spice.mosfet import Mosfet, MosfetModel, NMOS_45LP, PMOS_45LP
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.dc import dc_operating_point
+from repro.spice.transient import TransientResult, transient
+from repro.spice.waveform import Waveform
+from repro.spice.montecarlo import (
+    MonteCarloEngine,
+    ProcessSample,
+    ProcessVariation,
+    NOMINAL_PROCESS,
+)
+from repro.spice.batch import BatchParameters, BatchedSimulation
+from repro.spice.sweep import sweep_parameter
+
+__all__ = [
+    "BatchParameters",
+    "BatchedSimulation",
+    "Capacitor",
+    "Circuit",
+    "CurrentSource",
+    "DC",
+    "GROUND",
+    "MonteCarloEngine",
+    "Mosfet",
+    "MosfetModel",
+    "NMOS_45LP",
+    "NOMINAL_PROCESS",
+    "PMOS_45LP",
+    "PieceWiseLinear",
+    "ProcessSample",
+    "ProcessVariation",
+    "Pulse",
+    "Resistor",
+    "Step",
+    "TransientResult",
+    "VoltageSource",
+    "Waveform",
+    "dc_operating_point",
+    "sweep_parameter",
+    "transient",
+]

@@ -1,0 +1,87 @@
+"""DC operating-point analysis.
+
+Capacitors are open circuits at DC.  The Newton iteration starts from a
+zero vector (or a caller-supplied guess) and, if it fails, retries with
+gmin stepping: the node-to-ground conductance starts large (so the first
+solves are nearly linear) and is relaxed geometrically down to the target
+gmin, reusing each solution as the next starting point.
+
+Node initial conditions (``ics``) are honoured by clamping those nodes
+with a large-conductance Norton equivalent -- the standard SPICE ``.IC``
+treatment -- which is how we start ring oscillators away from their
+metastable DC solution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.spice.mna import ConvergenceError, MnaSystem, NewtonOptions
+from repro.spice.netlist import Circuit
+
+#: Conductance used to clamp .IC nodes (siemens).
+_CLAMP_G = 1e3
+
+
+def _assemble_dc(
+    system: MnaSystem,
+    t: float,
+    ics: Optional[Dict[str, float]],
+) -> tuple[np.ndarray, np.ndarray]:
+    a = system.a_linear.copy()
+    b = np.zeros(system.size)
+    system.source_rhs(t, b)
+    if ics:
+        for node, voltage in ics.items():
+            idx = system.circuit.node_index(node)
+            a[idx, idx] += _CLAMP_G
+            b[idx] += _CLAMP_G * voltage
+    return a, b
+
+
+def solve_dc(
+    system: MnaSystem,
+    t: float = 0.0,
+    ics: Optional[Dict[str, float]] = None,
+    guess: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Solve for the DC operating point; returns the full solution vector."""
+    a, b = _assemble_dc(system, t, ics)
+    x0 = guess.copy() if guess is not None else np.zeros(system.size)
+    try:
+        return system.newton_solve(a, b, x0, label="dc")
+    except ConvergenceError:
+        pass
+
+    # gmin stepping: solve a sequence of increasingly stiff problems.
+    x = np.zeros(system.size)
+    idx = np.arange(1, system.num_nodes)
+    for gstep in np.logspace(0, -9, 19):
+        a_step = a.copy()
+        a_step[idx, idx] += gstep
+        x = system.newton_solve(a_step, b, x, label=f"dc gmin={gstep:.1e}")
+    return system.newton_solve(a, b, x, label="dc final")
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    ics: Optional[Dict[str, float]] = None,
+    options: Optional[NewtonOptions] = None,
+) -> Dict[str, float]:
+    """Compute the DC operating point of ``circuit``.
+
+    Args:
+        circuit: The circuit to analyze.
+        ics: Optional node -> voltage clamps (SPICE ``.IC`` style).
+        options: Newton solver options.
+
+    Returns:
+        Mapping from node name to its DC voltage.
+    """
+    system = MnaSystem(circuit, options)
+    x = solve_dc(system, ics=ics)
+    return {
+        node: float(x[circuit.node_index(node)]) for node in circuit.nodes
+    }

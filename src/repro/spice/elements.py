@@ -1,0 +1,183 @@
+"""Passive elements and independent sources for the MNA engine.
+
+All elements are plain data holders; the numerical work happens in
+:mod:`repro.spice.mna`.  Sources carry a *waveform* object with a
+``value(t)`` method so DC and transient analyses share one code path
+(DC analysis evaluates the waveform at ``t=0`` unless told otherwise).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+
+class SourceWaveform:
+    """Base class for time-dependent source values."""
+
+    def value(self, t: float) -> float:
+        raise NotImplementedError
+
+    def dc_value(self) -> float:
+        """Value used for the DC operating point (default: value at t=0)."""
+        return self.value(0.0)
+
+
+@dataclass(frozen=True)
+class DC(SourceWaveform):
+    """Constant source value."""
+
+    level: float
+
+    def value(self, t: float) -> float:
+        return self.level
+
+
+@dataclass(frozen=True)
+class Step(SourceWaveform):
+    """A single transition from ``v0`` to ``v1`` starting at ``t0``.
+
+    The transition ramps linearly over ``rise`` seconds, which keeps the
+    Newton iterations well-behaved and mimics a realistic input slew.
+    """
+
+    v0: float
+    v1: float
+    t0: float = 0.0
+    rise: float = 10e-12
+
+    def value(self, t: float) -> float:
+        if t <= self.t0:
+            return self.v0
+        if t >= self.t0 + self.rise:
+            return self.v1
+        frac = (t - self.t0) / self.rise
+        return self.v0 + (self.v1 - self.v0) * frac
+
+
+@dataclass(frozen=True)
+class Pulse(SourceWaveform):
+    """SPICE-style periodic pulse.
+
+    Parameters mirror the SPICE ``PULSE`` source: initial value ``v1``,
+    pulsed value ``v2``, initial ``delay``, ``rise`` and ``fall`` times,
+    pulse ``width`` and repetition ``period``.  A ``period`` of ``0``
+    yields a single pulse.
+    """
+
+    v1: float
+    v2: float
+    delay: float = 0.0
+    rise: float = 10e-12
+    fall: float = 10e-12
+    width: float = 1e-9
+    period: float = 0.0
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.v1
+        tau = t - self.delay
+        if self.period > 0.0:
+            tau = math.fmod(tau, self.period)
+        if tau < self.rise:
+            return self.v1 + (self.v2 - self.v1) * tau / self.rise
+        tau -= self.rise
+        if tau < self.width:
+            return self.v2
+        tau -= self.width
+        if tau < self.fall:
+            return self.v2 + (self.v1 - self.v2) * tau / self.fall
+        return self.v1
+
+
+@dataclass(frozen=True)
+class PieceWiseLinear(SourceWaveform):
+    """Piece-wise linear waveform through ``(t, v)`` points.
+
+    Before the first point the value is the first voltage; after the last
+    point it is the last voltage.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) == 0:
+            raise ValueError("PieceWiseLinear requires at least one point")
+        times = [p[0] for p in points]
+        if any(t2 < t1 for t1, t2 in zip(times, times[1:])):
+            raise ValueError("PieceWiseLinear times must be non-decreasing")
+        object.__setattr__(self, "points", tuple((float(t), float(v)) for t, v in points))
+
+    def value(self, t: float) -> float:
+        pts = self.points
+        if t <= pts[0][0]:
+            return pts[0][1]
+        for (t1, v1), (t2, v2) in zip(pts, pts[1:]):
+            if t <= t2:
+                if t2 == t1:
+                    return v2
+                return v1 + (v2 - v1) * (t - t1) / (t2 - t1)
+        return pts[-1][1]
+
+
+@dataclass
+class Resistor:
+    """Linear resistor between nodes ``n1`` and ``n2``."""
+
+    name: str
+    n1: str
+    n2: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0:
+            raise ValueError(
+                f"resistor {self.name!r}: resistance must be positive, "
+                f"got {self.resistance!r}"
+            )
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+
+@dataclass
+class Capacitor:
+    """Linear capacitor between nodes ``n1`` and ``n2``."""
+
+    name: str
+    n1: str
+    n2: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0.0:
+            raise ValueError(
+                f"capacitor {self.name!r}: capacitance must be non-negative, "
+                f"got {self.capacitance!r}"
+            )
+
+
+@dataclass
+class VoltageSource:
+    """Independent voltage source from ``npos`` to ``nneg``.
+
+    Contributes one branch-current unknown to the MNA system.
+    """
+
+    name: str
+    npos: str
+    nneg: str
+    waveform: SourceWaveform = field(default_factory=lambda: DC(0.0))
+
+
+@dataclass
+class CurrentSource:
+    """Independent current source; positive current flows npos -> nneg
+    through the source (i.e. it pulls current out of ``npos``)."""
+
+    name: str
+    npos: str
+    nneg: str
+    waveform: SourceWaveform = field(default_factory=lambda: DC(0.0))

@@ -1,0 +1,221 @@
+"""Modified nodal analysis assembly and the shared Newton-Raphson solver.
+
+The unknown vector is ``x = [v_0, v_1, ..., v_{N-1}, i_src_0, ...]`` where
+``v_0`` is ground.  We stamp the full matrix including the ground row and
+column, then solve the reduced system ``A[1:, 1:] x[1:] = b[1:]`` with
+``v_0 = 0`` enforced.  This keeps stamping branch-free and vectorized.
+
+MOSFETs are the only nonlinear elements; their evaluation is vectorized
+across all devices (see :func:`repro.spice.mosfet.evaluate_mosfets`), and
+the six Jacobian entries plus the Norton equivalent current per device are
+scattered into the matrix with ``np.add.at``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.spice.mosfet import THERMAL_VOLTAGE, evaluate_mosfets
+from repro.spice.netlist import Circuit
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the Newton iteration fails to converge."""
+
+
+@dataclass
+class NewtonOptions:
+    """Tuning knobs for the Newton-Raphson loop."""
+
+    max_iterations: int = 100
+    vntol: float = 1e-6          # absolute voltage tolerance (V)
+    reltol: float = 1e-4         # relative tolerance
+    damping: float = 0.4         # max voltage change per iteration (V)
+    gmin: float = 1e-9           # conductance from every node to ground (S)
+
+
+class MnaSystem:
+    """Compiled form of a :class:`Circuit`, ready for numerical analyses."""
+
+    def __init__(self, circuit: Circuit, options: Optional[NewtonOptions] = None):
+        self.circuit = circuit
+        self.options = options or NewtonOptions()
+
+        self.num_nodes = circuit.num_nodes
+        self.num_vsrc = len(circuit.vsources)
+        self.size = self.num_nodes + self.num_vsrc
+
+        self._build_linear()
+        self._build_capacitors()
+        self._build_mosfets()
+
+    # ------------------------------------------------------------------
+    # Static structure
+    # ------------------------------------------------------------------
+    def _build_linear(self) -> None:
+        circuit = self.circuit
+        n = self.size
+        a = np.zeros((n, n))
+        # Resistors.
+        for res in circuit.resistors:
+            i = circuit.node_index(res.n1)
+            j = circuit.node_index(res.n2)
+            g = res.conductance
+            a[i, i] += g
+            a[j, j] += g
+            a[i, j] -= g
+            a[j, i] -= g
+        # gmin from every node to ground (aids convergence; negligible
+        # compared to any real conductance in these circuits).
+        idx = np.arange(1, self.num_nodes)
+        a[idx, idx] += self.options.gmin
+        # Voltage-source incidence.
+        for k, src in enumerate(circuit.vsources):
+            row = self.num_nodes + k
+            i = circuit.node_index(src.npos)
+            j = circuit.node_index(src.nneg)
+            a[i, row] += 1.0
+            a[j, row] -= 1.0
+            a[row, i] += 1.0
+            a[row, j] -= 1.0
+        self.a_linear = a
+
+        # Source index arrays for fast RHS assembly.
+        self._vsrc_rows = self.num_nodes + np.arange(self.num_vsrc)
+        self._isrc_pos = np.array(
+            [circuit.node_index(s.npos) for s in circuit.isources], dtype=int
+        )
+        self._isrc_neg = np.array(
+            [circuit.node_index(s.nneg) for s in circuit.isources], dtype=int
+        )
+
+    def _build_capacitors(self) -> None:
+        circuit = self.circuit
+        self.cap_n1 = np.array(
+            [circuit.node_index(c.n1) for c in circuit.capacitors], dtype=int
+        )
+        self.cap_n2 = np.array(
+            [circuit.node_index(c.n2) for c in circuit.capacitors], dtype=int
+        )
+        self.cap_c = np.array([c.capacitance for c in circuit.capacitors])
+
+    def _build_mosfets(self) -> None:
+        circuit = self.circuit
+        fets = circuit.mosfets
+        self.fet_d = np.array([circuit.node_index(f.drain) for f in fets], dtype=int)
+        self.fet_g = np.array([circuit.node_index(f.gate) for f in fets], dtype=int)
+        self.fet_s = np.array([circuit.node_index(f.source) for f in fets], dtype=int)
+        self.fet_b = np.array([circuit.node_index(f.bulk) for f in fets], dtype=int)
+        self.fet_polarity = np.array([f.model.polarity for f in fets], dtype=int)
+        self.fet_vth = np.array([f.model.vth for f in fets])
+        self.fet_n = np.array([f.model.n for f in fets])
+        self.fet_lam = np.array([f.model.lam for f in fets])
+        beta = np.array([f.beta for f in fets])
+        self.fet_is = 2.0 * self.fet_n * beta * THERMAL_VOLTAGE**2
+
+        # Precomputed scatter indices for the 8 Jacobian entries per device
+        # (rows d,d,d,d,s,s,s,s; cols d,g,s,b,d,g,s,b) and the RHS rows.
+        d, g, s, b = self.fet_d, self.fet_g, self.fet_s, self.fet_b
+        self._jac_rows = np.concatenate([d, d, d, d, s, s, s, s])
+        self._jac_cols = np.concatenate([d, g, s, b, d, g, s, b])
+        self._rhs_rows = np.concatenate([d, s])
+
+    # ------------------------------------------------------------------
+    # Assembly pieces
+    # ------------------------------------------------------------------
+    def source_rhs(self, t: float, b: np.ndarray) -> None:
+        """Add independent-source contributions at time ``t`` into ``b``."""
+        circuit = self.circuit
+        for k, src in enumerate(circuit.vsources):
+            b[self.num_nodes + k] += src.waveform.value(t)
+        for k, src in enumerate(circuit.isources):
+            current = src.waveform.value(t)
+            b[self._isrc_pos[k]] -= current
+            b[self._isrc_neg[k]] += current
+
+    def stamp_capacitors_conductance(self, a: np.ndarray, geq: np.ndarray) -> None:
+        """Stamp companion conductances ``geq`` (per capacitor) into ``a``."""
+        n1, n2 = self.cap_n1, self.cap_n2
+        np.add.at(a, (n1, n1), geq)
+        np.add.at(a, (n2, n2), geq)
+        np.add.at(a, (n1, n2), -geq)
+        np.add.at(a, (n2, n1), -geq)
+
+    def stamp_capacitors_current(self, b: np.ndarray, ieq: np.ndarray) -> None:
+        """Stamp companion currents ``ieq`` (flowing into n1) into ``b``."""
+        np.add.at(b, self.cap_n1, ieq)
+        np.add.at(b, self.cap_n2, -ieq)
+
+    def stamp_mosfets(self, a: np.ndarray, b: np.ndarray, v: np.ndarray) -> None:
+        """Linearize all MOSFETs around node voltages ``v`` and stamp."""
+        if len(self.fet_d) == 0:
+            return
+        vd = v[self.fet_d]
+        vg = v[self.fet_g]
+        vs = v[self.fet_s]
+        vb = v[self.fet_b]
+        i_d, g_d, g_g, g_s, g_b = evaluate_mosfets(
+            self.fet_polarity, self.fet_vth, self.fet_n, self.fet_is,
+            self.fet_lam, vd, vg, vs, vb,
+        )
+        vals = np.concatenate([g_d, g_g, g_s, g_b, -g_d, -g_g, -g_s, -g_b])
+        np.add.at(a, (self._jac_rows, self._jac_cols), vals)
+        ieq = i_d - g_d * vd - g_g * vg - g_s * vs - g_b * vb
+        np.add.at(b, self._rhs_rows, np.concatenate([-ieq, ieq]))
+
+    # ------------------------------------------------------------------
+    # Newton solve
+    # ------------------------------------------------------------------
+    def newton_solve(
+        self,
+        a_base: np.ndarray,
+        b_base: np.ndarray,
+        v_guess: np.ndarray,
+        label: str = "",
+    ) -> np.ndarray:
+        """Solve the nonlinear system ``A(x) x = b(x)`` by damped Newton.
+
+        Args:
+            a_base: Linear part of the matrix (size x size), not modified.
+            b_base: Linear part of the RHS, not modified.
+            v_guess: Initial full solution vector (size,).
+            label: Context string for error messages.
+
+        Returns:
+            The converged solution vector (node voltages + source currents).
+        """
+        opts = self.options
+        x = v_guess.copy()
+        x[0] = 0.0
+        for _ in range(opts.max_iterations):
+            a = a_base.copy()
+            b = b_base.copy()
+            self.stamp_mosfets(a, b, x)
+            x_new = np.zeros_like(x)
+            try:
+                x_new[1:] = np.linalg.solve(a[1:, 1:], b[1:])
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(
+                    f"singular MNA matrix during Newton solve {label!r}"
+                ) from exc
+            delta = x_new - x
+            dv = delta[: self.num_nodes]
+            step = np.clip(delta, -opts.damping, opts.damping)
+            x = x + step
+            x[0] = 0.0
+            max_dv = float(np.max(np.abs(dv))) if len(dv) else 0.0
+            if max_dv < opts.vntol + opts.reltol * float(
+                np.max(np.abs(x[: self.num_nodes])) + 1e-12
+            ):
+                # Take the undamped final solution when the step was small.
+                if np.all(np.abs(delta) <= opts.damping + 1e-15):
+                    x = x_new
+                    x[0] = 0.0
+                return x
+        raise ConvergenceError(
+            f"Newton failed to converge after {opts.max_iterations} iterations "
+            f"({label or 'unnamed solve'})"
+        )

@@ -1,0 +1,138 @@
+"""Process-variation model and Monte Carlo driver.
+
+The paper extends its HSPICE deck with per-transistor random variation:
+``3*sigma_Vth = 30 mV`` and ``3*sigma_Leff = 10%`` (consistent with the
+industry data it cites for recent nodes).  We reproduce exactly that: each
+transistor instance independently draws a Gaussian threshold-voltage shift
+and a Gaussian relative channel-length change.
+
+Cells apply a :class:`ProcessSample` when they instantiate transistors, so
+every gate in a circuit gets its own mismatch -- which is what makes the
+paper's DeltaT = T1 - T2 cancellation argument non-trivial and what
+Figs. 7, 9 and 10 quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.spice.mosfet import MosfetModel
+
+
+@dataclass(frozen=True)
+class ProcessVariation:
+    """Per-transistor variation magnitudes (1-sigma values).
+
+    Attributes:
+        sigma_vth: Threshold-voltage standard deviation in volts.
+        sigma_leff_rel: Relative effective-length standard deviation.
+    """
+
+    sigma_vth: float = 0.010        # 3*sigma = 30 mV
+    sigma_leff_rel: float = 0.10 / 3.0  # 3*sigma = 10 %
+
+    def sample(self, rng: np.random.Generator) -> "ProcessSample":
+        """Draw one process sample (one simulated die)."""
+        return ProcessSample(self, rng)
+
+    def scaled(self, factor: float) -> "ProcessVariation":
+        """Return a variation model with both sigmas scaled by ``factor``.
+
+        Used by the ablation benches ("a more mature process ... reduces
+        aliasing", Sec. IV-C).
+        """
+        return ProcessVariation(
+            sigma_vth=self.sigma_vth * factor,
+            sigma_leff_rel=self.sigma_leff_rel * factor,
+        )
+
+
+#: A variation model with zero spread (nominal corner).
+NOMINAL_PROCESS = ProcessVariation(sigma_vth=0.0, sigma_leff_rel=0.0)
+
+
+class ProcessSample:
+    """One die's worth of mismatch: a stream of per-transistor perturbations.
+
+    Each call to :meth:`perturb` consumes two Gaussian draws, so builders
+    must instantiate transistors in a deterministic order for
+    reproducibility (all of ours do).
+    """
+
+    def __init__(self, variation: ProcessVariation, rng: np.random.Generator):
+        self.variation = variation
+        self._rng = rng
+        self.draws = 0
+
+    def perturb(self, model: MosfetModel) -> MosfetModel:
+        """Return a copy of ``model`` with this sample's next perturbation."""
+        self.draws += 1
+        v = self.variation
+        if v.sigma_vth == 0.0 and v.sigma_leff_rel == 0.0:
+            return model
+        dvth = float(self._rng.normal(0.0, v.sigma_vth)) if v.sigma_vth else 0.0
+        dl = (
+            float(self._rng.normal(0.0, v.sigma_leff_rel))
+            if v.sigma_leff_rel
+            else 0.0
+        )
+        # Clamp to +-4 sigma; extreme tails would take the simplified model
+        # outside its calibrated range without adding information.
+        dvth = float(np.clip(dvth, -4 * v.sigma_vth, 4 * v.sigma_vth))
+        if v.sigma_leff_rel:
+            dl = float(np.clip(dl, -4 * v.sigma_leff_rel, 4 * v.sigma_leff_rel))
+        return model.with_variation(dvth=dvth, dl_rel=dl)
+
+
+#: A sample that applies no perturbation (nominal die).
+def nominal_sample() -> ProcessSample:
+    """Return a :class:`ProcessSample` that leaves every device nominal."""
+    return ProcessSample(NOMINAL_PROCESS, np.random.default_rng(0))
+
+
+class MonteCarloEngine:
+    """Runs a measurement function over many process samples.
+
+    Example:
+        >>> engine = MonteCarloEngine(ProcessVariation(), seed=1)
+        >>> results = engine.run(lambda s: measure_delta_t(sample=s), 100)
+    """
+
+    def __init__(self, variation: ProcessVariation, seed: int = 0):
+        self.variation = variation
+        self.seed = seed
+
+    def run(
+        self,
+        measure: Callable[[ProcessSample], float],
+        num_samples: int,
+        skip_failures: bool = False,
+    ) -> np.ndarray:
+        """Evaluate ``measure`` on ``num_samples`` independent samples.
+
+        Args:
+            measure: Callable receiving a fresh :class:`ProcessSample` and
+                returning a scalar (e.g. DeltaT in seconds).
+            num_samples: Number of Monte Carlo samples.
+            skip_failures: If True, samples where ``measure`` raises
+                ``RuntimeError`` (e.g. a non-oscillating circuit) are
+                recorded as NaN instead of propagating.
+
+        Returns:
+            Array of length ``num_samples`` (NaN for skipped failures).
+        """
+        results: List[float] = []
+        root = np.random.default_rng(self.seed)
+        for k in range(num_samples):
+            child = np.random.default_rng(root.integers(0, 2**63 - 1))
+            sample = self.variation.sample(child)
+            try:
+                results.append(float(measure(sample)))
+            except RuntimeError:
+                if not skip_failures:
+                    raise
+                results.append(float("nan"))
+        return np.array(results)

@@ -1,0 +1,293 @@
+"""EKV-style MOSFET model calibrated to a 45 nm low-power CMOS flavour.
+
+The paper simulates with the 45 nm PTM low-power models.  Those BSIM4 decks
+are not reproducible offline, so we use the EKV long-channel formulation,
+which is smooth and accurate across weak, moderate, and strong inversion.
+That smoothness is essential here: the paper's multi-voltage experiments
+run the gates at V_DD between 0.75 V and 1.2 V with |V_th| ~ 0.46 V, i.e.
+in moderate inversion, exactly where piecewise square-law models break.
+
+Drain current (NMOS, source-referenced, bulk at source rail)::
+
+    V_p  = (V_g - V_th) / n                      pinch-off voltage
+    i_f  = F((V_p - V_s) / V_T)                  forward normalized current
+    i_r  = F((V_p - V_d) / V_T)                  reverse normalized current
+    F(u) = ln(1 + exp(u / 2)) ** 2
+    I_d  = I_s * (i_f - i_r) * M(V_ds)
+    I_s  = 2 * n * beta * V_T**2,   beta = kp * W / L
+    M    = 1 + lam * V_T * softplus(V_ds / V_T)  smooth channel-length mod.
+
+PMOS devices are evaluated as mirrored NMOS devices (all terminal voltages
+negated); the conductance stamps are identical and the current is negated.
+
+Calibration targets (documented in DESIGN.md): an X4 buffer output stage
+has an effective drive resistance around 1.1 kOhm at V_DD = 1.1 V, giving
+the tens-of-picoseconds delays on a 59 fF TSV load that the paper reports,
+and the off-current at V_gs = 0 is a few pA (low-power flavour).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+#: Thermal voltage kT/q at 300 K.
+THERMAL_VOLTAGE = 0.02585
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Numerically safe ln(1 + exp(x)); linear for large x."""
+    x = np.asarray(x, dtype=float)
+    out = np.where(x > 30.0, x, np.log1p(np.exp(np.minimum(x, 30.0))))
+    return out
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically safe logistic function."""
+    x = np.asarray(x, dtype=float)
+    pos = x >= 0
+    out = np.empty_like(x)
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+@dataclass(frozen=True)
+class MosfetModel:
+    """Technology parameters for one device polarity.
+
+    Attributes:
+        name: Model identifier (e.g. ``"nmos_45lp"``).
+        polarity: ``+1`` for NMOS, ``-1`` for PMOS.
+        vth: Threshold voltage magnitude in volts (always positive).
+        n: Subthreshold slope factor (SS = n * ln(10) * V_T).
+        kp: Transconductance parameter mu*Cox in A/V^2 (absorbs velocity
+            saturation; see module docstring).
+        lam: Channel-length-modulation coefficient in 1/V.
+        cox: Gate-oxide capacitance per area in F/m^2.
+        cov: Gate overlap capacitance per width in F/m.
+        cj: Drain/source junction capacitance per width in F/m (includes
+            the diffusion-length factor).
+        lmin: Minimum (default) channel length in meters.
+    """
+
+    name: str
+    polarity: int
+    vth: float
+    n: float
+    kp: float
+    lam: float
+    cox: float
+    cov: float
+    cj: float
+    lmin: float
+
+    def __post_init__(self) -> None:
+        if self.polarity not in (1, -1):
+            raise ValueError("polarity must be +1 (NMOS) or -1 (PMOS)")
+        if self.vth <= 0:
+            raise ValueError("vth is a magnitude and must be positive")
+
+    def with_variation(self, dvth: float = 0.0, dl_rel: float = 0.0) -> "MosfetModel":
+        """Return a perturbed copy (threshold shift, relative length change).
+
+        A positive ``dl_rel`` lengthens the channel, i.e. weakens the
+        device.  Used by the Monte Carlo engine.
+        """
+        return replace(
+            self,
+            vth=self.vth + dvth,
+            lmin=self.lmin * (1.0 + dl_rel),
+        )
+
+    def saturation_current(self, w: float, vgs: float, l: float | None = None) -> float:
+        """|I_dsat| for gate overdrive ``vgs`` (magnitude) and width ``w``.
+
+        Evaluated at V_ds = V_gs (diode-connected worst case is close to
+        the switching trajectory average).  Used by the analytic delay
+        engine and for calibration checks.
+        """
+        leff = self.lmin if l is None else l
+        beta = self.kp * w / leff
+        i_s = 2.0 * self.n * beta * THERMAL_VOLTAGE**2
+        vp = (vgs - self.vth) / self.n
+        u = vp / THERMAL_VOLTAGE
+        f = float(softplus(np.asarray(u / 2.0))) ** 2
+        m = 1.0 + self.lam * THERMAL_VOLTAGE * float(softplus(np.asarray(vgs / THERMAL_VOLTAGE)))
+        return i_s * f * m
+
+    def triode_resistance(self, w: float, vgs: float, l: float | None = None) -> float:
+        """Small-V_ds channel resistance at gate drive ``vgs`` (magnitude).
+
+        This is the slope resistance of the output characteristic at the
+        rail; it sets how close to the rail a leaking net rests (the
+        divider that keeps the falling edge nearly unaffected while the
+        rising edge carries the leakage signature).
+        """
+        leff = self.lmin if l is None else l
+        beta = self.kp * w / leff
+        i_s = 2.0 * self.n * beta * THERMAL_VOLTAGE**2
+        vp = (vgs - self.vth) / self.n
+        u = vp / THERMAL_VOLTAGE
+        sp = float(softplus(np.asarray(u / 2.0)))
+        gds = i_s * sp * float(sigmoid(np.asarray(u / 2.0))) / THERMAL_VOLTAGE
+        if gds <= 0:
+            return math.inf
+        return 1.0 / gds
+
+    def effective_resistance(self, w: float, vdd: float, l: float | None = None) -> float:
+        """Switching-average effective drive resistance at supply ``vdd``.
+
+        Uses the classic R_eff ~ 0.7 * V_DD / I_dsat approximation, which
+        matches the transistor-level engine within ~20% over the paper's
+        voltage range (validated in tests).
+        """
+        idsat = self.saturation_current(w, vdd, l=l)
+        if idsat <= 0:
+            return math.inf
+        return 0.7 * vdd / idsat
+
+
+#: 45 nm low-power NMOS, calibrated per module docstring.
+NMOS_45LP = MosfetModel(
+    name="nmos_45lp",
+    polarity=+1,
+    vth=0.42,
+    n=1.35,
+    kp=160e-6,
+    lam=0.15,
+    cox=0.0246,   # F/m^2  (~24.6 fF/um^2, EOT ~ 1.4 nm)
+    cov=0.30e-9,  # F/m    (~0.3 fF/um)
+    cj=0.60e-9,   # F/m    (~0.6 fF/um of width)
+    lmin=50e-9,
+)
+
+#: 45 nm low-power PMOS.  kp is lower (hole mobility); cells compensate
+#: with roughly 2x width.
+PMOS_45LP = MosfetModel(
+    name="pmos_45lp",
+    polarity=-1,
+    vth=0.42,
+    n=1.35,
+    kp=95e-6,
+    lam=0.15,
+    cox=0.0246,
+    cov=0.30e-9,
+    cj=0.60e-9,
+    lmin=50e-9,
+)
+
+
+@dataclass
+class Mosfet:
+    """A MOSFET instance: terminals, geometry, and (possibly perturbed) model.
+
+    Attributes:
+        name: Instance name, unique within a circuit.
+        drain, gate, source, bulk: Node names.  The bulk must be tied to
+            the appropriate rail (ground for NMOS, V_DD for PMOS) because
+            the EKV equations are bulk-referenced.
+        model: The :class:`MosfetModel` (already carrying any Monte Carlo
+            perturbation for this instance).
+        w: Channel width in meters.
+        l: Channel length in meters (defaults to the model's ``lmin``).
+    """
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    bulk: str
+    model: MosfetModel
+    w: float
+    l: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.w <= 0:
+            raise ValueError(f"mosfet {self.name!r}: width must be positive")
+        if self.l == 0.0:
+            self.l = self.model.lmin
+        if self.l <= 0:
+            raise ValueError(f"mosfet {self.name!r}: length must be positive")
+
+    @property
+    def beta(self) -> float:
+        return self.model.kp * self.w / self.l
+
+    @property
+    def gate_capacitance(self) -> float:
+        """Total intrinsic + overlap gate capacitance (linearized)."""
+        return self.model.cox * self.w * self.l + 2.0 * self.model.cov * self.w
+
+    @property
+    def junction_capacitance(self) -> float:
+        """Drain (or source) junction capacitance to the bulk rail."""
+        return self.model.cj * self.w
+
+
+def evaluate_mosfets(
+    polarity: np.ndarray,
+    vth: np.ndarray,
+    n: np.ndarray,
+    i_s: np.ndarray,
+    lam: np.ndarray,
+    vd: np.ndarray,
+    vg: np.ndarray,
+    vs: np.ndarray,
+    vb: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized drain current and conductances for a device array.
+
+    The EKV equations are bulk-referenced: all terminal voltages are taken
+    relative to ``vb`` before mirroring PMOS devices into NMOS space.  The
+    bulk conductance follows from translation invariance:
+    ``g_b = -(g_d + g_g + g_s)``.
+
+    Args:
+        polarity: +1/-1 per device.
+        vth, n, i_s, lam: Model parameter arrays (i_s = 2*n*beta*V_T^2).
+        vd, vg, vs, vb: Terminal voltages per device.
+
+    Returns:
+        Tuple ``(i_d, g_d, g_g, g_s, g_b)`` where ``i_d`` is the current
+        flowing drain -> source through the device and
+        ``g_x = d i_d / d v_x`` with respect to the *actual* (un-mirrored)
+        terminal voltages.
+    """
+    vt = THERMAL_VOLTAGE
+    # Reference to bulk, then mirror PMOS devices into NMOS space.
+    sgn = polarity.astype(float)
+    vdm = sgn * (vd - vb)
+    vgm = sgn * (vg - vb)
+    vsm = sgn * (vs - vb)
+
+    vp = (vgm - vth) / n
+    uf = (vp - vsm) / vt
+    ur = (vp - vdm) / vt
+
+    sf = softplus(uf / 2.0)
+    sr = softplus(ur / 2.0)
+    f_f = sf * sf
+    f_r = sr * sr
+    # dF/du = sqrt(F) * sigmoid(u/2)
+    df_f = sf * sigmoid(uf / 2.0)
+    df_r = sr * sigmoid(ur / 2.0)
+
+    vds = vdm - vsm
+    m = 1.0 + lam * vt * softplus(vds / vt)
+    dm_dvds = lam * sigmoid(vds / vt)
+
+    core = f_f - f_r
+    i_mirror = i_s * core * m
+
+    gd_m = i_s * (m * df_r / vt + core * dm_dvds)
+    gg_m = i_s * m * (df_f - df_r) / (n * vt)
+    gs_m = i_s * (-m * df_f / vt - core * dm_dvds)
+    gb_m = -(gd_m + gg_m + gs_m)
+
+    # Un-mirror: i_d = sgn * i_mirror; d i_d / d v_x = sgn * g_m * sgn = g_m.
+    i_d = sgn * i_mirror
+    return i_d, gd_m, gg_m, gs_m, gb_m

@@ -1,0 +1,175 @@
+"""The :class:`Circuit` container: nodes, elements, and builder helpers.
+
+A :class:`Circuit` is a passive description; analyses compile it into an
+:class:`repro.spice.mna.MnaSystem`.  Node names are arbitrary strings;
+``"0"`` (also exported as :data:`GROUND`) is the ground reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.spice.elements import (
+    Capacitor,
+    CurrentSource,
+    DC,
+    Resistor,
+    SourceWaveform,
+    VoltageSource,
+)
+from repro.spice.mosfet import Mosfet, MosfetModel
+
+#: Name of the ground (reference) node.
+GROUND = "0"
+
+
+class Circuit:
+    """A flat transistor-level netlist.
+
+    Elements are added through the ``add_*`` methods, which validate names
+    and register nodes.  Subcircuit expansion (standard cells) lives in
+    :mod:`repro.cells.subckt`; the circuit itself is always flat.
+    """
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self.resistors: List[Resistor] = []
+        self.capacitors: List[Capacitor] = []
+        self.vsources: List[VoltageSource] = []
+        self.isources: List[CurrentSource] = []
+        self.mosfets: List[Mosfet] = []
+        self._names: set = set()
+        self._nodes: Dict[str, int] = {GROUND: 0}
+
+    # ------------------------------------------------------------------
+    # Node bookkeeping
+    # ------------------------------------------------------------------
+    def node_index(self, node: str) -> int:
+        """Return (registering if new) the index of ``node``; ground is 0."""
+        if node not in self._nodes:
+            self._nodes[node] = len(self._nodes)
+        return self._nodes[node]
+
+    @property
+    def nodes(self) -> List[str]:
+        """All node names in registration order (ground first)."""
+        return list(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes including ground."""
+        return len(self._nodes)
+
+    def has_node(self, node: str) -> bool:
+        return node in self._nodes
+
+    def _register(self, name: str, nodes: Iterable[str]) -> None:
+        if name in self._names:
+            raise ValueError(f"duplicate element name {name!r}")
+        self._names.add(name)
+        for node in nodes:
+            self.node_index(node)
+
+    # ------------------------------------------------------------------
+    # Element builders
+    # ------------------------------------------------------------------
+    def add_resistor(self, name: str, n1: str, n2: str, resistance: float) -> Resistor:
+        element = Resistor(name, n1, n2, resistance)
+        self._register(name, (n1, n2))
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(self, name: str, n1: str, n2: str, capacitance: float) -> Capacitor:
+        element = Capacitor(name, n1, n2, capacitance)
+        self._register(name, (n1, n2))
+        self.capacitors.append(element)
+        return element
+
+    def add_vsource(
+        self, name: str, npos: str, nneg: str, waveform: SourceWaveform | float
+    ) -> VoltageSource:
+        if isinstance(waveform, (int, float)):
+            waveform = DC(float(waveform))
+        element = VoltageSource(name, npos, nneg, waveform)
+        self._register(name, (npos, nneg))
+        self.vsources.append(element)
+        return element
+
+    def add_isource(
+        self, name: str, npos: str, nneg: str, waveform: SourceWaveform | float
+    ) -> CurrentSource:
+        if isinstance(waveform, (int, float)):
+            waveform = DC(float(waveform))
+        element = CurrentSource(name, npos, nneg, waveform)
+        self._register(name, (npos, nneg))
+        self.isources.append(element)
+        return element
+
+    def add_mosfet(
+        self,
+        name: str,
+        drain: str,
+        gate: str,
+        source: str,
+        bulk: str,
+        model: MosfetModel,
+        w: float,
+        l: float = 0.0,
+        parasitics: bool = True,
+    ) -> Mosfet:
+        """Add a MOSFET; optionally attach its linearized parasitic caps.
+
+        The bulk must be tied to the appropriate rail (ground for NMOS,
+        V_DD for PMOS): the EKV model is bulk-referenced.
+
+        Parasitics added (all to ground, which is AC-equivalent to the
+        rails): half the gate capacitance at the gate node, and junction
+        capacitance at the drain and source nodes.  Gate-to-drain coupling
+        (Miller) is modeled with an explicit gate-drain overlap capacitor.
+        """
+        element = Mosfet(name, drain, gate, source, bulk, model, w, l)
+        self._register(name, (drain, gate, source, bulk))
+        self.mosfets.append(element)
+        if parasitics:
+            cg = element.gate_capacitance
+            cj = element.junction_capacitance
+            cov = model.cov * element.w
+            # Gate: intrinsic channel cap (minus the overlap handled below).
+            self.add_capacitor(f"{name}.cg", gate, GROUND, max(cg - 2 * cov, 0.0))
+            # Miller coupling drain<->gate through the overlap cap.
+            self.add_capacitor(f"{name}.cgd", gate, drain, cov)
+            self.add_capacitor(f"{name}.cgs", gate, source, cov)
+            self.add_capacitor(f"{name}.cdb", drain, GROUND, cj)
+            self.add_capacitor(f"{name}.csb", source, GROUND, cj)
+        return element
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def total_capacitance_at(self, node: str) -> float:
+        """Sum of capacitances with one terminal at ``node`` (grounded or not)."""
+        return sum(
+            c.capacitance
+            for c in self.capacitors
+            if node in (c.n1, c.n2)
+        )
+
+    def element_count(self) -> Dict[str, int]:
+        """Histogram of element kinds, mostly for reporting and tests."""
+        return {
+            "resistors": len(self.resistors),
+            "capacitors": len(self.capacitors),
+            "vsources": len(self.vsources),
+            "isources": len(self.isources),
+            "mosfets": len(self.mosfets),
+        }
+
+    def find_mosfet(self, name: str) -> Optional[Mosfet]:
+        for fet in self.mosfets:
+            if fet.name == name:
+                return fet
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = ", ".join(f"{k}={v}" for k, v in self.element_count().items())
+        return f"<Circuit {self.title!r}: {self.num_nodes} nodes, {counts}>"

@@ -1,0 +1,71 @@
+"""Parameter-sweep helper.
+
+The paper's figures are all parameter sweeps: R_O from 0 to 3 kOhm
+(Fig. 6), R_L over decades at four supply voltages (Fig. 8), V_DD sweeps
+(Figs. 7 and 9), and M sweeps (Fig. 10).  :func:`sweep_parameter` is the
+shared driver: it evaluates a measurement at each parameter value and
+collects results, recording failures (e.g. oscillation stop) as NaN when
+asked to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a one-dimensional parameter sweep."""
+
+    parameter: str
+    values: np.ndarray
+    results: np.ndarray
+
+    def finite(self) -> "SweepResult":
+        """Return the sweep restricted to points with finite results."""
+        mask = np.isfinite(self.results)
+        return SweepResult(self.parameter, self.values[mask], self.results[mask])
+
+    def failed_values(self) -> np.ndarray:
+        """Parameter values whose measurement failed (NaN result)."""
+        return self.values[~np.isfinite(self.results)]
+
+    def __iter__(self):
+        return iter(zip(self.values, self.results))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def sweep_parameter(
+    name: str,
+    values: Sequence[float],
+    measure: Callable[[float], float],
+    nan_on_failure: bool = False,
+) -> SweepResult:
+    """Evaluate ``measure(value)`` for each value.
+
+    Args:
+        name: Parameter name (for reporting).
+        values: Parameter values to sweep.
+        measure: Measurement callable.
+        nan_on_failure: When True, ``RuntimeError`` from ``measure`` (for
+            example :class:`repro.spice.waveform.NoOscillationError` when a
+            strong leakage fault stops the oscillator) is recorded as NaN
+            instead of aborting the sweep.
+
+    Returns:
+        A :class:`SweepResult` with results aligned to ``values``.
+    """
+    out: List[float] = []
+    for value in values:
+        try:
+            out.append(float(measure(value)))
+        except RuntimeError:
+            if not nan_on_failure:
+                raise
+            out.append(float("nan"))
+    return SweepResult(name, np.asarray(values, dtype=float), np.asarray(out))

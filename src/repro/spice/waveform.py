@@ -1,0 +1,167 @@
+"""Waveform post-processing: crossings, periods, propagation delays.
+
+These are the measurements the paper performs on its HSPICE traces:
+50%-crossing propagation delays (Fig. 4) and ring-oscillator periods
+(Figs. 6-10).  Crossing times are linearly interpolated between samples,
+which recovers sub-timestep resolution -- important because the defect
+signatures are tens of picoseconds on nanosecond periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+class NoOscillationError(RuntimeError):
+    """Raised when a period is requested from a non-oscillating waveform.
+
+    This is a *meaningful* outcome in this system: strong leakage faults
+    stop the ring oscillator entirely (the stuck-at-0 behaviour of
+    Sec. IV-B in the paper), and callers catch this error to record it.
+    """
+
+
+@dataclass
+class Waveform:
+    """A sampled single-signal waveform ``v(t)``."""
+
+    time: np.ndarray
+    values: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.time = np.asarray(self.time, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.time.shape != self.values.shape:
+            raise ValueError("time and values must have the same shape")
+        if self.time.ndim != 1 or len(self.time) < 2:
+            raise ValueError("waveform needs at least two samples")
+
+    # ------------------------------------------------------------------
+    def value_at(self, t: float) -> float:
+        """Linearly interpolated value at time ``t``."""
+        return float(np.interp(t, self.time, self.values))
+
+    def final_value(self) -> float:
+        return float(self.values[-1])
+
+    def crossings(self, level: float, direction: str = "rise") -> np.ndarray:
+        """Times where the waveform crosses ``level``.
+
+        Args:
+            level: Threshold voltage.
+            direction: ``"rise"``, ``"fall"``, or ``"both"``.
+
+        Returns:
+            Array of interpolated crossing times, in order.
+        """
+        v = self.values
+        below = v < level
+        if direction == "rise":
+            mask = below[:-1] & ~below[1:]
+        elif direction == "fall":
+            mask = ~below[:-1] & below[1:]
+        elif direction == "both":
+            mask = below[:-1] != below[1:]
+        else:
+            raise ValueError(f"unknown direction {direction!r}")
+        idx = np.nonzero(mask)[0]
+        if len(idx) == 0:
+            return np.empty(0)
+        v1 = v[idx]
+        v2 = v[idx + 1]
+        t1 = self.time[idx]
+        t2 = self.time[idx + 1]
+        frac = (level - v1) / (v2 - v1)
+        return t1 + frac * (t2 - t1)
+
+    # ------------------------------------------------------------------
+    def period(
+        self,
+        level: float,
+        skip_cycles: int = 2,
+        min_cycles: int = 2,
+    ) -> float:
+        """Average oscillation period from rising-edge crossings.
+
+        Args:
+            level: Threshold (typically V_DD / 2).
+            skip_cycles: Initial rising edges to discard (startup
+                transient of the oscillator).
+            min_cycles: Minimum number of full periods required after the
+                skip; fewer raises :class:`NoOscillationError`.
+
+        Returns:
+            Mean period over the retained cycles, in seconds.
+        """
+        edges = self.crossings(level, "rise")
+        usable = edges[skip_cycles:]
+        if len(usable) < min_cycles + 1:
+            raise NoOscillationError(
+                f"waveform {self.name!r}: found {len(edges)} rising edges, "
+                f"not enough for {min_cycles} periods after skipping "
+                f"{skip_cycles}"
+            )
+        periods = np.diff(usable)
+        return float(np.mean(periods))
+
+    def oscillates(self, level: float, min_edges: int = 5) -> bool:
+        """True if the waveform keeps crossing ``level`` upward."""
+        return len(self.crossings(level, "rise")) >= min_edges
+
+    # ------------------------------------------------------------------
+    def propagation_delay_to(
+        self,
+        other: "Waveform",
+        level_in: float,
+        level_out: Optional[float] = None,
+        edge_in: str = "rise",
+        edge_out: str = "rise",
+        occurrence: int = 0,
+    ) -> float:
+        """50%-to-50% propagation delay from this waveform to ``other``.
+
+        Args:
+            other: Output waveform (must share the time base conceptually,
+                but arrays may differ).
+            level_in: Input threshold.
+            level_out: Output threshold (defaults to ``level_in``).
+            edge_in: Which input edge to reference.
+            edge_out: Which output edge to time against.
+            occurrence: Index of the input edge to use.
+
+        Returns:
+            Delay in seconds (output crossing minus input crossing).
+
+        Raises:
+            NoOscillationError: If the requested edges do not exist (e.g.
+            the output never switches -- a stuck-at fault).
+        """
+        level_out = level_in if level_out is None else level_out
+        t_in = self.crossings(level_in, edge_in)
+        if len(t_in) <= occurrence:
+            raise NoOscillationError(
+                f"input {self.name!r} has no edge #{occurrence}"
+            )
+        t_ref = t_in[occurrence]
+        t_out = other.crossings(level_out, edge_out)
+        t_out = t_out[t_out >= t_ref]
+        if len(t_out) == 0:
+            raise NoOscillationError(
+                f"output {other.name!r} never crosses {level_out} after "
+                f"t={t_ref:.3e}"
+            )
+        return float(t_out[0] - t_ref)
+
+    def slice(self, t_start: float, t_stop: float) -> "Waveform":
+        """Return the sub-waveform with ``t_start <= t <= t_stop``."""
+        mask = (self.time >= t_start) & (self.time <= t_stop)
+        if mask.sum() < 2:
+            raise ValueError("slice contains fewer than two samples")
+        return Waveform(self.time[mask], self.values[mask], name=self.name)
+
+    def __len__(self) -> int:
+        return len(self.time)

@@ -1,0 +1,20 @@
+"""Synthetic TSV defect populations and production screening flows.
+
+The paper motivates its method with known-good-die (KGD) yield: defects
+must be caught pre-bond or they sink whole stacks.  This package
+generates die-scale TSV populations with realistic defect statistics
+(micro-void sizes/locations, pinhole leakage strengths) and runs the
+full multi-voltage screening flow over them, producing the escape /
+overkill / test-time numbers a production deployment would care about.
+"""
+
+from repro.workloads.generator import DefectStatistics, DiePopulation, TsvRecord
+from repro.workloads.flow import FlowMetrics, ScreeningFlow
+
+__all__ = [
+    "DefectStatistics",
+    "DiePopulation",
+    "FlowMetrics",
+    "ScreeningFlow",
+    "TsvRecord",
+]

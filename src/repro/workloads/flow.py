@@ -1,0 +1,247 @@
+"""Production screening flow: multi-voltage group test plus diagnosis.
+
+Runs the paper's method over a :class:`DiePopulation` the way a test
+program would:
+
+1. characterize fault-free DeltaT bands per supply voltage (Monte Carlo
+   plus the counter quantization guard band);
+2. optionally screen each ring-oscillator group with all M = N TSVs
+   enabled (cheap), escalating to per-TSV isolation only on failure;
+3. measure each suspect TSV at every planned voltage; a TSV fails if its
+   DeltaT leaves the band (below -> open, above -> leakage) or the
+   oscillator sticks at any voltage;
+4. account escapes, overkill, detection-by-kind, measurement counts and
+   test time.
+
+The engine is pluggable; the analytic engine makes die-scale runs
+instant, while the stage engine gives circuit-accurate spot checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.session import ReferenceBand
+from repro.core.tsv import Tsv
+from repro.dft.control import MeasurementPlan
+from repro.spice.montecarlo import ProcessVariation
+from repro.workloads.generator import DiePopulation, TsvRecord
+
+
+@dataclass
+class FlowMetrics:
+    """Outcome accounting for one screened die."""
+
+    num_tsvs: int = 0
+    true_faulty: int = 0
+    detected: int = 0
+    escapes: int = 0
+    overkill: int = 0
+    detected_by_kind: Dict[str, int] = field(default_factory=dict)
+    escaped_by_kind: Dict[str, int] = field(default_factory=dict)
+    measurements: int = 0
+    test_time: float = 0.0
+
+    @property
+    def escape_rate(self) -> float:
+        return self.escapes / self.true_faulty if self.true_faulty else 0.0
+
+    @property
+    def overkill_rate(self) -> float:
+        healthy = self.num_tsvs - self.true_faulty
+        return self.overkill / healthy if healthy else 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected / self.true_faulty if self.true_faulty else 1.0
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "num_tsvs": self.num_tsvs,
+            "true_faulty": self.true_faulty,
+            "detected": self.detected,
+            "escapes": self.escapes,
+            "overkill": self.overkill,
+            "detection_rate": self.detection_rate,
+            "escape_rate": self.escape_rate,
+            "overkill_rate": self.overkill_rate,
+            "measurements": self.measurements,
+            "test_time_s": self.test_time,
+        }
+
+
+class ScreeningFlow:
+    """Multi-voltage pre-bond TSV screening over a die population.
+
+    Args:
+        engine_factory: ``vdd -> engine`` where the engine provides
+            ``delta_t_mc(tsv, variation, n, seed=...)``.
+        voltages: Supply voltages of the plan (paper: Fig. 8 set).
+        variation: Process-variation model (shared by characterization
+            and the simulated measurements).
+        group_size: N, TSVs per ring oscillator.
+        plan: Measurement timing plan for the test-time accounting.
+        characterization_samples: MC samples per voltage for the band.
+        group_screen_first: Measure the whole group (M = N) before
+            isolating TSVs; saves time on healthy groups at the price of
+            the M-fold aliasing growth of Fig. 10 (handled by escalating
+            on *any* group anomaly).
+    """
+
+    def __init__(
+        self,
+        engine_factory: Callable[[float], object],
+        voltages: Sequence[float] = (1.1, 0.95, 0.8, 0.75),
+        variation: ProcessVariation = ProcessVariation(),
+        group_size: int = 5,
+        plan: Optional[MeasurementPlan] = None,
+        characterization_samples: int = 200,
+        group_screen_first: bool = False,
+        tsv_cap_variation_rel: float = 0.02,
+        seed: int = 2024,
+    ):
+        self.engine_factory = engine_factory
+        self.voltages = list(voltages)
+        self.variation = variation
+        self.group_size = group_size
+        self.plan = plan or MeasurementPlan()
+        self.characterization_samples = characterization_samples
+        self.group_screen_first = group_screen_first
+        self.tsv_cap_variation_rel = tsv_cap_variation_rel
+        self.seed = seed
+        self._engines = {v: engine_factory(v) for v in self.voltages}
+        self._bands: Dict[float, ReferenceBand] = {}
+        self._characterize()
+
+    # ------------------------------------------------------------------
+    def _characterize(self) -> None:
+        """Fault-free DeltaT bands per voltage.
+
+        The band absorbs three nuisance sources a production program has
+        to tolerate: transistor mismatch (Monte Carlo), healthy TSV
+        capacitance variation (geometry), and the counter quantization
+        guard of Sec. IV-C.
+        """
+        rng = np.random.default_rng(self.seed ^ 0x5F5F)
+        cap_factors = 1.0 + rng.normal(
+            0.0, self.tsv_cap_variation_rel,
+            max(self.characterization_samples // 10, 3),
+        )
+        cap_factors = np.clip(cap_factors, 0.8, 1.2)
+        for vdd, engine in self._engines.items():
+            chunks = []
+            per_factor = max(
+                self.characterization_samples // len(cap_factors), 1
+            )
+            for k, factor in enumerate(cap_factors):
+                probe = Tsv(params=Tsv().params.scaled(float(factor)))
+                chunks.append(engine.delta_t_mc(
+                    probe, self.variation, per_factor,
+                    seed=self.seed + 911 * k,
+                ))
+            samples = np.concatenate(chunks)
+            guard = self._quant_guard(engine)
+            self._bands[vdd] = ReferenceBand.from_samples(samples, guard=guard)
+
+    def _quant_guard(self, engine) -> float:
+        """Counter error on DeltaT: two estimates, each off by E=T^2/t."""
+        try:
+            typical = engine.period(
+                [Tsv()] * self.group_size, [False] * self.group_size
+            )
+        except Exception:
+            typical = 2e-9
+        if not math.isfinite(typical):
+            typical = 2e-9
+        return 2.0 * typical**2 / self.plan.window
+
+    def band(self, vdd: float) -> ReferenceBand:
+        return self._bands[vdd]
+
+    # ------------------------------------------------------------------
+    def _measure(self, tsv: Tsv, vdd: float, seed: int, m: int = 1) -> float:
+        """One simulated DeltaT measurement of a specific die's TSV."""
+        engine = self._engines[vdd]
+        return float(engine.delta_t_mc(tsv, self.variation, 1, m=m,
+                                       seed=seed)[0])
+
+    def _flagged(self, delta_t: float, vdd: float) -> bool:
+        if not math.isfinite(delta_t):
+            return True  # stuck oscillator
+        return not self._bands[vdd].contains(delta_t)
+
+    # ------------------------------------------------------------------
+    def screen_die(self, population: DiePopulation) -> FlowMetrics:
+        """Screen every TSV of ``population``; returns the metrics."""
+        metrics = FlowMetrics(num_tsvs=len(population))
+        flagged: Dict[int, bool] = {}
+        measurement_count = 0
+
+        for group in population.groups(self.group_size):
+            suspects: List[TsvRecord] = list(group)
+            if self.group_screen_first and len(group) > 1:
+                # One T1 with all M TSVs enabled plus one T2, per voltage.
+                # The group DeltaT is the sum of the members' individual
+                # contributions (the M-segment superposition of Fig. 10).
+                group_anomaly = False
+                for vdd in self.voltages:
+                    measurement_count += 2
+                    group_dt = 0.0
+                    for rec in group:
+                        dt = self._measure(rec.tsv, vdd,
+                                           seed=self.seed + 31 * rec.index)
+                        group_dt += dt
+                    band = self._bands[vdd]
+                    scale = len(group)
+                    if not math.isfinite(group_dt) or not (
+                        band.low * scale <= group_dt <= band.high * scale
+                    ):
+                        group_anomaly = True
+                        break
+                if not group_anomaly:
+                    for rec in group:
+                        flagged[rec.index] = False
+                    continue
+            # Per-TSV isolation: at each voltage one shared T2 for the
+            # group, then one T1 per still-unresolved TSV (a TSV flagged
+            # at an earlier voltage needs no further measurements).
+            pending = {rec.index: rec for rec in suspects}
+            for rec in suspects:
+                flagged[rec.index] = False
+            for vdd in self.voltages:
+                if not pending:
+                    break
+                measurement_count += 1  # shared T2
+                for index in list(pending):
+                    rec = pending[index]
+                    measurement_count += 1  # this TSV's T1
+                    dt = self._measure(rec.tsv, vdd,
+                                       seed=self.seed + 31 * rec.index)
+                    if self._flagged(dt, vdd):
+                        flagged[rec.index] = True
+                        del pending[index]
+
+        for rec in population:
+            got = flagged.get(rec.index, False)
+            if rec.truly_faulty:
+                metrics.true_faulty += 1
+                if got:
+                    metrics.detected += 1
+                    metrics.detected_by_kind[rec.fault_kind] = (
+                        metrics.detected_by_kind.get(rec.fault_kind, 0) + 1
+                    )
+                else:
+                    metrics.escapes += 1
+                    metrics.escaped_by_kind[rec.fault_kind] = (
+                        metrics.escaped_by_kind.get(rec.fault_kind, 0) + 1
+                    )
+            elif got:
+                metrics.overkill += 1
+
+        metrics.measurements = measurement_count
+        metrics.test_time = measurement_count * self.plan.measurement_time()
+        return metrics

@@ -1,0 +1,164 @@
+"""Die-scale TSV populations with injected defects (ground truth attached).
+
+Defect statistics follow the physics the paper describes:
+
+* micro-voids (Fig. 1) come from incomplete copper fill; their electrical
+  size R_O spans a huge range -- a few Ohm for a small void up to a full
+  open -- so it is drawn log-normally; the depth x is uniform (plating
+  defects occur anywhere along the via).
+* pinholes are oxide-liner defects; the leakage resistance R_L is also
+  log-normal, and it *decreases over time* in the field, which is why the
+  paper argues for catching weak leakage early.
+
+Rates are per-TSV and intentionally pessimistic defaults (high-yield
+processes are below these), so the screening-flow benches exercise a
+meaningful number of defects without needing millions of TSVs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.tsv import FaultFree, Leakage, ResistiveOpen, Tsv, TsvFault, TsvParameters
+
+
+@dataclass(frozen=True)
+class DefectStatistics:
+    """Per-TSV defect rates and electrical size distributions.
+
+    Attributes:
+        void_rate: Probability a TSV has a micro-void.
+        pinhole_rate: Probability a TSV has a pinhole (leakage).
+        void_r_median: Median R_O of voids (Ohm).
+        void_r_sigma_ln: Log-space sigma of R_O.
+        full_open_fraction: Portion of voids that are complete opens.
+        pinhole_r_median: Median R_L of pinholes (Ohm).
+        pinhole_r_sigma_ln: Log-space sigma of R_L.
+        cap_variation_rel: 1-sigma relative TSV capacitance variation
+            (geometry), applied to every TSV.
+    """
+
+    void_rate: float = 0.01
+    pinhole_rate: float = 0.01
+    void_r_median: float = 800.0
+    void_r_sigma_ln: float = 1.2
+    full_open_fraction: float = 0.1
+    pinhole_r_median: float = 2000.0
+    pinhole_r_sigma_ln: float = 1.0
+    cap_variation_rel: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.void_rate <= 1 or not 0 <= self.pinhole_rate <= 1:
+            raise ValueError("rates must be probabilities")
+        if self.void_rate + self.pinhole_rate > 1:
+            raise ValueError("combined defect rate exceeds 1")
+
+
+@dataclass
+class TsvRecord:
+    """One TSV in a population: the model plus its ground truth."""
+
+    index: int
+    tsv: Tsv
+
+    @property
+    def truly_faulty(self) -> bool:
+        return self.tsv.is_faulty
+
+    @property
+    def fault_kind(self) -> str:
+        return self.tsv.fault.kind
+
+
+class DiePopulation:
+    """A die's worth of TSVs with seeded, reproducible defect injection.
+
+    Example:
+        >>> pop = DiePopulation(num_tsvs=1000, seed=7)
+        >>> sum(r.truly_faulty for r in pop)  # doctest: +SKIP
+        21
+    """
+
+    def __init__(
+        self,
+        num_tsvs: int = 1000,
+        stats: DefectStatistics = DefectStatistics(),
+        params: TsvParameters = TsvParameters(),
+        seed: int = 0,
+    ):
+        if num_tsvs < 1:
+            raise ValueError("num_tsvs must be positive")
+        self.num_tsvs = num_tsvs
+        self.stats = stats
+        self.params = params
+        self.seed = seed
+        self.records: List[TsvRecord] = list(self._generate())
+
+    def _generate(self) -> Iterator[TsvRecord]:
+        rng = np.random.default_rng(self.seed)
+        stats = self.stats
+        for i in range(self.num_tsvs):
+            cap_factor = 1.0 + float(
+                rng.normal(0.0, stats.cap_variation_rel)
+            )
+            cap_factor = min(max(cap_factor, 0.8), 1.2)
+            params = self.params.scaled(cap_factor)
+            roll = rng.random()
+            fault: TsvFault
+            if roll < stats.void_rate:
+                if rng.random() < stats.full_open_fraction:
+                    r_open = math.inf
+                else:
+                    r_open = float(rng.lognormal(
+                        math.log(stats.void_r_median), stats.void_r_sigma_ln
+                    ))
+                x = float(rng.uniform(0.0, 1.0))
+                fault = ResistiveOpen(r_open=max(r_open, 1.0), x=x)
+            elif roll < stats.void_rate + stats.pinhole_rate:
+                r_leak = float(rng.lognormal(
+                    math.log(stats.pinhole_r_median), stats.pinhole_r_sigma_ln
+                ))
+                fault = Leakage(r_leak=max(r_leak, 10.0))
+            else:
+                fault = FaultFree()
+            yield TsvRecord(index=i, tsv=Tsv(params=params, fault=fault))
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[TsvRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return self.num_tsvs
+
+    def __getitem__(self, idx: int) -> TsvRecord:
+        return self.records[idx]
+
+    @property
+    def tsvs(self) -> List[Tsv]:
+        return [r.tsv for r in self.records]
+
+    def faulty_indices(self) -> List[int]:
+        return [r.index for r in self.records if r.truly_faulty]
+
+    def defect_summary(self) -> dict:
+        voids = sum(1 for r in self.records if r.fault_kind == "resistive_open")
+        leaks = sum(1 for r in self.records if r.fault_kind == "leakage")
+        return {
+            "num_tsvs": self.num_tsvs,
+            "voids": voids,
+            "pinholes": leaks,
+            "defect_rate": (voids + leaks) / self.num_tsvs,
+        }
+
+    def groups(self, group_size: int) -> List[List[TsvRecord]]:
+        """Partition into consecutive ring-oscillator groups."""
+        if group_size < 1:
+            raise ValueError("group_size must be positive")
+        return [
+            self.records[i:i + group_size]
+            for i in range(0, self.num_tsvs, group_size)
+        ]

@@ -1,0 +1,69 @@
+"""Unit tests for the table/series rendering helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.reporting import Table, format_seconds, format_si
+
+
+class TestFormatSi:
+    @pytest.mark.parametrize("value,unit,expected", [
+        (59e-15, "F", "59 fF"),
+        (5e-9, "s", "5 ns"),
+        (1000.0, "Ohm", "1 kOhm"),
+        (0.0, "V", "0 V"),
+        (2.2e6, "Hz", "2.2 MHz"),
+    ])
+    def test_engineering_notation(self, value, unit, expected):
+        assert format_si(value, unit) == expected
+
+    def test_infinity(self):
+        assert format_si(math.inf, "Ohm") == "inf Ohm"
+
+    def test_nan(self):
+        assert format_si(math.nan) == "n/a"
+
+    def test_negative_values(self):
+        assert format_si(-20e-12, "s") == "-20 ps"
+
+    def test_format_seconds(self):
+        assert format_seconds(5e-6) == "5 us"
+
+
+class TestTable:
+    def test_render_contains_headers_and_rows(self):
+        t = Table(["a", "b"], title="demo")
+        t.add_row([1, 2.5])
+        text = t.render()
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert "2.5" in text
+
+    def test_row_length_validated(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_nan_rendered_as_stuck(self):
+        t = Table(["x"])
+        t.add_row([math.nan])
+        assert "stuck" in t.render()
+
+    def test_bool_rendering(self):
+        t = Table(["ok"])
+        t.add_row([True])
+        t.add_row([False])
+        text = t.render()
+        assert "yes" in text and "no" in text
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_alignment_is_consistent(self):
+        t = Table(["col"])
+        t.add_row([1])
+        t.add_row([100000])
+        lines = t.render().splitlines()
+        assert len({len(line) for line in lines[-2:]}) == 1

@@ -1,0 +1,59 @@
+"""Unit tests for ROC analysis and distribution summaries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import roc_auc, roc_points, summarize
+
+
+class TestSummarize:
+    def test_basic_fields(self):
+        stats = summarize(np.array([1.0, 2.0, 3.0]))
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["spread"] == pytest.approx(2.0)
+        assert stats["stuck_fraction"] == 0.0
+
+    def test_stuck_fraction(self):
+        stats = summarize(np.array([1.0, np.nan, np.nan, 2.0]))
+        assert stats["stuck_fraction"] == 0.5
+
+    def test_all_stuck(self):
+        stats = summarize(np.array([np.nan, np.nan]))
+        assert math.isnan(stats["mean"])
+        assert stats["stuck_fraction"] == 1.0
+
+
+class TestRoc:
+    def test_perfectly_separable(self):
+        ff = np.zeros(50)
+        faulty = np.full(50, 10.0)
+        assert roc_auc(faulty, ff) == pytest.approx(1.0, abs=0.02)
+
+    def test_identical_distributions_near_half(self):
+        rng = np.random.default_rng(0)
+        ff = rng.normal(0, 1, 400)
+        faulty = rng.normal(0, 1, 400)
+        assert roc_auc(faulty, ff) == pytest.approx(0.5, abs=0.1)
+
+    def test_stuck_samples_always_detected(self):
+        ff = np.zeros(10)
+        faulty = np.full(10, np.nan)
+        assert roc_auc(faulty, ff) == pytest.approx(1.0, abs=0.02)
+
+    def test_points_monotone_in_fpr(self):
+        rng = np.random.default_rng(1)
+        pts = roc_points(rng.normal(2, 1, 100), rng.normal(0, 1, 100))
+        fprs = [p[0] for p in pts]
+        assert fprs == sorted(fprs)
+
+    def test_points_start_and_end(self):
+        rng = np.random.default_rng(2)
+        pts = roc_points(rng.normal(3, 1, 50), rng.normal(0, 1, 50))
+        assert pts[-1] == (1.0, 1.0)
+        assert pts[0][0] == pytest.approx(0.0, abs=0.05)
+
+    def test_requires_fault_free(self):
+        with pytest.raises(ValueError):
+            roc_points(np.array([1.0]), np.array([np.nan]))

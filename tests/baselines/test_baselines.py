@@ -1,0 +1,128 @@
+"""Unit tests for the prior-work baseline models."""
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    ChargeSharingTest,
+    ProbeCapacitanceTest,
+    SingleTsvRingOscillatorTest,
+)
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+
+
+class TestProbeCapacitance:
+    @pytest.fixture(scope="class")
+    def probe(self):
+        return ProbeCapacitanceTest()
+
+    def test_full_open_hides_top_capacitance(self, probe):
+        tsv = Tsv(fault=ResistiveOpen(math.inf, 0.6))
+        c_seen = probe.observable_capacitance(tsv)
+        assert c_seen == pytest.approx(0.4 * 59e-15)
+
+    def test_finite_open_nearly_invisible(self, probe):
+        """Key contrast with the paper's method: a quasi-static C meter
+        cannot see a kOhm-scale open -- the far segment still charges."""
+        tsv = Tsv(fault=ResistiveOpen(1000.0, 0.5))
+        c_seen = probe.observable_capacitance(tsv)
+        assert c_seen == pytest.approx(59e-15, rel=0.02)
+
+    def test_detects_full_open_reliably(self, probe):
+        p = probe.detection_probability(Tsv(fault=ResistiveOpen(math.inf, 0.6)))
+        assert p > 0.9
+
+    def test_misses_finite_open(self, probe):
+        p = probe.detection_probability(Tsv(fault=ResistiveOpen(1000.0, 0.5)))
+        assert p < 0.2
+
+    def test_detects_leakage_via_dc_current(self, probe):
+        assert probe.detection_probability(Tsv(fault=Leakage(2000.0))) == 1.0
+
+    def test_false_positive_rate_small(self, probe):
+        assert probe.detection_probability(Tsv()) < 0.01
+
+    def test_parallel_measurement_degrades_resolution(self):
+        tsv = Tsv(fault=ResistiveOpen(math.inf, 0.9))
+        alone = ProbeCapacitanceTest(tsvs_per_touchdown=1)
+        grouped = ProbeCapacitanceTest(tsvs_per_touchdown=20)
+        assert alone.detection_probability(tsv) >= grouped.detection_probability(tsv)
+
+    def test_costs(self, probe):
+        assert probe.touchdowns_for(1000) == 200
+        assert probe.expected_damaged_tsvs(10000) == pytest.approx(1.0)
+        assert probe.requires_wafer_thinning()
+        assert probe.test_time(1000) > 0
+
+
+class TestChargeSharing:
+    @pytest.fixture(scope="class")
+    def cs(self):
+        return ChargeSharingTest()
+
+    def test_shared_voltage_is_capacitive_divider(self, cs):
+        v = cs.nominal_shared_voltage(Tsv())
+        assert v == pytest.approx(1.1 / 5.0)
+
+    def test_leakage_decays_precharge(self, cs):
+        v_ff = cs.shared_voltage(Tsv())
+        v_leak = cs.shared_voltage(Tsv(fault=Leakage(1000.0)))
+        assert v_leak < v_ff
+
+    def test_full_open_reduces_effective_cap(self, cs):
+        v_ff = cs.shared_voltage(Tsv())
+        v_open = cs.shared_voltage(Tsv(fault=ResistiveOpen(math.inf, 0.5)))
+        assert v_open < v_ff
+
+    def test_detects_strong_leak(self, cs):
+        assert cs.detection_probability(Tsv(fault=Leakage(500.0))) > 0.9
+
+    def test_offset_susceptibility(self):
+        """The paper's criticism: sense-amp offset masks small changes."""
+        tsv = Tsv(fault=ResistiveOpen(math.inf, 0.9))  # only 10% cap change
+        precise = ChargeSharingTest(sense_offset_sigma=0.002)
+        sloppy = ChargeSharingTest(sense_offset_sigma=0.030)
+        assert precise.detection_probability(tsv) > sloppy.detection_probability(tsv)
+
+    def test_needs_custom_analog(self, cs):
+        assert cs.requires_custom_analog()
+        assert cs.area_per_sense_amp_um2() > 0
+
+
+class TestSingleTsvRo:
+    @pytest.fixture(scope="class")
+    def huang(self):
+        return SingleTsvRingOscillatorTest(num_characterization_samples=60)
+
+    def test_forces_single_segment(self):
+        from repro.core.segments import RingOscillatorConfig
+        test = SingleTsvRingOscillatorTest(
+            config=RingOscillatorConfig(num_segments=5)
+        )
+        assert test.config.num_segments == 1
+
+    def test_detects_large_open(self, huang):
+        p = huang.detection_probability(
+            Tsv(fault=ResistiveOpen(3000.0, 0.3)), num_trials=100
+        )
+        assert p > 0.8
+
+    def test_low_false_positive(self, huang):
+        assert huang.detection_probability(Tsv(), num_trials=100) < 0.2
+
+    def test_area_scales_linearly_without_sharing(self, huang):
+        assert huang.dft_area_um2(1000) == pytest.approx(
+            1000 * huang.custom_cell_area_um2
+        )
+
+    def test_custom_cells_cost_more_than_shared_muxes(self, huang):
+        """The paper's structural advantage over [14]: per TSV, two
+        muxes + a shared inverter beat a dedicated oscillator."""
+        from repro.core.area import DftAreaModel
+        ours = DftAreaModel(num_tsvs=1000, group_size=5).oscillator_area_um2
+        theirs = huang.dft_area_um2(1000)
+        assert ours < theirs
+
+    def test_test_time_linear(self, huang):
+        assert huang.test_time(200) == pytest.approx(2 * huang.test_time(100))

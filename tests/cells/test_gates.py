@@ -1,0 +1,174 @@
+"""Unit tests for the standard-cell library (DC truth tables + behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.cells import CellKit, CELL_AREAS_UM2, TECH_45LP
+from repro.spice import Circuit, DC, dc_operating_point, transient, Pulse
+from repro.spice.montecarlo import ProcessVariation
+from repro.spice.netlist import GROUND
+
+VDD = 1.1
+
+
+def build(inputs):
+    """Circuit with supply + DC input sources; returns (circuit, kit)."""
+    c = Circuit()
+    c.add_vsource("vdd", "vdd", GROUND, DC(VDD))
+    for name, value in inputs.items():
+        c.add_vsource(f"v_{name}", name, GROUND, DC(value * VDD))
+    return c, CellKit(c)
+
+
+def logic_level(voltage):
+    if voltage > 0.9 * VDD:
+        return 1
+    if voltage < 0.1 * VDD:
+        return 0
+    return None
+
+
+class TestInverter:
+    @pytest.mark.parametrize("a,expected", [(0, 1), (1, 0)])
+    def test_truth_table(self, a, expected):
+        c, kit = build({"a": a})
+        kit.inverter("u1", "a", "y")
+        assert logic_level(dc_operating_point(c)["y"]) == expected
+
+    def test_strength_scales_widths(self):
+        c, kit = build({"a": 0})
+        kit.inverter("u1", "a", "y", strength=4.0)
+        fet = c.find_mosfet("u1.mn")
+        assert fet.w == pytest.approx(TECH_45LP.wn_x1 * 4)
+
+
+class TestNand2:
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0),
+    ])
+    def test_truth_table(self, a, b, expected):
+        c, kit = build({"a": a, "b": b})
+        kit.nand2("u1", "a", "b", "y")
+        assert logic_level(dc_operating_point(c)["y"]) == expected
+
+
+class TestNor2:
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 0),
+    ])
+    def test_truth_table(self, a, b, expected):
+        c, kit = build({"a": a, "b": b})
+        kit.nor2("u1", "a", "b", "y")
+        assert logic_level(dc_operating_point(c)["y"]) == expected
+
+
+class TestMux2:
+    @pytest.mark.parametrize("a,b,sel,expected", [
+        (0, 1, 0, 0), (1, 0, 0, 1), (0, 1, 1, 1), (1, 0, 1, 0),
+    ])
+    def test_select_table(self, a, b, sel, expected):
+        c, kit = build({"a": a, "b": b, "s": sel})
+        kit.mux2("u1", "a", "b", "s", "y")
+        assert logic_level(dc_operating_point(c)["y"]) == expected
+
+    def test_output_is_buffered(self):
+        """The mux output is inverter-driven, not a bare tgate."""
+        c, kit = build({"a": 1, "b": 0, "s": 0})
+        kit.mux2("u1", "a", "b", "s", "y")
+        drivers = [f for f in c.mosfets if f.drain == "y" or f.source == "y"]
+        assert any(f.name.startswith("u1.iy") for f in drivers)
+
+
+class TestBuffer:
+    def test_noninverting(self):
+        for a in (0, 1):
+            c, kit = build({"a": a})
+            kit.buffer("u1", "a", "y", strength=4.0)
+            assert logic_level(dc_operating_point(c)["y"]) == a
+
+    def test_tapered_first_stage(self):
+        c, kit = build({"a": 0})
+        kit.buffer("u1", "a", "y", strength=4.0)
+        first = c.find_mosfet("u1.i0.mn")
+        second = c.find_mosfet("u1.i1.mn")
+        assert first.w == pytest.approx(second.w / 2)
+
+
+class TestTristateBuffer:
+    def test_drives_when_enabled(self):
+        for a in (0, 1):
+            c, kit = build({"a": a, "en": 1})
+            kit.tristate_buffer("u1", "a", "en", "y")
+            c.add_capacitor("cl", "y", GROUND, 10e-15)
+            assert logic_level(dc_operating_point(c)["y"]) == a
+
+    def test_high_z_when_disabled(self):
+        c, kit = build({"a": 1, "en": 0})
+        kit.tristate_buffer("u1", "a", "en", "y")
+        c.add_capacitor("cl", "y", GROUND, 59e-15)
+        res = transient(c, 1e-9, 2e-12, ics={"y": 0.4}, record=["y"])
+        # The floating output must hold its initial voltage.
+        assert abs(res["y"][-1] - 0.4) < 0.02
+
+
+class TestIoCell:
+    def test_forward_path_noninverting(self):
+        for a in (0, 1):
+            c, kit = build({"a": a, "en": 1})
+            kit.io_cell("u1", "a", "en", "pad", "y")
+            c.add_capacitor("ctsv", "pad", GROUND, 59e-15)
+            op = dc_operating_point(c)
+            assert logic_level(op["pad"]) == a
+            assert logic_level(op["y"]) == a
+
+    def test_pad_floats_when_disabled(self):
+        c, kit = build({"a": 1, "en": 0})
+        kit.io_cell("u1", "a", "en", "pad", "y")
+        c.add_capacitor("ctsv", "pad", GROUND, 59e-15)
+        res = transient(c, 1e-9, 2e-12, ics={"pad": 0.3}, record=["pad"])
+        assert abs(res["pad"][-1] - 0.3) < 0.02
+
+    def test_drives_tsv_load_with_realistic_delay(self):
+        c = Circuit()
+        c.add_vsource("vdd", "vdd", GROUND, DC(VDD))
+        c.add_vsource("v_en", "en", GROUND, DC(VDD))
+        c.add_vsource("v_a", "a", GROUND,
+                      Pulse(0.0, VDD, delay=100e-12, rise=20e-12,
+                            fall=20e-12, width=700e-12))
+        kit = CellKit(c)
+        kit.io_cell("u1", "a", "en", "pad", "y")
+        c.add_capacitor("ctsv", "pad", GROUND, 59e-15)
+        res = transient(c, 1.2e-9, 1e-12, record=["a", "y"])
+        delay = res.waveform("a").propagation_delay_to(
+            res.waveform("y"), VDD / 2
+        )
+        assert 30e-12 < delay < 400e-12
+
+
+class TestAreaTracking:
+    def test_tracked_cells_and_areas(self):
+        c, kit = build({"a": 0, "b": 1, "s": 0})
+        kit.inverter("i1", "a", "n1")
+        kit.mux2("m1", "a", "b", "s", "n2")
+        assert kit.total_cell_area_um2 == pytest.approx(
+            CELL_AREAS_UM2["INV_X1"] + CELL_AREAS_UM2["MUX2_X1"]
+        )
+        assert kit.instances == ["i1", "m1"]
+
+    def test_internal_inverters_not_double_counted(self):
+        c, kit = build({"a": 0, "b": 1, "s": 0})
+        kit.mux2("m1", "a", "b", "s", "y")
+        assert len(kit.instances) == 1
+
+
+class TestMonteCarloIntegration:
+    def test_sample_perturbs_each_transistor_differently(self):
+        c = Circuit()
+        c.add_vsource("vdd", "vdd", GROUND, DC(VDD))
+        c.add_vsource("v_a", "a", GROUND, DC(0.0))
+        sample = ProcessVariation().sample(np.random.default_rng(3))
+        kit = CellKit(c, sample=sample)
+        kit.inverter("i1", "a", "y1")
+        kit.inverter("i2", "a", "y2")
+        vths = {f.name: f.model.vth for f in c.mosfets}
+        assert vths["i1.mn"] != vths["i2.mn"]

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+Transistor-level simulation is expensive, so fixtures centralize the
+"small but real" configurations: coarse timesteps, few Monte Carlo
+samples, short windows.  Anything tagged ``slow`` still runs in a normal
+``pytest tests/`` invocation but is kept to a handful of cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.segments import RingOscillatorConfig
+from repro.core.engines import AnalyticEngine, StageDelayEngine
+from repro.spice.montecarlo import ProcessVariation
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: test runs a multi-second transistor-level sim"
+    )
+
+
+@pytest.fixture(scope="session")
+def nominal_config() -> RingOscillatorConfig:
+    return RingOscillatorConfig(num_segments=5, vdd=1.1)
+
+
+@pytest.fixture(scope="session")
+def low_voltage_config() -> RingOscillatorConfig:
+    return RingOscillatorConfig(num_segments=5, vdd=0.75)
+
+
+@pytest.fixture(scope="session")
+def analytic_engine(nominal_config) -> AnalyticEngine:
+    return AnalyticEngine(nominal_config)
+
+
+@pytest.fixture(scope="session")
+def stage_engine(nominal_config) -> StageDelayEngine:
+    # 2 ps steps: ~2x faster than production settings, delays still
+    # resolved to well under a picosecond by crossing interpolation.
+    return StageDelayEngine(config=nominal_config, timestep=2e-12)
+
+
+@pytest.fixture(scope="session")
+def variation() -> ProcessVariation:
+    return ProcessVariation()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,131 @@
+"""Unit tests for spread/overlap metrics (aliasing analysis)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.aliasing import (
+    SpreadPair,
+    detection_probability,
+    histogram_overlap,
+    mc_delta_t_spread,
+    range_overlap_fraction,
+    separation_gap,
+)
+from repro.core.engines import AnalyticEngine
+from repro.core.segments import RingOscillatorConfig
+from repro.core.tsv import ResistiveOpen, Tsv
+from repro.spice.montecarlo import ProcessVariation
+
+
+class TestRangeOverlap:
+    def test_disjoint_ranges(self):
+        assert range_overlap_fraction(
+            np.array([0.0, 1.0]), np.array([2.0, 3.0])
+        ) == 0.0
+
+    def test_identical_ranges(self):
+        a = np.array([0.0, 1.0])
+        assert range_overlap_fraction(a, a) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        a = np.array([0.0, 2.0])
+        b = np.array([1.0, 3.0])
+        assert range_overlap_fraction(a, b) == pytest.approx(1.0 / 3.0)
+
+    def test_nan_samples_ignored(self):
+        a = np.array([0.0, 1.0, np.nan])
+        b = np.array([2.0, 3.0])
+        assert range_overlap_fraction(a, b) == 0.0
+
+    def test_empty_after_filtering(self):
+        assert range_overlap_fraction(np.array([np.nan]),
+                                      np.array([1.0])) == 0.0
+
+
+class TestHistogramOverlap:
+    def test_identical_distributions(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 5000)
+        assert histogram_overlap(a, a) == pytest.approx(1.0)
+
+    def test_disjoint_distributions(self):
+        a = np.zeros(100)
+        b = np.ones(100) * 10
+        assert histogram_overlap(a, b) < 0.05
+
+    def test_between_zero_and_one(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 500)
+        b = rng.normal(1, 1, 500)
+        assert 0.0 < histogram_overlap(a, b) < 1.0
+
+
+class TestSeparationGap:
+    def test_positive_for_disjoint(self):
+        gap = separation_gap(np.array([0.0, 1.0]), np.array([2.0, 3.0]))
+        assert gap == pytest.approx(1.0 / 3.0)
+
+    def test_negative_for_overlapping(self):
+        gap = separation_gap(np.array([0.0, 2.0]), np.array([1.0, 3.0]))
+        assert gap == pytest.approx(-1.0 / 3.0)
+
+
+class TestDetectionProbability:
+    def test_all_outside_band(self):
+        ff = np.array([0.0, 1.0])
+        faulty = np.array([5.0, 6.0])
+        assert detection_probability(faulty, ff) == 1.0
+
+    def test_all_inside_band(self):
+        ff = np.array([0.0, 10.0])
+        faulty = np.array([5.0, 6.0])
+        assert detection_probability(faulty, ff) == 0.0
+
+    def test_stuck_always_detected(self):
+        ff = np.array([0.0, 10.0])
+        faulty = np.array([5.0, np.nan])
+        assert detection_probability(faulty, ff) == 0.5
+
+    def test_guard_reduces_detection(self):
+        ff = np.array([0.0, 1.0])
+        faulty = np.array([1.5])
+        assert detection_probability(faulty, ff, guard=0.0) == 1.0
+        assert detection_probability(faulty, ff, guard=1.0) == 0.0
+
+    def test_requires_fault_free_samples(self):
+        with pytest.raises(ValueError):
+            detection_probability(np.array([1.0]), np.array([np.nan]))
+
+
+class TestSpreadPair:
+    def test_stats_fields(self):
+        pair = SpreadPair(
+            fault_free=np.array([1.0, 2.0]),
+            faulty=np.array([3.0, np.nan]),
+            vdd=1.1,
+        )
+        stats = pair.stats()
+        assert stats["vdd"] == 1.1
+        assert stats["stuck_fraction"] == 0.5
+        assert stats["overlap"] == 0.0
+
+    def test_distinguishable_flag(self):
+        pair = SpreadPair(np.array([0.0, 1.0]), np.array([2.0, 3.0]), 1.1)
+        assert pair.distinguishable
+        pair2 = SpreadPair(np.array([0.0, 2.0]), np.array([1.0, 3.0]), 1.1)
+        assert not pair2.distinguishable
+
+
+class TestMcDeltaTSpread:
+    def test_with_analytic_engine(self):
+        engine = AnalyticEngine(RingOscillatorConfig(vdd=1.1))
+        pair = mc_delta_t_spread(
+            engine, Tsv(fault=ResistiveOpen(2000.0, 0.3)),
+            ProcessVariation(), 50, seed=1,
+        )
+        assert len(pair.fault_free) == 50
+        assert len(pair.faulty) == 50
+        # A 2 kOhm shallow open at nominal voltage separates well.
+        assert pair.detectability > 0.8

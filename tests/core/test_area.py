@@ -1,0 +1,77 @@
+"""Unit tests for the DfT area model -- anchored to the paper's numbers."""
+
+import pytest
+
+from repro.core.area import DftAreaModel
+
+
+class TestPaperExample:
+    """Sec. IV-D: 1000 TSVs, N = 5, Nangate areas."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return DftAreaModel(num_tsvs=1000, group_size=5)
+
+    def test_oscillator_area_matches_paper(self, model):
+        # 2000 * 3.75 + 200 * 1.41 = 7782 um^2
+        assert model.oscillator_area_um2 == pytest.approx(7782.0)
+
+    def test_below_one_hundredth_mm2(self, model):
+        assert model.oscillator_area_um2 < 0.01e6
+
+    def test_fraction_of_die_below_paper_bound(self, model):
+        """Paper: < 0.04% of a 25 mm^2 die (for the oscillators; the
+        shared measurement/control logic keeps the total in the same
+        ballpark)."""
+        assert model.oscillator_area_um2 / 25e6 < 0.0004
+        assert model.fraction_of_die(25.0) < 0.0008
+
+    def test_num_groups(self, model):
+        assert model.num_groups == 200
+
+
+class TestScaling:
+    def test_larger_groups_fewer_inverters(self):
+        small_groups = DftAreaModel(num_tsvs=1000, group_size=2)
+        large_groups = DftAreaModel(num_tsvs=1000, group_size=10)
+        assert large_groups.oscillator_area_um2 < small_groups.oscillator_area_um2
+
+    def test_mux_area_dominates(self):
+        model = DftAreaModel(num_tsvs=1000, group_size=5)
+        mux_area = 1000 * 2 * model.mux_area_um2
+        assert mux_area / model.oscillator_area_um2 > 0.9
+
+    def test_partial_last_group_rounds_up(self):
+        model = DftAreaModel(num_tsvs=101, group_size=5)
+        assert model.num_groups == 21
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            DftAreaModel(num_tsvs=0)
+        with pytest.raises(ValueError):
+            DftAreaModel(num_tsvs=10, group_size=0)
+
+
+class TestMeasurementLogic:
+    def test_lfsr_smaller_than_counter(self):
+        """The paper's stated LFSR advantage: fewer gates for the same
+        count ceiling."""
+        model = DftAreaModel()
+        counter = model.measurement_area_um2(counter_bits=10, use_lfsr=False)
+        lfsr = model.measurement_area_um2(counter_bits=10, use_lfsr=True)
+        assert lfsr < counter
+
+    def test_total_includes_all_blocks(self):
+        model = DftAreaModel()
+        total = model.total_area_um2()
+        assert total > model.oscillator_area_um2
+        assert total == pytest.approx(
+            model.oscillator_area_um2
+            + model.measurement_area_um2()
+            + model.control_area_um2()
+        )
+
+    def test_report_keys(self):
+        report = DftAreaModel().report()
+        for key in ("num_tsvs", "oscillator_area_um2", "fraction_of_die"):
+            assert key in report

@@ -1,0 +1,158 @@
+"""Unit tests for within-group bisection diagnosis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.diagnosis import (
+    DiagnosisResult,
+    EngineGroupMeasurer,
+    GroupDiagnosis,
+    fault_free_band_per_tsv,
+)
+from repro.core.engines import AnalyticEngine
+from repro.core.segments import RingOscillatorConfig
+from repro.core.session import ReferenceBand
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+from repro.spice.montecarlo import ProcessVariation
+
+
+def synthetic_measure(contributions):
+    """Subset measurement = sum of fixed member contributions."""
+    def measure(indices):
+        total = 0.0
+        for i in indices:
+            if not math.isfinite(contributions[i]):
+                return math.nan
+            total += contributions[i]
+        return total
+    return measure
+
+
+BAND = ReferenceBand(0.9, 1.1)  # per-TSV fault-free contribution ~1.0
+
+
+class TestBisection:
+    def test_clean_group_single_measurement(self):
+        measure = synthetic_measure([1.0] * 8)
+        result = GroupDiagnosis(measure, BAND).run(range(8))
+        assert result.suspects == []
+        assert result.measurements == 1
+
+    def test_single_fast_fault_isolated(self):
+        contributions = [1.0] * 8
+        contributions[5] = 0.6  # resistive open: faster
+        result = GroupDiagnosis(synthetic_measure(contributions),
+                                BAND).run(range(8))
+        assert result.suspects == [5]
+
+    def test_single_slow_fault_isolated(self):
+        contributions = [1.0] * 8
+        contributions[2] = 1.7  # leakage: slower
+        result = GroupDiagnosis(synthetic_measure(contributions),
+                                BAND).run(range(8))
+        assert result.suspects == [2]
+
+    def test_stuck_fault_isolated(self):
+        contributions = [1.0] * 8
+        contributions[7] = math.nan  # oscillation stop
+        result = GroupDiagnosis(synthetic_measure(contributions),
+                                BAND).run(range(8))
+        assert result.suspects == [7]
+
+    def test_two_faults_isolated(self):
+        contributions = [1.0] * 8
+        contributions[1] = 0.5
+        contributions[6] = 2.0
+        result = GroupDiagnosis(synthetic_measure(contributions),
+                                BAND).run(range(8))
+        assert result.suspects == [1, 6]
+
+    def test_logarithmic_measurement_cost(self):
+        """One fault in 16 TSVs: ~2*log2(16)+1 measurements, not 16."""
+        contributions = [1.0] * 16
+        contributions[11] = math.nan
+        result = GroupDiagnosis(synthetic_measure(contributions),
+                                BAND).run(range(16))
+        assert result.suspects == [11]
+        assert result.measurements <= 2 * 4 + 1
+
+    def test_opposite_faults_can_cancel_at_group_level(self):
+        """The paper's caveat (Sec. III-B): an open and a leakage in the
+        same measured subset can cancel and stay undetected."""
+        contributions = [1.0] * 4
+        contributions[0] = 0.7   # open: -0.3
+        contributions[3] = 1.3   # leak: +0.3
+        result = GroupDiagnosis(synthetic_measure(contributions),
+                                BAND).run(range(4))
+        # The top-level measurement is 4.0 -> inside the group band.
+        assert result.suspects == []
+        assert result.measurements == 1
+
+    def test_subset_log_records_everything(self):
+        contributions = [1.0, 1.0, 0.5, 1.0]
+        diag = GroupDiagnosis(synthetic_measure(contributions), BAND)
+        result = diag.run(range(4))
+        assert result.suspects == [2]
+        subsets = [s for s, _, _ in result.subset_log]
+        assert (0, 1, 2, 3) in subsets
+
+
+class TestEngineGroupMeasurer:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        return AnalyticEngine(RingOscillatorConfig(vdd=1.1))
+
+    @pytest.fixture(scope="class")
+    def variation(self):
+        return ProcessVariation()
+
+    def test_clean_group_measures_inside_band(self, engine, variation):
+        band = fault_free_band_per_tsv(engine, variation, 80, guard=5e-12)
+        measurer = EngineGroupMeasurer(engine, [Tsv()] * 5, variation,
+                                       seed=3)
+        value = measurer(range(5))
+        assert band.low * 5 <= value <= band.high * 5
+
+    def test_isolates_real_open_fault(self, engine, variation):
+        # A sigma-sized band (tighter than min/max) and a *shallow* hard
+        # open (hides 90% of the TSV capacitance).  Group-level
+        # detection of marginal opens is limited by the sqrt(k)
+        # statistics -- the Fig. 10 trade-off -- so the group is kept
+        # small and the fault strong.
+        band = fault_free_band_per_tsv(engine, variation, 80,
+                                       sigma_band=3.0)
+        tsvs = [Tsv()] * 3
+        tsvs[2] = Tsv(fault=ResistiveOpen(1e9, 0.1))
+        measurer = EngineGroupMeasurer(engine, tsvs, variation, seed=4)
+        result = GroupDiagnosis(measurer, band).run(range(3))
+        assert 2 in result.suspects
+
+    def test_marginal_fault_hides_in_large_group(self, engine, variation):
+        """The flip side (Fig. 10): the same mid-depth open that a
+        single-TSV measurement would flag stays inside a 5-member
+        group's sqrt(k) band."""
+        band = fault_free_band_per_tsv(engine, variation, 80,
+                                       sigma_band=3.0)
+        tsvs = [Tsv()] * 5
+        tsvs[3] = Tsv(fault=ResistiveOpen(1e9, 0.5))
+        measurer = EngineGroupMeasurer(engine, tsvs, variation, seed=4)
+        result = GroupDiagnosis(measurer, band).run(range(5))
+        assert result.suspects == []
+        # ... while the member's own contribution is below the band.
+        assert measurer([3]) < band.low
+
+    def test_isolates_stuck_leak(self, engine, variation):
+        band = fault_free_band_per_tsv(engine, variation, 80, guard=5e-12)
+        tsvs = [Tsv()] * 5
+        tsvs[0] = Tsv(fault=Leakage(100.0))
+        measurer = EngineGroupMeasurer(engine, tsvs, variation, seed=5)
+        result = GroupDiagnosis(measurer, band).run(range(5))
+        assert result.suspects == [0]
+
+    def test_works_without_variation(self, engine):
+        tsvs = [Tsv(), Tsv(fault=Leakage(100.0))]
+        measurer = EngineGroupMeasurer(engine, tsvs)
+        assert math.isfinite(measurer([0]))
+        assert math.isnan(measurer([0, 1]))

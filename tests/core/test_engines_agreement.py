@@ -1,0 +1,90 @@
+"""Cross-engine agreement: the three engines must tell the same story.
+
+The stage-delay engine is validated against the full transistor-level
+loop (slow, so only the key points), and the analytic engine against the
+stage engine (cheap, so more points).
+"""
+
+import math
+
+import pytest
+
+from repro.core.engines import (
+    AnalyticEngine,
+    StageDelayEngine,
+    TransistorLevelEngine,
+)
+from repro.core.segments import RingOscillatorConfig
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+
+
+CFG = RingOscillatorConfig(num_segments=3, vdd=1.1)
+
+
+@pytest.fixture(scope="module")
+def stage():
+    return StageDelayEngine(config=CFG, timestep=2e-12)
+
+
+@pytest.fixture(scope="module")
+def analytic():
+    return AnalyticEngine(CFG)
+
+
+@pytest.fixture(scope="module")
+def full():
+    return TransistorLevelEngine(config=CFG, timestep=2e-12)
+
+
+class TestStageVsAnalytic:
+    def test_fault_free_delta_t_same_scale(self, stage, analytic):
+        d_stage = stage.delta_t(Tsv())
+        d_analytic = analytic.delta_t(Tsv())
+        assert d_analytic == pytest.approx(d_stage, rel=0.5)
+
+    def test_open_signature_same_scale(self, stage, analytic):
+        fault = ResistiveOpen(1000.0, 0.5)
+        shift_stage = stage.delta_t(Tsv(fault=fault)) - stage.delta_t(Tsv())
+        shift_analytic = (
+            analytic.delta_t(Tsv(fault=fault)) - analytic.delta_t(Tsv())
+        )
+        assert shift_stage < 0 and shift_analytic < 0
+        assert shift_analytic == pytest.approx(shift_stage, rel=0.6)
+
+    def test_stop_thresholds_same_scale(self, stage, analytic):
+        r_analytic = analytic.oscillation_stop_r_leak()
+
+        def stage_oscillates(r):
+            try:
+                return math.isfinite(stage.delta_t(Tsv(fault=Leakage(r))))
+            except RuntimeError:
+                return False
+
+        assert not stage_oscillates(r_analytic / 3.0)
+        assert stage_oscillates(r_analytic * 3.0)
+
+
+@pytest.mark.slow
+class TestFullLoopVsStage:
+    def test_periods_agree(self, full, stage):
+        tsvs = [Tsv()] * 3
+        for enabled in ([True] * 3, [False] * 3):
+            t_full = full.period(tsvs, enabled)
+            t_stage = stage.period(tsvs, enabled)
+            assert t_stage == pytest.approx(t_full, rel=0.25)
+
+    def test_delta_t_agrees(self, full, stage):
+        d_full = full.delta_t(Tsv())
+        d_stage = stage.delta_t(Tsv())
+        assert d_stage == pytest.approx(d_full, rel=0.2)
+
+    def test_open_ordering_agrees(self, full, stage):
+        fault = ResistiveOpen(1500.0, 0.5)
+        shift_full = full.delta_t(Tsv(fault=fault)) - full.delta_t(Tsv())
+        shift_stage = stage.delta_t(Tsv(fault=fault)) - stage.delta_t(Tsv())
+        assert shift_full < 0
+        assert shift_stage == pytest.approx(shift_full, rel=0.5, abs=10e-12)
+
+    def test_strong_leak_sticks_the_real_loop(self, full):
+        with pytest.raises(RuntimeError):
+            full.delta_t(Tsv(fault=Leakage(150.0)))

@@ -1,0 +1,207 @@
+"""Unit tests for the analytic engine: every paper claim, in closed form."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.engines import AnalyticEngine
+from repro.core.segments import RingOscillatorConfig
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+from repro.spice.montecarlo import ProcessVariation
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return AnalyticEngine(RingOscillatorConfig(vdd=1.1))
+
+
+@pytest.fixture(scope="module")
+def engine_low():
+    return AnalyticEngine(RingOscillatorConfig(vdd=0.75))
+
+
+class TestResistiveOpens:
+    def test_open_reduces_delta_t(self, engine):
+        """Fig. 6: resistive opens make the loop faster."""
+        ff = engine.delta_t(Tsv())
+        faulty = engine.delta_t(Tsv(fault=ResistiveOpen(1000.0, 0.5)))
+        assert faulty < ff
+
+    def test_delta_t_monotonic_in_r_open(self, engine):
+        values = [
+            engine.delta_t(Tsv(fault=ResistiveOpen(r, 0.5)))
+            for r in (10.0, 100.0, 1000.0, 3000.0, 10000.0)
+        ]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_tiny_open_converges_to_fault_free(self, engine):
+        ff = engine.delta_t(Tsv())
+        tiny = engine.delta_t(Tsv(fault=ResistiveOpen(0.1, 0.5)))
+        assert tiny == pytest.approx(ff, rel=0.01)
+
+    def test_defect_near_top_more_detectable(self, engine):
+        """Sec. IV-A: the closer to the driver, the larger the signature."""
+        ff = engine.delta_t(Tsv())
+        shallow = engine.delta_t(Tsv(fault=ResistiveOpen(2000.0, 0.2)))
+        deep = engine.delta_t(Tsv(fault=ResistiveOpen(2000.0, 0.8)))
+        assert abs(shallow - ff) > abs(deep - ff)
+
+    def test_bottom_void_undetectable(self, engine):
+        """A void at x = 1 leaves the observable capacitance unchanged."""
+        ff = engine.delta_t(Tsv())
+        bottom = engine.delta_t(Tsv(fault=ResistiveOpen(5000.0, 1.0)))
+        assert bottom == pytest.approx(ff, rel=0.02)
+
+    def test_relative_signature_grows_with_vdd(self, engine, engine_low):
+        """Fig. 7's driver: opens separate better at high supply."""
+        def relative_shift(eng):
+            ff = eng.delta_t(Tsv())
+            faulty = eng.delta_t(Tsv(fault=ResistiveOpen(1000.0, 0.5)))
+            return abs(faulty - ff) / ff
+
+        assert relative_shift(engine) > relative_shift(engine_low)
+
+    def test_full_open_bounded_by_top_capacitance(self, engine):
+        """Even an infinite open only removes the bottom (1-x)C."""
+        ff = engine.delta_t(Tsv())
+        full = engine.delta_t(Tsv(fault=ResistiveOpen(math.inf, 0.5)))
+        huge = engine.delta_t(Tsv(fault=ResistiveOpen(1e9, 0.5)))
+        assert full == pytest.approx(huge, rel=0.05)
+        assert full < ff
+
+
+class TestLeakage:
+    def test_oscillation_stops_below_threshold(self, engine):
+        r_stop = engine.oscillation_stop_r_leak()
+        strong = engine.delta_t(Tsv(fault=Leakage(r_stop * 0.5)))
+        assert math.isnan(strong)
+
+    def test_oscillates_above_threshold(self, engine):
+        r_stop = engine.oscillation_stop_r_leak()
+        weak = engine.delta_t(Tsv(fault=Leakage(r_stop * 3.0)))
+        assert math.isfinite(weak)
+
+    def test_stop_threshold_drops_with_vdd(self):
+        """Fig. 8: higher supply tolerates stronger leakage."""
+        thresholds = [
+            AnalyticEngine(
+                RingOscillatorConfig(vdd=v)
+            ).oscillation_stop_r_leak()
+            for v in (0.75, 0.8, 0.95, 1.1)
+        ]
+        assert all(b < a for a, b in zip(thresholds, thresholds[1:]))
+
+    def test_delta_t_diverges_near_threshold(self, engine):
+        """Fig. 8: extreme sensitivity just above the stop threshold."""
+        r_stop = engine.oscillation_stop_r_leak()
+        ff = engine.delta_t(Tsv())
+        near = engine.delta_t(Tsv(fault=Leakage(r_stop * 1.05)))
+        far = engine.delta_t(Tsv(fault=Leakage(r_stop * 10.0)))
+        assert near - ff > 10 * abs(far - ff)
+        assert near > ff
+
+    def test_weak_leakage_detectable_at_low_voltage_only(self, engine, engine_low):
+        """The multi-voltage argument: a leakage between the two stop
+        thresholds sticks the oscillator at 0.75 V but barely moves
+        DeltaT at 1.1 V."""
+        r_mid = math.sqrt(
+            engine.oscillation_stop_r_leak()
+            * engine_low.oscillation_stop_r_leak()
+        )
+        at_low = engine_low.delta_t(Tsv(fault=Leakage(r_mid)))
+        assert math.isnan(at_low)
+        at_high = engine.delta_t(Tsv(fault=Leakage(r_mid)))
+        assert math.isfinite(at_high)
+
+    def test_strong_leak_at_high_vdd_has_positive_signature(self, engine):
+        ff = engine.delta_t(Tsv())
+        r_stop = engine.oscillation_stop_r_leak()
+        strong = engine.delta_t(Tsv(fault=Leakage(r_stop * 1.2)))
+        assert strong > ff
+
+
+class TestPeriods:
+    def test_enabled_segments_slow_the_loop(self, engine):
+        tsvs = [Tsv()] * 5
+        t_on = engine.period(tsvs, [True] * 5)
+        t_off = engine.period(tsvs, [False] * 5)
+        assert t_on > t_off
+
+    def test_period_additive_in_enabled_count(self, engine):
+        tsvs = [Tsv()] * 5
+        periods = [
+            engine.period(tsvs, [True] * k + [False] * (5 - k))
+            for k in range(6)
+        ]
+        increments = np.diff(periods)
+        assert np.allclose(increments, increments[0], rtol=1e-6)
+
+    def test_stuck_stage_gives_infinite_period(self, engine):
+        r_stop = engine.oscillation_stop_r_leak()
+        tsvs = [Tsv(fault=Leakage(r_stop * 0.5))] + [Tsv()] * 4
+        assert math.isinf(engine.period(tsvs, [True] + [False] * 4))
+
+    def test_bypassed_fault_does_not_affect_period(self, engine):
+        healthy = engine.period([Tsv()] * 5, [False] * 5)
+        with_fault = engine.period(
+            [Tsv(fault=Leakage(100.0))] + [Tsv()] * 4, [False] * 5
+        )
+        assert with_fault == pytest.approx(healthy)
+
+    def test_period_scale_is_nanoseconds(self, engine):
+        t = engine.period([Tsv()] * 5, [True] * 5)
+        assert 0.2e-9 < t < 20e-9
+
+    def test_mismatched_lengths_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.period([Tsv()] * 4, [True] * 5)
+
+
+class TestDeltaTScaling:
+    def test_delta_t_scales_with_m(self, engine):
+        one = engine.delta_t(Tsv(), m=1)
+        three = engine.delta_t(Tsv(), m=3)
+        assert three == pytest.approx(3 * one, rel=1e-6)
+
+    def test_fault_free_delta_t_positive(self, engine):
+        """The TSV path is slower than the bypass path (Fig. 6 at R=0)."""
+        assert engine.delta_t(Tsv()) > 0
+
+
+class TestMonteCarlo:
+    def test_spread_reflects_variation(self, engine, variation):
+        samples = engine.delta_t_mc(Tsv(), variation, 100, seed=0)
+        assert np.std(samples) > 0
+        assert np.all(np.isfinite(samples))
+
+    def test_zero_variation_zero_spread(self, engine):
+        pv = ProcessVariation(sigma_vth=0.0, sigma_leff_rel=0.0)
+        samples = engine.delta_t_mc(Tsv(), pv, 10, seed=0)
+        assert np.std(samples) == pytest.approx(0.0, abs=1e-18)
+
+    def test_seeded_reproducibility(self, engine, variation):
+        a = engine.delta_t_mc(Tsv(), variation, 20, seed=5)
+        b = engine.delta_t_mc(Tsv(), variation, 20, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_relative_spread_grows_at_low_voltage(self, engine, engine_low,
+                                                  variation):
+        """Near-threshold operation amplifies Vth mismatch (Figs. 7/9)."""
+        hi = engine.delta_t_mc(Tsv(), variation, 100, seed=1)
+        lo = engine_low.delta_t_mc(Tsv(), variation, 100, seed=1)
+        assert np.std(lo) / np.mean(lo) > np.std(hi) / np.mean(hi)
+
+    def test_near_threshold_leak_sticks_some_samples(self, engine_low,
+                                                     variation):
+        r_stop = engine_low.oscillation_stop_r_leak()
+        samples = engine_low.delta_t_mc(
+            Tsv(fault=Leakage(r_stop * 1.02)), variation, 100, seed=2
+        )
+        assert np.isnan(samples).any()
+
+    def test_mc_spread_scales_with_variation(self, engine):
+        small = engine.delta_t_mc(Tsv(), ProcessVariation().scaled(0.5),
+                                  100, seed=3)
+        large = engine.delta_t_mc(Tsv(), ProcessVariation(), 100, seed=3)
+        assert np.std(large) > 1.5 * np.std(small)

@@ -1,0 +1,134 @@
+"""Integration tests for the stage-delay engine (real transistor sims).
+
+Each test costs a fraction of a second to a few seconds; they cover the
+paper's orderings on the circuit-accurate engine.  Module-scoped caches
+keep the total runtime modest.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.engines import StageDelayEngine
+from repro.core.segments import RingOscillatorConfig
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+from repro.spice.montecarlo import ProcessVariation
+from repro.spice.waveform import NoOscillationError
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return StageDelayEngine(config=RingOscillatorConfig(vdd=1.1),
+                            timestep=2e-12)
+
+
+@pytest.fixture(scope="module")
+def engine_low():
+    return StageDelayEngine(config=RingOscillatorConfig(vdd=0.75),
+                            timestep=2e-12)
+
+
+@pytest.fixture(scope="module")
+def ff_delta(engine):
+    return engine.delta_t(Tsv())
+
+
+@pytest.fixture(scope="module")
+def ff_delta_low(engine_low):
+    return engine_low.delta_t(Tsv())
+
+
+class TestSegmentDelays:
+    def test_tsv_path_slower_than_bypass(self, engine):
+        on = engine.segment_delays(Tsv(), bypassed=False)
+        off = engine.segment_delays(Tsv(), bypassed=True)
+        assert sum(on) > sum(off)
+
+    def test_delays_are_positive_picoseconds(self, engine):
+        rise, fall = engine.segment_delays(Tsv())
+        assert 10e-12 < rise < 2e-9
+        assert 10e-12 < fall < 2e-9
+
+    def test_heavier_tsv_slower(self, engine):
+        light = engine.segment_delays(Tsv())
+        heavy = engine.segment_delays(
+            Tsv(params=Tsv().params.scaled(1.5))
+        )
+        assert sum(heavy) > sum(light)
+
+
+class TestResistiveOpenOrdering:
+    def test_open_reduces_delta_t(self, engine, ff_delta):
+        faulty = engine.delta_t(Tsv(fault=ResistiveOpen(1000.0, 0.5)))
+        assert faulty < ff_delta
+
+    def test_one_kohm_open_is_roughly_ten_percent(self, engine, ff_delta):
+        """Fig. 6's headline number: ~10% DeltaT reduction at 1 kOhm."""
+        faulty = engine.delta_t(Tsv(fault=ResistiveOpen(1000.0, 0.5)))
+        reduction = (ff_delta - faulty) / ff_delta
+        assert 0.03 < reduction < 0.2
+
+    def test_larger_open_larger_shift(self, engine, ff_delta):
+        small = engine.delta_t(Tsv(fault=ResistiveOpen(500.0, 0.5)))
+        large = engine.delta_t(Tsv(fault=ResistiveOpen(3000.0, 0.5)))
+        assert large < small < ff_delta
+
+
+class TestLeakageOrdering:
+    def test_near_threshold_leak_increases_delta_t(self, engine, ff_delta):
+        """At 1.1 V the stop threshold is below 1 kOhm; a 700 Ohm leak
+        sits in the sensitive window and slows the loop."""
+        faulty = engine.delta_t(Tsv(fault=Leakage(700.0)))
+        assert faulty > ff_delta
+
+    def test_strong_leak_sticks(self, engine):
+        with pytest.raises(NoOscillationError):
+            engine.delta_t(Tsv(fault=Leakage(200.0)))
+
+    def test_low_voltage_sensitive_to_moderate_leak(self, engine_low,
+                                                    ff_delta_low):
+        """Fig. 9: a 3 kOhm leak separates clearly at 0.75 V."""
+        faulty = engine_low.delta_t(Tsv(fault=Leakage(3000.0)))
+        assert faulty - ff_delta_low > 20e-12
+
+    def test_moderate_leak_invisible_at_nominal_voltage(self, engine,
+                                                        ff_delta):
+        """Fig. 9's counterpart: at 1.1 V the 3 kOhm signature is tiny
+        (and slightly negative in our circuit -- see EXPERIMENTS.md)."""
+        faulty = engine.delta_t(Tsv(fault=Leakage(3000.0)))
+        assert abs(faulty - ff_delta) < 0.10 * ff_delta
+
+
+class TestBatchedSweeps:
+    def test_ro_sweep_monotonic(self, engine):
+        values = [1.0, 500.0, 1500.0, 3000.0]
+        dts = engine.delta_t_sweep_ro(values, x=0.5)
+        assert np.all(np.isfinite(dts))
+        assert all(b < a for a, b in zip(dts, dts[1:]))
+
+    def test_ro_sweep_matches_scalar_at_point(self, engine, ff_delta):
+        dts = engine.delta_t_sweep_ro([1.0])
+        assert dts[0] == pytest.approx(ff_delta, rel=0.05)
+
+    def test_rl_sweep_shows_stuck_region(self, engine):
+        dts = engine.delta_t_sweep_rl([100.0, 50000.0])
+        assert math.isnan(dts[0])       # strong leak: stuck
+        assert math.isfinite(dts[1])    # weak leak: oscillates
+
+
+class TestBatchedMonteCarlo:
+    def test_mc_spread_and_reproducibility(self, engine, variation):
+        a = engine.delta_t_mc(Tsv(), variation, 6, seed=11)
+        b = engine.delta_t_mc(Tsv(), variation, 6, seed=11)
+        assert np.array_equal(a, b)
+        assert np.std(a) > 0
+
+    def test_mc_mean_tracks_nominal(self, engine, ff_delta, variation):
+        samples = engine.delta_t_mc(Tsv(), variation, 8, seed=3)
+        assert np.mean(samples) == pytest.approx(ff_delta, rel=0.15)
+
+    def test_mc_m_greater_one_scales_mean(self, engine, variation):
+        m1 = engine.delta_t_mc(Tsv(), variation, 6, m=1, seed=9)
+        m2 = engine.delta_t_mc(Tsv(), variation, 6, m=2, seed=9)
+        assert np.mean(m2) == pytest.approx(2 * np.mean(m1), rel=0.2)

@@ -1,0 +1,86 @@
+"""Unit tests for multi-voltage test planning."""
+
+import math
+
+import pytest
+
+from repro.core.multivoltage import (
+    MultiVoltagePlan,
+    PAPER_VOLTAGES,
+    analytic_engine_factory,
+    detectable_leakage_range,
+    leakage_stop_threshold,
+)
+from repro.core.segments import RingOscillatorConfig
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return analytic_engine_factory(RingOscillatorConfig())
+
+
+class TestStopThreshold:
+    def test_threshold_is_kohm_scale(self, factory):
+        r = leakage_stop_threshold(factory, 1.1)
+        assert 100.0 < r < 10000.0
+
+    def test_threshold_drops_with_vdd(self, factory):
+        """Fig. 8's central observation."""
+        thresholds = [leakage_stop_threshold(factory, v)
+                      for v in PAPER_VOLTAGES]
+        # PAPER_VOLTAGES is ascending, thresholds must descend.
+        assert all(b < a for a, b in zip(thresholds, thresholds[1:]))
+
+    def test_bisection_matches_engine_threshold(self, factory):
+        engine = factory(1.1)
+        r_measured = leakage_stop_threshold(factory, 1.1)
+        r_analytic = engine.oscillation_stop_r_leak()
+        assert r_measured == pytest.approx(r_analytic, rel=0.1)
+
+
+class TestDetectableRange:
+    def test_range_is_ordered(self, factory):
+        r_stop, r_max = detectable_leakage_range(factory, 0.8, 20e-12)
+        assert r_stop < r_max
+
+    def test_looser_criterion_widens_range(self, factory):
+        _, r_max_tight = detectable_leakage_range(factory, 0.8, 50e-12)
+        _, r_max_loose = detectable_leakage_range(factory, 0.8, 5e-12)
+        assert r_max_loose >= r_max_tight
+
+
+class TestPlan:
+    @pytest.fixture(scope="class")
+    def plan(self, factory):
+        return MultiVoltagePlan.characterize(factory, PAPER_VOLTAGES,
+                                             min_delta_t_shift=20e-12)
+
+    def test_entry_per_voltage(self, plan):
+        assert plan.voltages == list(PAPER_VOLTAGES)
+
+    def test_multiple_voltages_cover_wider_range(self, plan, factory):
+        """The paper's thesis: the voltage set tiles more leakage decades
+        than any single voltage."""
+        single = MultiVoltagePlan.characterize(factory, [1.1],
+                                               min_delta_t_shift=20e-12)
+        combined_max = plan.max_detectable_leakage()
+        assert combined_max > single.max_detectable_leakage()
+
+    def test_covers_strong_leak(self, plan):
+        assert plan.covers(500.0)
+
+    def test_does_not_cover_absurdly_weak_leak(self, plan):
+        assert not plan.covers(1e9)
+
+    def test_best_voltage_prefers_sensitive_window(self, plan):
+        """Strong leakage -> high voltage; weak leakage -> low voltage."""
+        strong = plan.best_voltage_for(600.0)
+        weak = plan.best_voltage_for(2000.0)
+        assert strong is not None and weak is not None
+        assert strong > weak
+
+    def test_summary_rows_structure(self, plan):
+        rows = plan.summary_rows()
+        assert len(rows) == len(PAPER_VOLTAGES)
+        assert all({"vdd", "r_stop_ohm", "r_max_detect_ohm",
+                    "window_decades"} <= set(r) for r in rows)

@@ -1,0 +1,93 @@
+"""Unit tests for the ring-oscillator netlist builder (Fig. 3)."""
+
+import pytest
+
+from repro.core.segments import (
+    RingOscillatorConfig,
+    build_ring_oscillator,
+)
+from repro.core.tsv import Tsv
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = RingOscillatorConfig()
+        assert cfg.num_segments == 5
+        assert cfg.vdd == pytest.approx(1.1)
+        assert cfg.driver_strength == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingOscillatorConfig(num_segments=0)
+        with pytest.raises(ValueError):
+            RingOscillatorConfig(vdd=-1.0)
+
+
+class TestBuild:
+    def test_requires_matching_tsv_count(self):
+        with pytest.raises(ValueError):
+            build_ring_oscillator([Tsv()] * 3, RingOscillatorConfig())
+
+    def test_requires_matching_enabled_mask(self):
+        with pytest.raises(ValueError):
+            build_ring_oscillator([Tsv()] * 5, RingOscillatorConfig(),
+                                  enabled=[True, False])
+
+    def test_pad_per_segment(self):
+        ro = build_ring_oscillator([Tsv()] * 5, RingOscillatorConfig())
+        assert len(ro.pad_nodes) == 5
+        assert len(set(ro.pad_nodes)) == 5
+
+    def test_by_sources_follow_enabled_mask(self):
+        enabled = [True, False, True, False, False]
+        ro = build_ring_oscillator([Tsv()] * 5, RingOscillatorConfig(),
+                                   enabled=enabled)
+        by_values = {
+            src.name: src.waveform.value(0.0)
+            for src in ro.circuit.vsources if src.name.startswith("v_by")
+        }
+        # BY[i] = 0 includes the TSV (paper polarity).
+        assert by_values["v_by1"] == 0.0
+        assert by_values["v_by2"] == pytest.approx(1.1)
+        assert by_values["v_by3"] == 0.0
+
+    def test_te_high_in_test_mode(self):
+        ro = build_ring_oscillator([Tsv()] * 5, RingOscillatorConfig())
+        te = next(s for s in ro.circuit.vsources if s.name == "v_te")
+        oe = next(s for s in ro.circuit.vsources if s.name == "v_oe")
+        assert te.waveform.value(0.0) == pytest.approx(1.1)
+        assert oe.waveform.value(0.0) == pytest.approx(1.1)
+
+    def test_functional_mode_disables_loop(self):
+        ro = build_ring_oscillator([Tsv()] * 5, RingOscillatorConfig(),
+                                   test_enable=False)
+        te = next(s for s in ro.circuit.vsources if s.name == "v_te")
+        assert te.waveform.value(0.0) == 0.0
+
+    def test_two_muxes_per_tsv_plus_te_mux(self):
+        """The DfT cost model assumes 2 muxes per TSV; the builder adds
+        one bypass mux per segment plus the shared TE mux."""
+        ro = build_ring_oscillator([Tsv()] * 5, RingOscillatorConfig())
+        muxes = [i for i in ro.kit.instances if "mux" in i]
+        assert len(muxes) == 6  # 5 bypass + 1 TE
+
+    def test_startup_ics_cover_loop_and_pads(self):
+        ro = build_ring_oscillator([Tsv()] * 5, RingOscillatorConfig())
+        assert "loop_in" in ro.startup_ics
+        for pad in ro.pad_nodes:
+            assert pad in ro.startup_ics
+
+    def test_measurement_threshold_is_half_vdd(self):
+        cfg = RingOscillatorConfig(vdd=0.8)
+        ro = build_ring_oscillator([Tsv()] * 5, cfg)
+        assert ro.measurement_threshold == pytest.approx(0.4)
+
+    def test_sweepable_build_exposes_fault_resistors(self):
+        ro = build_ring_oscillator([Tsv()] * 5, RingOscillatorConfig(),
+                                   sweepable_tsvs=True)
+        assert all("ro" in e and "rl" in e for e in ro.tsv_elements)
+
+    def test_single_segment_ring(self):
+        cfg = RingOscillatorConfig(num_segments=1)
+        ro = build_ring_oscillator([Tsv()], cfg, enabled=[True])
+        assert len(ro.pad_nodes) == 1

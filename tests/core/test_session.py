@@ -1,0 +1,116 @@
+"""Unit tests for the test session (bands and classification)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.engines import AnalyticEngine
+from repro.core.segments import RingOscillatorConfig
+from repro.core.session import PrebondTestSession, ReferenceBand
+from repro.core.session import TestDecision as Decision
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+from repro.spice.montecarlo import ProcessVariation
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return AnalyticEngine(RingOscillatorConfig(vdd=1.1))
+
+
+@pytest.fixture(scope="module")
+def session(engine):
+    return PrebondTestSession(engine, variation=ProcessVariation(),
+                              num_characterization_samples=60)
+
+
+class TestReferenceBand:
+    def test_from_samples_spans_extremes(self):
+        band = ReferenceBand.from_samples(np.array([1.0, 2.0, 3.0]))
+        assert band.low == 1.0
+        assert band.high == 3.0
+
+    def test_guard_widens_band(self):
+        band = ReferenceBand.from_samples(np.array([1.0, 3.0]), guard=0.5)
+        assert band.low == 0.5
+        assert band.high == 3.5
+
+    def test_nan_samples_ignored(self):
+        band = ReferenceBand.from_samples(np.array([1.0, np.nan, 2.0]))
+        assert band.high == 2.0
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceBand.from_samples(np.array([np.nan]))
+
+    def test_inverted_band_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceBand(2.0, 1.0)
+
+    def test_contains(self):
+        band = ReferenceBand(1.0, 2.0)
+        assert band.contains(1.5)
+        assert not band.contains(0.5)
+        assert not band.contains(2.5)
+
+
+class TestClassification:
+    def test_fault_free_passes(self, session):
+        outcome = session.measure(Tsv())
+        assert outcome.decision is Decision.PASS
+        assert not outcome.is_faulty
+
+    def test_large_open_flagged_as_open(self, session):
+        outcome = session.measure(Tsv(fault=ResistiveOpen(3000.0, 0.3)))
+        assert outcome.decision is Decision.RESISTIVE_OPEN
+
+    def test_strong_leak_flagged_as_stuck(self, session, engine):
+        r_stop = engine.oscillation_stop_r_leak()
+        outcome = session.measure(Tsv(fault=Leakage(r_stop / 2)))
+        assert outcome.decision is Decision.STUCK
+
+    def test_near_threshold_leak_flagged_as_leakage(self, session, engine):
+        r_stop = engine.oscillation_stop_r_leak()
+        outcome = session.measure(Tsv(fault=Leakage(r_stop * 1.1)))
+        assert outcome.decision is Decision.LEAKAGE
+
+    def test_classify_external_value(self, session):
+        below = session.classify(session.band.low - 1e-12)
+        above = session.classify(session.band.high + 1e-12)
+        inside = session.classify((session.band.low + session.band.high) / 2)
+        assert below.decision is Decision.RESISTIVE_OPEN
+        assert above.decision is Decision.LEAKAGE
+        assert inside.decision is Decision.PASS
+
+    def test_nan_classified_as_stuck(self, session):
+        assert session.classify(math.nan).decision is Decision.STUCK
+
+    def test_outcome_carries_band_and_vdd(self, session):
+        outcome = session.measure(Tsv())
+        assert outcome.vdd == pytest.approx(1.1)
+        assert outcome.band_low <= outcome.delta_t <= outcome.band_high
+
+
+class TestConstruction:
+    def test_explicit_band_used(self, engine):
+        band = ReferenceBand(0.0, 1.0)
+        session = PrebondTestSession(engine, band=band)
+        assert session.band is band
+
+    def test_tolerance_fallback_without_variation(self, engine):
+        session = PrebondTestSession(engine)
+        nominal = engine.delta_t(Tsv())
+        assert session.band.contains(nominal)
+
+    def test_guard_widens_characterized_band(self, engine):
+        tight = PrebondTestSession(engine, variation=ProcessVariation(),
+                                   num_characterization_samples=40, guard=0.0)
+        wide = PrebondTestSession(engine, variation=ProcessVariation(),
+                                  num_characterization_samples=40,
+                                  guard=50e-12)
+        assert wide.band.low < tight.band.low
+        assert wide.band.high > tight.band.high
+
+    def test_screen_multiple(self, session):
+        outcomes = session.screen([Tsv(), Tsv(fault=ResistiveOpen(3000.0, 0.3))])
+        assert [o.is_faulty for o in outcomes] == [False, True]

@@ -1,0 +1,159 @@
+"""Unit tests for TSV electrical models and fault taxonomy."""
+
+import math
+
+import pytest
+
+from repro.core.tsv import (
+    FaultFree,
+    Leakage,
+    ResistiveOpen,
+    Tsv,
+    TsvParameters,
+    TSV_DEFAULT,
+)
+from repro.spice import Circuit
+from repro.spice.netlist import GROUND
+
+
+class TestParameters:
+    def test_literature_defaults(self):
+        assert TSV_DEFAULT.params.resistance == pytest.approx(0.1)
+        assert TSV_DEFAULT.params.capacitance == pytest.approx(59e-15)
+
+    def test_scaled(self):
+        p = TsvParameters().scaled(1.1)
+        assert p.capacitance == pytest.approx(59e-15 * 1.1)
+        assert p.resistance == pytest.approx(0.1)
+
+    def test_rejects_unphysical(self):
+        with pytest.raises(ValueError):
+            TsvParameters(capacitance=0.0)
+        with pytest.raises(ValueError):
+            TsvParameters(resistance=-1.0)
+
+
+class TestFaultModels:
+    def test_fault_free_flags(self):
+        assert not Tsv().is_faulty
+        assert Tsv().fault.kind == "fault_free"
+
+    def test_resistive_open_validation(self):
+        with pytest.raises(ValueError):
+            ResistiveOpen(r_open=0.0)
+        with pytest.raises(ValueError):
+            ResistiveOpen(r_open=100.0, x=1.5)
+
+    def test_leakage_validation(self):
+        with pytest.raises(ValueError):
+            Leakage(r_leak=-10.0)
+
+    def test_describe_strings(self):
+        assert "fault-free" in FaultFree().describe()
+        assert "open" in ResistiveOpen(1000.0, 0.3).describe()
+        assert "leakage" in Leakage(2000.0).describe()
+
+    def test_with_fault_returns_new_tsv(self):
+        base = Tsv()
+        faulty = base.with_fault(Leakage(500.0))
+        assert faulty.is_faulty
+        assert not base.is_faulty
+
+    def test_infinite_open_allowed(self):
+        fault = ResistiveOpen(r_open=math.inf, x=0.5)
+        assert math.isinf(fault.r_open)
+
+
+class TestLumpedBuild:
+    def test_fault_free_is_single_capacitor(self):
+        c = Circuit()
+        elements = Tsv().build(c, "t1", "pad")
+        assert list(elements) == ["ctop"]
+        assert len(c.capacitors) == 1
+        assert c.capacitors[0].capacitance == pytest.approx(59e-15)
+
+    def test_resistive_open_splits_capacitance(self):
+        c = Circuit()
+        tsv = Tsv(fault=ResistiveOpen(r_open=1000.0, x=0.3))
+        elements = tsv.build(c, "t1", "pad")
+        caps = {cap.name: cap.capacitance for cap in c.capacitors}
+        assert caps[elements["ctop"]] == pytest.approx(0.3 * 59e-15)
+        assert caps[elements["cbot"]] == pytest.approx(0.7 * 59e-15)
+        res = c.resistors[0]
+        assert res.resistance == pytest.approx(1000.0)
+
+    def test_full_open_becomes_large_resistance(self):
+        c = Circuit()
+        Tsv(fault=ResistiveOpen(r_open=math.inf, x=0.5)).build(c, "t1", "pad")
+        assert c.resistors[0].resistance == pytest.approx(1e15)
+
+    def test_leakage_is_parallel_resistor(self):
+        c = Circuit()
+        tsv = Tsv(fault=Leakage(r_leak=2000.0))
+        elements = tsv.build(c, "t1", "pad")
+        res = c.resistors[0]
+        assert res.name == elements["rl"]
+        assert {res.n1, res.n2} == {"pad", GROUND}
+
+    def test_capacitance_is_preserved_across_fault_models(self):
+        for fault in (FaultFree(), ResistiveOpen(1000.0, 0.4), Leakage(3000.0)):
+            c = Circuit()
+            Tsv(fault=fault).build(c, "t1", "pad")
+            total = sum(cap.capacitance for cap in c.capacitors)
+            assert total == pytest.approx(59e-15)
+
+
+class TestSweepableBuild:
+    def test_both_fault_resistors_exist(self):
+        c = Circuit()
+        elements = Tsv().build_sweepable(c, "t1", "pad")
+        names = {r.name for r in c.resistors}
+        assert elements["ro"] in names
+        assert elements["rl"] in names
+
+    def test_benign_defaults(self):
+        c = Circuit()
+        elements = Tsv().build_sweepable(c, "t1", "pad")
+        by_name = {r.name: r.resistance for r in c.resistors}
+        assert by_name[elements["ro"]] <= 0.1    # effectively a short
+        assert by_name[elements["rl"]] >= 1e12   # effectively open
+
+    def test_open_location_sets_cap_split(self):
+        c = Circuit()
+        tsv = Tsv(fault=ResistiveOpen(r_open=500.0, x=0.2))
+        elements = tsv.build_sweepable(c, "t1", "pad")
+        caps = {cap.name: cap.capacitance for cap in c.capacitors}
+        assert caps[elements["ctop"]] == pytest.approx(0.2 * 59e-15)
+
+
+class TestDistributedBuild:
+    def test_segment_count(self):
+        c = Circuit()
+        Tsv().build_distributed(c, "t1", "pad", segments=10)
+        assert len(c.capacitors) == 10
+        assert len(c.resistors) == 10
+
+    def test_total_rc_preserved(self):
+        c = Circuit()
+        Tsv().build_distributed(c, "t1", "pad", segments=7)
+        assert sum(cap.capacitance for cap in c.capacitors) == pytest.approx(59e-15)
+        assert sum(r.resistance for r in c.resistors) == pytest.approx(0.1)
+
+    def test_open_fault_inserted_at_location(self):
+        c = Circuit()
+        tsv = Tsv(fault=ResistiveOpen(r_open=1000.0, x=0.5))
+        elements = tsv.build_distributed(c, "t1", "pad", segments=10)
+        by_name = {r.name: r.resistance for r in c.resistors}
+        assert by_name[elements["ro"]] == pytest.approx(1000.0 + 0.01)
+
+    def test_leakage_attached_at_front(self):
+        c = Circuit()
+        elements = Tsv(fault=Leakage(r_leak=800.0)).build_distributed(
+            c, "t1", "pad", segments=5
+        )
+        leak = next(r for r in c.resistors if r.name == elements["rl"])
+        assert "pad" in (leak.n1, leak.n2)
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ValueError):
+            Tsv().build_distributed(Circuit(), "t1", "pad", segments=0)

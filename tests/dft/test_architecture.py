@@ -1,0 +1,59 @@
+"""Unit tests for the full DfT architecture plan (Fig. 5)."""
+
+import pytest
+
+from repro.dft.architecture import DftArchitecture, GroupPlan
+from repro.dft.control import MeasurementPlan
+
+
+class TestGrouping:
+    def test_partition_covers_all_tsvs(self):
+        arch = DftArchitecture(num_tsvs=23, group_size=5)
+        groups = arch.groups()
+        all_ids = [tsv for g in groups for tsv in g.tsv_ids]
+        assert all_ids == list(range(23))
+        assert groups[-1].size == 3
+
+    def test_group_measurements(self):
+        group = GroupPlan(0, tuple(range(5)))
+        assert group.measurements(per_tsv=True) == 6   # T2 + 5x T1
+        assert group.measurements(per_tsv=False) == 2  # T2 + group T1
+
+    def test_decoder_bits(self):
+        arch = DftArchitecture(num_tsvs=1000, group_size=5)  # 200 groups
+        assert arch.decoder_select_bits == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DftArchitecture(num_tsvs=0)
+
+
+class TestAreaAndTime:
+    def test_paper_area_flows_through(self):
+        arch = DftArchitecture(num_tsvs=1000, group_size=5)
+        assert arch.area_model().oscillator_area_um2 == pytest.approx(7782.0)
+        assert arch.area_fraction(25.0) < 0.001
+
+    def test_test_time_linear_in_voltages(self):
+        arch = DftArchitecture(num_tsvs=100, group_size=5,
+                               voltages=(1.1, 0.75))
+        t2 = arch.test_time()
+        t4 = arch.test_time(num_voltages=4)
+        assert t4 == pytest.approx(2 * t2)
+
+    def test_group_screen_cheaper_than_isolation(self):
+        arch = DftArchitecture(num_tsvs=1000, group_size=5)
+        assert arch.test_time(per_tsv=False) < arch.test_time(per_tsv=True)
+
+    def test_whole_die_test_time_subsecond_scale(self):
+        """With 5 us windows and 4 voltages, a 1000-TSV die tests in
+        well under a second -- the paper's low-test-cost claim."""
+        arch = DftArchitecture(num_tsvs=1000, group_size=5,
+                               plan=MeasurementPlan(window=5e-6))
+        assert arch.test_time(per_tsv=True) < 1.0
+
+    def test_summary_keys(self):
+        summary = DftArchitecture(num_tsvs=50).summary()
+        for key in ("num_groups", "total_area_um2", "area_fraction",
+                    "test_time_s_per_tsv_isolation"):
+            assert key in summary

@@ -1,0 +1,98 @@
+"""Unit tests for the test controller and measurement plans."""
+
+import math
+
+import pytest
+
+from repro.core.engines import AnalyticEngine
+from repro.core.segments import RingOscillatorConfig
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+from repro.dft.control import MeasurementPlan, SignalSchedule, recommended_plan
+from repro.dft.control import TestController as Controller
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return AnalyticEngine(RingOscillatorConfig(vdd=1.1))
+
+
+@pytest.fixture()
+def controller(engine):
+    return Controller(engine, MeasurementPlan(window=20e-6,
+                                                  counter_bits=16))
+
+
+class TestMeasurementPlan:
+    def test_times_compose(self):
+        plan = MeasurementPlan(window=5e-6, shift_clock_hz=50e6,
+                               config_cycles=8, counter_bits=10)
+        assert plan.shift_time == pytest.approx(10 / 50e6)
+        assert plan.config_time == pytest.approx(8 / 50e6)
+        assert plan.measurement_time() == pytest.approx(
+            5e-6 + 10 / 50e6 + 8 / 50e6
+        )
+
+    def test_recommended_plan_paper_example(self):
+        plan = recommended_plan(5e-9, 0.005e-9)
+        assert plan.window == pytest.approx(5e-6)
+        assert plan.counter_bits == 10
+
+
+class TestSignalSchedule:
+    def test_measurement_schedule(self):
+        sched = SignalSchedule.for_measurement(5, [True, False, True,
+                                                   False, False])
+        assert sched.te == 1
+        assert sched.oe == 1
+        assert sched.by == (0, 1, 0, 1, 1)
+
+    def test_functional_schedule(self):
+        sched = SignalSchedule.functional(3)
+        assert sched.te == 0
+        assert sched.by == (1, 1, 1)
+
+    def test_mask_length_validated(self):
+        with pytest.raises(ValueError):
+            SignalSchedule.for_measurement(5, [True])
+
+
+class TestQuantizedMeasurement:
+    def test_estimate_close_to_true_period(self, controller, engine):
+        tsvs = [Tsv()] * 5
+        true_t = engine.period(tsvs, [False] * 5)
+        estimate = controller.measure_period(tsvs, [False] * 5)
+        assert estimate == pytest.approx(true_t, rel=1e-3)
+
+    def test_delta_t_sign_preserved_for_open(self, controller):
+        tsvs = [Tsv(fault=ResistiveOpen(2000.0, 0.3))] + [Tsv()] * 4
+        healthy = [Tsv()] * 5
+        dt_faulty = controller.measure_delta_t(tsvs, under_test=[0])
+        dt_healthy = controller.measure_delta_t(healthy, under_test=[0])
+        assert dt_faulty < dt_healthy
+
+    def test_stuck_oscillator_raises(self, controller):
+        tsvs = [Tsv(fault=Leakage(50.0))] + [Tsv()] * 4
+        with pytest.raises(RuntimeError):
+            controller.measure_delta_t(tsvs, under_test=[0])
+
+    def test_overflow_raises(self, engine):
+        tiny = Controller(engine, MeasurementPlan(window=20e-6,
+                                                      counter_bits=6))
+        with pytest.raises(RuntimeError, match="overflow"):
+            tiny.measure_period([Tsv()] * 5, [False] * 5)
+
+    def test_log_records_measurements(self, controller):
+        controller.measure_delta_t([Tsv()] * 5, under_test=[0])
+        assert len(controller.log) == 2
+        assert all("count" in entry for entry in controller.log)
+
+    def test_guard_band_formula(self, controller):
+        guard = controller.quantization_guard_band(5e-9)
+        assert guard == pytest.approx(2 * 25e-18 / (20e-6 - 5e-9), rel=0.01)
+
+    def test_total_test_time_scales(self, controller):
+        t1 = controller.total_test_time(num_groups=10,
+                                        per_group_measurements=6)
+        t2 = controller.total_test_time(num_groups=20,
+                                        per_group_measurements=6)
+        assert t2 == pytest.approx(2 * t1)

@@ -1,0 +1,130 @@
+"""Unit tests for the counter measurement model (paper Sec. IV-C)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dft.counter import (
+    BinaryCounter,
+    CounterMeasurement,
+    count_bounds,
+    measurement_error_bound,
+    required_counter_bits,
+    required_window,
+)
+
+
+class TestBounds:
+    def test_paper_inequality(self):
+        """t/T - 1 <= c <= t/T + 1 for arbitrary phases."""
+        period, window = 7.3e-9, 1e-6
+        lo, hi = count_bounds(period, window)
+        cm = CounterMeasurement(bits=20, window=window)
+        for phase in np.linspace(0.0, period, 29):
+            count = cm.count_edges(period, phase)
+            assert lo <= count <= hi
+
+    def test_bounds_tight(self):
+        """Both bound extremes are achieved at some phase."""
+        period, window = 7.3e-9, 1e-6
+        lo, hi = count_bounds(period, window)
+        cm = CounterMeasurement(bits=20, window=window)
+        counts = {cm.count_edges(period, phase)
+                  for phase in np.linspace(0.0, period, 997)}
+        assert lo in counts or lo + 1 in counts
+        assert hi in counts or hi - 1 in counts
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            count_bounds(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            count_bounds(1.0, 0.0)
+
+
+class TestErrorBounds:
+    def test_paper_worked_example(self):
+        """T = 5 ns, E = 0.005 ns -> t = 5 us, count 1000, 10 bits."""
+        window = required_window(5e-9, 0.005e-9)
+        assert window == pytest.approx(5e-6)
+        assert required_counter_bits(5e-9, window) == 10
+
+    def test_error_formulae(self):
+        e_minus, e_plus = measurement_error_bound(5e-9, 5e-6)
+        assert e_plus == pytest.approx(25e-18 / (5e-6 - 5e-9))
+        assert e_minus == pytest.approx(25e-18 / (5e-6 + 5e-9))
+        assert e_plus > e_minus
+
+    def test_estimates_within_error_bound(self):
+        period, window = 3.7e-9, 2e-6
+        cm = CounterMeasurement(bits=16, window=window)
+        _, e_plus = measurement_error_bound(period, window)
+        for phase in np.linspace(0.0, period, 41):
+            estimate = cm.measure(period, phase)
+            assert abs(estimate - period) <= e_plus * 1.001
+
+    def test_longer_window_smaller_error(self):
+        _, e_short = measurement_error_bound(5e-9, 1e-6)
+        _, e_long = measurement_error_bound(5e-9, 10e-6)
+        assert e_long < e_short
+
+    def test_window_must_exceed_period(self):
+        with pytest.raises(ValueError):
+            measurement_error_bound(1e-6, 1e-9)
+
+
+class TestCounterMeasurement:
+    def test_zero_count_for_stuck_oscillator(self):
+        cm = CounterMeasurement(bits=10, window=1e-6)
+        # A "period" longer than the window with a late phase -> no edges.
+        assert cm.count_edges(period=10e-6, phase=2e-6) == 0
+
+    def test_estimate_requires_positive_count(self):
+        cm = CounterMeasurement()
+        with pytest.raises(ValueError):
+            cm.estimate_period(0)
+
+    def test_saturation_at_max_count(self):
+        cm = CounterMeasurement(bits=4, window=1e-6)
+        assert cm.count_edges(period=1e-9) == cm.max_count
+        assert cm.overflowed(period=1e-9)
+
+    def test_no_overflow_when_sized_right(self):
+        cm = CounterMeasurement(bits=12, window=1e-6)
+        assert not cm.overflowed(period=1e-9)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            CounterMeasurement().count_edges(-1e-9)
+
+
+class TestGateLevelCrossCheck:
+    @pytest.mark.parametrize("period,phase", [
+        (7.3e-9, 0.0), (7.3e-9, 3.1e-9), (11.0e-9, 5.0e-9),
+    ])
+    def test_ripple_counter_matches_behavioural(self, period, phase):
+        window = 300e-9
+        behavioural = CounterMeasurement(bits=8, window=window)
+        gate_level = BinaryCounter(8)
+        gate_level.apply_clock_edges(period, phase, window)
+        assert gate_level.read() == behavioural.count_edges(period, phase)
+
+    def test_shift_out_matches_read(self):
+        counter = BinaryCounter(6)
+        counter.apply_clock_edges(10e-9, 1e-9, 250e-9)
+        bits = counter.shift_out()
+        assert sum(b << i for i, b in enumerate(bits)) == counter.read()
+
+    def test_reset_state_is_zero(self):
+        assert BinaryCounter(8).read() == 0
+
+    def test_counter_wraps_modulo_2n(self):
+        counter = BinaryCounter(3)  # wraps at 8
+        counter.apply_clock_edges(5e-9, 0.0, 50e-9)  # ~11 edges
+        cm = CounterMeasurement(bits=16, window=50e-9)
+        exact = cm.count_edges(5e-9, 0.0)
+        assert counter.read() == exact % 8
+
+    def test_bit_width_validated(self):
+        with pytest.raises(ValueError):
+            BinaryCounter(0)

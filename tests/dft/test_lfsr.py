@@ -1,0 +1,82 @@
+"""Unit tests for the LFSR measurement path."""
+
+import pytest
+
+from repro.dft.lfsr import (
+    Lfsr,
+    LfsrMeasurement,
+    MAXIMAL_TAPS,
+    build_count_lookup,
+)
+
+
+class TestLfsrSequences:
+    @pytest.mark.parametrize("bits", [2, 3, 4, 5, 6, 7, 8, 10, 12])
+    def test_maximal_length(self, bits):
+        """Every supported width must cycle through 2^n - 1 states."""
+        lfsr = Lfsr(bits, state=1)
+        seen = set()
+        for _ in range(lfsr.period):
+            seen.add(lfsr.step())
+        assert len(seen) == lfsr.period
+        assert 0 not in seen
+
+    def test_state_returns_after_full_period(self):
+        lfsr = Lfsr(8, state=0x5A)
+        lfsr.advance(lfsr.period)
+        assert lfsr.state == 0x5A
+
+    def test_zero_state_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(8, state=0)
+
+    def test_oversized_state_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(4, state=16)
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ValueError):
+            Lfsr(25)
+
+    def test_sequence_length(self):
+        assert len(Lfsr(6).sequence(10)) == 10
+
+
+class TestLookupTable:
+    def test_size_covers_all_states(self):
+        table = build_count_lookup(8)
+        assert len(table) == 255
+
+    def test_roundtrip_decoding(self):
+        table = build_count_lookup(10)
+        lfsr = Lfsr(10, state=1)
+        for k in range(1, 200):
+            state = lfsr.step()
+            assert table[state] == k
+
+
+class TestLfsrMeasurement:
+    def test_matches_binary_counter_estimate(self):
+        from repro.dft.counter import CounterMeasurement
+        lm = LfsrMeasurement(bits=12, window=5e-6)
+        cm = CounterMeasurement(bits=12, window=5e-6)
+        for period in (5e-9, 7.7e-9, 11.3e-9):
+            assert lm.measure(period, phase=1e-9) == pytest.approx(
+                cm.measure(period, phase=1e-9)
+            )
+
+    def test_signature_decodes_to_edge_count(self):
+        lm = LfsrMeasurement(bits=10, window=1e-6)
+        sig = lm.signature(period=10e-9, phase=0.0)
+        assert lm.decode(sig) == 100 + 1  # edges at 0, 10ns, ... 1us
+
+    def test_unreachable_signature_rejected(self):
+        lm = LfsrMeasurement(bits=10)
+        with pytest.raises(ValueError):
+            lm.decode(0)
+
+    def test_stuck_oscillator_has_seed_signature(self):
+        lm = LfsrMeasurement(bits=10, window=1e-6)
+        assert lm.signature(period=10e-6, phase=2e-6) == lm.seed
+        with pytest.raises(ValueError):
+            lm.measure(period=10e-6, phase=2e-6)

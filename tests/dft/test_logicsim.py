@@ -1,0 +1,149 @@
+"""Unit tests for the event-driven logic simulator."""
+
+import pytest
+
+from repro.dft.logicsim import LogicSimulator, X
+
+
+def settle(sim, stop=1e-6):
+    sim.run_until(stop)
+    return sim
+
+
+class TestCombinational:
+    @pytest.mark.parametrize("kind,inputs,expected", [
+        ("not", [0], 1), ("not", [1], 0),
+        ("and", [1, 1], 1), ("and", [1, 0], 0),
+        ("or", [0, 0], 0), ("or", [0, 1], 1),
+        ("nand", [1, 1], 0), ("nand", [0, 1], 1),
+        ("nor", [0, 0], 1), ("nor", [1, 0], 0),
+        ("xor", [1, 0], 1), ("xor", [1, 1], 0),
+        ("buf", [1], 1),
+    ])
+    def test_truth_tables(self, kind, inputs, expected):
+        sim = LogicSimulator()
+        wires = [f"i{k}" for k in range(len(inputs))]
+        sim.add_gate(kind, wires, "y")
+        for wire, value in zip(wires, inputs):
+            sim.set_input(wire, value)
+        assert settle(sim).value("y") == expected
+
+    def test_mux_selects(self):
+        for sel, expected in ((0, 1), (1, 0)):
+            sim = LogicSimulator()
+            sim.add_gate("mux", ["a", "b", "s"], "y")
+            sim.set_input("a", 1)
+            sim.set_input("b", 0)
+            sim.set_input("s", sel)
+            assert settle(sim).value("y") == expected
+
+    def test_unknown_inputs_propagate_x(self):
+        sim = LogicSimulator()
+        sim.add_gate("and", ["a", "b"], "y")
+        sim.set_input("a", 1)  # b stays X
+        assert settle(sim).value("y") == X
+
+    def test_controlling_value_beats_x(self):
+        sim = LogicSimulator()
+        sim.add_gate("and", ["a", "b"], "y")
+        sim.set_input("a", 0)
+        assert settle(sim).value("y") == 0
+
+    def test_unknown_gate_kind_rejected(self):
+        with pytest.raises(ValueError):
+            LogicSimulator().add_gate("xnorandor", ["a"], "y")
+
+    def test_gate_delay_orders_events(self):
+        sim = LogicSimulator()
+        sim.add_gate("not", ["a"], "y", delay=10e-9)
+        sim.set_input("a", 0, time=0.0)
+        sim.run_until(5e-9)
+        assert sim.value("y") == X  # not propagated yet
+        sim.run_until(20e-9)
+        assert sim.value("y") == 1
+
+    def test_chained_gates(self):
+        sim = LogicSimulator()
+        sim.add_gate("not", ["a"], "b", delay=1e-9)
+        sim.add_gate("not", ["b"], "c", delay=1e-9)
+        sim.set_input("a", 0)
+        assert settle(sim).value("c") == 0
+
+
+class TestDff:
+    def test_samples_on_rising_edge(self):
+        sim = LogicSimulator()
+        sim.add_dff("d", "clk", "q", delay=1e-10)
+        sim.set_input("d", 1, 0.0)
+        sim.set_input("clk", 0, 0.0)
+        sim.set_input("clk", 1, 10e-9)
+        settle(sim)
+        assert sim.value("q") == 1
+
+    def test_no_sample_on_falling_edge(self):
+        sim = LogicSimulator()
+        sim.add_dff("d", "clk", "q", delay=1e-10)
+        sim.set_input("clk", 1, 0.0)
+        sim.set_input("d", 1, 1e-9)
+        sim.set_input("clk", 0, 10e-9)
+        settle(sim)
+        assert sim.value("q") == X  # never saw a rising edge after d=1
+
+    def test_async_reset(self):
+        sim = LogicSimulator()
+        sim.add_dff("d", "clk", "q", reset="rst", delay=1e-10)
+        sim.set_input("d", 1, 0.0)
+        sim.set_input("clk", 0, 0.0)
+        sim.set_input("clk", 1, 5e-9)
+        sim.set_input("rst", 1, 10e-9)
+        settle(sim)
+        assert sim.value("q") == 0
+
+    def test_reset_blocks_clocking(self):
+        sim = LogicSimulator()
+        sim.add_dff("d", "clk", "q", reset="rst", delay=1e-10)
+        sim.set_input("rst", 1, 0.0)
+        sim.set_input("d", 1, 0.0)
+        sim.set_input("clk", 0, 1e-9)
+        sim.set_input("clk", 1, 2e-9)
+        settle(sim)
+        assert sim.value("q") == 0
+
+    def test_toggle_flop_divides_by_two(self):
+        sim = LogicSimulator()
+        sim.add_dff("qb", "clk", "q", reset="rst", delay=1e-10)
+        sim.add_gate("not", ["q"], "qb", delay=2e-11)
+        sim.set_input("rst", 1, 0.0)
+        sim.set_input("rst", 0, 1e-9)
+        sim.set_input("clk", 0, 0.0)
+        edges = sim.schedule_clock("clk", period=10e-9, start=5e-9,
+                                   stop=95e-9)
+        settle(sim, 200e-9)
+        assert edges == 10
+        # 10 rising edges toggle q to ... 10 toggles -> back to 0.
+        assert sim.value("q") == 0
+
+
+class TestHarness:
+    def test_schedule_clock_edge_count(self):
+        sim = LogicSimulator()
+        edges = sim.schedule_clock("clk", period=1e-9, start=0.0, stop=9.5e-9)
+        assert edges == 10
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = LogicSimulator()
+        sim.run_until(1e-6)
+        with pytest.raises(ValueError):
+            sim.set_input("a", 1, time=0.0)
+
+    def test_bad_logic_value_rejected(self):
+        with pytest.raises(ValueError):
+            LogicSimulator().set_input("a", 7)
+
+    def test_gate_count(self):
+        sim = LogicSimulator()
+        sim.add_gate("not", ["a"], "b")
+        sim.add_gate("nand", ["a", "b"], "c")
+        sim.add_dff("c", "clk", "q")
+        counts = sim.gate_count()
+        assert counts == {"not": 1, "nand": 1, "dff": 1}

@@ -1,0 +1,130 @@
+"""Unit tests for the batched (stacked-MNA) transient engine."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    DC,
+    NMOS_45LP,
+    PMOS_45LP,
+    Step,
+    transient,
+)
+from repro.spice.batch import BatchParameters, BatchedSimulation
+from repro.spice.montecarlo import ProcessVariation
+from repro.spice.netlist import GROUND
+
+
+def rc_circuit():
+    c = Circuit()
+    c.add_vsource("vin", "in", GROUND, Step(0.0, 1.0, t0=20e-12, rise=1e-13))
+    c.add_resistor("r1", "in", "out", 1000.0)
+    c.add_capacitor("c1", "out", GROUND, 100e-15)
+    return c
+
+
+def inverter_circuit(vdd=1.1):
+    c = Circuit()
+    c.add_vsource("vdd", "vdd", GROUND, DC(vdd))
+    c.add_vsource("vin", "in", GROUND, Step(0.0, vdd, t0=50e-12, rise=20e-12))
+    c.add_mosfet("mp", "out", "in", "vdd", "vdd", PMOS_45LP, w=0.8e-6)
+    c.add_mosfet("mn", "out", "in", GROUND, GROUND, NMOS_45LP, w=0.4e-6)
+    c.add_capacitor("cl", "out", GROUND, 2e-15)
+    return c
+
+
+class TestAgainstScalarEngine:
+    def test_nominal_batch_matches_scalar(self):
+        circuit = rc_circuit()
+        scalar = transient(circuit, 500e-12, 1e-12)["out"]
+        sim = BatchedSimulation(rc_circuit(), BatchParameters.nominal(3))
+        batch = sim.transient(500e-12, 1e-12, record=["out"]).voltages["out"]
+        for corner in range(3):
+            assert np.max(np.abs(batch[corner] - scalar)) < 1e-6
+
+    def test_inverter_batch_matches_scalar(self):
+        scalar = transient(inverter_circuit(), 400e-12, 1e-12)["out"]
+        sim = BatchedSimulation(inverter_circuit(), BatchParameters.nominal(2))
+        batch = sim.transient(400e-12, 1e-12, record=["out"]).voltages["out"]
+        assert np.max(np.abs(batch[0] - scalar)) < 1e-3
+
+
+class TestResistorOverrides:
+    def test_per_corner_time_constants(self):
+        values = np.array([500.0, 1000.0, 2000.0])
+        params = BatchParameters.nominal(3).with_resistor("r1", values)
+        sim = BatchedSimulation(rc_circuit(), params)
+        res = sim.transient(900e-12, 1e-12, record=["out"])
+        t50 = [
+            res.waveform("out", k).crossings(0.5, "rise")[0] - 20e-12
+            for k in range(3)
+        ]
+        for k, r in enumerate(values):
+            assert t50[k] == pytest.approx(0.693 * r * 100e-15, rel=0.03)
+
+    def test_unknown_resistor_rejected(self):
+        params = BatchParameters.nominal(2).with_resistor(
+            "nope", np.array([1.0, 2.0])
+        )
+        with pytest.raises(KeyError):
+            BatchedSimulation(rc_circuit(), params)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            BatchParameters.nominal(3).with_resistor("r1", np.array([1.0]))
+
+
+class TestCapacitorOverrides:
+    def test_per_corner_capacitance(self):
+        values = np.array([50e-15, 200e-15])
+        params = BatchParameters.nominal(2).with_capacitor("c1", values)
+        sim = BatchedSimulation(rc_circuit(), params)
+        res = sim.transient(900e-12, 1e-12, record=["out"])
+        t50_small = res.waveform("out", 0).crossings(0.5, "rise")[0]
+        t50_big = res.waveform("out", 1).crossings(0.5, "rise")[0]
+        assert t50_big - 20e-12 == pytest.approx(
+            4.0 * (t50_small - 20e-12), rel=0.05
+        )
+
+    def test_unknown_capacitor_rejected(self):
+        params = BatchParameters.nominal(2).with_capacitor(
+            "nope", np.array([1e-15, 2e-15])
+        )
+        with pytest.raises(KeyError):
+            BatchedSimulation(rc_circuit(), params)
+
+
+class TestMonteCarloParameters:
+    def test_shapes(self):
+        circuit = inverter_circuit()
+        params = BatchParameters.monte_carlo(
+            circuit, ProcessVariation(), 10, seed=1
+        )
+        assert params.mosfet_dvth.shape == (10, len(circuit.mosfets))
+        assert params.mosfet_dl_rel.shape == (10, len(circuit.mosfets))
+
+    def test_seeded_reproducibility(self):
+        circuit = inverter_circuit()
+        p1 = BatchParameters.monte_carlo(circuit, ProcessVariation(), 5, seed=9)
+        p2 = BatchParameters.monte_carlo(circuit, ProcessVariation(), 5, seed=9)
+        assert np.array_equal(p1.mosfet_dvth, p2.mosfet_dvth)
+
+    def test_mc_delays_spread(self):
+        """Mismatch must spread the inverter's output crossing times."""
+        circuit = inverter_circuit()
+        params = BatchParameters.monte_carlo(
+            circuit, ProcessVariation(), 12, seed=4
+        )
+        sim = BatchedSimulation(inverter_circuit(), params)
+        res = sim.transient(400e-12, 1e-12, record=["out"])
+        t_fall = [
+            res.waveform("out", k).crossings(0.55, "fall")[0]
+            for k in range(12)
+        ]
+        assert np.std(t_fall) > 1e-13  # visible, sub-ps-scale spread
+
+    def test_validation_of_timestep(self):
+        sim = BatchedSimulation(rc_circuit(), BatchParameters.nominal(1))
+        with pytest.raises(ValueError):
+            sim.transient(1e-9, -1e-12)

@@ -1,0 +1,104 @@
+"""Unit tests for DC operating-point analysis."""
+
+import pytest
+
+from repro.spice import (
+    Circuit,
+    DC,
+    NMOS_45LP,
+    PMOS_45LP,
+    dc_operating_point,
+)
+from repro.spice.netlist import GROUND
+
+
+class TestLinearCircuits:
+    def test_resistor_divider(self):
+        c = Circuit()
+        c.add_vsource("v1", "top", GROUND, DC(2.0))
+        c.add_resistor("r1", "top", "mid", 1000.0)
+        c.add_resistor("r2", "mid", GROUND, 1000.0)
+        op = dc_operating_point(c)
+        assert op["mid"] == pytest.approx(1.0, rel=1e-5)
+
+    def test_three_way_divider(self):
+        c = Circuit()
+        c.add_vsource("v1", "a", GROUND, DC(3.0))
+        c.add_resistor("r1", "a", "b", 1000.0)
+        c.add_resistor("r2", "b", "c", 1000.0)
+        c.add_resistor("r3", "c", GROUND, 1000.0)
+        op = dc_operating_point(c)
+        assert op["b"] == pytest.approx(2.0, rel=1e-5)
+        assert op["c"] == pytest.approx(1.0, rel=1e-5)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.add_isource("i1", GROUND, "x", DC(1e-3))  # pushes into x
+        c.add_resistor("r1", "x", GROUND, 1000.0)
+        op = dc_operating_point(c)
+        assert op["x"] == pytest.approx(1.0, rel=1e-5)
+
+    def test_capacitor_is_open_at_dc(self):
+        c = Circuit()
+        c.add_vsource("v1", "a", GROUND, DC(1.0))
+        c.add_resistor("r1", "a", "b", 1000.0)
+        c.add_capacitor("c1", "b", GROUND, 1e-12)
+        op = dc_operating_point(c)
+        # No DC path from b except gmin; the node floats to the source.
+        assert op["b"] == pytest.approx(1.0, rel=1e-3)
+
+    def test_ground_is_zero(self):
+        c = Circuit()
+        c.add_vsource("v1", "a", GROUND, DC(5.0))
+        c.add_resistor("r1", "a", GROUND, 10.0)
+        assert dc_operating_point(c)[GROUND] == 0.0
+
+
+class TestNonlinearCircuits:
+    @staticmethod
+    def _inverter(vin, vdd=1.1):
+        c = Circuit()
+        c.add_vsource("vdd", "vdd", GROUND, DC(vdd))
+        c.add_vsource("vin", "in", GROUND, DC(vin))
+        c.add_mosfet("mp", "out", "in", "vdd", "vdd", PMOS_45LP, w=0.8e-6)
+        c.add_mosfet("mn", "out", "in", GROUND, GROUND, NMOS_45LP, w=0.4e-6)
+        return dc_operating_point(c)["out"]
+
+    def test_inverter_output_high_for_low_input(self):
+        assert self._inverter(0.0) == pytest.approx(1.1, abs=1e-3)
+
+    def test_inverter_output_low_for_high_input(self):
+        assert self._inverter(1.1) == pytest.approx(0.0, abs=1e-3)
+
+    def test_inverter_switching_threshold_near_midpoint(self):
+        """The balanced sizing puts V_M within ~10% of V_DD/2."""
+        lo, hi = 0.3, 0.8
+        for _ in range(20):
+            mid = (lo + hi) / 2
+            if self._inverter(mid) > mid:
+                lo = mid
+            else:
+                hi = mid
+        vm = (lo + hi) / 2
+        assert abs(vm - 0.55) < 0.11
+
+    def test_diode_connected_nmos(self):
+        c = Circuit()
+        c.add_isource("i1", GROUND, "d", DC(10e-6))
+        c.add_mosfet("m1", "d", "d", GROUND, GROUND, NMOS_45LP, w=1e-6)
+        op = dc_operating_point(c)
+        # The gate-drain voltage settles near (slightly above) V_th.
+        assert 0.3 < op["d"] < 0.7
+
+
+class TestInitialConditions:
+    def test_ic_clamps_node(self):
+        c = Circuit()
+        c.add_vsource("vdd", "vdd", GROUND, DC(1.1))
+        c.add_mosfet("mp", "out", "in", "vdd", "vdd", PMOS_45LP, w=0.8e-6)
+        c.add_mosfet("mn", "out", "in", GROUND, GROUND, NMOS_45LP, w=0.4e-6)
+        c.add_vsource("vin", "in", GROUND, DC(0.0))
+        op = dc_operating_point(c, ics={"out": 0.3})
+        # The strong inverter pull-up fights the clamp; the clamp (1e3 S)
+        # dominates any transistor conductance.
+        assert op["out"] == pytest.approx(0.3, abs=0.05)

@@ -1,0 +1,121 @@
+"""Unit tests for passive elements and source waveforms."""
+
+import math
+
+import pytest
+
+from repro.spice.elements import (
+    Capacitor,
+    DC,
+    PieceWiseLinear,
+    Pulse,
+    Resistor,
+    Step,
+    VoltageSource,
+)
+
+
+class TestDC:
+    def test_constant_value(self):
+        src = DC(1.1)
+        assert src.value(0.0) == 1.1
+        assert src.value(1e-3) == 1.1
+
+    def test_dc_value_matches(self):
+        assert DC(-0.5).dc_value() == -0.5
+
+
+class TestStep:
+    def test_before_transition(self):
+        step = Step(0.0, 1.0, t0=1e-9, rise=1e-10)
+        assert step.value(0.0) == 0.0
+        assert step.value(1e-9) == 0.0
+
+    def test_after_transition(self):
+        step = Step(0.0, 1.0, t0=1e-9, rise=1e-10)
+        assert step.value(1.2e-9) == 1.0
+
+    def test_mid_ramp_is_linear(self):
+        step = Step(0.0, 1.0, t0=0.0, rise=1e-9)
+        assert step.value(0.5e-9) == pytest.approx(0.5)
+
+    def test_falling_step(self):
+        step = Step(1.0, 0.0, t0=0.0, rise=1e-9)
+        assert step.value(0.25e-9) == pytest.approx(0.75)
+
+
+class TestPulse:
+    def _pulse(self, **kw):
+        defaults = dict(v1=0.0, v2=1.0, delay=1e-9, rise=1e-10,
+                        fall=1e-10, width=2e-9, period=0.0)
+        defaults.update(kw)
+        return Pulse(**defaults)
+
+    def test_initial_level(self):
+        assert self._pulse().value(0.0) == 0.0
+
+    def test_plateau(self):
+        assert self._pulse().value(2e-9) == 1.0
+
+    def test_fall_back(self):
+        pulse = self._pulse()
+        t_after = 1e-9 + 1e-10 + 2e-9 + 1e-10 + 1e-12
+        assert pulse.value(t_after) == 0.0
+
+    def test_periodic_repeats(self):
+        pulse = self._pulse(period=10e-9)
+        assert pulse.value(2e-9) == pulse.value(12e-9)
+
+    def test_mid_rise(self):
+        pulse = self._pulse()
+        assert pulse.value(1e-9 + 0.5e-10) == pytest.approx(0.5)
+
+    def test_mid_fall(self):
+        pulse = self._pulse()
+        t = 1e-9 + 1e-10 + 2e-9 + 0.5e-10
+        assert pulse.value(t) == pytest.approx(0.5)
+
+
+class TestPieceWiseLinear:
+    def test_interpolation(self):
+        pwl = PieceWiseLinear([(0.0, 0.0), (1.0, 2.0)])
+        assert pwl.value(0.5) == pytest.approx(1.0)
+
+    def test_clamps_outside_range(self):
+        pwl = PieceWiseLinear([(1.0, 3.0), (2.0, 5.0)])
+        assert pwl.value(0.0) == 3.0
+        assert pwl.value(10.0) == 5.0
+
+    def test_vertical_segment_takes_later_value(self):
+        pwl = PieceWiseLinear([(0.0, 0.0), (1.0, 1.0), (1.0, 5.0), (2.0, 5.0)])
+        assert pwl.value(1.5) == pytest.approx(5.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PieceWiseLinear([])
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            PieceWiseLinear([(1.0, 0.0), (0.5, 1.0)])
+
+
+class TestPassives:
+    def test_resistor_conductance(self):
+        assert Resistor("r1", "a", "b", 500.0).conductance == pytest.approx(2e-3)
+
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Resistor("r1", "a", "b", 0.0)
+        with pytest.raises(ValueError):
+            Resistor("r1", "a", "b", -5.0)
+
+    def test_capacitor_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Capacitor("c1", "a", "b", -1e-15)
+
+    def test_capacitor_allows_zero(self):
+        assert Capacitor("c0", "a", "b", 0.0).capacitance == 0.0
+
+    def test_vsource_default_waveform_is_zero_dc(self):
+        src = VoltageSource("v1", "p", "n")
+        assert src.waveform.value(5.0) == 0.0

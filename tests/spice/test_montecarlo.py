@@ -1,0 +1,111 @@
+"""Unit tests for the process-variation model and MC engine."""
+
+import numpy as np
+import pytest
+
+from repro.spice.mosfet import NMOS_45LP
+from repro.spice.montecarlo import (
+    MonteCarloEngine,
+    NOMINAL_PROCESS,
+    ProcessSample,
+    ProcessVariation,
+    nominal_sample,
+)
+
+
+class TestProcessVariation:
+    def test_default_sigmas_match_paper(self):
+        pv = ProcessVariation()
+        assert 3 * pv.sigma_vth == pytest.approx(0.030)       # 30 mV
+        assert 3 * pv.sigma_leff_rel == pytest.approx(0.10)   # 10 %
+
+    def test_scaled(self):
+        pv = ProcessVariation().scaled(0.5)
+        assert pv.sigma_vth == pytest.approx(0.005)
+        assert pv.sigma_leff_rel == pytest.approx(0.10 / 6.0)
+
+    def test_nominal_process_has_zero_spread(self):
+        assert NOMINAL_PROCESS.sigma_vth == 0.0
+        assert NOMINAL_PROCESS.sigma_leff_rel == 0.0
+
+
+class TestProcessSample:
+    def test_nominal_sample_is_identity(self):
+        sample = nominal_sample()
+        model = sample.perturb(NMOS_45LP)
+        assert model.vth == NMOS_45LP.vth
+        assert model.lmin == NMOS_45LP.lmin
+
+    def test_perturbation_changes_model(self):
+        sample = ProcessVariation().sample(np.random.default_rng(1))
+        model = sample.perturb(NMOS_45LP)
+        assert model.vth != NMOS_45LP.vth
+
+    def test_same_seed_same_stream(self):
+        pv = ProcessVariation()
+        s1 = pv.sample(np.random.default_rng(42))
+        s2 = pv.sample(np.random.default_rng(42))
+        for _ in range(10):
+            m1 = s1.perturb(NMOS_45LP)
+            m2 = s2.perturb(NMOS_45LP)
+            assert m1.vth == m2.vth
+            assert m1.lmin == m2.lmin
+
+    def test_draws_counted(self):
+        sample = ProcessVariation().sample(np.random.default_rng(0))
+        for _ in range(5):
+            sample.perturb(NMOS_45LP)
+        assert sample.draws == 5
+
+    def test_clamped_at_four_sigma(self):
+        pv = ProcessVariation(sigma_vth=0.01, sigma_leff_rel=0.05)
+        sample = pv.sample(np.random.default_rng(0))
+        for _ in range(2000):
+            model = sample.perturb(NMOS_45LP)
+            assert abs(model.vth - NMOS_45LP.vth) <= 4 * 0.01 + 1e-12
+            assert abs(model.lmin / NMOS_45LP.lmin - 1.0) <= 4 * 0.05 + 1e-9
+
+    def test_distribution_statistics(self):
+        pv = ProcessVariation(sigma_vth=0.01, sigma_leff_rel=0.0)
+        sample = pv.sample(np.random.default_rng(7))
+        shifts = np.array([
+            sample.perturb(NMOS_45LP).vth - NMOS_45LP.vth
+            for _ in range(3000)
+        ])
+        assert abs(shifts.mean()) < 0.001
+        assert shifts.std() == pytest.approx(0.01, rel=0.1)
+
+
+class TestMonteCarloEngine:
+    def test_reproducible_runs(self):
+        engine = MonteCarloEngine(ProcessVariation(), seed=3)
+        f = lambda s: s.perturb(NMOS_45LP).vth
+        r1 = engine.run(f, 20)
+        r2 = MonteCarloEngine(ProcessVariation(), seed=3).run(f, 20)
+        assert np.array_equal(r1, r2)
+
+    def test_different_seeds_differ(self):
+        f = lambda s: s.perturb(NMOS_45LP).vth
+        r1 = MonteCarloEngine(ProcessVariation(), seed=1).run(f, 10)
+        r2 = MonteCarloEngine(ProcessVariation(), seed=2).run(f, 10)
+        assert not np.array_equal(r1, r2)
+
+    def test_skip_failures_records_nan(self):
+        def sometimes_fails(sample):
+            value = sample.perturb(NMOS_45LP).vth
+            if value > NMOS_45LP.vth:
+                raise RuntimeError("boom")
+            return value
+
+        engine = MonteCarloEngine(ProcessVariation(), seed=5)
+        results = engine.run(sometimes_fails, 50, skip_failures=True)
+        assert np.isnan(results).any()
+        assert np.isfinite(results).any()
+
+    def test_failures_propagate_by_default(self):
+        def always_fails(sample):
+            raise RuntimeError("boom")
+
+        engine = MonteCarloEngine(ProcessVariation(), seed=5)
+        with pytest.raises(RuntimeError):
+            engine.run(always_fails, 3)

@@ -1,0 +1,158 @@
+"""Unit tests for the EKV MOSFET model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spice.mosfet import (
+    Mosfet,
+    MosfetModel,
+    NMOS_45LP,
+    PMOS_45LP,
+    THERMAL_VOLTAGE,
+    evaluate_mosfets,
+    sigmoid,
+    softplus,
+)
+
+
+def eval_single(model, vd, vg, vs, vb, w=1e-6):
+    fet = Mosfet("m", "d", "g", "s", "b", model, w=w)
+    i_s = 2.0 * model.n * fet.beta * THERMAL_VOLTAGE**2
+    arrays = [np.array([x]) for x in (vd, vg, vs, vb)]
+    i_d, g_d, g_g, g_s, g_b = evaluate_mosfets(
+        np.array([model.polarity]), np.array([model.vth]),
+        np.array([model.n]), np.array([i_s]), np.array([model.lam]),
+        *arrays,
+    )
+    return float(i_d[0]), float(g_d[0]), float(g_g[0]), float(g_s[0]), float(g_b[0])
+
+
+class TestNumericHelpers:
+    def test_softplus_matches_log1p_exp(self):
+        x = np.array([-5.0, 0.0, 3.0])
+        assert np.allclose(softplus(x), np.log1p(np.exp(x)))
+
+    def test_softplus_linear_for_large_inputs(self):
+        assert float(softplus(np.array([100.0]))[0]) == pytest.approx(100.0)
+
+    def test_sigmoid_symmetry(self):
+        assert float(sigmoid(np.array([2.0]))[0]) + float(
+            sigmoid(np.array([-2.0]))[0]
+        ) == pytest.approx(1.0)
+
+    def test_sigmoid_extremes_do_not_overflow(self):
+        assert float(sigmoid(np.array([-1000.0]))[0]) == pytest.approx(0.0)
+        assert float(sigmoid(np.array([1000.0]))[0]) == pytest.approx(1.0)
+
+
+class TestNmosCurrents:
+    def test_current_increases_with_vgs(self):
+        currents = [
+            eval_single(NMOS_45LP, 1.1, vg, 0.0, 0.0)[0]
+            for vg in (0.4, 0.6, 0.8, 1.0)
+        ]
+        assert all(b > a for a, b in zip(currents, currents[1:]))
+
+    def test_zero_vds_zero_current(self):
+        i_d, *_ = eval_single(NMOS_45LP, 0.5, 1.1, 0.5, 0.0)
+        assert i_d == pytest.approx(0.0, abs=1e-12)
+
+    def test_reverse_vds_negative_current(self):
+        i_d, *_ = eval_single(NMOS_45LP, 0.0, 1.1, 0.5, 0.0)
+        assert i_d < 0
+
+    def test_off_current_is_picoamp_scale(self):
+        i_d, *_ = eval_single(NMOS_45LP, 1.1, 0.0, 0.0, 0.0, w=0.4e-6)
+        assert 0 < i_d < 1e-9  # low-power flavour: well under a nA
+
+    def test_saturation_current_positive_conductances(self):
+        _, g_d, g_g, g_s, g_b = eval_single(NMOS_45LP, 1.1, 1.1, 0.0, 0.0)
+        assert g_d > 0
+        assert g_g > 0
+        assert g_s < 0
+
+    def test_translation_invariance_of_conductances(self):
+        """Shifting every terminal equally leaves the current unchanged."""
+        i_1, *_ = eval_single(NMOS_45LP, 1.1, 1.1, 0.0, 0.0)
+        i_2, *_ = eval_single(NMOS_45LP, 1.3, 1.3, 0.2, 0.2)
+        assert i_2 == pytest.approx(i_1, rel=1e-9)
+
+    def test_bulk_conductance_closes_the_sum(self):
+        _, g_d, g_g, g_s, g_b = eval_single(NMOS_45LP, 0.8, 0.9, 0.1, 0.0)
+        assert g_d + g_g + g_s + g_b == pytest.approx(0.0, abs=1e-15)
+
+
+class TestDerivativesAgainstNumeric:
+    @pytest.mark.parametrize("terminal", ["vd", "vg", "vs", "vb"])
+    @pytest.mark.parametrize("model", [NMOS_45LP, PMOS_45LP],
+                             ids=["nmos", "pmos"])
+    def test_analytic_matches_finite_difference(self, terminal, model):
+        base = dict(vd=0.7, vg=0.9, vs=0.1, vb=0.0)
+        if model.polarity < 0:
+            base = dict(vd=0.3, vg=0.2, vs=1.0, vb=1.1)
+        h = 1e-6
+        lo = dict(base)
+        hi = dict(base)
+        lo[terminal] -= h
+        hi[terminal] += h
+        i_lo = eval_single(model, **lo)[0]
+        i_hi = eval_single(model, **hi)[0]
+        numeric = (i_hi - i_lo) / (2 * h)
+        idx = {"vd": 1, "vg": 2, "vs": 3, "vb": 4}[terminal]
+        analytic = eval_single(model, **base)[idx]
+        assert analytic == pytest.approx(numeric, rel=1e-3, abs=1e-12)
+
+
+class TestPmosMirror:
+    def test_pmos_conducts_with_low_gate(self):
+        # Source at vdd, gate at 0, drain at 0: current flows source->drain,
+        # i.e. drain current (d->s) is negative.
+        i_d, *_ = eval_single(PMOS_45LP, 0.0, 0.0, 1.1, 1.1)
+        assert i_d < 0
+
+    def test_pmos_off_with_high_gate(self):
+        i_d, *_ = eval_single(PMOS_45LP, 0.0, 1.1, 1.1, 1.1)
+        assert abs(i_d) < 1e-9
+
+    def test_mirror_symmetry_with_nmos(self):
+        """A PMOS at mirrored voltages carries the negated NMOS current."""
+        nmos = NMOS_45LP
+        pmos = MosfetModel(**{**nmos.__dict__, "name": "p", "polarity": -1})
+        i_n, *_ = eval_single(nmos, 0.8, 1.0, 0.0, 0.0)
+        i_p, *_ = eval_single(pmos, -0.8, -1.0, 0.0, 0.0)
+        assert i_p == pytest.approx(-i_n, rel=1e-12)
+
+
+class TestModelHelpers:
+    def test_with_variation_shifts_vth(self):
+        model = NMOS_45LP.with_variation(dvth=0.02)
+        assert model.vth == pytest.approx(NMOS_45LP.vth + 0.02)
+
+    def test_with_variation_scales_length(self):
+        model = NMOS_45LP.with_variation(dl_rel=0.1)
+        assert model.lmin == pytest.approx(NMOS_45LP.lmin * 1.1)
+
+    def test_saturation_current_monotonic_in_vdd(self):
+        currents = [NMOS_45LP.saturation_current(1e-6, v)
+                    for v in (0.7, 0.9, 1.1)]
+        assert currents[0] < currents[1] < currents[2]
+
+    def test_effective_resistance_drops_with_vdd(self):
+        r_lo = NMOS_45LP.effective_resistance(1e-6, 0.75)
+        r_hi = NMOS_45LP.effective_resistance(1e-6, 1.1)
+        assert r_hi < r_lo
+
+    def test_triode_resistance_below_effective(self):
+        r_tri = NMOS_45LP.triode_resistance(1e-6, 1.1)
+        r_eff = NMOS_45LP.effective_resistance(1e-6, 1.1)
+        assert 0 < r_tri < r_eff
+
+    def test_vth_must_be_positive_magnitude(self):
+        with pytest.raises(ValueError):
+            MosfetModel(**{**NMOS_45LP.__dict__, "vth": -0.4})
+
+    def test_polarity_validated(self):
+        with pytest.raises(ValueError):
+            MosfetModel(**{**NMOS_45LP.__dict__, "polarity": 2})

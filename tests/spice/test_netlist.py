@@ -1,0 +1,103 @@
+"""Unit tests for the Circuit container."""
+
+import pytest
+
+from repro.spice import Circuit, DC, NMOS_45LP, PMOS_45LP
+from repro.spice.netlist import GROUND
+
+
+class TestNodes:
+    def test_ground_is_index_zero(self):
+        assert Circuit().node_index(GROUND) == 0
+
+    def test_nodes_register_in_order(self):
+        c = Circuit()
+        c.add_resistor("r1", "a", "b", 1.0)
+        assert c.nodes == [GROUND, "a", "b"]
+
+    def test_num_nodes_includes_ground(self):
+        c = Circuit()
+        c.add_resistor("r1", "a", GROUND, 1.0)
+        assert c.num_nodes == 2
+
+    def test_has_node(self):
+        c = Circuit()
+        c.add_capacitor("c1", "x", GROUND, 1e-15)
+        assert c.has_node("x")
+        assert not c.has_node("y")
+
+
+class TestElementRegistration:
+    def test_duplicate_names_rejected(self):
+        c = Circuit()
+        c.add_resistor("e1", "a", "b", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            c.add_capacitor("e1", "a", "b", 1e-15)
+
+    def test_element_count(self):
+        c = Circuit()
+        c.add_resistor("r1", "a", "b", 1.0)
+        c.add_capacitor("c1", "a", GROUND, 1e-15)
+        c.add_vsource("v1", "a", GROUND, DC(1.0))
+        counts = c.element_count()
+        assert counts["resistors"] == 1
+        assert counts["capacitors"] == 1
+        assert counts["vsources"] == 1
+        assert counts["mosfets"] == 0
+
+    def test_vsource_accepts_float(self):
+        c = Circuit()
+        src = c.add_vsource("v1", "a", GROUND, 1.2)
+        assert src.waveform.value(0.0) == 1.2
+
+    def test_isource_accepts_float(self):
+        c = Circuit()
+        src = c.add_isource("i1", "a", GROUND, 1e-6)
+        assert src.waveform.value(0.0) == 1e-6
+
+
+class TestMosfetRegistration:
+    def test_parasitics_added_by_default(self):
+        c = Circuit()
+        c.add_mosfet("m1", "d", "g", "s", GROUND, NMOS_45LP, w=1e-6)
+        # gate, gate-drain, gate-source, drain junction, source junction
+        assert len(c.capacitors) == 5
+
+    def test_parasitics_can_be_disabled(self):
+        c = Circuit()
+        c.add_mosfet("m1", "d", "g", "s", GROUND, NMOS_45LP, w=1e-6,
+                     parasitics=False)
+        assert len(c.capacitors) == 0
+
+    def test_find_mosfet(self):
+        c = Circuit()
+        c.add_mosfet("m1", "d", "g", "s", GROUND, NMOS_45LP, w=1e-6)
+        assert c.find_mosfet("m1").w == 1e-6
+        assert c.find_mosfet("nope") is None
+
+    def test_gate_capacitance_scales_with_width(self):
+        c = Circuit()
+        small = c.add_mosfet("m1", "d", "g", "s", GROUND, NMOS_45LP,
+                             w=0.4e-6, parasitics=False)
+        big = c.add_mosfet("m2", "d", "g", "s", GROUND, NMOS_45LP,
+                           w=0.8e-6, parasitics=False)
+        assert big.gate_capacitance == pytest.approx(2 * small.gate_capacitance)
+
+    def test_total_capacitance_at_node(self):
+        c = Circuit()
+        c.add_capacitor("c1", "x", GROUND, 10e-15)
+        c.add_capacitor("c2", "x", "y", 5e-15)
+        c.add_capacitor("c3", "y", GROUND, 7e-15)
+        assert c.total_capacitance_at("x") == pytest.approx(15e-15)
+
+
+class TestMosfetValidation:
+    def test_rejects_zero_width(self):
+        c = Circuit()
+        with pytest.raises(ValueError, match="width"):
+            c.add_mosfet("m1", "d", "g", "s", GROUND, NMOS_45LP, w=0.0)
+
+    def test_default_length_is_lmin(self):
+        c = Circuit()
+        fet = c.add_mosfet("m1", "d", "g", "s", GROUND, PMOS_45LP, w=1e-6)
+        assert fet.l == PMOS_45LP.lmin

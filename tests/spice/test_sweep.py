@@ -1,0 +1,43 @@
+"""Unit tests for the sweep helper."""
+
+import numpy as np
+import pytest
+
+from repro.spice.sweep import SweepResult, sweep_parameter
+from repro.spice.waveform import NoOscillationError
+
+
+class TestSweepParameter:
+    def test_results_aligned_with_values(self):
+        sweep = sweep_parameter("x", [1.0, 2.0, 3.0], lambda x: x * 10)
+        assert list(sweep.values) == [1.0, 2.0, 3.0]
+        assert list(sweep.results) == [10.0, 20.0, 30.0]
+
+    def test_failure_propagates_by_default(self):
+        def bad(x):
+            raise NoOscillationError("stuck")
+
+        with pytest.raises(NoOscillationError):
+            sweep_parameter("x", [1.0], bad)
+
+    def test_nan_on_failure(self):
+        def sometimes(x):
+            if x > 2:
+                raise NoOscillationError("stuck")
+            return x
+
+        sweep = sweep_parameter("x", [1.0, 2.0, 3.0], sometimes,
+                                nan_on_failure=True)
+        assert np.isnan(sweep.results[2])
+        assert list(sweep.failed_values()) == [3.0]
+
+    def test_finite_filters_failures(self):
+        sweep = SweepResult("x", np.array([1.0, 2.0]),
+                            np.array([5.0, np.nan]))
+        finite = sweep.finite()
+        assert len(finite) == 1
+        assert finite.values[0] == 1.0
+
+    def test_iteration_yields_pairs(self):
+        sweep = sweep_parameter("x", [1.0, 4.0], lambda x: x + 1)
+        assert list(sweep) == [(1.0, 2.0), (4.0, 5.0)]

@@ -1,0 +1,127 @@
+"""Unit tests for transient analysis against closed-form solutions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    DC,
+    NMOS_45LP,
+    PMOS_45LP,
+    Pulse,
+    Step,
+    transient,
+)
+from repro.spice.netlist import GROUND
+
+
+def rc_circuit(r=1000.0, c=100e-15, v=1.0, t0=50e-12):
+    circuit = Circuit()
+    circuit.add_vsource("vin", "in", GROUND, Step(0.0, v, t0=t0, rise=1e-13))
+    circuit.add_resistor("r1", "in", "out", r)
+    circuit.add_capacitor("c1", "out", GROUND, c)
+    return circuit
+
+
+class TestRcAccuracy:
+    def test_charge_curve_matches_exponential(self):
+        r, c, v, t0 = 1000.0, 100e-15, 1.0, 50e-12
+        res = transient(rc_circuit(r, c, v, t0), 800e-12, 0.5e-12)
+        tau = r * c
+        for t_probe in (150e-12, 300e-12, 500e-12):
+            expected = v * (1.0 - math.exp(-(t_probe - t0) / tau))
+            got = res.waveform("out").value_at(t_probe)
+            assert got == pytest.approx(expected, abs=0.01)
+
+    def test_halfway_crossing_time(self):
+        r, c = 2000.0, 59e-15
+        res = transient(rc_circuit(r, c), 800e-12, 0.5e-12)
+        t50 = res.waveform("out").crossings(0.5, "rise")[0] - 50e-12
+        assert t50 == pytest.approx(0.6931 * r * c, rel=0.03)
+
+    def test_be_and_trap_agree(self):
+        kw = dict(stop_time=600e-12, timestep=1e-12)
+        out_trap = transient(rc_circuit(), method="trap", **kw)["out"]
+        out_be = transient(rc_circuit(), method="be", **kw)["out"]
+        assert np.max(np.abs(out_trap - out_be)) < 0.03
+
+    def test_finer_steps_converge(self):
+        coarse = transient(rc_circuit(), 600e-12, 4e-12)
+        fine = transient(rc_circuit(), 600e-12, 0.5e-12)
+        v_coarse = coarse.waveform("out").value_at(300e-12)
+        v_fine = fine.waveform("out").value_at(300e-12)
+        assert v_coarse == pytest.approx(v_fine, abs=0.02)
+
+
+class TestChargeConservation:
+    def test_floating_cap_holds_ic_voltage(self):
+        c = Circuit()
+        c.add_capacitor("c1", "x", GROUND, 1e-12)
+        c.add_resistor("rbig", "x", GROUND, 1e12)
+        res = transient(c, 1e-9, 1e-12, ics={"x": 0.7})
+        assert res["x"][-1] == pytest.approx(0.7, abs=1e-3)
+
+    def test_two_cap_charge_sharing(self):
+        """1 pF at 1 V shared with 1 pF at 0 V settles at 0.5 V."""
+        c = Circuit()
+        c.add_capacitor("c1", "a", GROUND, 1e-12)
+        c.add_capacitor("c2", "b", GROUND, 1e-12)
+        c.add_resistor("rshare", "a", "b", 1000.0)
+        res = transient(c, 20e-9, 10e-12, ics={"a": 1.0, "b": 0.0})
+        assert res["a"][-1] == pytest.approx(0.5, abs=0.01)
+        assert res["b"][-1] == pytest.approx(0.5, abs=0.01)
+
+
+class TestValidation:
+    def test_rejects_bad_method(self):
+        with pytest.raises(ValueError, match="method"):
+            transient(rc_circuit(), 1e-9, 1e-12, method="gear")
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ValueError):
+            transient(rc_circuit(), -1e-9, 1e-12)
+        with pytest.raises(ValueError):
+            transient(rc_circuit(), 1e-9, 0.0)
+
+    def test_record_subset(self):
+        res = transient(rc_circuit(), 200e-12, 1e-12, record=["out"])
+        assert "out" in res.voltages
+        assert "in" not in res.voltages
+
+
+class TestInverterTransient:
+    def _inverter_circuit(self, vdd=1.1):
+        c = Circuit()
+        c.add_vsource("vdd", "vdd", GROUND, DC(vdd))
+        c.add_vsource(
+            "vin", "in", GROUND,
+            Pulse(0.0, vdd, delay=100e-12, rise=20e-12, fall=20e-12,
+                  width=400e-12),
+        )
+        c.add_mosfet("mp", "out", "in", "vdd", "vdd", PMOS_45LP, w=0.8e-6)
+        c.add_mosfet("mn", "out", "in", GROUND, GROUND, NMOS_45LP, w=0.4e-6)
+        c.add_capacitor("cl", "out", GROUND, 2e-15)
+        return c
+
+    def test_output_inverts(self):
+        res = transient(self._inverter_circuit(), 1e-9, 1e-12)
+        w_out = res.waveform("out")
+        assert w_out.value_at(50e-12) > 1.0     # input low -> output high
+        assert w_out.value_at(300e-12) < 0.1    # input high -> output low
+
+    def test_propagation_delay_is_picoseconds(self):
+        res = transient(self._inverter_circuit(), 1e-9, 0.5e-12)
+        delay = res.waveform("in").propagation_delay_to(
+            res.waveform("out"), 0.55, edge_in="rise", edge_out="fall"
+        )
+        assert 2e-12 < delay < 60e-12
+
+    def test_rail_to_rail_swing(self):
+        res = transient(self._inverter_circuit(), 1e-9, 1e-12)
+        out = res["out"]
+        # Small Miller overshoot past the rails is physical (gate-drain
+        # overlap coupling), hence the asymmetric tolerance.
+        assert out.max() == pytest.approx(1.1, abs=0.05)
+        assert out.min() == pytest.approx(0.0, abs=0.05)

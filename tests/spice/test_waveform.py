@@ -1,0 +1,127 @@
+"""Unit tests for waveform post-processing."""
+
+import numpy as np
+import pytest
+
+from repro.spice.waveform import NoOscillationError, Waveform
+
+
+def make_square(period=1e-9, cycles=10, samples_per_cycle=100, high=1.0):
+    t = np.linspace(0, period * cycles, cycles * samples_per_cycle,
+                    endpoint=False)
+    v = (np.sin(2 * np.pi * t / period) > 0).astype(float) * high
+    return Waveform(t, v, name="sq")
+
+
+def make_sine(period=1e-9, cycles=10, samples_per_cycle=200):
+    t = np.linspace(0, period * cycles, cycles * samples_per_cycle)
+    return Waveform(t, np.sin(2 * np.pi * t / period), name="sin")
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Waveform(np.arange(5.0), np.arange(4.0))
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0]), np.array([1.0]))
+
+    def test_len(self):
+        assert len(Waveform(np.arange(7.0), np.zeros(7))) == 7
+
+
+class TestCrossings:
+    def test_linear_interpolation_of_crossing(self):
+        w = Waveform(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        assert w.crossings(0.25, "rise")[0] == pytest.approx(0.25)
+
+    def test_rise_and_fall_counts_on_sine(self):
+        w = make_sine(cycles=5)
+        assert len(w.crossings(0.0, "rise")) >= 4
+        assert len(w.crossings(0.0, "fall")) >= 4
+
+    def test_both_direction(self):
+        w = make_sine(cycles=3)
+        both = w.crossings(0.0, "both")
+        rise = w.crossings(0.0, "rise")
+        fall = w.crossings(0.0, "fall")
+        assert len(both) == len(rise) + len(fall)
+
+    def test_no_crossings_returns_empty(self):
+        w = Waveform(np.arange(10.0), np.zeros(10))
+        assert len(w.crossings(0.5, "rise")) == 0
+
+    def test_unknown_direction_rejected(self):
+        w = make_sine()
+        with pytest.raises(ValueError):
+            w.crossings(0.0, "sideways")
+
+
+class TestPeriod:
+    def test_period_of_sine(self):
+        w = make_sine(period=2e-9, cycles=10)
+        assert w.period(0.0) == pytest.approx(2e-9, rel=1e-3)
+
+    def test_period_skips_startup_cycles(self):
+        w = make_sine(period=1e-9, cycles=10)
+        assert w.period(0.0, skip_cycles=4) == pytest.approx(1e-9, rel=1e-3)
+
+    def test_flat_waveform_raises(self):
+        w = Waveform(np.arange(100.0), np.zeros(100))
+        with pytest.raises(NoOscillationError):
+            w.period(0.5)
+
+    def test_too_few_cycles_raises(self):
+        w = make_sine(cycles=3)
+        with pytest.raises(NoOscillationError):
+            w.period(0.0, skip_cycles=2, min_cycles=5)
+
+    def test_oscillates_predicate(self):
+        assert make_sine(cycles=10).oscillates(0.0)
+        assert not Waveform(np.arange(10.0), np.zeros(10)).oscillates(0.5)
+
+
+class TestPropagationDelay:
+    def test_shifted_copy_delay(self):
+        t = np.linspace(0, 10e-9, 2000)
+        v1 = np.clip((t - 1e-9) / 1e-10, 0, 1)
+        v2 = np.clip((t - 1.5e-9) / 1e-10, 0, 1)
+        w1, w2 = Waveform(t, v1, name="a"), Waveform(t, v2, name="b")
+        delay = w1.propagation_delay_to(w2, 0.5)
+        assert delay == pytest.approx(0.5e-9, rel=1e-3)
+
+    def test_missing_output_edge_raises(self):
+        t = np.linspace(0, 1e-9, 100)
+        w1 = Waveform(t, np.linspace(0, 1, 100), name="in")
+        w2 = Waveform(t, np.zeros(100), name="out")
+        with pytest.raises(NoOscillationError):
+            w1.propagation_delay_to(w2, 0.5)
+
+    def test_missing_input_edge_raises(self):
+        t = np.linspace(0, 1e-9, 100)
+        w1 = Waveform(t, np.zeros(100), name="in")
+        w2 = Waveform(t, np.linspace(0, 1, 100), name="out")
+        with pytest.raises(NoOscillationError):
+            w1.propagation_delay_to(w2, 0.5)
+
+
+class TestSliceAndValues:
+    def test_value_at_interpolates(self):
+        w = Waveform(np.array([0.0, 1.0]), np.array([0.0, 2.0]))
+        assert w.value_at(0.5) == pytest.approx(1.0)
+
+    def test_final_value(self):
+        w = Waveform(np.arange(4.0), np.array([0.0, 1.0, 2.0, 3.0]))
+        assert w.final_value() == 3.0
+
+    def test_slice_bounds(self):
+        w = make_sine(cycles=10)
+        sliced = w.slice(2e-9, 5e-9)
+        assert sliced.time[0] >= 2e-9
+        assert sliced.time[-1] <= 5e-9
+
+    def test_slice_too_narrow_raises(self):
+        w = make_sine(cycles=10)
+        with pytest.raises(ValueError):
+            w.slice(1e-9, 1e-9 + 1e-15)

@@ -1,0 +1,46 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+The slowest example (the transistor-level oscilloscope) is exercised at
+reduced scale through its building blocks elsewhere; here we execute the
+fast examples exactly as a user would.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+def test_quickstart_runs_and_classifies(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "pass" in out
+    assert "resistive_open" in out
+    assert "stuck" in out
+
+
+@pytest.mark.slow
+def test_multivoltage_screen_runs(capsys):
+    out = run_example("multivoltage_leakage_screen.py", capsys)
+    assert "R_L,stop" in out
+    assert "oscillation stops" in out or "ps" in out
+
+
+def test_production_screening_runs(capsys):
+    out = run_example("production_die_screening.py", capsys)
+    assert "screening outcome" in out
+    assert "DfT budget" in out
+
+
+def test_group_diagnosis_runs(capsys):
+    out = run_example("group_diagnosis.py", capsys)
+    assert "total measurements" in out
+    assert "[14]" in out  # the injected strong leak is isolated

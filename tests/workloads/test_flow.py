@@ -1,0 +1,107 @@
+"""Integration tests for the die-scale screening flow."""
+
+import math
+
+import pytest
+
+from repro.core.multivoltage import analytic_engine_factory
+from repro.core.segments import RingOscillatorConfig
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+from repro.workloads.flow import FlowMetrics, ScreeningFlow
+from repro.workloads.generator import DefectStatistics, DiePopulation
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return ScreeningFlow(
+        analytic_engine_factory(RingOscillatorConfig()),
+        characterization_samples=80,
+        seed=11,
+    )
+
+
+class TestCharacterization:
+    def test_band_per_voltage(self, flow):
+        for vdd in flow.voltages:
+            band = flow.band(vdd)
+            assert band.low < band.high
+
+    def test_nominal_measurement_inside_band(self, flow):
+        for vdd in flow.voltages:
+            dt = flow._measure(Tsv(), vdd, seed=123)
+            assert flow.band(vdd).contains(dt)
+
+
+class TestScreening:
+    def test_clean_die_has_no_escapes(self, flow):
+        stats = DefectStatistics(void_rate=0.0, pinhole_rate=0.0)
+        pop = DiePopulation(num_tsvs=60, stats=stats, seed=1)
+        metrics = flow.screen_die(pop)
+        assert metrics.true_faulty == 0
+        assert metrics.escapes == 0
+        assert metrics.detection_rate == 1.0
+
+    def test_gross_defects_all_detected(self, flow):
+        """Full opens and hard shorts must never escape."""
+        stats = DefectStatistics(
+            void_rate=0.2, pinhole_rate=0.2,
+            full_open_fraction=1.0,        # every void is a full open
+            pinhole_r_median=300.0,        # strong leakage
+            pinhole_r_sigma_ln=0.2,
+        )
+        pop = DiePopulation(num_tsvs=100, stats=stats, seed=2)
+        metrics = flow.screen_die(pop)
+        assert metrics.true_faulty > 10
+        assert metrics.escape_rate < 0.15
+
+    def test_overkill_modest(self, flow):
+        stats = DefectStatistics(void_rate=0.0, pinhole_rate=0.0)
+        pop = DiePopulation(num_tsvs=200, stats=stats, seed=3)
+        metrics = flow.screen_die(pop)
+        assert metrics.overkill_rate < 0.10
+
+    def test_metrics_accounting_consistent(self, flow):
+        pop = DiePopulation(num_tsvs=100, seed=4)
+        metrics = flow.screen_die(pop)
+        assert metrics.detected + metrics.escapes == metrics.true_faulty
+        assert metrics.measurements > 0
+        assert metrics.test_time > 0
+
+    def test_group_screen_reduces_measurements_on_clean_die(self):
+        factory = analytic_engine_factory(RingOscillatorConfig())
+        stats = DefectStatistics(void_rate=0.0, pinhole_rate=0.0)
+        pop = DiePopulation(num_tsvs=100, stats=stats, seed=5)
+        isolating = ScreeningFlow(factory, characterization_samples=60,
+                                  group_screen_first=False, seed=6)
+        grouped = ScreeningFlow(factory, characterization_samples=60,
+                                group_screen_first=True, seed=6)
+        m_iso = isolating.screen_die(pop)
+        m_grp = grouped.screen_die(pop)
+        assert m_grp.measurements < m_iso.measurements
+
+    def test_more_voltages_never_hurt_detection(self):
+        factory = analytic_engine_factory(RingOscillatorConfig())
+        stats = DefectStatistics(void_rate=0.0, pinhole_rate=0.15,
+                                 pinhole_r_median=1200.0,
+                                 pinhole_r_sigma_ln=0.5)
+        pop = DiePopulation(num_tsvs=150, stats=stats, seed=7)
+        single = ScreeningFlow(factory, voltages=(1.1,),
+                               characterization_samples=60, seed=8)
+        multi = ScreeningFlow(factory, voltages=(1.1, 0.95, 0.8, 0.75),
+                              characterization_samples=60, seed=8)
+        d_single = single.screen_die(pop).detected
+        d_multi = multi.screen_die(pop).detected
+        assert d_multi >= d_single
+
+
+class TestFlowMetrics:
+    def test_rates_with_zero_denominators(self):
+        metrics = FlowMetrics(num_tsvs=10, true_faulty=0)
+        assert metrics.escape_rate == 0.0
+        assert metrics.detection_rate == 1.0
+
+    def test_as_row_keys(self):
+        row = FlowMetrics(num_tsvs=5).as_row()
+        for key in ("detection_rate", "escape_rate", "overkill_rate",
+                    "test_time_s"):
+            assert key in row

@@ -1,0 +1,98 @@
+"""Unit tests for the defect-population generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.tsv import Leakage, ResistiveOpen
+from repro.workloads.generator import (
+    DefectStatistics,
+    DiePopulation,
+    TsvRecord,
+)
+
+
+class TestDefectStatistics:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            DefectStatistics(void_rate=1.5)
+        with pytest.raises(ValueError):
+            DefectStatistics(void_rate=0.6, pinhole_rate=0.6)
+
+
+class TestDiePopulation:
+    def test_size_and_indexing(self):
+        pop = DiePopulation(num_tsvs=100, seed=1)
+        assert len(pop) == 100
+        assert pop[3].index == 3
+
+    def test_seeded_reproducibility(self):
+        a = DiePopulation(num_tsvs=200, seed=9)
+        b = DiePopulation(num_tsvs=200, seed=9)
+        assert a.faulty_indices() == b.faulty_indices()
+
+    def test_different_seeds_differ(self):
+        a = DiePopulation(num_tsvs=500, seed=1)
+        b = DiePopulation(num_tsvs=500, seed=2)
+        assert a.faulty_indices() != b.faulty_indices()
+
+    def test_defect_rate_statistics(self):
+        stats = DefectStatistics(void_rate=0.05, pinhole_rate=0.05)
+        pop = DiePopulation(num_tsvs=4000, stats=stats, seed=3)
+        summary = pop.defect_summary()
+        assert summary["defect_rate"] == pytest.approx(0.10, abs=0.02)
+        assert summary["voids"] > 0
+        assert summary["pinholes"] > 0
+
+    def test_zero_rates_give_clean_die(self):
+        stats = DefectStatistics(void_rate=0.0, pinhole_rate=0.0)
+        pop = DiePopulation(num_tsvs=100, stats=stats, seed=0)
+        assert pop.faulty_indices() == []
+
+    def test_fault_parameters_physical(self):
+        stats = DefectStatistics(void_rate=0.2, pinhole_rate=0.2)
+        pop = DiePopulation(num_tsvs=500, stats=stats, seed=5)
+        for record in pop:
+            fault = record.tsv.fault
+            if isinstance(fault, ResistiveOpen):
+                assert fault.r_open >= 1.0
+                assert 0.0 <= fault.x <= 1.0
+            elif isinstance(fault, Leakage):
+                assert fault.r_leak >= 10.0
+
+    def test_full_opens_present_at_high_fraction(self):
+        stats = DefectStatistics(void_rate=0.3, full_open_fraction=0.5)
+        pop = DiePopulation(num_tsvs=300, stats=stats, seed=2)
+        opens = [
+            r.tsv.fault for r in pop
+            if isinstance(r.tsv.fault, ResistiveOpen)
+        ]
+        assert any(math.isinf(f.r_open) for f in opens)
+        assert any(math.isfinite(f.r_open) for f in opens)
+
+    def test_capacitance_variation_bounded(self):
+        pop = DiePopulation(num_tsvs=300, seed=4)
+        caps = np.array([r.tsv.params.capacitance for r in pop])
+        assert caps.min() >= 0.8 * 59e-15 - 1e-18
+        assert caps.max() <= 1.2 * 59e-15 + 1e-18
+        assert caps.std() > 0
+
+    def test_groups_partition(self):
+        pop = DiePopulation(num_tsvs=23, seed=0)
+        groups = pop.groups(5)
+        assert len(groups) == 5
+        assert sum(len(g) for g in groups) == 23
+
+    def test_groups_validation(self):
+        with pytest.raises(ValueError):
+            DiePopulation(num_tsvs=10, seed=0).groups(0)
+
+    def test_record_kind_labels(self):
+        pop = DiePopulation(
+            num_tsvs=200,
+            stats=DefectStatistics(void_rate=0.5, pinhole_rate=0.0),
+            seed=8,
+        )
+        kinds = {r.fault_kind for r in pop}
+        assert kinds <= {"fault_free", "resistive_open"}
