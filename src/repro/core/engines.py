@@ -48,6 +48,35 @@ from repro.spice.netlist import Circuit, GROUND
 from repro.spice.waveform import NoOscillationError
 
 
+def _first_crossings_after(
+    time: np.ndarray,
+    traces: np.ndarray,
+    level: float,
+    direction: str,
+    t_min: float,
+) -> np.ndarray:
+    """Per-corner first interpolated crossing at/after ``t_min``.
+
+    Vectorized equivalent of ``Waveform.crossings(level, direction)``
+    followed by taking the first crossing ``>= t_min``; ``traces`` is the
+    stacked ``(S, T)`` voltage array and the return value is ``(S,)``
+    with NaN where a corner never crosses (stuck path).
+    """
+    below = traces < level
+    if direction == "rise":
+        mask = below[:, :-1] & ~below[:, 1:]
+    else:
+        mask = ~below[:, :-1] & below[:, 1:]
+    v1 = traces[:, :-1]
+    v2 = traces[:, 1:]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        frac = (level - v1) / (v2 - v1)
+    t_cross = time[:-1] + frac * (time[1:] - time[:-1])
+    cand = np.where(mask & (t_cross >= t_min), t_cross, np.inf)
+    first = cand.min(axis=1)
+    return np.where(np.isfinite(first), first, np.nan)
+
+
 def _same_seed_samples(
     variation: Optional[ProcessVariation], seed: int
 ) -> Tuple[Optional[ProcessSample], Optional[ProcessSample]]:
@@ -332,32 +361,22 @@ class StageDelayEngine:
         )
         if resistor_overrides:
             for short_name, values in resistor_overrides.items():
-                params.with_resistor(elements[short_name], values)
+                params = params.with_resistor(elements[short_name], values)
         sim = BatchedSimulation(circuit, params)
         result = sim.transient(
             self._stop_time(), self.timestep, record=["din", "dout"]
         )
         vdd = self.config.vdd
         half = vdd / 2.0
-        s = params.num_corners
-        d_rise = np.full(s, np.nan)
-        d_fall = np.full(s, np.nan)
         win = result.waveform("din", 0)
         t_rise_in = win.crossings(half, "rise")
         t_fall_in = win.crossings(half, "fall")
         if len(t_rise_in) == 0 or len(t_fall_in) == 0:
             raise NoOscillationError("input pulse malformed")
         tr, tf = t_rise_in[0], t_fall_in[0]
-        for corner in range(s):
-            wout = result.waveform("dout", corner)
-            ups = wout.crossings(half, "rise")
-            downs = wout.crossings(half, "fall")
-            ups = ups[ups >= tr]
-            downs = downs[downs >= tf]
-            if len(ups):
-                d_rise[corner] = ups[0] - tr
-            if len(downs):
-                d_fall[corner] = downs[0] - tf
+        vout = result.voltages["dout"]
+        d_rise = _first_crossings_after(result.time, vout, half, "rise", tr) - tr
+        d_fall = _first_crossings_after(result.time, vout, half, "fall", tf) - tf
         return d_rise, d_fall
 
     def delta_t_mc(

@@ -8,8 +8,14 @@ This package replaces the HSPICE runs of the paper.  It provides:
   across weak/moderate/strong inversion (required for the multi-voltage
   experiments of the paper, which operate gates between 0.7 V and 1.2 V
   with |Vth| around 0.46 V).
-* :mod:`repro.spice.mna` -- modified nodal analysis assembly and the shared
-  Newton-Raphson solver.
+* :mod:`repro.spice.mna` -- the compiled MNA system facade and Newton
+  options.
+* :mod:`repro.spice.stamping` -- the assembly layer: compiled
+  :class:`StampPlan` scatter indices shared by scalar and batched runs.
+* :mod:`repro.spice.linalg` -- the linear-solve layer: pluggable
+  :class:`LinearSolver` backends (cached LU, batched dense).
+* :mod:`repro.spice.stepper` -- the stepper layer: the shared Newton
+  loop, DC solve, and trap/BE integrator.
 * :mod:`repro.spice.dc` -- DC operating-point analysis.
 * :mod:`repro.spice.transient` -- backward-Euler / trapezoidal transient
   analysis.
@@ -43,11 +49,31 @@ from repro.spice.montecarlo import (
     NOMINAL_PROCESS,
 )
 from repro.spice.batch import BatchParameters, BatchedSimulation
+from repro.spice.linalg import (
+    BatchedDense,
+    DenseDirect,
+    DenseLU,
+    LinearSolver,
+    available_backends,
+    make_solver,
+    register_backend,
+)
+from repro.spice.stamping import StampPlan
+from repro.spice.stepper import TransientStepper
 from repro.spice.sweep import sweep_parameter
 
 __all__ = [
     "BatchParameters",
+    "BatchedDense",
     "BatchedSimulation",
+    "DenseDirect",
+    "DenseLU",
+    "LinearSolver",
+    "StampPlan",
+    "TransientStepper",
+    "available_backends",
+    "make_solver",
+    "register_backend",
     "Capacitor",
     "Circuit",
     "CurrentSource",

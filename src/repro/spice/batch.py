@@ -14,26 +14,29 @@ Supported per-corner overrides:
 * per-MOSFET threshold shifts and relative channel-length changes
   (the Monte Carlo mismatch model);
 * per-resistor resistance values (fault sweeps: R_O, R_L);
-* per-capacitor capacitance values (TSV capacitance variation);
-* per-voltage-source DC scale (supply-voltage corners are normally run as
-  separate batches, but scaling is available for completeness).
+* per-capacitor capacitance values (TSV capacitance variation).
 
-The numerical method matches :mod:`repro.spice.transient`: trapezoidal
-integration with a backward-Euler first step, damped Newton, linear
-prediction of the next time point.
+The numerical method is *identical* to :mod:`repro.spice.transient` by
+construction: both are wrappers around the shared
+:class:`repro.spice.stepper.TransientStepper`, which handles trapezoidal
+integration with a backward-Euler first step, damped Newton with
+per-corner convergence masking, linear prediction of the next time point,
+and local step bisection on convergence failure.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.spice.mna import ConvergenceError, MnaSystem, NewtonOptions
-from repro.spice.mosfet import THERMAL_VOLTAGE, evaluate_mosfets
+from repro.spice.linalg import BackendSpec
+from repro.spice.mna import MnaSystem, NewtonOptions
+from repro.spice.montecarlo import ProcessVariation, clamp_4sigma
 from repro.spice.netlist import Circuit
-from repro.spice.montecarlo import ProcessVariation
+from repro.spice.stamping import FetParams
+from repro.spice.stepper import TransientStepper, solve_dc_plan
 from repro.spice.waveform import Waveform
 
 
@@ -73,30 +76,31 @@ class BatchParameters:
         num_fets = len(circuit.mosfets)
         dvth = rng.normal(0.0, variation.sigma_vth, (num_corners, num_fets))
         dl = rng.normal(0.0, variation.sigma_leff_rel, (num_corners, num_fets))
-        if variation.sigma_vth:
-            dvth = np.clip(dvth, -4 * variation.sigma_vth, 4 * variation.sigma_vth)
-        if variation.sigma_leff_rel:
-            dl = np.clip(dl, -4 * variation.sigma_leff_rel, 4 * variation.sigma_leff_rel)
+        dvth = clamp_4sigma(dvth, variation.sigma_vth)
+        dl = clamp_4sigma(dl, variation.sigma_leff_rel)
         return cls(num_corners=num_corners, mosfet_dvth=dvth, mosfet_dl_rel=dl)
 
-    def with_resistor(self, name: str, values: np.ndarray) -> "BatchParameters":
-        """Return self with a per-corner resistor override added."""
+    def _check_shape(self, name: str, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=float)
         if values.shape != (self.num_corners,):
             raise ValueError(
                 f"override for {name!r} must have shape ({self.num_corners},)"
             )
-        self.resistor_values[name] = values
-        return self
+        return values
+
+    def with_resistor(self, name: str, values: np.ndarray) -> "BatchParameters":
+        """Return a copy of self with a per-corner resistor override added."""
+        values = self._check_shape(name, values)
+        return replace(
+            self, resistor_values={**self.resistor_values, name: values}
+        )
 
     def with_capacitor(self, name: str, values: np.ndarray) -> "BatchParameters":
-        values = np.asarray(values, dtype=float)
-        if values.shape != (self.num_corners,):
-            raise ValueError(
-                f"override for {name!r} must have shape ({self.num_corners},)"
-            )
-        self.capacitor_values[name] = values
-        return self
+        """Return a copy of self with a per-corner capacitor override added."""
+        values = self._check_shape(name, values)
+        return replace(
+            self, capacitor_values={**self.capacitor_values, name: values}
+        )
 
 
 @dataclass
@@ -123,147 +127,79 @@ class BatchedSimulation:
         circuit: Circuit,
         params: BatchParameters,
         options: Optional[NewtonOptions] = None,
+        backend: BackendSpec = "batched",
     ):
         self.circuit = circuit
         self.params = params
         self.options = options or NewtonOptions()
+        self.backend = backend
         self.num_corners = params.num_corners
-        # Reuse the scalar system for structure (indices, linear stamps).
+        # The scalar system provides the compiled plan (and legacy views).
         self.system = MnaSystem(circuit, self.options)
-        self.size = self.system.size
-        self.num_nodes = self.system.num_nodes
-        self._build_stacked()
+        self.plan = self.system.plan
+        self.size = self.plan.size
+        self.num_nodes = self.plan.num_nodes
+        self._compile()
 
     # ------------------------------------------------------------------
-    def _build_stacked(self) -> None:
-        sys_ = self.system
+    def _compile(self) -> None:
+        plan = self.plan
         circuit = self.circuit
+        params = self.params
         s = self.num_corners
 
-        # Linear matrix per corner. Start from the scalar linear matrix
-        # and patch any overridden resistors.
-        a = np.broadcast_to(sys_.a_linear, (s, self.size, self.size)).copy()
-        for name, values in self.params.resistor_values.items():
-            res = next((r for r in circuit.resistors if r.name == name), None)
-            if res is None:
-                raise KeyError(f"no resistor named {name!r} in circuit")
-            i = circuit.node_index(res.n1)
-            j = circuit.node_index(res.n2)
-            dg = 1.0 / values - res.conductance
-            a[:, i, i] += dg
-            a[:, j, j] += dg
-            a[:, i, j] -= dg
-            a[:, j, i] -= dg
-        self.a_linear = a
+        # Resistor conductances: shared across corners unless overridden
+        # (the solver backends broadcast a shared base matrix).
+        if params.resistor_values:
+            res_names = [r.name for r in circuit.resistors]
+            res_g = np.broadcast_to(
+                plan.res_g0, (s, plan.num_resistors)
+            ).copy()
+            for name, values in params.resistor_values.items():
+                try:
+                    idx = res_names.index(name)
+                except ValueError:
+                    raise KeyError(f"no resistor named {name!r} in circuit")
+                res_g[:, idx] = 1.0 / values
+            self.res_g: Optional[np.ndarray] = res_g
+        else:
+            self.res_g = None
 
-        # Capacitances per corner.
-        cap_c = np.broadcast_to(sys_.cap_c, (s, len(sys_.cap_c))).copy()
-        if self.params.capacitor_values:
+        # Capacitances: shared unless overridden.
+        if params.capacitor_values:
             cap_names = [c.name for c in circuit.capacitors]
-            for name, values in self.params.capacitor_values.items():
+            cap_c = np.broadcast_to(plan.cap_c0, (s, plan.num_caps)).copy()
+            for name, values in params.capacitor_values.items():
                 try:
                     idx = cap_names.index(name)
                 except ValueError:
                     raise KeyError(f"no capacitor named {name!r} in circuit")
                 cap_c[:, idx] = values
-        self.cap_c = cap_c
+            self.cap_c = cap_c
+        else:
+            self.cap_c = plan.cap_c0
 
-        # MOSFET parameters per corner.
-        fets = circuit.mosfets
-        vth = np.broadcast_to(sys_.fet_vth, (s, len(fets))).copy()
-        leff = np.array([f.l for f in fets])
-        leff = np.broadcast_to(leff, (s, len(fets))).copy()
-        if self.params.mosfet_dvth is not None:
-            vth = vth + self.params.mosfet_dvth
-        if self.params.mosfet_dl_rel is not None:
-            leff = leff * (1.0 + self.params.mosfet_dl_rel)
-        kp = np.array([f.model.kp for f in fets])
-        w = np.array([f.w for f in fets])
-        beta = kp * w / leff
-        self.fet_vth = vth
-        self.fet_is = 2.0 * sys_.fet_n * beta * THERMAL_VOLTAGE**2
-
-    # ------------------------------------------------------------------
-    def _stamp_mosfets(self, a: np.ndarray, b: np.ndarray, x: np.ndarray) -> None:
-        sys_ = self.system
-        if len(sys_.fet_d) == 0:
-            return
-        vd = x[:, sys_.fet_d]
-        vg = x[:, sys_.fet_g]
-        vs = x[:, sys_.fet_s]
-        vb = x[:, sys_.fet_b]
-        i_d, g_d, g_g, g_s, g_b = evaluate_mosfets(
-            sys_.fet_polarity, self.fet_vth, sys_.fet_n, self.fet_is,
-            sys_.fet_lam, vd, vg, vs, vb,
+        # MOSFET parameters (possibly per-corner).
+        self.fets: Optional[FetParams] = (
+            plan.fet_params(params.mosfet_dvth, params.mosfet_dl_rel)
+            if plan.num_fets
+            else None
         )
-        vals = np.concatenate(
-            [g_d, g_g, g_s, g_b, -g_d, -g_g, -g_s, -g_b], axis=1
-        )
-        s = self.num_corners
-        flat_idx = sys_._jac_rows * self.size + sys_._jac_cols
-        a_flat = a.reshape(s, self.size * self.size)
-        np.add.at(a_flat, (np.arange(s)[:, None], flat_idx[None, :]), vals)
-        ieq = i_d - g_d * vd - g_g * vg - g_s * vs - g_b * vb
-        np.add.at(
-            b,
-            (np.arange(s)[:, None], sys_._rhs_rows[None, :]),
-            np.concatenate([-ieq, ieq], axis=1),
-        )
-
-    def _newton(
-        self, a_base: np.ndarray, b_base: np.ndarray, x: np.ndarray, label: str
-    ) -> np.ndarray:
-        opts = self.options
-        x = x.copy()
-        x[:, 0] = 0.0
-        for _ in range(opts.max_iterations):
-            a = a_base.copy()
-            b = b_base.copy()
-            self._stamp_mosfets(a, b, x)
-            try:
-                sol = np.linalg.solve(a[:, 1:, 1:], b[:, 1:, None])[..., 0]
-            except np.linalg.LinAlgError as exc:
-                raise ConvergenceError(f"singular batched matrix ({label})") from exc
-            x_new = np.zeros_like(x)
-            x_new[:, 1:] = sol
-            delta = x_new - x
-            dv = delta[:, : self.num_nodes]
-            max_dv = float(np.max(np.abs(dv))) if dv.size else 0.0
-            x = x + np.clip(delta, -opts.damping, opts.damping)
-            x[:, 0] = 0.0
-            vmax = float(np.max(np.abs(x[:, : self.num_nodes]))) + 1e-12
-            if max_dv < opts.vntol + opts.reltol * vmax:
-                if np.all(np.abs(delta) <= opts.damping + 1e-15):
-                    x = x_new
-                    x[:, 0] = 0.0
-                return x
-        raise ConvergenceError(f"batched Newton did not converge ({label})")
 
     # ------------------------------------------------------------------
     def solve_dc(self, ics: Optional[Dict[str, float]] = None) -> np.ndarray:
-        """Batched DC solve with gmin stepping fallback."""
-        a = self.a_linear.copy()
-        b = np.zeros((self.num_corners, self.size))
-        b_row = np.zeros(self.size)
-        self.system.source_rhs(0.0, b_row)
-        b += b_row
-        if ics:
-            for node, voltage in ics.items():
-                idx = self.circuit.node_index(node)
-                a[:, idx, idx] += 1e3
-                b[:, idx] += 1e3 * voltage
-        x0 = np.zeros((self.num_corners, self.size))
-        try:
-            return self._newton(a, b, x0, "dc")
-        except ConvergenceError:
-            pass
-        x = np.zeros((self.num_corners, self.size))
-        idx = np.arange(1, self.num_nodes)
-        for gstep in np.logspace(0, -9, 19):
-            a_step = a.copy()
-            a_step[:, idx, idx] += gstep
-            x = self._newton(a_step, b, x, f"dc gmin={gstep:.1e}")
-        return self._newton(a, b, x, "dc final")
+        """Batched DC solve with gmin stepping fallback; returns (S, size)."""
+        space = self.plan.reduced
+        return solve_dc_plan(
+            space,
+            self.fets,
+            self.options,
+            self.backend,
+            num_corners=self.num_corners,
+            t=0.0,
+            ics=ics,
+            a_linear=space.assemble_linear(self.res_g),
+        )
 
     def transient(
         self,
@@ -272,66 +208,37 @@ class BatchedSimulation:
         ics: Optional[Dict[str, float]] = None,
         record: Optional[Iterable[str]] = None,
         method: str = "trap",
+        max_retries: int = 4,
     ) -> BatchedResult:
         """Run the batched transient; see :func:`repro.spice.transient.transient`."""
+        if method not in ("trap", "be"):
+            raise ValueError(f"unknown integration method {method!r}")
         if timestep <= 0 or stop_time <= 0:
             raise ValueError("stop_time and timestep must be positive")
-        sys_ = self.system
-        s = self.num_corners
         x = self.solve_dc(ics=ics)
 
-        num_steps = int(round(stop_time / timestep))
-        times = np.arange(num_steps + 1) * timestep
         record_nodes = list(record) if record is not None else self.circuit.nodes
         record_idx = {n: self.circuit.node_index(n) for n in record_nodes}
-        traces = {n: np.empty((s, num_steps + 1)) for n in record_nodes}
-        for node, idx in record_idx.items():
-            traces[node][:, 0] = x[:, idx]
 
-        n1, n2 = sys_.cap_n1, sys_.cap_n2
-        vc = x[:, n1] - x[:, n2]
-        ic = np.zeros_like(vc)
-        use_trap = method == "trap"
-
-        def cap_matrix(geq_factor: float) -> tuple[np.ndarray, np.ndarray]:
-            geq = geq_factor * self.cap_c / timestep
-            a = self.a_linear.copy()
-            a_flat = a.reshape(s, self.size * self.size)
-            for rows, cols, sign in (
-                (n1, n1, 1.0), (n2, n2, 1.0), (n1, n2, -1.0), (n2, n1, -1.0),
-            ):
-                flat = rows * self.size + cols
-                np.add.at(a_flat, (np.arange(s)[:, None], flat[None, :]), sign * geq)
-            return a, geq
-
-        a_trap, geq_trap = cap_matrix(2.0) if use_trap else (None, None)
-        a_be, geq_be = cap_matrix(1.0)
-
-        x_prev = x.copy()
-        for k in range(1, num_steps + 1):
-            t_new = times[k]
-            first = k == 1
-            trap_now = use_trap and not first
-            a_base = a_trap if trap_now else a_be
-            geq = geq_trap if trap_now else geq_be
-            b = np.zeros((s, self.size))
-            b_row = np.zeros(self.size)
-            sys_.source_rhs(t_new, b_row)
-            b += b_row
-            ieq = geq * vc + (ic if trap_now else 0.0)
-            np.add.at(b, (np.arange(s)[:, None], n1[None, :]), ieq)
-            np.add.at(b, (np.arange(s)[:, None], n2[None, :]), -ieq)
-            # Linear prediction of the next point speeds Newton up.
-            x_guess = 2.0 * x - x_prev if k > 1 else x
-            x_prev = x
-            x = self._newton(a_base, b, x_guess, f"tran t={t_new:.3e}")
-            vc_new = x[:, n1] - x[:, n2]
-            if trap_now:
-                ic = geq * vc_new - ieq
-            else:
-                ic = geq * (vc_new - vc)
-            vc = vc_new
-            for node, idx in record_idx.items():
-                traces[node][:, k] = x[:, idx]
-
-        return BatchedResult(time=times, voltages=traces, num_corners=s)
+        # Stepping runs in the condensed space: source-driven rails and
+        # inputs are eliminated, shrinking every per-step stacked solve.
+        space = self.plan.condensed
+        stepper = TransientStepper(
+            space=space,
+            fets=self.fets,
+            cap_c=self.cap_c,
+            a_linear=space.assemble_linear(self.res_g),
+            bpin_linear=space.bpin_linear(self.res_g),
+            options=self.options,
+            backend=self.backend,
+            num_corners=self.num_corners,
+        )
+        stepped = stepper.run(
+            stop_time, timestep, x, record_idx,
+            method=method, max_retries=max_retries,
+        )
+        return BatchedResult(
+            time=stepped.time,
+            voltages=stepped.traces,
+            num_corners=self.num_corners,
+        )

@@ -10,6 +10,10 @@ Node initial conditions (``ics``) are honoured by clamping those nodes
 with a large-conductance Norton equivalent -- the standard SPICE ``.IC``
 treatment -- which is how we start ring oscillators away from their
 metastable DC solution.
+
+The solve itself is the shared :func:`repro.spice.stepper.solve_dc_plan`
+(one implementation for scalar and batched analyses); this module keeps
+the historical scalar entry points.
 """
 
 from __future__ import annotations
@@ -18,27 +22,12 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.spice.mna import ConvergenceError, MnaSystem, NewtonOptions
+from repro.spice.mna import MnaSystem, NewtonOptions
 from repro.spice.netlist import Circuit
+from repro.spice.stepper import CLAMP_G, solve_dc_plan
 
 #: Conductance used to clamp .IC nodes (siemens).
-_CLAMP_G = 1e3
-
-
-def _assemble_dc(
-    system: MnaSystem,
-    t: float,
-    ics: Optional[Dict[str, float]],
-) -> tuple[np.ndarray, np.ndarray]:
-    a = system.a_linear.copy()
-    b = np.zeros(system.size)
-    system.source_rhs(t, b)
-    if ics:
-        for node, voltage in ics.items():
-            idx = system.circuit.node_index(node)
-            a[idx, idx] += _CLAMP_G
-            b[idx] += _CLAMP_G * voltage
-    return a, b
+_CLAMP_G = CLAMP_G
 
 
 def solve_dc(
@@ -48,21 +37,20 @@ def solve_dc(
     guess: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Solve for the DC operating point; returns the full solution vector."""
-    a, b = _assemble_dc(system, t, ics)
-    x0 = guess.copy() if guess is not None else np.zeros(system.size)
-    try:
-        return system.newton_solve(a, b, x0, label="dc")
-    except ConvergenceError:
-        pass
-
-    # gmin stepping: solve a sequence of increasingly stiff problems.
-    x = np.zeros(system.size)
-    idx = np.arange(1, system.num_nodes)
-    for gstep in np.logspace(0, -9, 19):
-        a_step = a.copy()
-        a_step[idx, idx] += gstep
-        x = system.newton_solve(a_step, b, x, label=f"dc gmin={gstep:.1e}")
-    return system.newton_solve(a, b, x, label="dc final")
+    plan = system.plan
+    # DC runs in the reduced (currents-kept) space so the returned vector
+    # reports voltage-source branch currents.
+    x = solve_dc_plan(
+        plan.reduced,
+        plan.nominal_fets() if plan.num_fets else None,
+        system.options,
+        "dense_lu",
+        num_corners=1,
+        t=t,
+        ics=ics,
+        guess=None if guess is None else np.asarray(guess, dtype=float)[None, :],
+    )
+    return x[0]
 
 
 def dc_operating_point(

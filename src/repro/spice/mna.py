@@ -1,29 +1,51 @@
-"""Modified nodal analysis assembly and the shared Newton-Raphson solver.
+"""Modified nodal analysis: compiled system facade and Newton options.
 
 The unknown vector is ``x = [v_0, v_1, ..., v_{N-1}, i_src_0, ...]`` where
-``v_0`` is ground.  We stamp the full matrix including the ground row and
-column, then solve the reduced system ``A[1:, 1:] x[1:] = b[1:]`` with
-``v_0 = 0`` enforced.  This keeps stamping branch-free and vectorized.
+``v_0`` is ground.  Assembly is delegated to the compiled
+:class:`~repro.spice.stamping.StampPlan` (the *assembly layer*), which
+precomputes flat scatter indices for every element family and serves both
+scalar ``(n, n)`` and stacked ``(S, n, n)`` systems from the same index
+structures.  :class:`MnaSystem` remains the public entry point and keeps
+its historical attribute surface (``a_linear``, ``fet_d``, ``source_rhs``,
+``newton_solve``, ...) as thin views over the plan.
 
-MOSFETs are the only nonlinear elements; their evaluation is vectorized
-across all devices (see :func:`repro.spice.mosfet.evaluate_mosfets`), and
-the six Jacobian entries plus the Norton equivalent current per device are
-scattered into the matrix with ``np.add.at``.
+The Newton-Raphson iteration itself lives in :mod:`repro.spice.stepper`
+(the *stepper layer*) and runs over pluggable linear-algebra backends from
+:mod:`repro.spice.linalg`; :meth:`MnaSystem.newton_solve` wraps it for the
+scalar full-matrix call signature older code and tests use.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.spice.mosfet import THERMAL_VOLTAGE, evaluate_mosfets
 from repro.spice.netlist import Circuit
+from repro.spice.stamping import StampPlan
 
 
 class ConvergenceError(RuntimeError):
-    """Raised when the Newton iteration fails to converge."""
+    """Raised when the Newton iteration fails to converge.
+
+    Attributes:
+        corners: Indices of the corners that had not converged when the
+            iteration gave up (``[0]`` for scalar solves).
+        max_dv: Final maximum node-voltage update per failing corner
+            (same order as ``corners``), or ``None`` when unavailable
+            (e.g. a singular-matrix failure).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        corners: Optional[Sequence[int]] = None,
+        max_dv: Optional[np.ndarray] = None,
+    ):
+        super().__init__(message)
+        self.corners = list(corners) if corners is not None else []
+        self.max_dv = max_dv
 
 
 @dataclass
@@ -44,127 +66,56 @@ class MnaSystem:
         self.circuit = circuit
         self.options = options or NewtonOptions()
 
-        self.num_nodes = circuit.num_nodes
-        self.num_vsrc = len(circuit.vsources)
-        self.size = self.num_nodes + self.num_vsrc
+        self.plan = StampPlan(circuit, gmin=self.options.gmin)
+        plan = self.plan
+        self.num_nodes = plan.num_nodes
+        self.num_vsrc = plan.num_vsrc
+        self.size = plan.size
 
-        self._build_linear()
-        self._build_capacitors()
-        self._build_mosfets()
+        # Historical attribute surface, now views over the plan.
+        self.a_linear = plan.assemble_linear()
+        self.cap_n1 = plan.cap_n1
+        self.cap_n2 = plan.cap_n2
+        self.cap_c = plan.cap_c0
+        self.fet_d = plan.fet_d
+        self.fet_g = plan.fet_g
+        self.fet_s = plan.fet_s
+        self.fet_b = plan.fet_b
+        self.fet_polarity = plan.fet_polarity
+        self.fet_vth = plan.fet_vth0
+        self.fet_n = plan.fet_n
+        self.fet_lam = plan.fet_lam
+        self._nominal_fets = plan.nominal_fets() if plan.num_fets else None
+        self.fet_is = (
+            self._nominal_fets.i_s if self._nominal_fets is not None
+            else np.empty(0)
+        )
+        self._jac_rows = plan.fet_rows
+        self._jac_cols = plan.fet_cols
+        self._rhs_rows = plan.fet_rhs_rows
 
     # ------------------------------------------------------------------
-    # Static structure
-    # ------------------------------------------------------------------
-    def _build_linear(self) -> None:
-        circuit = self.circuit
-        n = self.size
-        a = np.zeros((n, n))
-        # Resistors.
-        for res in circuit.resistors:
-            i = circuit.node_index(res.n1)
-            j = circuit.node_index(res.n2)
-            g = res.conductance
-            a[i, i] += g
-            a[j, j] += g
-            a[i, j] -= g
-            a[j, i] -= g
-        # gmin from every node to ground (aids convergence; negligible
-        # compared to any real conductance in these circuits).
-        idx = np.arange(1, self.num_nodes)
-        a[idx, idx] += self.options.gmin
-        # Voltage-source incidence.
-        for k, src in enumerate(circuit.vsources):
-            row = self.num_nodes + k
-            i = circuit.node_index(src.npos)
-            j = circuit.node_index(src.nneg)
-            a[i, row] += 1.0
-            a[j, row] -= 1.0
-            a[row, i] += 1.0
-            a[row, j] -= 1.0
-        self.a_linear = a
-
-        # Source index arrays for fast RHS assembly.
-        self._vsrc_rows = self.num_nodes + np.arange(self.num_vsrc)
-        self._isrc_pos = np.array(
-            [circuit.node_index(s.npos) for s in circuit.isources], dtype=int
-        )
-        self._isrc_neg = np.array(
-            [circuit.node_index(s.nneg) for s in circuit.isources], dtype=int
-        )
-
-    def _build_capacitors(self) -> None:
-        circuit = self.circuit
-        self.cap_n1 = np.array(
-            [circuit.node_index(c.n1) for c in circuit.capacitors], dtype=int
-        )
-        self.cap_n2 = np.array(
-            [circuit.node_index(c.n2) for c in circuit.capacitors], dtype=int
-        )
-        self.cap_c = np.array([c.capacitance for c in circuit.capacitors])
-
-    def _build_mosfets(self) -> None:
-        circuit = self.circuit
-        fets = circuit.mosfets
-        self.fet_d = np.array([circuit.node_index(f.drain) for f in fets], dtype=int)
-        self.fet_g = np.array([circuit.node_index(f.gate) for f in fets], dtype=int)
-        self.fet_s = np.array([circuit.node_index(f.source) for f in fets], dtype=int)
-        self.fet_b = np.array([circuit.node_index(f.bulk) for f in fets], dtype=int)
-        self.fet_polarity = np.array([f.model.polarity for f in fets], dtype=int)
-        self.fet_vth = np.array([f.model.vth for f in fets])
-        self.fet_n = np.array([f.model.n for f in fets])
-        self.fet_lam = np.array([f.model.lam for f in fets])
-        beta = np.array([f.beta for f in fets])
-        self.fet_is = 2.0 * self.fet_n * beta * THERMAL_VOLTAGE**2
-
-        # Precomputed scatter indices for the 8 Jacobian entries per device
-        # (rows d,d,d,d,s,s,s,s; cols d,g,s,b,d,g,s,b) and the RHS rows.
-        d, g, s, b = self.fet_d, self.fet_g, self.fet_s, self.fet_b
-        self._jac_rows = np.concatenate([d, d, d, d, s, s, s, s])
-        self._jac_cols = np.concatenate([d, g, s, b, d, g, s, b])
-        self._rhs_rows = np.concatenate([d, s])
-
-    # ------------------------------------------------------------------
-    # Assembly pieces
+    # Assembly pieces (delegating to the plan)
     # ------------------------------------------------------------------
     def source_rhs(self, t: float, b: np.ndarray) -> None:
         """Add independent-source contributions at time ``t`` into ``b``."""
-        circuit = self.circuit
-        for k, src in enumerate(circuit.vsources):
-            b[self.num_nodes + k] += src.waveform.value(t)
-        for k, src in enumerate(circuit.isources):
-            current = src.waveform.value(t)
-            b[self._isrc_pos[k]] -= current
-            b[self._isrc_neg[k]] += current
+        self.plan.source_rhs_into(b, t)
 
     def stamp_capacitors_conductance(self, a: np.ndarray, geq: np.ndarray) -> None:
         """Stamp companion conductances ``geq`` (per capacitor) into ``a``."""
-        n1, n2 = self.cap_n1, self.cap_n2
-        np.add.at(a, (n1, n1), geq)
-        np.add.at(a, (n2, n2), geq)
-        np.add.at(a, (n1, n2), -geq)
-        np.add.at(a, (n2, n1), -geq)
+        self.plan.stamp_capacitor_matrix(a, geq)
 
     def stamp_capacitors_current(self, b: np.ndarray, ieq: np.ndarray) -> None:
         """Stamp companion currents ``ieq`` (flowing into n1) into ``b``."""
-        np.add.at(b, self.cap_n1, ieq)
-        np.add.at(b, self.cap_n2, -ieq)
+        self.plan.stamp_capacitor_rhs(b, ieq)
 
     def stamp_mosfets(self, a: np.ndarray, b: np.ndarray, v: np.ndarray) -> None:
         """Linearize all MOSFETs around node voltages ``v`` and stamp."""
-        if len(self.fet_d) == 0:
+        if self._nominal_fets is None:
             return
-        vd = v[self.fet_d]
-        vg = v[self.fet_g]
-        vs = v[self.fet_s]
-        vb = v[self.fet_b]
-        i_d, g_d, g_g, g_s, g_b = evaluate_mosfets(
-            self.fet_polarity, self.fet_vth, self.fet_n, self.fet_is,
-            self.fet_lam, vd, vg, vs, vb,
-        )
-        vals = np.concatenate([g_d, g_g, g_s, g_b, -g_d, -g_g, -g_s, -g_b])
-        np.add.at(a, (self._jac_rows, self._jac_cols), vals)
-        ieq = i_d - g_d * vd - g_g * vg - g_s * vs - g_b * vb
-        np.add.at(b, self._rhs_rows, np.concatenate([-ieq, ieq]))
+        lin = self.plan.linearize_fets(self._nominal_fets, v)
+        self.plan.stamp_fet_matrix(a, lin)
+        self.plan.stamp_fet_rhs(b, lin)
 
     # ------------------------------------------------------------------
     # Newton solve
@@ -187,35 +138,23 @@ class MnaSystem:
         Returns:
             The converged solution vector (node voltages + source currents).
         """
-        opts = self.options
-        x = v_guess.copy()
-        x[0] = 0.0
-        for _ in range(opts.max_iterations):
-            a = a_base.copy()
-            b = b_base.copy()
-            self.stamp_mosfets(a, b, x)
-            x_new = np.zeros_like(x)
-            try:
-                x_new[1:] = np.linalg.solve(a[1:, 1:], b[1:])
-            except np.linalg.LinAlgError as exc:
-                raise ConvergenceError(
-                    f"singular MNA matrix during Newton solve {label!r}"
-                ) from exc
-            delta = x_new - x
-            dv = delta[: self.num_nodes]
-            step = np.clip(delta, -opts.damping, opts.damping)
-            x = x + step
-            x[0] = 0.0
-            max_dv = float(np.max(np.abs(dv))) if len(dv) else 0.0
-            if max_dv < opts.vntol + opts.reltol * float(
-                np.max(np.abs(x[: self.num_nodes])) + 1e-12
-            ):
-                # Take the undamped final solution when the step was small.
-                if np.all(np.abs(delta) <= opts.damping + 1e-15):
-                    x = x_new
-                    x[0] = 0.0
-                return x
-        raise ConvergenceError(
-            f"Newton failed to converge after {opts.max_iterations} iterations "
-            f"({label or 'unnamed solve'})"
+        # Deferred import: the stepper layer imports NewtonOptions and
+        # ConvergenceError from this module.
+        from repro.spice.linalg import make_solver
+        from repro.spice.stepper import newton_iterate
+
+        # The reduced space keeps all unknowns except ground, ordered as
+        # in the full vector, so ``a_base[1:, 1:]`` matches its layout.
+        space = self.plan.reduced
+        solver = make_solver("batched", space)
+        solver.set_base(np.ascontiguousarray(a_base[1:, 1:]))
+        x = newton_iterate(
+            solver,
+            space,
+            self._nominal_fets,
+            np.ascontiguousarray(b_base[1:])[None, :],
+            np.asarray(v_guess, dtype=float)[None, :],
+            self.options,
+            label=label,
         )
+        return x[0]

@@ -22,6 +22,20 @@ import numpy as np
 from repro.spice.mosfet import MosfetModel
 
 
+def clamp_4sigma(draw, sigma: float):
+    """Clamp Gaussian mismatch draws to +-4 sigma (no-op for sigma == 0).
+
+    Extreme tails would take the simplified device model outside its
+    calibrated range without adding information.  Shared by the scalar
+    :class:`ProcessSample` stream and the batched
+    :meth:`repro.spice.batch.BatchParameters.monte_carlo` draws so both
+    apply the same truncation.
+    """
+    if not sigma:
+        return draw
+    return np.clip(draw, -4.0 * sigma, 4.0 * sigma)
+
+
 @dataclass(frozen=True)
 class ProcessVariation:
     """Per-transistor variation magnitudes (1-sigma values).
@@ -79,11 +93,8 @@ class ProcessSample:
             if v.sigma_leff_rel
             else 0.0
         )
-        # Clamp to +-4 sigma; extreme tails would take the simplified model
-        # outside its calibrated range without adding information.
-        dvth = float(np.clip(dvth, -4 * v.sigma_vth, 4 * v.sigma_vth))
-        if v.sigma_leff_rel:
-            dl = float(np.clip(dl, -4 * v.sigma_leff_rel, 4 * v.sigma_leff_rel))
+        dvth = float(clamp_4sigma(dvth, v.sigma_vth))
+        dl = float(clamp_4sigma(dl, v.sigma_leff_rel))
         return model.with_variation(dvth=dvth, dl_rel=dl)
 
 

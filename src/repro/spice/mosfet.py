@@ -272,13 +272,16 @@ def evaluate_mosfets(
     sr = softplus(ur / 2.0)
     f_f = sf * sf
     f_r = sr * sr
-    # dF/du = sqrt(F) * sigmoid(u/2)
-    df_f = sf * sigmoid(uf / 2.0)
-    df_r = sr * sigmoid(ur / 2.0)
+    # dF/du = sqrt(F) * sigmoid(u/2), with the sigmoid fused onto the
+    # already-computed softplus: sigmoid(u) = exp(u - softplus(u)).
+    df_f = sf * np.exp(uf / 2.0 - sf)
+    df_r = sr * np.exp(ur / 2.0 - sr)
 
     vds = vdm - vsm
-    m = 1.0 + lam * vt * softplus(vds / vt)
-    dm_dvds = lam * sigmoid(vds / vt)
+    uv = vds / vt
+    spv = softplus(uv)
+    m = 1.0 + lam * vt * spv
+    dm_dvds = lam * np.exp(uv - spv)
 
     core = f_f - f_r
     i_mirror = i_s * core * m

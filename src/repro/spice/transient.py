@@ -10,18 +10,25 @@ stiff startup phases and is automatically used for the first step.
 The initial state comes from a DC solve, optionally with ``.IC`` node
 clamps -- the mechanism used to start ring oscillators away from their
 metastable equilibrium.
+
+The integration loop itself is the shared
+:class:`repro.spice.stepper.TransientStepper`; this function is the
+scalar wrapper (a batch of one corner) and defaults to the cached-LU
+linear-algebra backend.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
 from repro.spice.dc import solve_dc
-from repro.spice.mna import ConvergenceError, MnaSystem, NewtonOptions
+from repro.spice.linalg import BackendSpec
+from repro.spice.mna import MnaSystem, NewtonOptions
 from repro.spice.netlist import Circuit
+from repro.spice.stepper import TransientStepper
 from repro.spice.waveform import Waveform
 
 
@@ -49,6 +56,7 @@ def transient(
     record: Optional[Iterable[str]] = None,
     options: Optional[NewtonOptions] = None,
     max_retries: int = 4,
+    backend: BackendSpec = "dense_lu",
 ) -> TransientResult:
     """Run a transient analysis of ``circuit``.
 
@@ -63,6 +71,8 @@ def transient(
         options: Newton solver options.
         max_retries: On a non-convergent step, the step is retried with a
             locally halved timestep up to this many times.
+        backend: Linear-solver backend name or class
+            (see :mod:`repro.spice.linalg`).
 
     Returns:
         A :class:`TransientResult` with voltages sampled on the uniform
@@ -74,111 +84,29 @@ def transient(
         raise ValueError("stop_time and timestep must be positive")
 
     system = MnaSystem(circuit, options)
+    plan = system.plan
     x = solve_dc(system, t=0.0, ics=ics)
-
-    num_steps = int(round(stop_time / timestep))
-    times = np.arange(num_steps + 1) * timestep
 
     record_nodes = list(record) if record is not None else circuit.nodes
     record_idx = {node: circuit.node_index(node) for node in record_nodes}
-    traces = {node: np.empty(num_steps + 1) for node in record_nodes}
-    for node, idx in record_idx.items():
-        traces[node][0] = x[idx]
 
-    cap_c = system.cap_c
-    n1, n2 = system.cap_n1, system.cap_n2
-    vc = x[n1] - x[n2]
-    ic = np.zeros_like(cap_c)  # capacitor currents (for TRAP)
-
-    # Precompute the base matrix for the nominal step size.
-    def base_matrix(h: float, use_trap: bool) -> tuple[np.ndarray, np.ndarray]:
-        geq = (2.0 if use_trap else 1.0) * cap_c / h
-        a = system.a_linear.copy()
-        system.stamp_capacitors_conductance(a, geq)
-        return a, geq
-
-    use_trap_default = method == "trap"
-    a_nom, geq_nom = base_matrix(timestep, use_trap_default)
-    a_be = None
-    geq_be = None
-    if use_trap_default:
-        a_be, geq_be = base_matrix(timestep, False)
-
-    t = 0.0
-    for k in range(1, num_steps + 1):
-        t_target = times[k]
-        # First step uses BE to avoid trapezoidal ringing from the DC point.
-        first = k == 1
-        x, vc, ic = _advance(
-            system, x, vc, ic, t, t_target,
-            a_nom if (use_trap_default and not first) else (a_be if a_be is not None else a_nom),
-            geq_nom if (use_trap_default and not first) else (geq_be if geq_be is not None else geq_nom),
-            use_trap=(use_trap_default and not first),
-            max_retries=max_retries,
-        )
-        t = t_target
-        for node, idx in record_idx.items():
-            traces[node][k] = x[idx]
-
-    return TransientResult(time=times, voltages=traces)
-
-
-def _advance(
-    system: MnaSystem,
-    x: np.ndarray,
-    vc: np.ndarray,
-    ic: np.ndarray,
-    t_from: float,
-    t_to: float,
-    a_base: np.ndarray,
-    geq: np.ndarray,
-    use_trap: bool,
-    max_retries: int,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Advance the solution from ``t_from`` to ``t_to`` in one step,
-    bisecting locally on convergence failure."""
-    try:
-        return _single_step(system, x, vc, ic, t_to, a_base, geq, use_trap)
-    except ConvergenceError:
-        if max_retries <= 0:
-            raise
-        # Retry with two half steps using backward Euler (robust).
-        h_half = (t_to - t_from) / 2.0
-        geq_half = system.cap_c / h_half
-        a_half = system.a_linear.copy()
-        system.stamp_capacitors_conductance(a_half, geq_half)
-        t_mid = t_from + h_half
-        x, vc, ic = _advance(
-            system, x, vc, ic, t_from, t_mid, a_half, geq_half,
-            use_trap=False, max_retries=max_retries - 1,
-        )
-        return _advance(
-            system, x, vc, ic, t_mid, t_to, a_half, geq_half,
-            use_trap=False, max_retries=max_retries - 1,
-        )
-
-
-def _single_step(
-    system: MnaSystem,
-    x: np.ndarray,
-    vc: np.ndarray,
-    ic: np.ndarray,
-    t_new: float,
-    a_base: np.ndarray,
-    geq: np.ndarray,
-    use_trap: bool,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    b = np.zeros(system.size)
-    system.source_rhs(t_new, b)
-    if use_trap:
-        ieq = geq * vc + ic
-    else:
-        ieq = geq * vc
-    system.stamp_capacitors_current(b, ieq)
-    x_new = system.newton_solve(a_base, b, x, label=f"tran t={t_new:.3e}")
-    vc_new = x_new[system.cap_n1] - x_new[system.cap_n2]
-    if use_trap:
-        ic_new = geq * vc_new - ieq
-    else:
-        ic_new = geq * (vc_new - vc)
-    return x_new, vc_new, ic_new
+    # Stepping runs in the condensed space: source-driven rails and
+    # inputs are eliminated, shrinking every per-step linear solve.
+    space = plan.condensed
+    stepper = TransientStepper(
+        space=space,
+        fets=plan.nominal_fets() if plan.num_fets else None,
+        cap_c=plan.cap_c0,
+        a_linear=space.assemble_linear(),
+        options=system.options,
+        backend=backend,
+        num_corners=1,
+    )
+    stepped = stepper.run(
+        stop_time, timestep, x[None, :], record_idx,
+        method=method, max_retries=max_retries,
+    )
+    return TransientResult(
+        time=stepped.time,
+        voltages={node: tr[0] for node, tr in stepped.traces.items()},
+    )

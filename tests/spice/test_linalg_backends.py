@@ -1,0 +1,226 @@
+"""Cross-backend contracts of the unified MNA solver stack.
+
+Every registered linear-algebra backend must produce the same physics:
+the Fig. 4 ring oscillator's period and a leaky stage's propagation
+delays may differ between backends only at solver tolerance (well below
+0.1 ps, the paper's measurement resolution).  The module also pins the
+structural claims of the refactor: scalar and S=1 batched assemblies are
+bit-identical, the scalar/batched wrappers carry no integrator logic of
+their own, and :class:`ConvergenceError` reports per-corner diagnostics.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.spice.batch as batch_module
+import repro.spice.transient as transient_module
+from repro.core.segments import RingOscillatorConfig, build_ring_oscillator
+from repro.core.tsv import Leakage, Tsv
+from repro.spice import (
+    Circuit,
+    DenseLU,
+    StampPlan,
+    available_backends,
+    make_solver,
+    transient,
+)
+from repro.spice.mna import ConvergenceError, MnaSystem, NewtonOptions
+from repro.spice.mosfet import NMOS_45LP, PMOS_45LP
+
+BACKENDS = sorted(available_backends())
+
+#: Cross-backend agreement bound: far below the paper's 0.1 ps resolution.
+PERIOD_TOL = 0.1e-12
+
+
+def _build_oscillator():
+    config = RingOscillatorConfig(num_segments=2)
+    return build_ring_oscillator([Tsv()] * 2, config)
+
+
+def _leakage_stage():
+    """One enabled segment with a leaky TSV (the Fig. 8 configuration)."""
+    from repro.core.engines import StageDelayEngine
+
+    engine = StageDelayEngine(timestep=2e-12)
+    circuit, _ = engine._segment_circuit(
+        Tsv(fault=Leakage(20e3)), bypassed=False
+    )
+    return engine, circuit
+
+
+class TestBackendEquivalence:
+    def _periods(self, backend_names):
+        ro = _build_oscillator()
+        periods = {}
+        for name in backend_names:
+            result = transient(
+                ro.circuit, 6e-9, 2e-12,
+                ics=ro.startup_ics, record=[ro.osc_node], backend=name,
+            )
+            wave = result.waveform(ro.osc_node)
+            periods[name] = wave.period(ro.measurement_threshold)
+        return periods
+
+    def test_oscillator_period_identical_across_backends(self):
+        periods = self._periods(BACKENDS)
+        values = np.array(list(periods.values()))
+        assert values.min() > 0
+        spread = values.max() - values.min()
+        assert spread < PERIOD_TOL, f"backend periods disagree: {periods}"
+
+    def test_leakage_stage_delays_identical_across_backends(self):
+        engine, circuit = _leakage_stage()
+        half = engine.config.vdd / 2.0
+        delays = {}
+        for name in BACKENDS:
+            result = transient(
+                circuit, engine._stop_time(), engine.timestep,
+                record=["din", "dout"], backend=name,
+            )
+            t_in = result.waveform("din").crossings(half, "rise")[0]
+            t_out = result.waveform("dout").crossings(half, "rise")
+            t_out = t_out[t_out >= t_in][0]
+            delays[name] = t_out - t_in
+        values = np.array(list(delays.values()))
+        assert values.min() > 0
+        assert values.max() - values.min() < PERIOD_TOL, (
+            f"backend stage delays disagree: {delays}"
+        )
+
+
+class TestScalarBatchedAssemblyParity:
+    """StampPlan must serve (n, n) and (S, n, n) shapes bit-identically."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        scales=st.lists(
+            st.floats(min_value=0.05, max_value=20.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=8,
+        )
+    )
+    def test_linear_assembly_bit_identical(self, scales):
+        engine, circuit = _leakage_stage()
+        plan = StampPlan(circuit, gmin=1e-9)
+        res_g = plan.res_g0 * np.resize(scales, plan.num_resistors)
+        for space in (plan.reduced, plan.condensed):
+            scalar = space.assemble_linear(res_g)
+            stacked = space.assemble_linear(res_g[None, :])
+            assert stacked.shape == (1,) + scalar.shape
+            assert np.array_equal(scalar, stacked[0])
+            bp_scalar = space.bpin_linear(res_g)
+            bp_stacked = space.bpin_linear(res_g[None, :])
+            assert np.array_equal(bp_scalar, bp_stacked[0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_fet_stamps_bit_identical(self, data):
+        engine, circuit = _leakage_stage()
+        plan = StampPlan(circuit, gmin=1e-9)
+        fets = plan.nominal_fets()
+        volts = data.draw(
+            st.lists(
+                st.floats(min_value=-1.5, max_value=1.5,
+                          allow_nan=False, allow_infinity=False),
+                min_size=plan.size, max_size=plan.size,
+            )
+        )
+        x = np.array(volts)
+        lin_scalar = plan.linearize_fets(fets, x)
+        lin_stacked = plan.linearize_fets(fets, x[None, :])
+        space = plan.condensed
+        a1 = np.zeros((space.dim, space.dim))
+        a2 = np.zeros((1, space.dim, space.dim))
+        space.stamp_fet_matrix(a1, lin_scalar)
+        space.stamp_fet_matrix(a2, lin_stacked)
+        assert np.array_equal(a1, a2[0])
+        b1 = np.zeros(space.dim)
+        b2 = np.zeros((1, space.dim))
+        space.stamp_fet_rhs(b1, lin_scalar)
+        space.stamp_fet_rhs(b2, lin_stacked)
+        assert np.array_equal(b1, b2[0])
+
+
+class TestDenseLuWoodbury:
+    """The low-rank update path must agree with the direct dense solve."""
+
+    def _few_fet_circuit(self):
+        """One inverter into a long RC ladder: F=2 devices, many nodes."""
+        circuit = Circuit("woodbury")
+        circuit.add_vsource("vdd", "vdd", "0", 1.1)
+        from repro.spice.elements import Pulse
+
+        circuit.add_vsource(
+            "vin", "in", "0",
+            Pulse(0.0, 1.1, delay=0.1e-9, rise=20e-12, fall=20e-12,
+                  width=1e-9),
+        )
+        circuit.add_mosfet("mp", "out0", "in", "vdd", "vdd",
+                           PMOS_45LP, w=0.4e-6)
+        circuit.add_mosfet("mn", "out0", "in", "0", "0",
+                           NMOS_45LP, w=0.2e-6)
+        prev = "out0"
+        for k in range(8):
+            node = f"n{k}"
+            circuit.add_resistor(f"r{k}", prev, node, 500.0)
+            circuit.add_capacitor(f"c{k}", node, "0", 5e-15)
+            prev = node
+        return circuit
+
+    def test_woodbury_path_is_active_and_agrees_with_dense(self):
+        circuit = self._few_fet_circuit()
+        plan = StampPlan(circuit, gmin=1e-9)
+        solver = make_solver("dense_lu", plan.condensed)
+        assert isinstance(solver, DenseLU)
+        assert solver._use_woodbury, (
+            "expected the low-rank path for F=2 devices on a large ladder"
+        )
+        lu = transient(circuit, 2e-9, 2e-12, record=["n7"],
+                       backend="dense_lu")
+        dense = transient(circuit, 2e-9, 2e-12, record=["n7"],
+                          backend="dense")
+        assert np.abs(lu.voltages["n7"] - dense.voltages["n7"]).max() < 1e-9
+
+
+class TestConvergenceDiagnostics:
+    def _nonlinear_system(self):
+        circuit = Circuit("diag")
+        circuit.add_vsource("vdd", "vdd", "0", 1.1)
+        circuit.add_mosfet("mp", "out", "0", "vdd", "vdd",
+                           PMOS_45LP, w=0.4e-6)
+        circuit.add_mosfet("mn", "out", "vdd", "0", "0",
+                           NMOS_45LP, w=0.2e-6)
+        return MnaSystem(circuit, NewtonOptions(max_iterations=1))
+
+    def test_error_reports_corner_indices_and_max_dv(self):
+        system = self._nonlinear_system()
+        b = np.zeros(system.size)
+        system.source_rhs(0.0, b)
+        with pytest.raises(ConvergenceError) as excinfo:
+            system.newton_solve(system.a_linear, b,
+                                np.zeros(system.size), label="diag")
+        err = excinfo.value
+        assert err.corners == [0]
+        assert err.max_dv is not None and err.max_dv.shape == (1,)
+        assert err.max_dv[0] > 0
+        assert "corner 0" in str(err)
+        assert "max_dv" in str(err)
+
+
+class TestNoDuplicatedIntegratorLogic:
+    """The scalar/batched wrappers must not re-implement the stepper."""
+
+    @pytest.mark.parametrize("module", [transient_module, batch_module])
+    def test_wrappers_delegate_to_shared_stepper(self, module):
+        source = inspect.getsource(module)
+        assert "TransientStepper" in source
+        # No inner linear solves or companion-model math of their own.
+        for token in ("np.linalg.solve", "geq", "ieq", "lu_factor"):
+            assert token not in source, (
+                f"{module.__name__} re-implements integrator logic "
+                f"(found {token!r})"
+            )
