@@ -7,13 +7,19 @@
   report.
 """
 
-from repro.analysis.reporting import Table, format_seconds, format_si
+from repro.analysis.reporting import (
+    Table,
+    format_seconds,
+    format_si,
+    telemetry_table,
+)
 from repro.analysis.stats import roc_auc, roc_points, summarize
 
 __all__ = [
     "Table",
     "format_seconds",
     "format_si",
+    "telemetry_table",
     "roc_auc",
     "roc_points",
     "summarize",

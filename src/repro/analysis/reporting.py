@@ -97,3 +97,30 @@ class Table:
     def print(self) -> None:
         print()
         print(self.render())
+
+
+def telemetry_table(
+    snapshot: Dict[str, Dict[str, Number]],
+    title: str = "telemetry",
+) -> Table:
+    """Render a :meth:`repro.telemetry.Telemetry.snapshot` as a table.
+
+    Counters come first (sorted by name), then per-phase wall times, then
+    the derived cache hit rate when any cache traffic was recorded.
+
+    Example:
+        >>> from repro.telemetry import get_telemetry
+        >>> telemetry_table(get_telemetry().snapshot()).print()  # doctest: +SKIP
+    """
+    table = Table(["metric", "value"], title=title)
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        table.add_row([name, counters[name]])
+    for name in sorted(snapshot.get("phase_seconds", {})):
+        seconds = snapshot["phase_seconds"][name]
+        table.add_row([f"phase:{name}", format_seconds(seconds)])
+    hits = counters.get("cache_hits", 0)
+    misses = counters.get("cache_misses", 0)
+    if hits + misses:
+        table.add_row(["cache_hit_rate", f"{hits / (hits + misses):.1%}"])
+    return table

@@ -15,6 +15,8 @@ Submodules:
 * :mod:`repro.core.aliasing` -- Monte Carlo spread/overlap analysis
   (Figs. 7, 9, 10).
 * :mod:`repro.core.area` -- the DfT area-cost model (Sec. IV-D).
+* :mod:`repro.core.telemetry` -- the run-wide telemetry registry
+  (Newton/solver counters, cache traffic, per-phase wall time).
 """
 
 from repro.core.tsv import (
@@ -39,16 +41,26 @@ from repro.core.diagnosis import (
 )
 from repro.core.session import PrebondTestSession, TestDecision, TestOutcome
 from repro.core.multivoltage import (
+    AnalyticEngineFactory,
     MultiVoltagePlan,
+    analytic_engine_factory,
     detectable_leakage_range,
     leakage_stop_threshold,
+)
+from repro.core.telemetry import (
+    Telemetry,
+    get_telemetry,
+    telemetry_phase,
+    use_telemetry,
 )
 from repro.core.aliasing import SpreadPair, mc_delta_t_spread
 from repro.core.area import DftAreaModel
 
 __all__ = [
     "AnalyticEngine",
+    "AnalyticEngineFactory",
     "DftAreaModel",
+    "Telemetry",
     "EngineGroupMeasurer",
     "FaultFree",
     "GroupDiagnosis",
@@ -67,8 +79,12 @@ __all__ = [
     "TsvFault",
     "TsvParameters",
     "TSV_DEFAULT",
+    "analytic_engine_factory",
     "detectable_leakage_range",
     "fault_free_band_per_tsv",
+    "get_telemetry",
     "leakage_stop_threshold",
     "mc_delta_t_spread",
+    "telemetry_phase",
+    "use_telemetry",
 ]

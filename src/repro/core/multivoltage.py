@@ -200,12 +200,23 @@ class MultiVoltagePlan:
         ]
 
 
+@dataclass(frozen=True)
+class AnalyticEngineFactory:
+    """Picklable ``vdd -> AnalyticEngine`` factory.
+
+    A plain closure would do for in-process use, but the sharded wafer
+    engine ships its flow configuration to worker processes, so the
+    factory must survive pickling.
+    """
+
+    config: RingOscillatorConfig = RingOscillatorConfig()
+
+    def __call__(self, vdd: float) -> AnalyticEngine:
+        return AnalyticEngine(replace(self.config, vdd=vdd))
+
+
 def analytic_engine_factory(
     config: RingOscillatorConfig = RingOscillatorConfig(),
 ) -> Callable[[float], AnalyticEngine]:
     """Factory of :class:`AnalyticEngine` instances at arbitrary V_DD."""
-
-    def make(vdd: float) -> AnalyticEngine:
-        return AnalyticEngine(replace(config, vdd=vdd))
-
-    return make
+    return AnalyticEngineFactory(config)

@@ -1,0 +1,22 @@
+"""Telemetry counters for the solver stack and screening engines.
+
+Canonical public import path.  The implementation lives in
+:mod:`repro.telemetry` (a dependency-free top-level module) so the
+:mod:`repro.spice` solver layers can import it without creating an
+import cycle through ``repro.core``'s package init, which pulls in the
+engines and therefore the whole spice package.
+"""
+
+from repro.telemetry import (  # noqa: F401
+    Telemetry,
+    get_telemetry,
+    telemetry_phase,
+    use_telemetry,
+)
+
+__all__ = [
+    "Telemetry",
+    "get_telemetry",
+    "telemetry_phase",
+    "use_telemetry",
+]

@@ -23,6 +23,8 @@ This package replaces the HSPICE runs of the paper.  It provides:
   periods, propagation delays).
 * :mod:`repro.spice.montecarlo` -- the process-variation model used by the
   paper's Monte Carlo runs (3-sigma Vth and 3-sigma Leff = 10%).
+* :mod:`repro.spice.cache` -- the content-addressed solve cache that
+  memoizes characterization results across dies and wafers.
 
 Everything is expressed in SI units: volts, amperes, ohms, farads, seconds.
 """
@@ -49,6 +51,14 @@ from repro.spice.montecarlo import (
     NOMINAL_PROCESS,
 )
 from repro.spice.batch import BatchParameters, BatchedSimulation
+from repro.spice.cache import (
+    SolveCache,
+    cache_disabled,
+    circuit_fingerprint,
+    fingerprint,
+    get_cache,
+    use_cache,
+)
 from repro.spice.linalg import (
     BatchedDense,
     DenseDirect,
@@ -90,11 +100,17 @@ __all__ = [
     "ProcessVariation",
     "Pulse",
     "Resistor",
+    "SolveCache",
     "Step",
     "TransientResult",
     "VoltageSource",
     "Waveform",
+    "cache_disabled",
+    "circuit_fingerprint",
     "dc_operating_point",
+    "fingerprint",
+    "get_cache",
     "sweep_parameter",
     "transient",
+    "use_cache",
 ]

@@ -1,0 +1,234 @@
+"""Content-addressed memoization for repeated circuit solves.
+
+A wafer-scale screening run re-solves the *same* circuits thousands of
+times: every die shares the fault-free characterization bands per supply
+voltage, and every group's bypass-path T2 reference is the same circuit
+regardless of which TSV sits behind the bypassed mux.  This module
+provides the cache that collapses that duplicate work.
+
+Keys are **content-addressed**: a SHA-256 digest over a canonical
+serialization of everything that determines the result -- the circuit
+netlist (element kinds, nodes, values, source waveforms, MOSFET model
+parameters), the engine parameters (timestep, supply, segment count),
+and the analysis inputs (variation sigmas, sample counts, seeds).  Two
+callers that build identical circuits through different code paths hit
+the same entry; any parameter change, however small, misses.
+
+Hits and misses are accounted in the current :mod:`repro.telemetry`
+registry (``cache_hits`` / ``cache_misses``), so the wafer benchmark can
+report the hit rate alongside its throughput numbers.
+
+Scoping mirrors the telemetry registry: a process-wide default cache,
+swappable with :func:`use_cache`; :func:`cache_disabled` turns caching
+off for a block (every ``memoize`` computes), which the benchmarks use
+to measure the uncached baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import fields, is_dataclass
+from typing import Any, Callable, Dict, Iterator, Optional, TypeVar
+
+import numpy as np
+
+from repro.spice.netlist import Circuit
+from repro.telemetry import get_telemetry
+
+__all__ = [
+    "SolveCache",
+    "cache_disabled",
+    "circuit_fingerprint",
+    "fingerprint",
+    "get_cache",
+    "memoize",
+    "use_cache",
+]
+
+T = TypeVar("T")
+
+
+# ----------------------------------------------------------------------
+# Canonical serialization
+# ----------------------------------------------------------------------
+def _canonical(obj: Any, out: list, depth: int = 0) -> None:
+    """Append a canonical text form of ``obj`` to ``out``.
+
+    Handles the value types that appear in cache keys: scalars, strings,
+    sequences, dicts (sorted), numpy arrays (dtype + shape + bytes),
+    dataclasses (class name + field values, recursively), and circuits.
+    Falls back to ``repr`` for anything else, which is deterministic for
+    every type the solver stack uses.
+    """
+    if depth > 12:
+        raise ValueError("cache key nesting too deep")
+    if obj is None or isinstance(obj, (bool, int, str)):
+        out.append(repr(obj))
+    elif isinstance(obj, float):
+        out.append(float(obj).hex())
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        out.append(f"ndarray{arr.dtype.str}{arr.shape}")
+        out.append(arr.tobytes().hex())
+    elif isinstance(obj, Circuit):
+        out.append(circuit_fingerprint(obj))
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        out.append(type(obj).__name__ + "(")
+        for f in fields(obj):
+            out.append(f.name + "=")
+            _canonical(getattr(obj, f.name), out, depth + 1)
+        out.append(")")
+    elif isinstance(obj, dict):
+        out.append("{")
+        for key in sorted(obj, key=repr):
+            _canonical(key, out, depth + 1)
+            out.append(":")
+            _canonical(obj[key], out, depth + 1)
+        out.append("}")
+    elif isinstance(obj, (list, tuple)):
+        out.append("[")
+        for item in obj:
+            _canonical(item, out, depth + 1)
+            out.append(",")
+        out.append("]")
+    else:
+        out.append(repr(obj))
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 digest of the canonical serialization of ``parts``."""
+    out: list = []
+    for part in parts:
+        _canonical(part, out)
+        out.append(";")
+    digest = hashlib.sha256("\x1f".join(out).encode()).hexdigest()
+    return digest
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Content digest of a netlist: every element, node, and value.
+
+    Element *order* is included: the stamp plans and mismatch streams
+    both depend on build order, so circuits that differ only in ordering
+    are deliberately distinct.
+    """
+    out: list = ["circuit:", circuit.title]
+    for r in circuit.resistors:
+        out.append(f"R|{r.name}|{r.n1}|{r.n2}|{float(r.resistance).hex()}")
+    for c in circuit.capacitors:
+        out.append(f"C|{c.name}|{c.n1}|{c.n2}|{float(c.capacitance).hex()}")
+    for v in circuit.vsources:
+        out.append(f"V|{v.name}|{v.npos}|{v.nneg}|{v.waveform!r}")
+    for i in circuit.isources:
+        out.append(f"I|{i.name}|{i.npos}|{i.nneg}|{i.waveform!r}")
+    for m in circuit.mosfets:
+        out.append(
+            f"M|{m.name}|{m.drain}|{m.gate}|{m.source}|{m.bulk}"
+            f"|{m.model!r}|{float(m.w).hex()}|{float(m.l).hex()}"
+        )
+    return hashlib.sha256("\n".join(out).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+class SolveCache:
+    """In-memory content-addressed store for solve results.
+
+    Values are whatever the compute function returns (floats, numpy
+    arrays, :class:`~repro.core.session.ReferenceBand` objects ...);
+    callers must treat them as immutable -- the cache hands back the
+    stored object, not a copy.
+
+    Args:
+        max_entries: Evict oldest-inserted entries beyond this count
+            (``None`` = unbounded; characterization results are small).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be positive or None")
+        self.max_entries = max_entries
+        self._store: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def lookup(self, key: str) -> Any:
+        return self._store.get(key)
+
+    def store(self, key: str, value: Any) -> None:
+        if self.max_entries is not None and key not in self._store:
+            while len(self._store) >= self.max_entries:
+                self._store.pop(next(iter(self._store)))
+        self._store[key] = value
+
+    def memoize(self, key: str, compute: Callable[[], T]) -> T:
+        """Return the cached value for ``key``, computing it on a miss."""
+        if key in self._store:
+            self.hits += 1
+            get_telemetry().incr("cache_hits")
+            return self._store[key]
+        self.misses += 1
+        get_telemetry().incr("cache_misses")
+        value = compute()
+        self.store(key, value)
+        return value
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+#: Process-wide default cache; ``None`` while caching is disabled.
+_CURRENT: Optional[SolveCache] = SolveCache()
+
+
+def get_cache() -> Optional[SolveCache]:
+    """The current cache, or ``None`` when caching is disabled."""
+    return _CURRENT
+
+
+def memoize(key: str, compute: Callable[[], T]) -> T:
+    """Memoize through the current cache; plain call when disabled."""
+    cache = _CURRENT
+    if cache is None:
+        return compute()
+    return cache.memoize(key, compute)
+
+
+@contextmanager
+def use_cache(cache: Optional[SolveCache]) -> Iterator[Optional[SolveCache]]:
+    """Make ``cache`` current for the block (``None`` disables caching)."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = cache
+    try:
+        yield cache
+    finally:
+        _CURRENT = previous
+
+
+@contextmanager
+def cache_disabled() -> Iterator[None]:
+    """Disable the solve cache for the block (used by baselines)."""
+    with use_cache(None):
+        yield

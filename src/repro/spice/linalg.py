@@ -44,6 +44,7 @@ from typing import Dict, Optional, Type, Union
 import numpy as np
 
 from repro.spice.stamping import FetLinearization, SolveSpace
+from repro.telemetry import get_telemetry
 
 try:  # pragma: no cover - exercised implicitly on scipy-equipped hosts
     from scipy.linalg import lu_factor as _scipy_lu_factor
@@ -152,6 +153,7 @@ class DenseDirect(LinearSolver):
         self._base = a_base
 
     def solve(self, b, lin=None, active=None):
+        get_telemetry().incr("dense_solves")
         num = b.shape[0]
         a = np.broadcast_to(self._base, (num,) + self._base.shape).copy()
         if lin is not None:
@@ -197,12 +199,14 @@ class DenseLU(LinearSolver):
 
     def _factor(self):
         if self._factorization is None:
+            get_telemetry().incr("lu_refactorizations")
             self._factorization = _lu_factor(self._base)
             if self._use_woodbury:
                 self._z = _lu_solve(self._factorization, self.space.fet_u)
         return self._factorization
 
     def _dense_solve(self, b, lin):
+        get_telemetry().incr("dense_solves")
         num = b.shape[0]
         a = np.broadcast_to(self._base, (num,) + self._base.shape).copy()
         if lin is not None:
@@ -247,6 +251,7 @@ class DenseLU(LinearSolver):
         try:
             t = np.linalg.solve(cap, wt @ y[..., None])          # (A, F, 1)
         except np.linalg.LinAlgError:
+            get_telemetry().incr("woodbury_fallbacks")
             return self._dense_solve(b, lin)
         x = y - (self._z @ t)[..., 0]
         # Guard: verify (A0 + U W^T) x == b to solver precision.
@@ -257,7 +262,9 @@ class DenseLU(LinearSolver):
         )
         scale = np.abs(b).max() + 1e-300
         if np.abs(resid).max() > self.RESIDUAL_TOL * max(scale, 1.0):
+            get_telemetry().incr("woodbury_fallbacks")
             return self._dense_solve(b, lin)
+        get_telemetry().incr("woodbury_updates")
         return x
 
 
@@ -279,6 +286,7 @@ class BatchedDense(LinearSolver):
         self._base = a_base
 
     def solve(self, b, lin=None, active=None):
+        get_telemetry().incr("batched_solves")
         num = b.shape[0]
         base = self._base
         if base.ndim == 2:

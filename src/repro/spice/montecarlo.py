@@ -99,13 +99,23 @@ class ProcessSample:
 
 
 #: A sample that applies no perturbation (nominal die).
-def nominal_sample() -> ProcessSample:
-    """Return a :class:`ProcessSample` that leaves every device nominal."""
-    return ProcessSample(NOMINAL_PROCESS, np.random.default_rng(0))
+def nominal_sample(seed: int = 0) -> ProcessSample:
+    """Return a :class:`ProcessSample` that leaves every device nominal.
+
+    The ``seed`` parameterizes the (unused) underlying stream so callers
+    that pair a nominal sample with a varying one can keep their seeding
+    symmetric; with zero sigmas the draws never happen.
+    """
+    return ProcessSample(NOMINAL_PROCESS, np.random.default_rng(seed))
 
 
 class MonteCarloEngine:
     """Runs a measurement function over many process samples.
+
+    Per-sample RNG streams are derived with
+    :meth:`numpy.random.SeedSequence.spawn`, so sample ``k`` sees the
+    same draws whether the run is executed serially, restarted from an
+    offset, or sharded across workers (see :meth:`child_seeds`).
 
     Example:
         >>> engine = MonteCarloEngine(ProcessVariation(), seed=1)
@@ -116,11 +126,21 @@ class MonteCarloEngine:
         self.variation = variation
         self.seed = seed
 
+    def child_seeds(self, num_samples: int) -> List[np.random.SeedSequence]:
+        """Per-sample seed sequences; sample ``k`` always gets child ``k``.
+
+        Sharded runs hand each worker a slice of this list and obtain
+        draws identical to the serial run.
+        """
+        return np.random.SeedSequence(self.seed).spawn(num_samples)
+
     def run(
         self,
         measure: Callable[[ProcessSample], float],
         num_samples: int,
         skip_failures: bool = False,
+        sample_offset: int = 0,
+        child_seeds: Optional[List[np.random.SeedSequence]] = None,
     ) -> np.ndarray:
         """Evaluate ``measure`` on ``num_samples`` independent samples.
 
@@ -131,14 +151,21 @@ class MonteCarloEngine:
             skip_failures: If True, samples where ``measure`` raises
                 ``RuntimeError`` (e.g. a non-oscillating circuit) are
                 recorded as NaN instead of propagating.
+            sample_offset: Index of the first sample within the engine's
+                stream; a worker given samples ``[o, o + n)`` returns
+                exactly the slice the serial run would produce there.
+            child_seeds: Pre-spawned seeds covering the requested range
+                (an optimization for many small calls); spawned on
+                demand when omitted.
 
         Returns:
             Array of length ``num_samples`` (NaN for skipped failures).
         """
+        if child_seeds is None:
+            child_seeds = self.child_seeds(sample_offset + num_samples)
         results: List[float] = []
-        root = np.random.default_rng(self.seed)
-        for k in range(num_samples):
-            child = np.random.default_rng(root.integers(0, 2**63 - 1))
+        for k in range(sample_offset, sample_offset + num_samples):
+            child = np.random.default_rng(child_seeds[k])
             sample = self.variation.sample(child)
             try:
                 results.append(float(measure(sample)))

@@ -32,6 +32,7 @@ import numpy as np
 from repro.spice.linalg import BackendSpec, LinearSolver, make_solver
 from repro.spice.mna import ConvergenceError, NewtonOptions
 from repro.spice.stamping import FetParams, SolveSpace
+from repro.telemetry import get_telemetry
 
 #: Conductance used to clamp .IC nodes (siemens); standard SPICE ``.IC``.
 CLAMP_G = 1e3
@@ -77,6 +78,8 @@ def newton_iterate(
     plan = space.plan
     num_nodes = plan.num_nodes
     has_fets = fets is not None and plan.num_fets > 0
+    tele = get_telemetry()
+    tele.incr("newton_solves")
 
     x = x_guess.copy()
     x[:, 0] = 0.0
@@ -89,6 +92,7 @@ def newton_iterate(
     last_dv = np.zeros(num_corners)
 
     for _ in range(opts.max_iterations):
+        tele.incr("newton_iterations")
         xa = x[active]
         if has_fets:
             fa = fets.select(active) if len(active) < num_corners else fets
@@ -129,6 +133,7 @@ def newton_iterate(
             return x
         active = active[~converged]
 
+    tele.incr("newton_failures")
     failing = ", ".join(
         f"corner {c}: max_dv={last_dv[c]:.3e} V" for c in active[:8]
     )
@@ -342,6 +347,9 @@ class TransientStepper:
             if max_retries <= 0:
                 raise
             # Retry with two half steps using backward Euler (robust).
+            tele = get_telemetry()
+            tele.incr("step_retries")
+            tele.incr("step_halvings", 2)
             h_half = (t_to - t_from) / 2.0
             solver_h, geq_h, bpin_h = self._make_solver(h_half, use_trap=False)
             t_mid = t_from + h_half

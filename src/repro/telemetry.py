@@ -1,0 +1,171 @@
+"""Process-wide telemetry registry for the simulation stack.
+
+The screening engine's scaling work needs visibility into *where*
+simulation time goes: how many Newton iterations each transient burns,
+how often the integrator bisects a step, whether the cached-LU backend
+is riding its Woodbury fast path or refactorizing, and how well the
+solve cache is doing.  This module is the one place those numbers
+accumulate.
+
+The implementation lives at ``repro.telemetry`` (dependency-free, so
+the :mod:`repro.spice` solver layers can import it without touching the
+:mod:`repro.core` package and its heavier import graph); the canonical
+public import path is :mod:`repro.core.telemetry`, which re-exports
+everything here.
+
+Design constraints:
+
+* **Cheap.**  Counter increments sit inside the Newton loop; they are
+  plain dict updates, no locks, no formatting.
+* **Mergeable.**  Worker processes of the sharded wafer engine each
+  accumulate into their own registry and ship a :meth:`Telemetry.snapshot`
+  back; the parent folds them together with :meth:`Telemetry.merge`.
+* **Scoped.**  ``use_telemetry`` swaps the process-current registry for
+  a ``with`` block, so benches can isolate one run's counters without
+  threading a registry argument through every call site.
+
+Counter names used by the stack (all optional -- absent means zero):
+
+=========================  ====================================================
+``newton_solves``          Calls into the shared Newton loop.
+``newton_iterations``      Newton loop passes (summed over solves).
+``newton_failures``        Solves that exhausted ``max_iterations``.
+``step_retries``           Transient steps that failed and were retried.
+``step_halvings``          Half-steps taken by the local bisection fallback.
+``lu_refactorizations``    Base-matrix LU factorizations (DenseLU).
+``woodbury_updates``       Low-rank Sherman-Morrison-Woodbury solves.
+``woodbury_fallbacks``     Woodbury results rejected by the residual guard.
+``dense_solves``           Full dense assemble-and-solve calls.
+``batched_solves``         Stacked LAPACK solve calls (BatchedDense).
+``cache_hits``             Solve-cache lookups served from memory.
+``cache_misses``           Solve-cache lookups that had to compute.
+``measurements``           Simulated DeltaT measurements (screening flow).
+``dies_screened``          Dies completed by the screening/wafer engines.
+=========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, Optional
+
+__all__ = [
+    "Telemetry",
+    "get_telemetry",
+    "use_telemetry",
+    "telemetry_phase",
+]
+
+
+class Telemetry:
+    """A bag of named counters plus per-phase wall-clock timers.
+
+    Example:
+        >>> tele = Telemetry()
+        >>> tele.incr("cache_hits")
+        >>> with tele.phase("characterize"):
+        ...     pass
+        >>> tele.counters["cache_hits"]
+        1
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.phase_seconds: Dict[str, float] = {}
+
+    # -- accumulation ----------------------------------------------------
+    def incr(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def add_phase_time(self, name: str, seconds: float) -> None:
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of the ``with`` body under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_phase_time(name, time.perf_counter() - start)
+
+    # -- queries ---------------------------------------------------------
+    def count(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits / lookups of the solve cache; 0.0 with no lookups."""
+        hits = self.count("cache_hits")
+        total = hits + self.count("cache_misses")
+        return hits / total if total else 0.0
+
+    # -- transport -------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A plain-dict copy safe to pickle across process boundaries."""
+        return {
+            "counters": dict(self.counters),
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    def merge(self, other: "Telemetry | Mapping") -> None:
+        """Fold another registry (or a :meth:`snapshot`) into this one."""
+        if isinstance(other, Telemetry):
+            counters: Mapping = other.counters
+            phases: Mapping = other.phase_seconds
+        else:
+            counters = other.get("counters", {})
+            phases = other.get("phase_seconds", {})
+        for name, value in counters.items():
+            self.incr(name, value)
+        for name, value in phases.items():
+            self.add_phase_time(name, value)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.phase_seconds.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Telemetry counters={self.counters!r} "
+            f"phases={self.phase_seconds!r}>"
+        )
+
+
+#: The process-current registry; swap with :func:`use_telemetry`.
+_CURRENT = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The registry instrumented code should accumulate into."""
+    return _CURRENT
+
+
+@contextmanager
+def use_telemetry(registry: Optional[Telemetry] = None) -> Iterator[Telemetry]:
+    """Make ``registry`` (default: a fresh one) current for the block.
+
+    Returns the registry, so call sites can read it afterwards:
+
+        >>> with use_telemetry() as tele:
+        ...     pass
+        >>> tele.counters
+        {}
+    """
+    global _CURRENT
+    registry = registry if registry is not None else Telemetry()
+    previous = _CURRENT
+    _CURRENT = registry
+    try:
+        yield registry
+    finally:
+        _CURRENT = previous
+
+
+@contextmanager
+def telemetry_phase(name: str) -> Iterator[None]:
+    """Time a phase against the *current* registry."""
+    with get_telemetry().phase(name):
+        yield

@@ -10,6 +10,12 @@ overkill / test-time numbers a production deployment would care about.
 
 from repro.workloads.generator import DefectStatistics, DiePopulation, TsvRecord
 from repro.workloads.flow import FlowMetrics, ScreeningFlow
+from repro.workloads.wafer import (
+    WaferPopulation,
+    WaferScreenResult,
+    WaferScreeningEngine,
+    aggregate_metrics,
+)
 
 __all__ = [
     "DefectStatistics",
@@ -17,4 +23,8 @@ __all__ = [
     "FlowMetrics",
     "ScreeningFlow",
     "TsvRecord",
+    "WaferPopulation",
+    "WaferScreenResult",
+    "WaferScreeningEngine",
+    "aggregate_metrics",
 ]

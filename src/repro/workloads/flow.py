@@ -28,7 +28,9 @@ import numpy as np
 from repro.core.session import ReferenceBand
 from repro.core.tsv import Tsv
 from repro.dft.control import MeasurementPlan
+from repro.spice import cache as solve_cache
 from repro.spice.montecarlo import ProcessVariation
+from repro.telemetry import get_telemetry, telemetry_phase
 from repro.workloads.generator import DiePopulation, TsvRecord
 
 
@@ -90,6 +92,9 @@ class ScreeningFlow:
             isolating TSVs; saves time on healthy groups at the price of
             the M-fold aliasing growth of Fig. 10 (handled by escalating
             on *any* group anomaly).
+        bands: Precomputed fault-free bands per voltage, skipping
+            characterization entirely -- how the sharded wafer engine
+            hands one parent characterization to its worker processes.
     """
 
     def __init__(
@@ -103,6 +108,7 @@ class ScreeningFlow:
         group_screen_first: bool = False,
         tsv_cap_variation_rel: float = 0.02,
         seed: int = 2024,
+        bands: Optional[Dict[float, ReferenceBand]] = None,
     ):
         self.engine_factory = engine_factory
         self.voltages = list(voltages)
@@ -115,7 +121,20 @@ class ScreeningFlow:
         self.seed = seed
         self._engines = {v: engine_factory(v) for v in self.voltages}
         self._bands: Dict[float, ReferenceBand] = {}
-        self._characterize()
+        if bands is not None:
+            missing = [v for v in self.voltages if v not in bands]
+            if missing:
+                raise ValueError(
+                    f"precomputed bands missing voltages {missing}"
+                )
+            self._bands = {v: bands[v] for v in self.voltages}
+        else:
+            self._characterize()
+
+    @property
+    def bands(self) -> Dict[float, ReferenceBand]:
+        """Fault-free acceptance bands per voltage (picklable)."""
+        return dict(self._bands)
 
     # ------------------------------------------------------------------
     def _characterize(self) -> None:
@@ -125,36 +144,62 @@ class ScreeningFlow:
         to tolerate: transistor mismatch (Monte Carlo), healthy TSV
         capacitance variation (geometry), and the counter quantization
         guard of Sec. IV-C.
+
+        Every Monte Carlo chunk and the T2 guard period go through the
+        content-addressed solve cache: dies, wafers, and repeated flow
+        constructions with identical engine/variation parameters share
+        one characterization instead of re-simulating it.
         """
-        rng = np.random.default_rng(self.seed ^ 0x5F5F)
-        cap_factors = 1.0 + rng.normal(
-            0.0, self.tsv_cap_variation_rel,
-            max(self.characterization_samples // 10, 3),
-        )
-        cap_factors = np.clip(cap_factors, 0.8, 1.2)
-        for vdd, engine in self._engines.items():
-            chunks = []
-            per_factor = max(
-                self.characterization_samples // len(cap_factors), 1
+        with telemetry_phase("characterize"):
+            rng = np.random.default_rng(self.seed ^ 0x5F5F)
+            cap_factors = 1.0 + rng.normal(
+                0.0, self.tsv_cap_variation_rel,
+                max(self.characterization_samples // 10, 3),
             )
-            for k, factor in enumerate(cap_factors):
-                probe = Tsv(params=Tsv().params.scaled(float(factor)))
-                chunks.append(engine.delta_t_mc(
-                    probe, self.variation, per_factor,
-                    seed=self.seed + 911 * k,
-                ))
-            samples = np.concatenate(chunks)
-            guard = self._quant_guard(engine)
-            self._bands[vdd] = ReferenceBand.from_samples(samples, guard=guard)
+            cap_factors = np.clip(cap_factors, 0.8, 1.2)
+            for vdd, engine in self._engines.items():
+                chunks = []
+                per_factor = max(
+                    self.characterization_samples // len(cap_factors), 1
+                )
+                for k, factor in enumerate(cap_factors):
+                    probe = Tsv(params=Tsv().params.scaled(float(factor)))
+                    seed = self.seed + 911 * k
+                    key = solve_cache.fingerprint(
+                        "characterize.delta_t_mc", engine, probe,
+                        self.variation, per_factor, seed,
+                    )
+                    chunks.append(solve_cache.memoize(
+                        key,
+                        lambda e=engine, p=probe, n=per_factor, s=seed:
+                            e.delta_t_mc(p, self.variation, n, seed=s),
+                    ))
+                samples = np.concatenate(chunks)
+                guard = self._quant_guard(engine)
+                self._bands[vdd] = ReferenceBand.from_samples(
+                    samples, guard=guard
+                )
 
     def _quant_guard(self, engine) -> float:
-        """Counter error on DeltaT: two estimates, each off by E=T^2/t."""
-        try:
-            typical = engine.period(
-                [Tsv()] * self.group_size, [False] * self.group_size
-            )
-        except Exception:
-            typical = 2e-9
+        """Counter error on DeltaT: two estimates, each off by E=T^2/t.
+
+        The all-bypassed T2 reference period is shared by every die
+        tested with the same engine and group size, so it is served from
+        the solve cache.
+        """
+        key = solve_cache.fingerprint(
+            "characterize.t2_period", engine, self.group_size
+        )
+
+        def compute() -> float:
+            try:
+                return float(engine.period(
+                    [Tsv()] * self.group_size, [False] * self.group_size
+                ))
+            except Exception:
+                return 2e-9
+
+        typical = solve_cache.memoize(key, compute)
         if not math.isfinite(typical):
             typical = 2e-9
         return 2.0 * typical**2 / self.plan.window
@@ -175,8 +220,33 @@ class ScreeningFlow:
         return not self._bands[vdd].contains(delta_t)
 
     # ------------------------------------------------------------------
-    def screen_die(self, population: DiePopulation) -> FlowMetrics:
-        """Screen every TSV of ``population``; returns the metrics."""
+    def screen_die(
+        self,
+        population: DiePopulation,
+        measure_seed: Optional[int] = None,
+    ) -> FlowMetrics:
+        """Screen every TSV of ``population``; returns the metrics.
+
+        Args:
+            population: The die's TSVs with ground truth attached.
+            measure_seed: Base seed of this die's simulated measurement
+                noise (default: the flow seed).  The wafer engine derives
+                one per die via ``SeedSequence`` so sharded and serial
+                screens draw identical measurements.
+        """
+        with telemetry_phase("screen"):
+            metrics = self._screen_die(population, measure_seed)
+        tele = get_telemetry()
+        tele.incr("dies_screened")
+        tele.incr("measurements", metrics.measurements)
+        return metrics
+
+    def _screen_die(
+        self,
+        population: DiePopulation,
+        measure_seed: Optional[int] = None,
+    ) -> FlowMetrics:
+        base_seed = self.seed if measure_seed is None else measure_seed
         metrics = FlowMetrics(num_tsvs=len(population))
         flagged: Dict[int, bool] = {}
         measurement_count = 0
@@ -193,7 +263,7 @@ class ScreeningFlow:
                     group_dt = 0.0
                     for rec in group:
                         dt = self._measure(rec.tsv, vdd,
-                                           seed=self.seed + 31 * rec.index)
+                                           seed=base_seed + 31 * rec.index)
                         group_dt += dt
                     band = self._bands[vdd]
                     scale = len(group)
@@ -220,7 +290,7 @@ class ScreeningFlow:
                     rec = pending[index]
                     measurement_count += 1  # this TSV's T1
                     dt = self._measure(rec.tsv, vdd,
-                                       seed=self.seed + 31 * rec.index)
+                                       seed=base_seed + 31 * rec.index)
                     if self._flagged(dt, vdd):
                         flagged[rec.index] = True
                         del pending[index]

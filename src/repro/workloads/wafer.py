@@ -1,0 +1,310 @@
+"""Sharded wafer-scale screening engine.
+
+One wafer carries hundreds of dies; the paper's production story is a
+test program that screens *every* pre-bond TSV on every one of them at
+multiple supply voltages.  :class:`WaferScreeningEngine` serves that
+workload:
+
+* **One characterization, many dies.**  The fault-free DeltaT bands and
+  the bypass-path T2 reference period depend only on the engine, supply
+  set, and process model -- never on the die.  The parent process
+  characterizes once (through the content-addressed
+  :mod:`repro.spice.cache`) and hands the finished
+  :class:`~repro.core.session.ReferenceBand` objects to every worker, so
+  no worker re-simulates them.
+* **Deterministic sharding.**  Per-die defect populations and per-die
+  measurement-noise seeds are derived from one
+  :class:`numpy.random.SeedSequence` tree (``wafer seed -> die ->
+  {generation, measurement}``), so a sharded run is **bit-identical** to
+  the serial run: the same dies, the same simulated measurements, the
+  same :class:`~repro.workloads.flow.FlowMetrics`, regardless of worker
+  count or chunking.
+* **Telemetry.**  Every run returns a merged
+  :class:`repro.telemetry.Telemetry` snapshot -- Newton iterations, step
+  retries, solver-backend paths, cache hits, per-phase wall time --
+  collected in the parent *and* inside every worker process.
+
+Worker processes rebuild their :class:`ScreeningFlow` from pickled
+constructor arguments, so the engine factory must be picklable
+(:class:`repro.core.multivoltage.AnalyticEngineFactory` is; ad-hoc
+closures only survive on fork-based platforms).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.session import ReferenceBand
+from repro.core.tsv import TsvParameters
+from repro.dft.control import MeasurementPlan
+from repro.spice.montecarlo import ProcessVariation
+from repro.telemetry import Telemetry, get_telemetry, use_telemetry
+from repro.workloads.flow import FlowMetrics, ScreeningFlow
+from repro.workloads.generator import DefectStatistics, DiePopulation
+
+
+class WaferPopulation:
+    """Many :class:`DiePopulation`s with a deterministic seed tree.
+
+    The wafer seed spawns one :class:`~numpy.random.SeedSequence` child
+    per die; each die child spawns ``(generation, measurement)``
+    grandchildren.  Generation seeds drive defect injection; measurement
+    seeds drive the simulated measurement noise during screening.  The
+    tree -- not the iteration order -- defines every stream, which is
+    what makes sharded screening reproduce serial results exactly.
+
+    Example:
+        >>> wafer = WaferPopulation(num_dies=4, tsvs_per_die=100, seed=7)
+        >>> len(wafer), wafer.num_tsvs
+        (4, 400)
+    """
+
+    def __init__(
+        self,
+        num_dies: int = 10,
+        tsvs_per_die: int = 1000,
+        stats: DefectStatistics = DefectStatistics(),
+        params: TsvParameters = TsvParameters(),
+        seed: int = 0,
+    ):
+        if num_dies < 1:
+            raise ValueError("num_dies must be positive")
+        self.num_dies = num_dies
+        self.tsvs_per_die = tsvs_per_die
+        self.stats = stats
+        self.params = params
+        self.seed = seed
+        root = np.random.SeedSequence(seed)
+        self.dies: List[DiePopulation] = []
+        self.measure_seeds: List[int] = []
+        for die_seq in root.spawn(num_dies):
+            gen_seq, measure_seq = die_seq.spawn(2)
+            self.dies.append(DiePopulation(
+                num_tsvs=tsvs_per_die, stats=stats, params=params,
+                seed=gen_seq,
+            ))
+            self.measure_seeds.append(int(measure_seq.generate_state(1)[0]))
+
+    def __len__(self) -> int:
+        return self.num_dies
+
+    def __iter__(self) -> Iterator[DiePopulation]:
+        return iter(self.dies)
+
+    def __getitem__(self, idx: int) -> DiePopulation:
+        return self.dies[idx]
+
+    @property
+    def num_tsvs(self) -> int:
+        return sum(len(die) for die in self.dies)
+
+    def defect_summary(self) -> Dict[str, float]:
+        per_die = [die.defect_summary() for die in self.dies]
+        voids = sum(s["voids"] for s in per_die)
+        pinholes = sum(s["pinholes"] for s in per_die)
+        total = self.num_tsvs
+        return {
+            "num_dies": self.num_dies,
+            "num_tsvs": total,
+            "voids": voids,
+            "pinholes": pinholes,
+            "defect_rate": (voids + pinholes) / total if total else 0.0,
+        }
+
+
+def aggregate_metrics(per_die: Sequence[FlowMetrics]) -> FlowMetrics:
+    """Fold per-die :class:`FlowMetrics` into wafer totals."""
+    total = FlowMetrics()
+    for m in per_die:
+        total.num_tsvs += m.num_tsvs
+        total.true_faulty += m.true_faulty
+        total.detected += m.detected
+        total.escapes += m.escapes
+        total.overkill += m.overkill
+        total.measurements += m.measurements
+        total.test_time += m.test_time
+        for kind, count in m.detected_by_kind.items():
+            total.detected_by_kind[kind] = (
+                total.detected_by_kind.get(kind, 0) + count
+            )
+        for kind, count in m.escaped_by_kind.items():
+            total.escaped_by_kind[kind] = (
+                total.escaped_by_kind.get(kind, 0) + count
+            )
+    return total
+
+
+@dataclass
+class WaferScreenResult:
+    """Outcome of one wafer screen: per-die metrics plus run accounting.
+
+    Attributes:
+        per_die: One :class:`FlowMetrics` per die, in wafer order --
+            identical between serial and sharded runs.
+        telemetry: Merged telemetry snapshot (parent + every worker).
+        wall_time: Wall-clock seconds of the whole screen.
+        workers: Worker processes used (1 = serial in-process).
+    """
+
+    per_die: List[FlowMetrics] = field(default_factory=list)
+    telemetry: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    wall_time: float = 0.0
+    workers: int = 1
+
+    @property
+    def totals(self) -> FlowMetrics:
+        return aggregate_metrics(self.per_die)
+
+    @property
+    def dies_per_second(self) -> float:
+        return len(self.per_die) / self.wall_time if self.wall_time else 0.0
+
+    def counter(self, name: str) -> float:
+        return self.telemetry.get("counters", {}).get(name, 0)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = self.counter("cache_hits")
+        total = hits + self.counter("cache_misses")
+        return hits / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery (module level so it pickles by reference)
+# ----------------------------------------------------------------------
+_WORKER_FLOW: Optional[ScreeningFlow] = None
+
+
+def _worker_init(flow_kwargs: Dict, bands: Dict[float, ReferenceBand]) -> None:
+    """Build this worker's flow once, from the parent's bands."""
+    global _WORKER_FLOW
+    _WORKER_FLOW = ScreeningFlow(bands=bands, **flow_kwargs)
+
+
+def _screen_chunk(
+    chunk: List[Tuple[int, DiePopulation, int]],
+) -> Tuple[List[Tuple[int, FlowMetrics]], Dict]:
+    """Screen a chunk of dies; returns indexed metrics + telemetry."""
+    tele = Telemetry()
+    with use_telemetry(tele):
+        results = [
+            (index, _WORKER_FLOW.screen_die(die, measure_seed=seed))
+            for index, die, seed in chunk
+        ]
+    return results, tele.snapshot()
+
+
+class WaferScreeningEngine:
+    """Screens whole wafers, serially or across a process pool.
+
+    Construction mirrors :class:`~repro.workloads.flow.ScreeningFlow`
+    (same knobs, same defaults); the flow itself is built lazily on the
+    first :meth:`screen` so characterization cost lands inside the
+    first run's accounting.
+
+    Args:
+        engine_factory: Picklable ``vdd -> engine`` factory.
+        chunk_size: Dies per worker task (default: balanced at roughly
+            four tasks per worker, so stragglers even out).
+    """
+
+    def __init__(
+        self,
+        engine_factory: Callable[[float], object],
+        voltages: Sequence[float] = (1.1, 0.95, 0.8, 0.75),
+        variation: ProcessVariation = ProcessVariation(),
+        group_size: int = 5,
+        plan: Optional[MeasurementPlan] = None,
+        characterization_samples: int = 200,
+        group_screen_first: bool = False,
+        tsv_cap_variation_rel: float = 0.02,
+        seed: int = 2024,
+        chunk_size: Optional[int] = None,
+    ):
+        self._flow_kwargs = dict(
+            engine_factory=engine_factory,
+            voltages=tuple(voltages),
+            variation=variation,
+            group_size=group_size,
+            plan=plan,
+            characterization_samples=characterization_samples,
+            group_screen_first=group_screen_first,
+            tsv_cap_variation_rel=tsv_cap_variation_rel,
+            seed=seed,
+        )
+        self.chunk_size = chunk_size
+        self._flow: Optional[ScreeningFlow] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def flow(self) -> ScreeningFlow:
+        """The master flow (characterizes on first access, via the cache)."""
+        if self._flow is None:
+            self._flow = ScreeningFlow(**self._flow_kwargs)
+        return self._flow
+
+    def _chunks(
+        self, wafer: WaferPopulation, workers: int
+    ) -> List[List[Tuple[int, DiePopulation, int]]]:
+        items = [
+            (i, wafer.dies[i], wafer.measure_seeds[i])
+            for i in range(len(wafer))
+        ]
+        size = self.chunk_size or max(1, -(-len(items) // (workers * 4)))
+        return [items[k:k + size] for k in range(0, len(items), size)]
+
+    # ------------------------------------------------------------------
+    def screen(
+        self, wafer: WaferPopulation, workers: int = 1
+    ) -> WaferScreenResult:
+        """Screen every die of ``wafer`` on ``workers`` processes.
+
+        ``workers=1`` runs serially in-process.  Results are
+        bit-identical across worker counts; only the wall time and the
+        process attribution of the telemetry change.
+        """
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        start = time.perf_counter()
+        tele = Telemetry()
+        with use_telemetry(tele):
+            flow = self.flow  # characterize (cached) before any fork
+            if workers == 1:
+                per_die = [
+                    flow.screen_die(die, measure_seed=seed)
+                    for die, seed in zip(wafer.dies, wafer.measure_seeds)
+                ]
+            else:
+                per_die = self._screen_sharded(flow, wafer, workers, tele)
+        get_telemetry().merge(tele)
+        return WaferScreenResult(
+            per_die=per_die,
+            telemetry=tele.snapshot(),
+            wall_time=time.perf_counter() - start,
+            workers=workers,
+        )
+
+    def _screen_sharded(
+        self,
+        flow: ScreeningFlow,
+        wafer: WaferPopulation,
+        workers: int,
+        tele: Telemetry,
+    ) -> List[FlowMetrics]:
+        chunks = self._chunks(wafer, workers)
+        indexed: Dict[int, FlowMetrics] = {}
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(self._flow_kwargs, flow.bands),
+        ) as pool:
+            for results, snapshot in pool.map(_screen_chunk, chunks):
+                tele.merge(snapshot)
+                for index, metrics in results:
+                    indexed[index] = metrics
+        return [indexed[i] for i in range(len(wafer))]

@@ -1,0 +1,129 @@
+"""Unit tests for the telemetry registry."""
+
+import time
+
+import pytest
+
+from repro.core.telemetry import (
+    Telemetry,
+    get_telemetry,
+    telemetry_phase,
+    use_telemetry,
+)
+
+
+class TestCounters:
+    def test_incr_creates_and_accumulates(self):
+        tele = Telemetry()
+        tele.incr("newton_iterations")
+        tele.incr("newton_iterations", 4)
+        assert tele.count("newton_iterations") == 5
+
+    def test_absent_counter_reads_zero(self):
+        assert Telemetry().count("no_such_counter") == 0
+
+    def test_cache_hit_rate(self):
+        tele = Telemetry()
+        assert tele.cache_hit_rate == 0.0
+        tele.incr("cache_hits", 3)
+        tele.incr("cache_misses", 1)
+        assert tele.cache_hit_rate == pytest.approx(0.75)
+
+
+class TestPhases:
+    def test_phase_accumulates_wall_time(self):
+        tele = Telemetry()
+        with tele.phase("screen"):
+            time.sleep(0.01)
+        with tele.phase("screen"):
+            pass
+        assert tele.phase_seconds["screen"] >= 0.01
+
+    def test_phase_records_even_on_exception(self):
+        tele = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tele.phase("boom"):
+                raise RuntimeError("x")
+        assert "boom" in tele.phase_seconds
+
+    def test_telemetry_phase_targets_current_registry(self):
+        with use_telemetry() as tele:
+            with telemetry_phase("characterize"):
+                pass
+        assert "characterize" in tele.phase_seconds
+
+
+class TestScoping:
+    def test_use_telemetry_swaps_and_restores(self):
+        outer = get_telemetry()
+        with use_telemetry() as inner:
+            assert get_telemetry() is inner
+            assert inner is not outer
+        assert get_telemetry() is outer
+
+    def test_nested_scopes(self):
+        with use_telemetry() as a:
+            a.incr("x")
+            with use_telemetry() as b:
+                get_telemetry().incr("x")
+            assert b.count("x") == 1
+        assert a.count("x") == 1
+
+
+class TestTransport:
+    def test_snapshot_is_plain_and_detached(self):
+        tele = Telemetry()
+        tele.incr("dense_solves", 2)
+        tele.add_phase_time("screen", 1.5)
+        snap = tele.snapshot()
+        tele.incr("dense_solves")
+        assert snap == {
+            "counters": {"dense_solves": 2},
+            "phase_seconds": {"screen": 1.5},
+        }
+
+    def test_merge_registry_and_snapshot(self):
+        a = Telemetry()
+        a.incr("cache_hits", 2)
+        a.add_phase_time("screen", 1.0)
+        b = Telemetry()
+        b.incr("cache_hits", 3)
+        b.incr("step_retries")
+        b.add_phase_time("screen", 0.5)
+        a.merge(b)
+        a.merge(b.snapshot())
+        assert a.count("cache_hits") == 8
+        assert a.count("step_retries") == 2
+        assert a.phase_seconds["screen"] == pytest.approx(2.0)
+
+    def test_reset(self):
+        tele = Telemetry()
+        tele.incr("x")
+        tele.add_phase_time("p", 1.0)
+        tele.reset()
+        assert tele.counters == {}
+        assert tele.phase_seconds == {}
+
+
+class TestInstrumentationHooks:
+    def test_newton_solves_are_counted(self):
+        from repro.spice import Circuit, DC, NMOS_45LP, PMOS_45LP
+        from repro.spice.dc import dc_operating_point
+        from repro.spice.netlist import GROUND
+
+        c = Circuit()
+        c.add_vsource("vdd", "vdd", GROUND, DC(1.1))
+        c.add_vsource("vin", "in", GROUND, DC(0.55))
+        c.add_mosfet("mp", "out", "in", "vdd", "vdd", PMOS_45LP, w=0.8e-6)
+        c.add_mosfet("mn", "out", "in", GROUND, GROUND, NMOS_45LP, w=0.4e-6)
+        with use_telemetry() as tele:
+            dc_operating_point(c)
+        assert tele.count("newton_solves") >= 1
+        assert tele.count("newton_iterations") >= tele.count("newton_solves")
+
+    def test_shim_module_reexports_implementation(self):
+        import repro.core.telemetry as shim
+        import repro.telemetry as impl
+
+        assert shim.Telemetry is impl.Telemetry
+        assert shim.get_telemetry is impl.get_telemetry

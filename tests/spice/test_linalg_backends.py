@@ -10,6 +10,8 @@ their own, and :class:`ConvergenceError` reports per-corner diagnostics.
 """
 
 import inspect
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -18,7 +20,7 @@ from hypothesis import given, settings, strategies as st
 import repro.spice.batch as batch_module
 import repro.spice.transient as transient_module
 from repro.core.segments import RingOscillatorConfig, build_ring_oscillator
-from repro.core.tsv import Leakage, Tsv
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
 from repro.spice import (
     Circuit,
     DenseLU,
@@ -209,6 +211,72 @@ class TestConvergenceDiagnostics:
         assert err.max_dv[0] > 0
         assert "corner 0" in str(err)
         assert "max_dv" in str(err)
+
+
+class TestGoldenDeltaTParity:
+    """Scalar and batched DeltaT paths must keep reproducing the goldens.
+
+    ``tests/data/delta_t_parity.json`` pins the StageDelayEngine's DeltaT
+    at nominal process for a grid of resistive-open and leakage faults,
+    computed once through the scalar ``transient()`` path and once
+    through the batched ``BatchedSimulation`` sweeps.  The regression
+    tolerance is well below the paper's 0.1 ps measurement resolution
+    but loose enough to absorb BLAS/LAPACK reduction-order differences
+    across platforms (observed cross-path deviation: ~2e-16 s).
+    """
+
+    #: Fresh recomputation vs the checked-in goldens.
+    GOLDEN_TOL = 0.05e-12
+    #: Freshly computed scalar vs batched values.
+    PARITY_TOL = 0.01e-12
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        path = Path(__file__).parent.parent / "data" / "delta_t_parity.json"
+        return json.loads(path.read_text())
+
+    @pytest.fixture(scope="class")
+    def engine(self, golden):
+        from repro.core.engines import StageDelayEngine
+
+        assert golden["engine"]["vdd"] == pytest.approx(1.1)
+        return StageDelayEngine(timestep=golden["engine"]["timestep_s"])
+
+    def test_scalar_path_reproduces_goldens(self, golden, engine):
+        x = golden["x_open"]
+        for r_open, want in zip(golden["r_open_ohm"],
+                                golden["scalar"]["open"]):
+            got = engine.delta_t(Tsv(fault=ResistiveOpen(r_open, x)))
+            assert got == pytest.approx(want, abs=self.GOLDEN_TOL)
+        for r_leak, want in zip(golden["r_leak_ohm"],
+                                golden["scalar"]["leak"]):
+            got = engine.delta_t(Tsv(fault=Leakage(r_leak)))
+            assert got == pytest.approx(want, abs=self.GOLDEN_TOL)
+        ff = engine.delta_t(Tsv())
+        assert ff == pytest.approx(golden["scalar"]["fault_free"],
+                                   abs=self.GOLDEN_TOL)
+
+    def test_batched_path_reproduces_goldens(self, golden, engine):
+        got_open = engine.delta_t_sweep_ro(golden["r_open_ohm"],
+                                           x=golden["x_open"])
+        np.testing.assert_allclose(got_open, golden["batched"]["open"],
+                                   atol=self.GOLDEN_TOL, rtol=0)
+        got_leak = engine.delta_t_sweep_rl(golden["r_leak_ohm"])
+        np.testing.assert_allclose(got_leak, golden["batched"]["leak"],
+                                   atol=self.GOLDEN_TOL, rtol=0)
+
+    def test_scalar_and_batched_goldens_agree(self, golden):
+        scalar = golden["scalar"]["open"] + golden["scalar"]["leak"]
+        batched = golden["batched"]["open"] + golden["batched"]["leak"]
+        for s, b in zip(scalar, batched):
+            assert s == pytest.approx(b, abs=self.PARITY_TOL)
+
+    def test_goldens_are_physical(self, golden):
+        """Open DeltaT below fault-free, window leakage above (Fig. 6/8)."""
+        ff = golden["scalar"]["fault_free"]
+        assert all(v < ff for v in golden["scalar"]["open"])
+        opens = golden["scalar"]["open"]
+        assert all(a > b for a, b in zip(opens, opens[1:]))
 
 
 class TestNoDuplicatedIntegratorLogic:

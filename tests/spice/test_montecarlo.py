@@ -109,3 +109,48 @@ class TestMonteCarloEngine:
         engine = MonteCarloEngine(ProcessVariation(), seed=5)
         with pytest.raises(RuntimeError):
             engine.run(always_fails, 3)
+
+
+class TestSeedSpawning:
+    """Sharded / restarted runs must reproduce the serial draw stream."""
+
+    MEASURE = staticmethod(lambda s: s.perturb(NMOS_45LP).vth)
+
+    def test_child_seeds_are_stable(self):
+        engine = MonteCarloEngine(ProcessVariation(), seed=9)
+        a = engine.child_seeds(8)
+        b = engine.child_seeds(8)
+        assert len(a) == 8
+        assert [s.generate_state(2).tolist() for s in a] == \
+            [s.generate_state(2).tolist() for s in b]
+
+    def test_offset_slice_matches_serial_run(self):
+        engine = MonteCarloEngine(ProcessVariation(), seed=11)
+        serial = engine.run(self.MEASURE, 12)
+        # Two workers covering [0, 5) and [5, 12) reproduce the serial
+        # stream exactly, sample for sample.
+        first = engine.run(self.MEASURE, 5)
+        second = engine.run(self.MEASURE, 7, sample_offset=5)
+        assert np.array_equal(np.concatenate([first, second]), serial)
+
+    def test_prespawned_seeds_match_on_demand(self):
+        engine = MonteCarloEngine(ProcessVariation(), seed=13)
+        seeds = engine.child_seeds(10)
+        on_demand = engine.run(self.MEASURE, 10)
+        prespawned = engine.run(self.MEASURE, 10, child_seeds=seeds)
+        tail = engine.run(self.MEASURE, 4, sample_offset=6,
+                          child_seeds=seeds)
+        assert np.array_equal(on_demand, prespawned)
+        assert np.array_equal(tail, on_demand[6:])
+
+    def test_samples_are_independent(self):
+        engine = MonteCarloEngine(ProcessVariation(), seed=17)
+        results = engine.run(self.MEASURE, 20)
+        assert len(np.unique(results)) == 20
+
+    def test_nominal_sample_accepts_seed(self):
+        sample = nominal_sample(seed=123)
+        assert isinstance(sample, ProcessSample)
+        model = sample.perturb(NMOS_45LP)
+        assert model.vth == NMOS_45LP.vth
+        assert model.lmin == NMOS_45LP.lmin

@@ -1,0 +1,123 @@
+"""Paper-invariant property tests (hypothesis).
+
+These pin the *directions* the paper's argument rests on, at two supply
+voltages, independent of absolute picoseconds:
+
+* resistive opens slow the direct path, so DeltaT = T1 - T2 strictly
+  *decreases* as the open gets more severe -- larger series R_O, or a
+  deeper break (smaller remaining fraction x of the TSV capacitance on
+  the driven side);
+* leakage in a voltage's sensitivity window (just above the
+  oscillation-stop resistance R_L,stop) pushes DeltaT *above* the
+  fault-free value, and harder as R_L drops toward the stop (Fig. 8);
+* the fault-induced shift vanishes as the fault vanishes (R_O -> 0,
+  R_L -> inf), which is what makes the fault-free band a sound
+  acceptance region.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.multivoltage import (
+    AnalyticEngineFactory,
+    leakage_stop_threshold,
+)
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+
+VOLTAGES = (1.1, 0.8)
+FACTORY = AnalyticEngineFactory()
+ENGINES = {v: FACTORY(v) for v in VOLTAGES}
+FAULT_FREE = {v: ENGINES[v].delta_t(Tsv()) for v in VOLTAGES}
+R_STOP = {v: leakage_stop_threshold(FACTORY, v) for v in VOLTAGES}
+
+COMMON = settings(max_examples=40, deadline=None)
+
+
+def delta_t(vdd, fault=None):
+    return ENGINES[vdd].delta_t(Tsv(fault=fault) if fault else Tsv())
+
+
+@pytest.mark.parametrize("vdd", VOLTAGES)
+class TestResistiveOpenMonotonicity:
+    @COMMON
+    @given(
+        r_low=st.floats(min_value=50.0, max_value=1e4),
+        ratio=st.floats(min_value=1.1, max_value=10.0),
+        x=st.floats(min_value=0.2, max_value=0.8),
+    )
+    def test_delta_t_strictly_decreases_with_resistance(
+        self, vdd, r_low, ratio, x
+    ):
+        mild = delta_t(vdd, ResistiveOpen(r_low, x))
+        severe = delta_t(vdd, ResistiveOpen(r_low * ratio, x))
+        assert severe < mild
+
+    @COMMON
+    @given(
+        r_open=st.floats(min_value=200.0, max_value=1e4),
+        x_deep=st.floats(min_value=0.05, max_value=0.9),
+        gap=st.floats(min_value=0.05, max_value=0.5),
+    )
+    def test_delta_t_strictly_decreases_with_break_depth(
+        self, vdd, r_open, x_deep, gap
+    ):
+        x_shallow = x_deep + gap
+        assume(x_shallow <= 0.95)
+        deep = delta_t(vdd, ResistiveOpen(r_open, x_deep))
+        shallow = delta_t(vdd, ResistiveOpen(r_open, x_shallow))
+        assert deep < shallow
+
+    def test_any_open_sits_below_fault_free(self, vdd):
+        for r_open in (100.0, 1e3, 1e4):
+            assert delta_t(vdd, ResistiveOpen(r_open)) < FAULT_FREE[vdd]
+
+
+@pytest.mark.parametrize("vdd", VOLTAGES)
+class TestLeakageWindowMonotonicity:
+    @COMMON
+    @given(
+        a=st.floats(min_value=1.03, max_value=1.18),
+        step=st.floats(min_value=0.02, max_value=0.15),
+    )
+    def test_delta_t_increases_as_leakage_strengthens(self, vdd, a, step):
+        """Within the sensitivity window, smaller R_L -> larger DeltaT."""
+        b = a + step
+        r_stop = R_STOP[vdd]
+        strong = delta_t(vdd, Leakage(a * r_stop))
+        weak = delta_t(vdd, Leakage(b * r_stop))
+        assert strong > weak
+
+    @COMMON
+    @given(ratio=st.floats(min_value=1.03, max_value=1.15))
+    def test_window_leakage_exceeds_fault_free(self, vdd, ratio):
+        leaky = delta_t(vdd, Leakage(ratio * R_STOP[vdd]))
+        assert leaky > FAULT_FREE[vdd]
+
+    def test_below_stop_threshold_oscillation_stops(self, vdd):
+        with pytest.raises(RuntimeError):
+            value = delta_t(vdd, Leakage(0.5 * R_STOP[vdd]))
+            if not math.isfinite(value):
+                raise RuntimeError("stuck oscillator reported as non-finite")
+
+
+@pytest.mark.parametrize("vdd", VOLTAGES)
+class TestShiftVanishesWithFault:
+    def test_open_shift_vanishes_as_r_open_drops(self, vdd):
+        ff = FAULT_FREE[vdd]
+        shifts = [
+            abs(delta_t(vdd, ResistiveOpen(r_open)) - ff)
+            for r_open in (1e3, 1e2, 1e1, 1.0)
+        ]
+        assert all(a > b for a, b in zip(shifts, shifts[1:]))
+        assert shifts[-1] < 1e-3 * ff
+
+    def test_leakage_shift_vanishes_as_r_leak_grows(self, vdd):
+        ff = FAULT_FREE[vdd]
+        shifts = [
+            abs(delta_t(vdd, Leakage(r_leak)) - ff)
+            for r_leak in (1e5, 1e6, 1e8, 1e10)
+        ]
+        assert all(a > b for a, b in zip(shifts, shifts[1:]))
+        assert shifts[-1] < 1e-6 * ff

@@ -1,0 +1,150 @@
+"""Unit tests for the sharded wafer-scale screening engine."""
+
+import pytest
+
+from repro.core.multivoltage import AnalyticEngineFactory
+from repro.spice.cache import SolveCache, use_cache
+from repro.workloads.flow import FlowMetrics, ScreeningFlow
+from repro.workloads.generator import DefectStatistics
+from repro.workloads.wafer import (
+    WaferPopulation,
+    WaferScreenResult,
+    WaferScreeningEngine,
+    aggregate_metrics,
+)
+
+STATS = DefectStatistics(void_rate=0.05, pinhole_rate=0.05,
+                         full_open_fraction=0.2)
+VOLTAGES = (1.1, 0.8)
+
+
+@pytest.fixture(scope="module")
+def wafer():
+    return WaferPopulation(num_dies=5, tsvs_per_die=12, stats=STATS, seed=42)
+
+
+def make_engine(**kw):
+    kw.setdefault("characterization_samples", 40)
+    kw.setdefault("voltages", VOLTAGES)
+    kw.setdefault("seed", 7)
+    return WaferScreeningEngine(AnalyticEngineFactory(), **kw)
+
+
+class TestWaferPopulation:
+    def test_shape(self, wafer):
+        assert len(wafer) == 5
+        assert wafer.num_tsvs == 60
+        assert all(len(die) == 12 for die in wafer)
+        assert len(wafer.measure_seeds) == 5
+
+    def test_same_seed_reproduces_everything(self, wafer):
+        again = WaferPopulation(num_dies=5, tsvs_per_die=12, stats=STATS,
+                                seed=42)
+        assert again.measure_seeds == wafer.measure_seeds
+        for a, b in zip(wafer, again):
+            for ra, rb in zip(a, b):
+                assert ra.fault_kind == rb.fault_kind
+                assert ra.truly_faulty == rb.truly_faulty
+
+    def test_dies_are_distinct_streams(self, wafer):
+        kinds = [tuple(r.fault_kind for r in die) for die in wafer]
+        assert len(set(kinds)) > 1
+        assert len(set(wafer.measure_seeds)) == len(wafer.measure_seeds)
+
+    def test_different_wafer_seed_differs(self, wafer):
+        other = WaferPopulation(num_dies=5, tsvs_per_die=12, stats=STATS,
+                                seed=43)
+        assert other.measure_seeds != wafer.measure_seeds
+
+    def test_defect_summary_totals(self, wafer):
+        summary = wafer.defect_summary()
+        assert summary["num_tsvs"] == 60
+        assert summary["voids"] + summary["pinholes"] == sum(
+            1 for die in wafer for r in die if r.truly_faulty
+        )
+
+    def test_rejects_empty_wafer(self):
+        with pytest.raises(ValueError):
+            WaferPopulation(num_dies=0)
+
+
+class TestAggregateMetrics:
+    def test_sums_fields_and_kind_maps(self):
+        a = FlowMetrics(num_tsvs=10, true_faulty=2, detected=2,
+                        measurements=30, test_time=1.0,
+                        detected_by_kind={"void": 2})
+        b = FlowMetrics(num_tsvs=10, true_faulty=1, detected=0, escapes=1,
+                        overkill=1, measurements=20, test_time=0.5,
+                        detected_by_kind={"pinhole": 0},
+                        escaped_by_kind={"pinhole": 1})
+        total = aggregate_metrics([a, b])
+        assert total.num_tsvs == 20
+        assert total.detected == 2 and total.escapes == 1
+        assert total.detected_by_kind == {"void": 2, "pinhole": 0}
+        assert total.escaped_by_kind == {"pinhole": 1}
+        assert total.test_time == pytest.approx(1.5)
+
+    def test_empty(self):
+        assert aggregate_metrics([]).num_tsvs == 0
+
+
+class TestWaferScreeningEngine:
+    def test_serial_screen_covers_every_die(self, wafer):
+        result = make_engine().screen(wafer, workers=1)
+        assert isinstance(result, WaferScreenResult)
+        assert len(result.per_die) == len(wafer)
+        assert result.totals.num_tsvs == wafer.num_tsvs
+        assert result.workers == 1
+        assert result.wall_time > 0
+        assert result.counter("dies_screened") == len(wafer)
+
+    def test_sharded_matches_serial_bit_for_bit(self, wafer):
+        serial = make_engine().screen(wafer, workers=1)
+        sharded = make_engine(chunk_size=2).screen(wafer, workers=2)
+        assert sharded.workers == 2
+        for a, b in zip(serial.per_die, sharded.per_die):
+            assert a.as_row() == b.as_row()
+            assert a.detected_by_kind == b.detected_by_kind
+            assert a.escaped_by_kind == b.escaped_by_kind
+
+    def test_chunking_does_not_change_results(self, wafer):
+        one = make_engine(chunk_size=1).screen(wafer, workers=2)
+        big = make_engine(chunk_size=4).screen(wafer, workers=2)
+        assert [m.as_row() for m in one.per_die] == \
+            [m.as_row() for m in big.per_die]
+
+    def test_worker_telemetry_is_merged(self, wafer):
+        result = make_engine().screen(wafer, workers=2)
+        assert result.counter("dies_screened") == len(wafer)
+        assert result.counter("measurements") > 0
+        assert "screen" in result.telemetry["phase_seconds"]
+
+    def test_precomputed_bands_match_self_characterized(self, wafer):
+        engine = make_engine()
+        flow = engine.flow
+        handed = ScreeningFlow(
+            AnalyticEngineFactory(), voltages=VOLTAGES,
+            characterization_samples=40, seed=7, bands=flow.bands,
+        )
+        die, seed = wafer.dies[0], wafer.measure_seeds[0]
+        assert handed.screen_die(die, measure_seed=seed).as_row() == \
+            flow.screen_die(die, measure_seed=seed).as_row()
+
+    def test_second_screen_hits_cache(self, wafer):
+        with use_cache(SolveCache()):
+            make_engine().screen(wafer, workers=1)
+            warm = make_engine().screen(wafer, workers=1)
+        assert warm.counter("cache_hits") > 0
+        assert warm.cache_hit_rate == 1.0
+
+    def test_rejects_bad_worker_count(self, wafer):
+        with pytest.raises(ValueError):
+            make_engine().screen(wafer, workers=0)
+
+    def test_flow_rejects_incomplete_bands(self):
+        engine = make_engine()
+        bands = engine.flow.bands
+        bands.pop(VOLTAGES[0])
+        with pytest.raises(ValueError):
+            ScreeningFlow(AnalyticEngineFactory(), voltages=VOLTAGES,
+                          bands=bands)
