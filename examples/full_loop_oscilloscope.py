@@ -61,5 +61,17 @@ def main() -> None:
     run("300 Ohm leakage fault (stuck-at-0)", Tsv(fault=Leakage(300.0)))
 
 
+def preflight_circuits():
+    """Netlists this example simulates, for ``python -m repro.staticcheck``."""
+    config = RingOscillatorConfig(num_segments=3, vdd=1.1)
+    circuits = {}
+    for label, tsv in (("fault-free", Tsv()),
+                       ("leaky", Tsv(fault=Leakage(1000.0)))):
+        ro = build_ring_oscillator([tsv] + [Tsv()] * 2, config,
+                                   enabled=[True, False, False])
+        circuits[f"ro-{label}"] = ro.circuit
+    return circuits
+
+
 if __name__ == "__main__":
     main()

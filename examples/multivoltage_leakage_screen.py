@@ -79,5 +79,24 @@ def main() -> None:
     print("recommended low voltage -- the paper's multi-voltage thesis.")
 
 
+def preflight_circuits():
+    """Netlists this example simulates, for ``python -m repro.staticcheck``.
+
+    The spot checks run the stage engine at the extremes of the paper's
+    voltage plan; one segment circuit per extreme covers every shape.
+    """
+    circuits = {}
+    for vdd in (max(PAPER_VOLTAGES), min(PAPER_VOLTAGES)):
+        engine = StageDelayEngine(
+            config=RingOscillatorConfig(num_segments=5, vdd=vdd),
+            timestep=2e-12,
+        )
+        for label, circuit in engine.preflight_circuits(
+            Tsv(fault=Leakage(2500.0))
+        ).items():
+            circuits[f"{label}@{vdd:.2f}V"] = circuit
+    return circuits
+
+
 if __name__ == "__main__":
     main()

@@ -52,5 +52,21 @@ def main() -> None:
     print("leakage slows it down or kills the oscillation entirely.")
 
 
+def preflight_circuits():
+    """Netlists this example simulates, for ``python -m repro.staticcheck``."""
+    engine = StageDelayEngine(
+        config=RingOscillatorConfig(num_segments=5, vdd=1.1),
+        timestep=2e-12,
+    )
+    circuits = engine.preflight_circuits()
+    circuits["segment-open"] = engine.preflight_circuits(
+        Tsv(fault=ResistiveOpen(r_open=1000.0, x=0.5))
+    )["segment"]
+    circuits["segment-leaky"] = engine.preflight_circuits(
+        Tsv(fault=Leakage(r_leak=700.0))
+    )["segment"]
+    return circuits
+
+
 if __name__ == "__main__":
     main()

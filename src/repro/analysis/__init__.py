@@ -5,8 +5,18 @@
 * :mod:`repro.analysis.reporting` -- fixed-width table/series rendering
   so every bench prints the same rows the paper's tables and figures
   report.
+* :mod:`repro.analysis.diagnostics` -- structured findings of the
+  pre-flight static analyzer (:mod:`repro.spice.staticcheck`): severity
+  policy, reports, and the fail-fast :class:`PreflightError`.
 """
 
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    PreflightError,
+    Severity,
+    record_diagnostics,
+)
 from repro.analysis.reporting import (
     Table,
     format_seconds,
@@ -16,11 +26,16 @@ from repro.analysis.reporting import (
 from repro.analysis.stats import roc_auc, roc_points, summarize
 
 __all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "PreflightError",
+    "Severity",
     "Table",
     "format_seconds",
     "format_si",
-    "telemetry_table",
+    "record_diagnostics",
     "roc_auc",
     "roc_points",
     "summarize",
+    "telemetry_table",
 ]

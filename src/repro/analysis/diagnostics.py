@@ -1,0 +1,214 @@
+"""Structured diagnostics for the pre-flight static analyzer.
+
+Every check in :mod:`repro.spice.staticcheck` emits :class:`Diagnostic`
+records instead of raising ad-hoc exceptions: a record names the rule
+that fired, its severity, the offending element and node *names* (never
+MNA matrix indices), and a fix hint.  A :class:`DiagnosticReport`
+collects the records of one check run and decides -- via
+:meth:`DiagnosticReport.raise_if_errors` -- whether the run may proceed.
+
+The split keeps policy out of the rules themselves: a rule only states
+what it found; the fail-fast gates in :mod:`repro.spice.transient`,
+:mod:`repro.spice.batch`, and the workload layers decide what severity
+blocks, and the telemetry registry counts what was emitted versus what a
+gate let through (see :func:`record_diagnostics`).
+
+This module is dependency-light on purpose (stdlib + the telemetry
+registry only) so both the :mod:`repro.spice` solver layers and the
+:mod:`repro.workloads` engines can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.telemetry import get_telemetry
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticReport",
+    "PreflightError",
+    "record_diagnostics",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` marks a circuit (or die) that is ill-posed: handing it to
+    the solver would produce a singular matrix, a non-convergent Newton
+    loop, or a meaningless answer.  ``WARNING`` marks constructions that
+    solve but are numerically treacherous (e.g. a dynamic node with zero
+    capacitance).  ``INFO`` marks expected-but-noteworthy facts (e.g. a
+    leakage fault strong enough to stop the oscillator -- exactly what a
+    screen is built to detect).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis rule.
+
+    Attributes:
+        rule: Stable rule identifier (e.g. ``"vsource-loop"``).
+        severity: How bad the finding is.
+        message: Human-readable description; uses element and node
+            *names*, never MNA indices.
+        element: Name of the offending element, when one exists.
+        nodes: Names of the involved circuit nodes.
+        hint: A short suggestion for fixing the netlist.
+        subject: What was checked (circuit title, die label, ...).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    element: Optional[str] = None
+    nodes: Tuple[str, ...] = ()
+    hint: Optional[str] = None
+    subject: str = ""
+
+    def format(self) -> str:
+        """One-line rendering: ``error[rule] message (element; nodes)``."""
+        parts = [f"{self.severity.value}[{self.rule}] {self.message}"]
+        details = []
+        if self.element:
+            details.append(f"element {self.element!r}")
+        if self.nodes:
+            details.append("nodes " + ", ".join(repr(n) for n in self.nodes))
+        if details:
+            parts.append("(" + "; ".join(details) + ")")
+        if self.hint:
+            parts.append(f"hint: {self.hint}")
+        return " ".join(parts)
+
+
+class PreflightError(ValueError):
+    """Raised by a fail-fast gate when a check found error diagnostics.
+
+    Attributes:
+        report: The full :class:`DiagnosticReport` (all severities), so
+            callers can render or count everything the check produced.
+    """
+
+    def __init__(self, message: str, report: "DiagnosticReport"):
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass
+class DiagnosticReport:
+    """All diagnostics of one check run over one subject."""
+
+    subject: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    # -- collection ------------------------------------------------------
+    def append(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def clean(self) -> bool:
+        """True when the run produced no diagnostics at all."""
+        return not self.diagnostics
+
+    def by_rule(self) -> Dict[str, List[Diagnostic]]:
+        grouped: Dict[str, List[Diagnostic]] = {}
+        for diagnostic in self.diagnostics:
+            grouped.setdefault(diagnostic.rule, []).append(diagnostic)
+        return grouped
+
+    def rules_fired(self) -> List[str]:
+        return sorted(self.by_rule())
+
+    # -- rendering and policy --------------------------------------------
+    def render(self) -> str:
+        """Multi-line rendering, worst severity first."""
+        header = self.summary()
+        lines = [header]
+        ordered = sorted(
+            self.diagnostics, key=lambda d: -d.severity.rank
+        )
+        lines.extend(f"  {d.format()}" for d in ordered)
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        subject = self.subject or "netlist"
+        if self.clean:
+            return f"{subject}: clean (0 diagnostics)"
+        return (
+            f"{subject}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s), {len(self.infos)} info(s)"
+        )
+
+    def raise_if_errors(self, context: str = "") -> None:
+        """Fail-fast gate: raise :class:`PreflightError` on any error.
+
+        The exception message carries every error diagnostic (with
+        element and node names) so the failure is actionable without
+        digging into solver internals.
+        """
+        errors = self.errors
+        if not errors:
+            return
+        where = context or self.subject or "netlist"
+        body = "; ".join(d.format() for d in errors[:8])
+        more = "" if len(errors) <= 8 else f" (+{len(errors) - 8} more)"
+        raise PreflightError(
+            f"pre-flight check rejected {where}: {body}{more}", self
+        )
+
+
+def record_diagnostics(
+    report: DiagnosticReport, fail_severity: Severity = Severity.ERROR
+) -> None:
+    """Count a report's diagnostics in the process telemetry registry.
+
+    Every diagnostic increments ``diag_emitted.<rule>``.  Diagnostics
+    whose severity sits *below* ``fail_severity`` -- findings the gate
+    deliberately lets through -- additionally increment
+    ``diag_suppressed.<rule>``, so a wafer run's telemetry shows both
+    what the analyzer said and what the gate acted on.
+    """
+    tele = get_telemetry()
+    for diagnostic in report.diagnostics:
+        tele.incr(f"diag_emitted.{diagnostic.rule}")
+        if diagnostic.severity.rank < fail_severity.rank:
+            tele.incr(f"diag_suppressed.{diagnostic.rule}")

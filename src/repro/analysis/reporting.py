@@ -105,8 +105,11 @@ def telemetry_table(
 ) -> Table:
     """Render a :meth:`repro.telemetry.Telemetry.snapshot` as a table.
 
-    Counters come first (sorted by name), then per-phase wall times, then
-    the derived cache hit rate when any cache traffic was recorded.
+    Counters come first (sorted by name), then one ``diag:<rule>`` row
+    per static-analysis rule that fired (emitted vs suppressed, folded
+    from the raw ``diag_emitted.*`` / ``diag_suppressed.*`` counters),
+    then per-phase wall times, then the derived cache hit rate when any
+    cache traffic was recorded.
 
     Example:
         >>> from repro.telemetry import get_telemetry
@@ -115,7 +118,19 @@ def telemetry_table(
     table = Table(["metric", "value"], title=title)
     counters = snapshot.get("counters", {})
     for name in sorted(counters):
-        table.add_row([name, counters[name]])
+        if not name.startswith(("diag_emitted.", "diag_suppressed.")):
+            table.add_row([name, counters[name]])
+    rules = sorted({
+        name.split(".", 1)[1] for name in counters
+        if name.startswith(("diag_emitted.", "diag_suppressed."))
+    })
+    for rule in rules:
+        emitted = counters.get(f"diag_emitted.{rule}", 0)
+        suppressed = counters.get(f"diag_suppressed.{rule}", 0)
+        table.add_row([
+            f"diag:{rule}",
+            f"{emitted:g} emitted, {suppressed:g} suppressed",
+        ])
     for name in sorted(snapshot.get("phase_seconds", {})):
         seconds = snapshot["phase_seconds"][name]
         table.add_row([f"phase:{name}", format_seconds(seconds)])

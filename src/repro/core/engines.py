@@ -264,6 +264,25 @@ class StageDelayEngine:
         kit.inverter("load", "loop_in", "load_out", strength=2.0)
         return circuit
 
+    def preflight_circuits(
+        self, tsv: Optional[Tsv] = None
+    ) -> Dict[str, Circuit]:
+        """The circuit shapes this engine simulates, built but not run.
+
+        For the static analyzer (:mod:`repro.spice.staticcheck`) and the
+        ``python -m repro.staticcheck`` CLI: one entry per distinct
+        topology a measurement touches, keyed by a stable label.
+        """
+        probe = tsv if tsv is not None else Tsv()
+        return {
+            "segment": self._segment_circuit(probe, bypassed=False)[0],
+            "segment-bypassed": self._segment_circuit(probe, bypassed=True)[0],
+            "segment-sweepable": self._segment_circuit(
+                probe, bypassed=False, sweepable=True
+            )[0],
+            "closer": self._closer_circuit(),
+        }
+
     # -- scalar measurements ----------------------------------------------
     def _stop_time(self) -> float:
         return 0.15e-9 + self.pulse_width + self.settle

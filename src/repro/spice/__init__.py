@@ -25,6 +25,9 @@ This package replaces the HSPICE runs of the paper.  It provides:
   paper's Monte Carlo runs (3-sigma Vth and 3-sigma Leff = 10%).
 * :mod:`repro.spice.cache` -- the content-addressed solve cache that
   memoizes characterization results across dies and wafers.
+* :mod:`repro.spice.staticcheck` -- the pre-flight static analyzer:
+  rule-based netlist checks (floating nodes, source loops, structural
+  singularity) run before any Newton iteration.
 
 Everything is expressed in SI units: volts, amperes, ohms, farads, seconds.
 """
@@ -69,6 +72,15 @@ from repro.spice.linalg import (
     register_backend,
 )
 from repro.spice.stamping import StampPlan
+from repro.spice.staticcheck import (
+    RULES,
+    RuleSpec,
+    check_circuit,
+    check_die,
+    check_tsv,
+    preflight_circuit,
+    registered_rules,
+)
 from repro.spice.stepper import TransientStepper
 from repro.spice.sweep import sweep_parameter
 
@@ -99,17 +111,24 @@ __all__ = [
     "ProcessSample",
     "ProcessVariation",
     "Pulse",
+    "RULES",
     "Resistor",
+    "RuleSpec",
     "SolveCache",
     "Step",
     "TransientResult",
     "VoltageSource",
     "Waveform",
     "cache_disabled",
+    "check_circuit",
+    "check_die",
+    "check_tsv",
     "circuit_fingerprint",
     "dc_operating_point",
     "fingerprint",
     "get_cache",
+    "preflight_circuit",
+    "registered_rules",
     "sweep_parameter",
     "transient",
     "use_cache",

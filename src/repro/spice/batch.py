@@ -36,6 +36,7 @@ from repro.spice.mna import MnaSystem, NewtonOptions
 from repro.spice.montecarlo import ProcessVariation, clamp_4sigma
 from repro.spice.netlist import Circuit
 from repro.spice.stamping import FetParams
+from repro.spice.staticcheck import preflight_circuit
 from repro.spice.stepper import TransientStepper, solve_dc_plan
 from repro.spice.waveform import Waveform
 
@@ -128,6 +129,7 @@ class BatchedSimulation:
         params: BatchParameters,
         options: Optional[NewtonOptions] = None,
         backend: BackendSpec = "batched",
+        preflight: bool = True,
     ):
         self.circuit = circuit
         self.params = params
@@ -139,6 +141,16 @@ class BatchedSimulation:
         self.plan = self.system.plan
         self.size = self.plan.size
         self.num_nodes = self.plan.num_nodes
+        if preflight:
+            # Fail fast on ill-posed netlists before any corner is
+            # compiled or solved: one bad topology would otherwise burn
+            # a whole stacked Newton run before surfacing.
+            preflight_circuit(
+                circuit, self.plan,
+                context=f"batched simulation of "
+                        f"{circuit.title or 'circuit'} "
+                        f"({self.num_corners} corners)",
+            )
         self._compile()
 
     # ------------------------------------------------------------------

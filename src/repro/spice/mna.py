@@ -35,6 +35,10 @@ class ConvergenceError(RuntimeError):
         max_dv: Final maximum node-voltage update per failing corner
             (same order as ``corners``), or ``None`` when unavailable
             (e.g. a singular-matrix failure).
+        nodes: Name of the worst-updating circuit node per failing
+            corner (same order as ``corners``), when known.  Names come
+            from the circuit's ``node_index`` reverse map so failures
+            are reported in netlist terms, never as matrix indices.
     """
 
     def __init__(
@@ -42,10 +46,12 @@ class ConvergenceError(RuntimeError):
         message: str,
         corners: Optional[Sequence[int]] = None,
         max_dv: Optional[np.ndarray] = None,
+        nodes: Optional[Sequence[str]] = None,
     ):
         super().__init__(message)
         self.corners = list(corners) if corners is not None else []
         self.max_dv = max_dv
+        self.nodes = list(nodes) if nodes is not None else []
 
 
 @dataclass

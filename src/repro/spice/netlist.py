@@ -7,7 +7,7 @@ A :class:`Circuit` is a passive description; analyses compile it into an
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.spice.elements import (
     Capacitor,
@@ -38,7 +38,7 @@ class Circuit:
         self.vsources: List[VoltageSource] = []
         self.isources: List[CurrentSource] = []
         self.mosfets: List[Mosfet] = []
-        self._names: set = set()
+        self._names: Set[str] = set()
         self._nodes: Dict[str, int] = {GROUND: 0}
 
     # ------------------------------------------------------------------

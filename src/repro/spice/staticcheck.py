@@ -1,0 +1,847 @@
+"""Pre-flight static analysis of netlists: reject ill-posed circuits early.
+
+Every ``DeltaT`` measurement starts by Newton-solving an MNA system.  A
+malformed circuit -- a floating gate node, a loop of voltage sources, a
+dynamic node with no capacitance -- used to surface only as a cryptic
+:class:`~repro.spice.mna.ConvergenceError` or a singular LU deep inside
+the stepper, after wall-clock had already been burned (and, on a sharded
+wafer run, after a whole worker pool had spun up).  This module walks a
+:class:`~repro.spice.netlist.Circuit` (and, when available, its compiled
+:class:`~repro.spice.stamping.StampPlan`) *before* any solve and emits
+structured :class:`~repro.analysis.diagnostics.Diagnostic` records with
+element and node **names**, never MNA indices.
+
+Rules are registered in a severity-tagged registry (:data:`RULES`) and
+run by :func:`check_circuit`:
+
+=========================  ========  =========================================
+rule id                    severity  what it catches
+=========================  ========  =========================================
+``nonphysical-value``      error     negative/zero R, negative C, non-finite
+                                     element or source values, W <= 0 devices
+``vsource-loop``           error     a cycle of voltage sources (provably
+                                     singular/inconsistent MNA)
+``isource-cutset``         error     a current source pumping into a node
+                                     with no DC-conducting element (KCL has
+                                     no solution)
+``undriven-gate``          error     a MOSFET gate node driven by nothing but
+                                     other gates and capacitors
+``floating-node``          error     a node (group) with no DC path to ground
+``zero-cap-dynamic-node``  warning   a MOSFET terminal node with zero total
+                                     capacitance (infinite-slew trap for the
+                                     BE/TRAP integrator)
+``degenerate-element``     warning   a two-terminal element with both
+                                     terminals on the same node
+``structural-singular``    error     symbolic zero pivot: the stamp pattern
+                                     admits no perfect matching, so every
+                                     pivot order hits a structural zero
+=========================  ========  =========================================
+
+TSV/die-level checks (:func:`check_tsv`, :func:`check_die`) validate
+fault parameters the way the netlist rules validate elements:
+
+=========================  ========  =========================================
+``fault-range``            error     open location ``x`` outside [0, 1]
+``leakage-below-stop``     info      ``R_L`` below the oscillation-stop
+                                     floor: the oscillator is expected to
+                                     stick (detectable by design, not a bad
+                                     input)
+=========================  ========  =========================================
+
+:func:`preflight_circuit` is the fail-fast gate wired into
+:func:`repro.spice.transient.transient`,
+:class:`repro.spice.batch.BatchedSimulation`, and the workload layers;
+it records per-rule telemetry and raises
+:class:`~repro.analysis.diagnostics.PreflightError` on error-severity
+findings before a single Newton iteration runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    record_diagnostics,
+)
+from repro.spice.elements import DC, SourceWaveform
+from repro.spice.netlist import GROUND, Circuit
+from repro.telemetry import get_telemetry
+
+__all__ = [
+    "RULES",
+    "RuleSpec",
+    "check_circuit",
+    "check_die",
+    "check_tsv",
+    "preflight_circuit",
+    "registered_rules",
+    "rule",
+]
+
+#: Incident-element roles that conduct at DC (define node voltages).
+_DC_CONDUCTING = ("resistor", "vsource", "fet-channel")
+
+
+class _UnionFind:
+    """Union-find with path halving, keyed by node index."""
+
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+
+    def find(self, i: int) -> int:
+        parent = self.parent
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(self, i: int, j: int) -> bool:
+        """Merge the sets of ``i`` and ``j``; False if already merged."""
+        ri, rj = self.find(i), self.find(j)
+        if ri == rj:
+            return False
+        self.parent[ri] = rj
+        return True
+
+
+@dataclass(frozen=True)
+class _Incident:
+    """One element terminal attached to a node."""
+
+    kind: str       # resistor | capacitor | vsource | isource | fet-channel | fet-gate | fet-bulk
+    element: str    # element name
+
+
+class CheckContext:
+    """Shared, lazily computed circuit facts the rules read.
+
+    Everything is expressed in node *names* on the way out; internally
+    the context works on the circuit's registration indices (the same
+    indices a :class:`~repro.spice.stamping.StampPlan` compiles, which is
+    what lets :func:`check_circuit` reuse a plan when the caller already
+    built one).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        plan: Optional[Any] = None,
+        ics: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.plan = plan
+        self.node_names: List[str] = circuit.nodes
+        self.num_nodes: int = circuit.num_nodes
+        # Nodes clamped by caller-supplied initial conditions: they have
+        # a defined starting voltage, so for connectivity purposes they
+        # behave like source-driven nodes.
+        known = set(self.node_names)
+        self.ics_indices: Set[int] = {
+            self.index(n) for n in (ics or ()) if n in known
+        }
+        self._incidence: Optional[List[List[_Incident]]] = None
+        self._dc_components: Optional[_UnionFind] = None
+        self._pinned: Optional[Set[int]] = None
+        self._cap_total: Optional[List[float]] = None
+
+    # -- helpers ---------------------------------------------------------
+    def name(self, index: int) -> str:
+        return self.node_names[index]
+
+    def index(self, node: str) -> int:
+        return self.circuit.node_index(node)
+
+    @property
+    def incidence(self) -> List[List[_Incident]]:
+        """Per node: the element terminals attached to it."""
+        if self._incidence is None:
+            inc: List[List[_Incident]] = [[] for _ in range(self.num_nodes)]
+            circuit = self.circuit
+            for r in circuit.resistors:
+                entry = _Incident("resistor", r.name)
+                inc[self.index(r.n1)].append(entry)
+                inc[self.index(r.n2)].append(entry)
+            for c in circuit.capacitors:
+                entry = _Incident("capacitor", c.name)
+                inc[self.index(c.n1)].append(entry)
+                inc[self.index(c.n2)].append(entry)
+            for v in circuit.vsources:
+                entry = _Incident("vsource", v.name)
+                inc[self.index(v.npos)].append(entry)
+                inc[self.index(v.nneg)].append(entry)
+            for s in circuit.isources:
+                entry = _Incident("isource", s.name)
+                inc[self.index(s.npos)].append(entry)
+                inc[self.index(s.nneg)].append(entry)
+            for f in circuit.mosfets:
+                channel = _Incident("fet-channel", f.name)
+                inc[self.index(f.drain)].append(channel)
+                inc[self.index(f.source)].append(channel)
+                inc[self.index(f.gate)].append(_Incident("fet-gate", f.name))
+                inc[self.index(f.bulk)].append(_Incident("fet-bulk", f.name))
+            self._incidence = inc
+        return self._incidence
+
+    @property
+    def dc_components(self) -> _UnionFind:
+        """Connected components of the DC-conducting graph.
+
+        Edges: resistors, voltage sources, and MOSFET drain-source
+        channels.  Capacitors and current sources do not define a node
+        voltage at DC and are excluded.  Nodes clamped by an initial
+        condition are joined to ground: the clamp fixes their starting
+        voltage exactly like a source would.
+        """
+        if self._dc_components is None:
+            uf = _UnionFind(self.num_nodes)
+            circuit = self.circuit
+            for r in circuit.resistors:
+                uf.union(self.index(r.n1), self.index(r.n2))
+            for v in circuit.vsources:
+                uf.union(self.index(v.npos), self.index(v.nneg))
+            for f in circuit.mosfets:
+                uf.union(self.index(f.drain), self.index(f.source))
+            ground = self.index(GROUND)
+            for i in self.ics_indices:
+                uf.union(ground, i)
+            self._dc_components = uf
+        return self._dc_components
+
+    @property
+    def pinned_nodes(self) -> Set[int]:
+        """Nodes whose DC voltage is fixed by a voltage-source chain to
+        ground (the static analogue of the condensed solve space's
+        pinned set)."""
+        if self._pinned is None:
+            uf = _UnionFind(self.num_nodes)
+            for v in self.circuit.vsources:
+                uf.union(self.index(v.npos), self.index(v.nneg))
+            ground_root = uf.find(self.index(GROUND))
+            self._pinned = {
+                i for i in range(self.num_nodes)
+                if uf.find(i) == ground_root
+            }
+        return self._pinned
+
+    @property
+    def cap_total(self) -> List[float]:
+        """Total capacitance with a terminal at each node."""
+        if self._cap_total is None:
+            totals = [0.0] * self.num_nodes
+            for c in self.circuit.capacitors:
+                totals[self.index(c.n1)] += c.capacitance
+                totals[self.index(c.n2)] += c.capacitance
+            self._cap_total = totals
+        return self._cap_total
+
+    def gate_only_nodes(self) -> Set[int]:
+        """Nodes whose non-capacitive attachments are all MOSFET gates."""
+        result: Set[int] = set()
+        for i, incidents in enumerate(self.incidence):
+            if i == self.index(GROUND):
+                continue
+            kinds = {inc.kind for inc in incidents}
+            if "fet-gate" in kinds and not (
+                kinds - {"fet-gate", "capacitor", "fet-bulk"}
+            ):
+                result.add(i)
+        return result
+
+
+RuleFunc = Callable[[CheckContext], Iterator[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """A registered static-analysis rule."""
+
+    rule_id: str
+    severity: Severity
+    summary: str
+    scope: str  # "circuit" or "tsv"
+    func: Optional[RuleFunc] = None
+
+
+#: Registry of every known rule, circuit-level and TSV-level.
+RULES: Dict[str, RuleSpec] = {}
+
+
+def rule(
+    rule_id: str, severity: Severity, summary: str, scope: str = "circuit"
+) -> Callable[[RuleFunc], RuleFunc]:
+    """Register a circuit rule in :data:`RULES` (decorator)."""
+
+    def register(func: RuleFunc) -> RuleFunc:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        RULES[rule_id] = RuleSpec(rule_id, severity, summary, scope, func)
+        return func
+
+    return register
+
+
+def _register_meta(rule_id: str, severity: Severity, summary: str) -> None:
+    """Register a TSV-scope rule (checked by :func:`check_tsv`)."""
+    RULES[rule_id] = RuleSpec(rule_id, severity, summary, "tsv", None)
+
+
+def registered_rules() -> List[RuleSpec]:
+    """All rules in registration order (for docs, CLI, and tests)."""
+    return list(RULES.values())
+
+
+# ----------------------------------------------------------------------
+# Circuit-level rules
+# ----------------------------------------------------------------------
+def _finite(value: float) -> bool:
+    return math.isfinite(value)
+
+
+def _dc_level(waveform: SourceWaveform) -> float:
+    if isinstance(waveform, DC):
+        return waveform.level
+    try:
+        return float(waveform.value(0.0))
+    except Exception:
+        return math.nan
+
+
+@rule(
+    "nonphysical-value",
+    Severity.ERROR,
+    "negative/zero resistance, negative capacitance, non-finite values",
+)
+def _check_values(ctx: CheckContext) -> Iterator[Diagnostic]:
+    for r in ctx.circuit.resistors:
+        if not _finite(r.resistance) or r.resistance <= 0.0:
+            yield Diagnostic(
+                "nonphysical-value", Severity.ERROR,
+                f"resistor {r.name!r} has non-physical resistance "
+                f"{r.resistance!r} Ohm",
+                element=r.name, nodes=(r.n1, r.n2),
+                hint="resistance must be a finite positive value; model an "
+                     "open with a large finite resistance (e.g. 1e15 Ohm)",
+            )
+    for c in ctx.circuit.capacitors:
+        if not _finite(c.capacitance) or c.capacitance < 0.0:
+            yield Diagnostic(
+                "nonphysical-value", Severity.ERROR,
+                f"capacitor {c.name!r} has non-physical capacitance "
+                f"{c.capacitance!r} F",
+                element=c.name, nodes=(c.n1, c.n2),
+                hint="capacitance must be finite and non-negative",
+            )
+    for v in ctx.circuit.vsources:
+        if not _finite(_dc_level(v.waveform)):
+            yield Diagnostic(
+                "nonphysical-value", Severity.ERROR,
+                f"voltage source {v.name!r} has a non-finite value at t=0",
+                element=v.name, nodes=(v.npos, v.nneg),
+                hint="source waveforms must evaluate to finite voltages",
+            )
+    for s in ctx.circuit.isources:
+        if not _finite(_dc_level(s.waveform)):
+            yield Diagnostic(
+                "nonphysical-value", Severity.ERROR,
+                f"current source {s.name!r} has a non-finite value at t=0",
+                element=s.name, nodes=(s.npos, s.nneg),
+                hint="source waveforms must evaluate to finite currents",
+            )
+    for f in ctx.circuit.mosfets:
+        if not _finite(f.w) or f.w <= 0.0 or not _finite(f.l) or f.l < 0.0:
+            yield Diagnostic(
+                "nonphysical-value", Severity.ERROR,
+                f"MOSFET {f.name!r} has non-physical geometry "
+                f"(W={f.w!r}, L={f.l!r})",
+                element=f.name, nodes=(f.drain, f.gate, f.source, f.bulk),
+                hint="device width must be positive and length non-negative",
+            )
+
+
+@rule(
+    "vsource-loop",
+    Severity.ERROR,
+    "a cycle of voltage sources makes the MNA system singular",
+)
+def _check_vsource_loops(ctx: CheckContext) -> Iterator[Diagnostic]:
+    uf = _UnionFind(ctx.num_nodes)
+    for v in ctx.circuit.vsources:
+        i, j = ctx.index(v.npos), ctx.index(v.nneg)
+        if not uf.union(i, j):
+            yield Diagnostic(
+                "vsource-loop", Severity.ERROR,
+                f"voltage source {v.name!r} closes a loop of voltage "
+                f"sources between nodes {v.npos!r} and {v.nneg!r}",
+                element=v.name, nodes=(v.npos, v.nneg),
+                hint="two ideal sources cannot both fix the same node "
+                     "pair; remove one or insert a series resistance",
+            )
+
+
+@rule(
+    "isource-cutset",
+    Severity.ERROR,
+    "a current source pumping into a node with no DC-conducting element",
+)
+def _check_isource_cutsets(ctx: CheckContext) -> Iterator[Diagnostic]:
+    ground = ctx.index(GROUND)
+    incidence = ctx.incidence
+    for s in ctx.circuit.isources:
+        for node in (s.npos, s.nneg):
+            i = ctx.index(node)
+            if i == ground:
+                continue
+            conducting = [
+                inc for inc in incidence[i]
+                if inc.kind in _DC_CONDUCTING
+            ]
+            if not conducting:
+                yield Diagnostic(
+                    "isource-cutset", Severity.ERROR,
+                    f"current source {s.name!r} drives node {node!r}, "
+                    "which has no DC-conducting element to absorb the "
+                    "current",
+                    element=s.name, nodes=(node,),
+                    hint="give the node a resistive or source path so "
+                         "KCL has a solution (a capacitor blocks DC)",
+                )
+
+
+@rule(
+    "undriven-gate",
+    Severity.ERROR,
+    "a MOSFET gate node driven by nothing but gates and capacitors",
+)
+def _check_undriven_gates(ctx: CheckContext) -> Iterator[Diagnostic]:
+    incidence = ctx.incidence
+    for i in sorted(ctx.gate_only_nodes()):
+        fets = sorted({
+            inc.element for inc in incidence[i] if inc.kind == "fet-gate"
+        })
+        listed = ", ".join(repr(f) for f in fets[:4])
+        more = "" if len(fets) <= 4 else f" (+{len(fets) - 4} more)"
+        yield Diagnostic(
+            "undriven-gate", Severity.ERROR,
+            f"node {ctx.name(i)!r} drives the gate(s) of {listed}{more} "
+            "but nothing drives the node itself",
+            element=fets[0] if fets else None, nodes=(ctx.name(i),),
+            hint="connect the gate net to a source, a resistor, or "
+                 "another stage's output",
+        )
+
+
+@rule(
+    "floating-node",
+    Severity.ERROR,
+    "a node group with no DC path to ground",
+)
+def _check_floating_nodes(ctx: CheckContext) -> Iterator[Diagnostic]:
+    ground = ctx.index(GROUND)
+    uf = ctx.dc_components
+    ground_root = uf.find(ground)
+    gate_only = ctx.gate_only_nodes()  # reported by undriven-gate instead
+    groups: Dict[int, List[int]] = {}
+    for i in range(ctx.num_nodes):
+        if i == ground or i in gate_only:
+            continue
+        root = uf.find(i)
+        if root != ground_root:
+            groups.setdefault(root, []).append(i)
+    for members in groups.values():
+        names = [ctx.name(i) for i in members]
+        listed = ", ".join(repr(n) for n in names[:4])
+        more = "" if len(names) <= 4 else f" (+{len(names) - 4} more)"
+        yield Diagnostic(
+            "floating-node", Severity.ERROR,
+            f"node(s) {listed}{more} have no DC path to ground "
+            "(capacitors and current sources do not set a DC voltage)",
+            nodes=tuple(names),
+            hint="tie the net to ground or a source through a resistive "
+                 "path, or remove it",
+        )
+
+
+@rule(
+    "zero-cap-dynamic-node",
+    Severity.WARNING,
+    "a MOSFET terminal node with zero total capacitance (infinite slew)",
+)
+def _check_zero_cap_dynamic_nodes(ctx: CheckContext) -> Iterator[Diagnostic]:
+    ground = ctx.index(GROUND)
+    pinned = ctx.pinned_nodes
+    cap_total = ctx.cap_total
+    seen: Set[int] = set()
+    for f in ctx.circuit.mosfets:
+        for node in (f.drain, f.gate, f.source):
+            i = ctx.index(node)
+            if i == ground or i in pinned or i in seen:
+                continue
+            if cap_total[i] == 0.0:
+                seen.add(i)
+                yield Diagnostic(
+                    "zero-cap-dynamic-node", Severity.WARNING,
+                    f"node {node!r} is a MOSFET terminal but carries zero "
+                    "total capacitance: the integrator sees an "
+                    "infinite-slew algebraic node",
+                    element=f.name, nodes=(node,),
+                    hint="attach the device parasitics (parasitics=True) "
+                         "or an explicit load capacitance",
+                )
+
+
+@rule(
+    "degenerate-element",
+    Severity.WARNING,
+    "a two-terminal element with both terminals on the same node",
+)
+def _check_degenerate_elements(ctx: CheckContext) -> Iterator[Diagnostic]:
+    ground = ctx.index(GROUND)
+    two_terminal = (
+        [("resistor", r.name, r.n1, r.n2) for r in ctx.circuit.resistors]
+        # Ground-to-ground capacitors are exempt: the MOSFET parasitic
+        # builder legitimately produces them (e.g. csb of an NMOS whose
+        # source sits on the ground rail) and they stamp nothing.
+        + [("capacitor", c.name, c.n1, c.n2) for c in ctx.circuit.capacitors
+           if ctx.index(c.n1) != ground]
+        + [("current source", s.name, s.npos, s.nneg)
+           for s in ctx.circuit.isources]
+    )
+    for kind, name, n1, n2 in two_terminal:
+        if ctx.index(n1) == ctx.index(n2):
+            yield Diagnostic(
+                "degenerate-element", Severity.WARNING,
+                f"{kind} {name!r} has both terminals on node {n1!r} "
+                "and contributes nothing",
+                element=name, nodes=(n1,),
+                hint="remove the element or fix the node wiring",
+            )
+
+
+def _structural_pattern(ctx: CheckContext) -> Tuple[int, List[Set[int]]]:
+    """Boolean stamp pattern of the ground-reduced MNA system.
+
+    Returns ``(dim, rows)`` where ``rows[r]`` is the set of columns with
+    a structurally nonzero entry.  The pattern mirrors what the stepper
+    can ever assemble -- resistor and capacitor-companion quads, MOSFET
+    Jacobian entries, and voltage-source incidence -- with the gmin
+    regularization deliberately left out: gmin hides singularity, it
+    does not fix the netlist.  Reuses the compiled index arrays of a
+    :class:`~repro.spice.stamping.StampPlan` when one was provided.
+    """
+    circuit = ctx.circuit
+    num_nodes = ctx.num_nodes
+    num_vsrc = len(circuit.vsources)
+    dim = (num_nodes - 1) + num_vsrc
+    rows: List[Set[int]] = [set() for _ in range(dim)]
+
+    def add(i: int, j: int) -> None:
+        if i > 0 and j > 0:
+            rows[i - 1].add(j - 1)
+
+    plan = ctx.plan
+    if plan is not None and hasattr(plan, "res_i"):
+        pairs = [
+            (int(i), int(j))
+            for i, j in zip(list(plan.res_i), list(plan.res_j))
+        ] + [
+            (int(i), int(j))
+            for i, j in zip(list(plan.cap_n1), list(plan.cap_n2))
+        ]
+        fet_terms = [
+            (int(d), int(g), int(s), int(b))
+            for d, g, s, b in zip(
+                list(plan.fet_d), list(plan.fet_g),
+                list(plan.fet_s), list(plan.fet_b),
+            )
+        ]
+    else:
+        pairs = [
+            (ctx.index(r.n1), ctx.index(r.n2)) for r in circuit.resistors
+        ] + [
+            (ctx.index(c.n1), ctx.index(c.n2)) for c in circuit.capacitors
+        ]
+        fet_terms = [
+            (ctx.index(f.drain), ctx.index(f.gate),
+             ctx.index(f.source), ctx.index(f.bulk))
+            for f in circuit.mosfets
+        ]
+
+    for i, j in pairs:
+        add(i, i)
+        add(j, j)
+        add(i, j)
+        add(j, i)
+    for d, g, s, b in fet_terms:
+        for row in (d, s):
+            for col in (d, g, s, b):
+                add(row, col)
+    for k, v in enumerate(circuit.vsources):
+        branch = (num_nodes - 1) + k
+        for node in (ctx.index(v.npos), ctx.index(v.nneg)):
+            if node > 0:
+                rows[node - 1].add(branch)
+                rows[branch].add(node - 1)
+    return dim, rows
+
+
+def _max_matching(dim: int, rows: List[Set[int]]) -> List[int]:
+    """Row -> column maximum bipartite matching (Kuhn with greedy seed)."""
+    match_row = [-1] * dim  # row -> col
+    match_col = [-1] * dim  # col -> row
+    # Greedy seed: most rows match immediately on well-posed circuits.
+    for r in range(dim):
+        for c in rows[r]:
+            if match_col[c] == -1:
+                match_row[r], match_col[c] = c, r
+                break
+
+    def augment(r: int, visited: Set[int]) -> bool:
+        for c in rows[r]:
+            if c in visited:
+                continue
+            visited.add(c)
+            if match_col[c] == -1 or augment(match_col[c], visited):
+                match_row[r], match_col[c] = c, r
+                return True
+        return False
+
+    for r in range(dim):
+        if match_row[r] == -1:
+            augment(r, set())
+    return match_row
+
+
+@rule(
+    "structural-singular",
+    Severity.ERROR,
+    "the stamp pattern admits no perfect matching (symbolic zero pivot)",
+)
+def _check_structural_singularity(ctx: CheckContext) -> Iterator[Diagnostic]:
+    dim, rows = _structural_pattern(ctx)
+    if dim == 0:
+        return
+    num_nodes = ctx.num_nodes
+
+    def unknown_name(r: int) -> str:
+        if r < num_nodes - 1:
+            return f"node {ctx.name(r + 1)!r}"
+        return (
+            f"branch current of source "
+            f"{ctx.circuit.vsources[r - (num_nodes - 1)].name!r}"
+        )
+
+    empty = [r for r in range(dim) if not rows[r]]
+    for r in empty:
+        yield Diagnostic(
+            "structural-singular", Severity.ERROR,
+            f"the MNA row of {unknown_name(r)} is structurally zero: no "
+            "element ever stamps it",
+            nodes=(ctx.name(r + 1),) if r < num_nodes - 1 else (),
+            hint="every unknown needs at least one element equation; "
+                 "attach an element or remove the node",
+        )
+    if empty:
+        return  # matching would re-report the same rows
+    match_row = _max_matching(dim, rows)
+    unmatched = [r for r in range(dim) if match_row[r] == -1]
+    for r in unmatched:
+        yield Diagnostic(
+            "structural-singular", Severity.ERROR,
+            f"symbolic zero pivot: {unknown_name(r)} cannot be matched "
+            "to an independent equation, so every pivot order hits a "
+            "structural zero",
+            nodes=(ctx.name(r + 1),) if r < num_nodes - 1 else (),
+            hint="the netlist over-constrains some nodes and leaves "
+                 "others unconstrained; check source and element wiring",
+        )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def check_circuit(
+    circuit: Circuit,
+    plan: Optional[Any] = None,
+    rules: Optional[Sequence[str]] = None,
+    ics: Optional[Iterable[str]] = None,
+) -> DiagnosticReport:
+    """Run the registered circuit rules over ``circuit``.
+
+    Args:
+        circuit: The netlist to analyze.
+        plan: Optional compiled :class:`~repro.spice.stamping.StampPlan`;
+            when given, its precomputed index arrays are reused.
+        rules: Optional subset of rule ids to run (default: all
+            circuit-scope rules, in registration order).
+        ics: Optional node names clamped by caller-supplied initial
+            conditions; they count as driven for connectivity rules
+            (a capacitor island with an explicit IC is well-posed).
+
+    Returns:
+        A :class:`~repro.analysis.diagnostics.DiagnosticReport`; the
+        caller decides whether to fail via
+        :meth:`~repro.analysis.diagnostics.DiagnosticReport.raise_if_errors`.
+    """
+    ctx = CheckContext(circuit, plan, ics=ics)
+    report = DiagnosticReport(subject=circuit.title or "circuit")
+    selected = (
+        [RULES[r] for r in rules] if rules is not None
+        else [spec for spec in RULES.values() if spec.scope == "circuit"]
+    )
+    for spec in selected:
+        if spec.func is None:
+            continue
+        report.extend(spec.func(ctx))
+    return report
+
+
+def preflight_circuit(
+    circuit: Circuit,
+    plan: Optional[Any] = None,
+    context: str = "",
+    fail: bool = True,
+    ics: Optional[Iterable[str]] = None,
+) -> DiagnosticReport:
+    """Fail-fast gate: check, record telemetry, raise on errors.
+
+    This is what the analyses call before compiling RHS vectors or
+    running Newton.  With ``fail=False`` the report is returned without
+    raising (error diagnostics are then counted as suppressed).
+    ``ics`` forwards initial-condition node names to the connectivity
+    rules.
+    """
+    report = check_circuit(circuit, plan, ics=ics)
+    record_diagnostics(report, fail_severity=Severity.ERROR)
+    if fail:
+        report.raise_if_errors(context or circuit.title or "circuit")
+    elif report.has_errors:
+        # Report-only mode: the gate saw errors but let them through.
+        tele = get_telemetry()
+        for diagnostic in report.errors:
+            tele.incr(f"diag_suppressed.{diagnostic.rule}")
+    return report
+
+
+# ----------------------------------------------------------------------
+# TSV / die-level checks
+# ----------------------------------------------------------------------
+_register_meta(
+    "fault-range", Severity.ERROR,
+    "resistive-open location x outside [0, 1] or non-positive fault R",
+)
+_register_meta(
+    "leakage-below-stop", Severity.INFO,
+    "R_L below the oscillation-stop floor: the oscillator will stick",
+)
+
+
+def check_tsv(
+    tsv: Any, name: str = "tsv", stop_floor: Optional[float] = None
+) -> List[Diagnostic]:
+    """Validate one TSV's parameters and fault values.
+
+    Args:
+        tsv: A :class:`repro.core.tsv.Tsv` (typed loosely to keep this
+            module import-light; anything with ``params``/``fault``).
+        name: Label used in the diagnostics.
+        stop_floor: Optional leakage oscillation-stop resistance floor
+            (e.g. from ``AnalyticEngine.oscillation_stop_r_leak``);
+            leaks below it are reported at info severity.
+    """
+    diags: List[Diagnostic] = []
+    params = getattr(tsv, "params", None)
+    fault = getattr(tsv, "fault", None)
+    if params is not None:
+        cap = float(params.capacitance)
+        res = float(params.resistance)
+        if not math.isfinite(cap) or cap <= 0.0:
+            diags.append(Diagnostic(
+                "nonphysical-value", Severity.ERROR,
+                f"{name}: TSV capacitance {cap!r} F is non-physical",
+                element=name,
+                hint="TSV capacitance must be finite and positive",
+            ))
+        if not math.isfinite(res) or res < 0.0:
+            diags.append(Diagnostic(
+                "nonphysical-value", Severity.ERROR,
+                f"{name}: TSV resistance {res!r} Ohm is non-physical",
+                element=name,
+                hint="TSV series resistance must be finite and non-negative",
+            ))
+    kind = getattr(fault, "kind", "fault_free")
+    if kind == "resistive_open":
+        x = float(getattr(fault, "x", 0.5))
+        r_open = float(getattr(fault, "r_open", math.inf))
+        if not 0.0 <= x <= 1.0:
+            diags.append(Diagnostic(
+                "fault-range", Severity.ERROR,
+                f"{name}: open location x={x!r} outside [0, 1]",
+                element=name,
+                hint="x is a normalized depth: 0 = front side, 1 = back",
+            ))
+        if math.isnan(r_open) or r_open <= 0.0:
+            diags.append(Diagnostic(
+                "fault-range", Severity.ERROR,
+                f"{name}: open resistance R_O={r_open!r} Ohm is not "
+                "positive",
+                element=name,
+                hint="use a positive resistance (inf for a full open)",
+            ))
+    elif kind == "leakage":
+        r_leak = float(getattr(fault, "r_leak", math.inf))
+        if math.isnan(r_leak) or r_leak <= 0.0:
+            diags.append(Diagnostic(
+                "fault-range", Severity.ERROR,
+                f"{name}: leakage resistance R_L={r_leak!r} Ohm is not "
+                "positive",
+                element=name,
+                hint="use a positive leakage resistance",
+            ))
+        elif stop_floor is not None and r_leak < stop_floor:
+            diags.append(Diagnostic(
+                "leakage-below-stop", Severity.INFO,
+                f"{name}: R_L={r_leak:.4g} Ohm sits below the "
+                f"oscillation-stop floor ({stop_floor:.4g} Ohm); the "
+                "oscillator is expected to stick",
+                element=name,
+                hint="this is a detectable defect, not a bad input; the "
+                     "screen will flag it via the stuck-oscillator path",
+            ))
+    return diags
+
+
+def check_die(
+    population: Any,
+    stop_floor: Optional[float] = None,
+    label: str = "die",
+) -> DiagnosticReport:
+    """Validate every TSV of a die population before screening it.
+
+    ``population`` is a :class:`repro.workloads.generator.DiePopulation`
+    (anything iterable over records with ``index`` and ``tsv``).  Only
+    error-severity diagnostics mark a die as un-screenable; injected
+    faults -- however severe -- are what the screen exists to find and
+    never rise above info.
+    """
+    report = DiagnosticReport(subject=label)
+    for record in population:
+        index = getattr(record, "index", "?")
+        report.extend(check_tsv(
+            record.tsv, name=f"{label}.tsv[{index}]", stop_floor=stop_floor
+        ))
+    return report

@@ -90,6 +90,7 @@ def newton_iterate(
         return x
     active = np.arange(num_corners)
     last_dv = np.zeros(num_corners)
+    last_node = np.zeros(num_corners, dtype=np.intp)
 
     for _ in range(opts.max_iterations):
         tele.incr("newton_iterations")
@@ -115,9 +116,12 @@ def newton_iterate(
         x_new = xa.copy()
         x_new[:, space.kept] = sol
         delta = x_new - xa
-        max_dv = np.abs(delta[:, :num_nodes]).max(axis=1) if num_nodes > 1 else (
-            np.zeros(len(active))
-        )
+        if num_nodes > 1:
+            dv_nodes = np.abs(delta[:, :num_nodes])
+            max_dv = dv_nodes.max(axis=1)
+            last_node[active] = dv_nodes.argmax(axis=1)
+        else:
+            max_dv = np.zeros(len(active))
         xa = xa + np.clip(delta, -opts.damping, opts.damping)
         vmax = np.abs(xa[:, :num_nodes]).max(axis=1) + 1e-12
         converged = max_dv < opts.vntol + opts.reltol * vmax
@@ -134,8 +138,14 @@ def newton_iterate(
         active = active[~converged]
 
     tele.incr("newton_failures")
+    # Report the worst-updating unknown by its netlist *name* (node via
+    # the circuit's reverse map) so the failure is actionable without
+    # decoding MNA indices, and keep the failing corner ids attached.
+    node_names = plan.circuit.nodes
+    worst_nodes = [node_names[int(last_node[c])] for c in active]
     failing = ", ".join(
-        f"corner {c}: max_dv={last_dv[c]:.3e} V" for c in active[:8]
+        f"corner {c}: max_dv={last_dv[c]:.3e} V at node {name!r}"
+        for c, name in zip(active[:8], worst_nodes[:8])
     )
     more = "" if len(active) <= 8 else f" (+{len(active) - 8} more)"
     raise ConvergenceError(
@@ -144,6 +154,7 @@ def newton_iterate(
         f"corners unconverged [{failing}{more}]",
         corners=active.tolist(),
         max_dv=last_dv[active].copy(),
+        nodes=worst_nodes,
     )
 
 

@@ -28,6 +28,7 @@ from repro.spice.dc import solve_dc
 from repro.spice.linalg import BackendSpec
 from repro.spice.mna import MnaSystem, NewtonOptions
 from repro.spice.netlist import Circuit
+from repro.spice.staticcheck import preflight_circuit
 from repro.spice.stepper import TransientStepper
 from repro.spice.waveform import Waveform
 
@@ -57,6 +58,7 @@ def transient(
     options: Optional[NewtonOptions] = None,
     max_retries: int = 4,
     backend: BackendSpec = "dense_lu",
+    preflight: bool = True,
 ) -> TransientResult:
     """Run a transient analysis of ``circuit``.
 
@@ -73,6 +75,11 @@ def transient(
             locally halved timestep up to this many times.
         backend: Linear-solver backend name or class
             (see :mod:`repro.spice.linalg`).
+        preflight: Run the :mod:`repro.spice.staticcheck` analyzer and
+            reject ill-posed circuits (floating nodes, source loops,
+            structural singularities) with a named-element
+            :class:`~repro.analysis.diagnostics.PreflightError` before
+            any Newton iteration runs.
 
     Returns:
         A :class:`TransientResult` with voltages sampled on the uniform
@@ -85,6 +92,10 @@ def transient(
 
     system = MnaSystem(circuit, options)
     plan = system.plan
+    if preflight:
+        preflight_circuit(circuit, plan, context=f"transient of "
+                          f"{circuit.title or 'circuit'}",
+                          ics=ics)
     x = solve_dc(system, t=0.0, ics=ics)
 
     record_nodes = list(record) if record is not None else circuit.nodes

@@ -41,6 +41,12 @@ Counter names used by the stack (all optional -- absent means zero):
 ``cache_misses``           Solve-cache lookups that had to compute.
 ``measurements``           Simulated DeltaT measurements (screening flow).
 ``dies_screened``          Dies completed by the screening/wafer engines.
+``dies_rejected``          Dies the pre-flight check disqualified before
+                           dispatch (wafer engine).
+``diag_emitted.<rule>``    Static-analysis diagnostics emitted, per rule id
+                           (:mod:`repro.spice.staticcheck`).
+``diag_suppressed.<rule>`` Emitted diagnostics a fail-fast gate let through
+                           (severity below the gate's threshold).
 =========================  ====================================================
 """
 

@@ -25,11 +25,13 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.diagnostics import DiagnosticReport, record_diagnostics
 from repro.core.session import ReferenceBand
 from repro.core.tsv import Tsv
 from repro.dft.control import MeasurementPlan
 from repro.spice import cache as solve_cache
 from repro.spice.montecarlo import ProcessVariation
+from repro.spice.staticcheck import check_die
 from repro.telemetry import get_telemetry, telemetry_phase
 from repro.workloads.generator import DiePopulation, TsvRecord
 
@@ -95,6 +97,13 @@ class ScreeningFlow:
         bands: Precomputed fault-free bands per voltage, skipping
             characterization entirely -- how the sharded wafer engine
             hands one parent characterization to its worker processes.
+        preflight: Run :func:`repro.spice.staticcheck.check_die` over
+            every die before measuring it and reject dies with
+            error-severity diagnostics (NaN capacitance, out-of-range
+            fault parameters) via
+            :class:`~repro.analysis.diagnostics.PreflightError`.  The
+            wafer engine turns this off here and pre-checks dies itself,
+            before pool dispatch.
     """
 
     def __init__(
@@ -109,8 +118,10 @@ class ScreeningFlow:
         tsv_cap_variation_rel: float = 0.02,
         seed: int = 2024,
         bands: Optional[Dict[float, ReferenceBand]] = None,
+        preflight: bool = True,
     ):
         self.engine_factory = engine_factory
+        self.preflight = preflight
         self.voltages = list(voltages)
         self.variation = variation
         self.group_size = group_size
@@ -120,6 +131,8 @@ class ScreeningFlow:
         self.tsv_cap_variation_rel = tsv_cap_variation_rel
         self.seed = seed
         self._engines = {v: engine_factory(v) for v in self.voltages}
+        self._stop_floor: Optional[float] = None
+        self._stop_floor_known = False
         self._bands: Dict[float, ReferenceBand] = {}
         if bands is not None:
             missing = [v for v in self.voltages if v not in bands]
@@ -208,6 +221,57 @@ class ScreeningFlow:
         return self._bands[vdd]
 
     # ------------------------------------------------------------------
+    @property
+    def stop_floor(self) -> Optional[float]:
+        """Worst-case oscillation-stop leakage floor across the plan.
+
+        The floor rises as the supply drops, so the maximum over the
+        planned voltages marks every ``R_L`` that will stick the ring at
+        *some* voltage of the plan.  ``None`` when no engine exposes
+        ``oscillation_stop_r_leak`` (e.g. ad-hoc stubs in tests).
+        """
+        if not self._stop_floor_known:
+            floors = []
+            for engine in self._engines.values():
+                compute = getattr(engine, "oscillation_stop_r_leak", None)
+                if compute is None:
+                    continue
+                try:
+                    floor = float(compute())
+                except Exception:
+                    continue
+                if math.isfinite(floor) and floor > 0.0:
+                    floors.append(floor)
+            self._stop_floor = max(floors) if floors else None
+            self._stop_floor_known = True
+        return self._stop_floor
+
+    def preflight_die(
+        self,
+        population: DiePopulation,
+        label: str = "die",
+        fail: bool = True,
+    ) -> DiagnosticReport:
+        """Static die check: reject un-screenable dies before measuring.
+
+        Error diagnostics (NaN/non-positive TSV capacitance, fault
+        parameters outside their physical ranges) raise
+        :class:`~repro.analysis.diagnostics.PreflightError`; injected
+        defects themselves never rise above info severity -- they are
+        what the screen exists to find.
+        """
+        report = check_die(population, stop_floor=self.stop_floor,
+                           label=label)
+        record_diagnostics(report)
+        if fail:
+            report.raise_if_errors(label)
+        elif report.has_errors:
+            tele = get_telemetry()
+            for diagnostic in report.errors:
+                tele.incr(f"diag_suppressed.{diagnostic.rule}")
+        return report
+
+    # ------------------------------------------------------------------
     def _measure(self, tsv: Tsv, vdd: float, seed: int, m: int = 1) -> float:
         """One simulated DeltaT measurement of a specific die's TSV."""
         engine = self._engines[vdd]
@@ -233,7 +297,14 @@ class ScreeningFlow:
                 noise (default: the flow seed).  The wafer engine derives
                 one per die via ``SeedSequence`` so sharded and serial
                 screens draw identical measurements.
+
+        Raises:
+            repro.analysis.diagnostics.PreflightError: When the flow's
+                pre-flight check is on and the die carries
+                error-severity diagnostics.
         """
+        if self.preflight:
+            self.preflight_die(population)
         with telemetry_phase("screen"):
             metrics = self._screen_die(population, measure_seed)
         tele = get_telemetry()

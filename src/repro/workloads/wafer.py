@@ -39,6 +39,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.diagnostics import DiagnosticReport, PreflightError
 from repro.core.session import ReferenceBand
 from repro.core.tsv import TsvParameters
 from repro.dft.control import MeasurementPlan
@@ -145,13 +146,20 @@ class WaferScreenResult:
 
     Attributes:
         per_die: One :class:`FlowMetrics` per die, in wafer order --
-            identical between serial and sharded runs.
+            identical between serial and sharded runs.  A die rejected
+            by the pre-flight check keeps its slot with a placeholder
+            ``FlowMetrics(num_tsvs=...)`` so per-die indexing and
+            serial/sharded parity are preserved.
+        rejected: Die index -> the pre-flight
+            :class:`~repro.analysis.diagnostics.DiagnosticReport` that
+            disqualified it, for dies rejected before dispatch.
         telemetry: Merged telemetry snapshot (parent + every worker).
         wall_time: Wall-clock seconds of the whole screen.
         workers: Worker processes used (1 = serial in-process).
     """
 
     per_die: List[FlowMetrics] = field(default_factory=list)
+    rejected: Dict[int, DiagnosticReport] = field(default_factory=dict)
     telemetry: Dict[str, Dict[str, float]] = field(default_factory=dict)
     wall_time: float = 0.0
     workers: int = 1
@@ -159,6 +167,11 @@ class WaferScreenResult:
     @property
     def totals(self) -> FlowMetrics:
         return aggregate_metrics(self.per_die)
+
+    @property
+    def dies_rejected(self) -> int:
+        """Dies disqualified by the pre-flight check (never screened)."""
+        return len(self.rejected)
 
     @property
     def dies_per_second(self) -> float:
@@ -211,6 +224,13 @@ class WaferScreeningEngine:
         engine_factory: Picklable ``vdd -> engine`` factory.
         chunk_size: Dies per worker task (default: balanced at roughly
             four tasks per worker, so stragglers even out).
+        preflight: Statically check every die in the parent process and
+            reject un-screenable ones (NaN capacitance, out-of-range
+            fault parameters) *before* pool dispatch, so a bad die costs
+            a dictionary lookup instead of a worker round-trip.  Workers
+            run with the flow-level gate off: the parent already checked
+            everything they receive, and double-checking would
+            double-count the per-rule telemetry.
     """
 
     def __init__(
@@ -225,6 +245,7 @@ class WaferScreeningEngine:
         tsv_cap_variation_rel: float = 0.02,
         seed: int = 2024,
         chunk_size: Optional[int] = None,
+        preflight: bool = True,
     ):
         self._flow_kwargs = dict(
             engine_factory=engine_factory,
@@ -236,7 +257,9 @@ class WaferScreeningEngine:
             group_screen_first=group_screen_first,
             tsv_cap_variation_rel=tsv_cap_variation_rel,
             seed=seed,
+            preflight=False,  # the engine pre-checks dies itself
         )
+        self.preflight = preflight
         self.chunk_size = chunk_size
         self._flow: Optional[ScreeningFlow] = None
 
@@ -249,14 +272,38 @@ class WaferScreeningEngine:
         return self._flow
 
     def _chunks(
-        self, wafer: WaferPopulation, workers: int
+        self,
+        items: List[Tuple[int, DiePopulation, int]],
+        workers: int,
     ) -> List[List[Tuple[int, DiePopulation, int]]]:
-        items = [
-            (i, wafer.dies[i], wafer.measure_seeds[i])
-            for i in range(len(wafer))
-        ]
         size = self.chunk_size or max(1, -(-len(items) // (workers * 4)))
         return [items[k:k + size] for k in range(0, len(items), size)]
+
+    def _preflight_dies(
+        self,
+        flow: ScreeningFlow,
+        wafer: WaferPopulation,
+        rejected: Dict[int, DiagnosticReport],
+    ) -> List[Tuple[int, DiePopulation, int]]:
+        """Check every die; return the screenable ``(index, die, seed)``.
+
+        Rejections land in ``rejected`` (die index -> report) and bump
+        the ``dies_rejected`` telemetry counter.  Ran in the parent so a
+        bad die never reaches the worker pool.
+        """
+        kept: List[Tuple[int, DiePopulation, int]] = []
+        tele = get_telemetry()
+        for i, (die, seed) in enumerate(
+            zip(wafer.dies, wafer.measure_seeds)
+        ):
+            try:
+                flow.preflight_die(die, label=f"die[{i}]")
+            except PreflightError as exc:
+                rejected[i] = exc.report
+                tele.incr("dies_rejected")
+            else:
+                kept.append((i, die, seed))
+        return kept
 
     # ------------------------------------------------------------------
     def screen(
@@ -266,24 +313,37 @@ class WaferScreeningEngine:
 
         ``workers=1`` runs serially in-process.  Results are
         bit-identical across worker counts; only the wall time and the
-        process attribution of the telemetry change.
+        process attribution of the telemetry change.  Dies the
+        pre-flight check rejects are dropped before dispatch -- on the
+        serial path and the sharded path alike -- and keep a placeholder
+        slot in ``per_die``.
         """
         if workers < 1:
             raise ValueError("workers must be positive")
         start = time.perf_counter()
         tele = Telemetry()
+        rejected: Dict[int, DiagnosticReport] = {}
         with use_telemetry(tele):
             flow = self.flow  # characterize (cached) before any fork
+            items = [
+                (i, wafer.dies[i], wafer.measure_seeds[i])
+                for i in range(len(wafer))
+            ]
+            if self.preflight:
+                items = self._preflight_dies(flow, wafer, rejected)
             if workers == 1:
-                per_die = [
-                    flow.screen_die(die, measure_seed=seed)
-                    for die, seed in zip(wafer.dies, wafer.measure_seeds)
-                ]
+                indexed = {
+                    i: flow.screen_die(die, measure_seed=seed)
+                    for i, die, seed in items
+                }
             else:
-                per_die = self._screen_sharded(flow, wafer, workers, tele)
+                indexed = self._screen_sharded(flow, items, workers, tele)
+            for i in rejected:
+                indexed[i] = FlowMetrics(num_tsvs=len(wafer.dies[i]))
         get_telemetry().merge(tele)
         return WaferScreenResult(
-            per_die=per_die,
+            per_die=[indexed[i] for i in range(len(wafer))],
+            rejected=rejected,
             telemetry=tele.snapshot(),
             wall_time=time.perf_counter() - start,
             workers=workers,
@@ -292,11 +352,11 @@ class WaferScreeningEngine:
     def _screen_sharded(
         self,
         flow: ScreeningFlow,
-        wafer: WaferPopulation,
+        items: List[Tuple[int, DiePopulation, int]],
         workers: int,
         tele: Telemetry,
-    ) -> List[FlowMetrics]:
-        chunks = self._chunks(wafer, workers)
+    ) -> Dict[int, FlowMetrics]:
+        chunks = self._chunks(items, workers)
         indexed: Dict[int, FlowMetrics] = {}
         with ProcessPoolExecutor(
             max_workers=workers,
@@ -307,4 +367,4 @@ class WaferScreeningEngine:
                 tele.merge(snapshot)
                 for index, metrics in results:
                     indexed[index] = metrics
-        return [indexed[i] for i in range(len(wafer))]
+        return indexed

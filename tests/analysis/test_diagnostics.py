@@ -1,0 +1,107 @@
+"""Unit tests for the structured diagnostics layer."""
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    PreflightError,
+    Severity,
+    record_diagnostics,
+)
+from repro.telemetry import Telemetry, use_telemetry
+
+
+def diag(rule="some-rule", severity=Severity.ERROR, **kw):
+    kw.setdefault("message", "something is wrong")
+    return Diagnostic(rule, severity, **kw)
+
+
+class TestSeverity:
+    def test_rank_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+
+    def test_values_are_stable_strings(self):
+        assert Severity.ERROR.value == "error"
+        assert Severity.WARNING.value == "warning"
+        assert Severity.INFO.value == "info"
+
+
+class TestDiagnosticFormat:
+    def test_includes_rule_severity_element_nodes_and_hint(self):
+        d = diag(
+            rule="vsource-loop",
+            message="source loop",
+            element="v2",
+            nodes=("a", "b"),
+            hint="remove one source",
+        )
+        text = d.format()
+        assert "error[vsource-loop]" in text
+        assert "element 'v2'" in text
+        assert "'a', 'b'" in text
+        assert "hint: remove one source" in text
+
+    def test_minimal_format(self):
+        text = diag(severity=Severity.INFO, message="note").format()
+        assert text == "info[some-rule] note"
+
+
+class TestDiagnosticReport:
+    def test_queries_split_by_severity(self):
+        report = DiagnosticReport(subject="x")
+        report.append(diag(severity=Severity.ERROR))
+        report.append(diag(rule="warn-rule", severity=Severity.WARNING))
+        report.append(diag(rule="info-rule", severity=Severity.INFO))
+        assert len(report) == 3
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert len(report.infos) == 1
+        assert report.has_errors
+        assert not report.clean
+        assert report.rules_fired() == ["info-rule", "some-rule", "warn-rule"]
+
+    def test_clean_report(self):
+        report = DiagnosticReport(subject="x")
+        assert report.clean and not report.has_errors
+        report.raise_if_errors()  # no-op
+        assert "clean" in report.summary()
+
+    def test_render_orders_worst_first(self):
+        report = DiagnosticReport(subject="x")
+        report.append(diag(rule="info-rule", severity=Severity.INFO))
+        report.append(diag(rule="err-rule", severity=Severity.ERROR))
+        lines = report.render().splitlines()
+        assert "error[err-rule]" in lines[1]
+        assert "info[info-rule]" in lines[2]
+
+    def test_raise_if_errors_carries_report_and_names(self):
+        report = DiagnosticReport(subject="bad circuit")
+        report.append(diag(element="r1", nodes=("n1",)))
+        with pytest.raises(PreflightError) as excinfo:
+            report.raise_if_errors("unit test")
+        assert excinfo.value.report is report
+        assert "unit test" in str(excinfo.value)
+        assert "'r1'" in str(excinfo.value)
+
+    def test_warnings_alone_do_not_raise(self):
+        report = DiagnosticReport()
+        report.append(diag(severity=Severity.WARNING))
+        report.raise_if_errors()
+
+
+class TestRecordDiagnostics:
+    def test_counts_emitted_and_suppressed(self):
+        report = DiagnosticReport()
+        report.append(diag(rule="err-rule", severity=Severity.ERROR))
+        report.append(diag(rule="warn-rule", severity=Severity.WARNING))
+        report.append(diag(rule="warn-rule", severity=Severity.WARNING))
+        tele = Telemetry()
+        with use_telemetry(tele):
+            record_diagnostics(report, fail_severity=Severity.ERROR)
+        counters = tele.snapshot()["counters"]
+        assert counters["diag_emitted.err-rule"] == 1
+        assert counters["diag_emitted.warn-rule"] == 2
+        # Below-threshold findings are the suppressed ones.
+        assert counters["diag_suppressed.warn-rule"] == 2
+        assert "diag_suppressed.err-rule" not in counters

@@ -211,6 +211,10 @@ class TestConvergenceDiagnostics:
         assert err.max_dv[0] > 0
         assert "corner 0" in str(err)
         assert "max_dv" in str(err)
+        # The worst node is reported by *name*, not MNA index.
+        assert len(err.nodes) == 1
+        assert err.nodes[0] in ("vdd", "out")
+        assert f"at node {err.nodes[0]!r}" in str(err)
 
 
 class TestGoldenDeltaTParity:

@@ -1,0 +1,370 @@
+"""Per-rule tests of the pre-flight static analyzer.
+
+Every rule gets a minimal pathological netlist and the test asserts the
+rule id, the severity, and that the diagnostic names the offending
+element/node -- the analyzer's whole contract is that failures are
+reported in netlist terms, never MNA indices.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.diagnostics import PreflightError, Severity
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+from repro.spice.batch import BatchParameters, BatchedSimulation
+from repro.spice.mosfet import NMOS_45LP, PMOS_45LP
+from repro.spice.netlist import GROUND, Circuit
+from repro.spice.stamping import StampPlan
+from repro.spice.staticcheck import (
+    RULES,
+    check_circuit,
+    check_die,
+    check_tsv,
+    preflight_circuit,
+    registered_rules,
+)
+from repro.spice.transient import transient
+from repro.telemetry import Telemetry, use_telemetry
+from repro.workloads.generator import DiePopulation
+
+
+def rules_of(report):
+    return set(report.rules_fired())
+
+
+def only(report, rule):
+    found = [d for d in report if d.rule == rule]
+    assert found, f"rule {rule!r} did not fire; got {rules_of(report)}"
+    return found
+
+
+def inverter(circuit, name, vin, vout, vdd="vdd"):
+    circuit.add_mosfet(f"{name}.p", vout, vin, vdd, vdd, PMOS_45LP, w=2e-6)
+    circuit.add_mosfet(f"{name}.n", vout, vin, GROUND, GROUND, NMOS_45LP,
+                       w=1e-6)
+
+
+def well_posed_circuit():
+    circuit = Circuit("well-posed")
+    circuit.add_vsource("vdd", "vdd", GROUND, 1.1)
+    circuit.add_vsource("vin", "in", GROUND, 0.0)
+    inverter(circuit, "inv", "in", "out")
+    circuit.add_capacitor("cl", "out", GROUND, 1e-15)
+    return circuit
+
+
+class TestRegistry:
+    def test_required_rules_registered(self):
+        required = {
+            "floating-node", "vsource-loop", "isource-cutset",
+            "undriven-gate", "zero-cap-dynamic-node", "nonphysical-value",
+            "structural-singular", "degenerate-element",
+            "fault-range", "leakage-below-stop",
+        }
+        assert required <= set(RULES)
+
+    def test_severities(self):
+        assert RULES["floating-node"].severity is Severity.ERROR
+        assert RULES["zero-cap-dynamic-node"].severity is Severity.WARNING
+        assert RULES["leakage-below-stop"].severity is Severity.INFO
+
+    def test_registered_rules_ordering_is_stable(self):
+        assert [s.rule_id for s in registered_rules()] == list(RULES)
+
+    def test_duplicate_rule_id_rejected(self):
+        from repro.spice.staticcheck import rule
+
+        with pytest.raises(ValueError, match="duplicate"):
+            rule("floating-node", Severity.ERROR, "again")(lambda ctx: iter(()))
+
+
+class TestWellPosed:
+    def test_clean(self):
+        report = check_circuit(well_posed_circuit())
+        assert report.clean, report.render()
+
+    def test_clean_with_plan(self):
+        circuit = well_posed_circuit()
+        report = check_circuit(circuit, StampPlan(circuit))
+        assert report.clean, report.render()
+
+
+class TestFloatingNode:
+    def test_cap_island_flagged_by_name(self):
+        circuit = well_posed_circuit()
+        # Two extra nodes joined by a resistor, tied to the rest of the
+        # circuit only through a capacitor: no DC path to ground.
+        circuit.add_resistor("r_island", "isl_a", "isl_b", 1e3)
+        circuit.add_capacitor("c_link", "isl_a", "out", 1e-15)
+        report = check_circuit(circuit)
+        [d] = only(report, "floating-node")
+        assert d.severity is Severity.ERROR
+        assert {"isl_a", "isl_b"} <= set(d.nodes)
+
+    def test_message_names_no_matrix_indices(self):
+        circuit = Circuit("floater")
+        circuit.add_vsource("vdd", "vdd", GROUND, 1.0)
+        circuit.add_resistor("rl", "vdd", "mid", 1e3)
+        circuit.add_capacitor("cf", "lonely", GROUND, 1e-15)
+        circuit.add_resistor("rg", "mid", GROUND, 1e3)
+        [d] = only(check_circuit(circuit), "floating-node")
+        assert d.nodes == ("lonely",)
+        assert "lonely" in d.message
+
+    def test_ic_pinned_island_is_clean(self):
+        # Charge-sharing: two caps joined by a resistor, voltages set
+        # only by initial conditions.  Ill-posed without the ICs,
+        # well-posed with them (one IC pins the whole island).
+        circuit = Circuit("share")
+        circuit.add_capacitor("c1", "a", GROUND, 1e-12)
+        circuit.add_capacitor("c2", "b", GROUND, 1e-12)
+        circuit.add_resistor("rshare", "a", "b", 1e3)
+        assert check_circuit(circuit).has_errors
+        assert check_circuit(circuit, ics=["a"]).clean
+
+    def test_ic_on_unknown_node_is_ignored(self):
+        circuit = well_posed_circuit()
+        assert check_circuit(circuit, ics=["no_such_node"]).clean
+
+
+class TestVsourceLoop:
+    def test_parallel_sources_flagged(self):
+        circuit = well_posed_circuit()
+        circuit.add_vsource("vdd2", "vdd", GROUND, 1.0)
+        report = check_circuit(circuit)
+        [d] = only(report, "vsource-loop")
+        assert d.severity is Severity.ERROR
+        assert d.element == "vdd2"
+        assert set(d.nodes) == {"vdd", GROUND}
+
+    def test_three_source_cycle(self):
+        circuit = Circuit("loop3")
+        circuit.add_vsource("v1", "a", GROUND, 1.0)
+        circuit.add_vsource("v2", "b", "a", 0.5)
+        circuit.add_vsource("v3", "b", GROUND, 1.5)
+        circuit.add_resistor("r", "b", GROUND, 1e3)
+        [d] = only(check_circuit(circuit), "vsource-loop")
+        assert d.element == "v3"
+
+
+class TestIsourceCutset:
+    def test_cap_only_node_flagged(self):
+        circuit = well_posed_circuit()
+        circuit.add_isource("ileak", "island", GROUND, 1e-6)
+        circuit.add_capacitor("cisl", "island", GROUND, 1e-15)
+        report = check_circuit(circuit)
+        [d] = only(report, "isource-cutset")
+        assert d.severity is Severity.ERROR
+        assert d.element == "ileak"
+        assert d.nodes == ("island",)
+
+    def test_resistive_return_is_fine(self):
+        circuit = well_posed_circuit()
+        circuit.add_isource("ibias", "out", GROUND, 1e-6)
+        assert "isource-cutset" not in rules_of(check_circuit(circuit))
+
+
+class TestUndrivenGate:
+    def test_gate_only_node_flagged(self):
+        circuit = well_posed_circuit()
+        inverter(circuit, "orphan", "nowhere", "orphan_out")
+        circuit.add_capacitor("c2", "orphan_out", GROUND, 1e-15)
+        report = check_circuit(circuit)
+        [d] = only(report, "undriven-gate")
+        assert d.severity is Severity.ERROR
+        assert d.nodes == ("nowhere",)
+        assert "orphan" in (d.element or "")
+        # The same net must not be double-reported as floating.
+        assert "floating-node" not in rules_of(report)
+
+
+class TestZeroCapDynamicNode:
+    def test_bare_fet_output_warned(self):
+        circuit = Circuit("bare")
+        circuit.add_vsource("vdd", "vdd", GROUND, 1.1)
+        circuit.add_vsource("vin", "in", GROUND, 0.0)
+        circuit.add_mosfet("mn", "out", "in", GROUND, GROUND, NMOS_45LP,
+                           w=1e-6, parasitics=False)
+        circuit.add_resistor("rl", "out", "vdd", 1e4)
+        report = check_circuit(circuit)
+        [d] = only(report, "zero-cap-dynamic-node")
+        assert d.severity is Severity.WARNING
+        assert d.nodes == ("out",)
+        assert d.element == "mn"
+
+    def test_parasitics_silence_the_warning(self):
+        circuit = Circuit("loaded")
+        circuit.add_vsource("vdd", "vdd", GROUND, 1.1)
+        circuit.add_vsource("vin", "in", GROUND, 0.0)
+        circuit.add_mosfet("mn", "out", "in", GROUND, GROUND, NMOS_45LP,
+                           w=1e-6)
+        circuit.add_resistor("rl", "out", "vdd", 1e4)
+        assert "zero-cap-dynamic-node" not in rules_of(check_circuit(circuit))
+
+
+class TestNonphysicalValue:
+    def test_nan_resistance_flagged(self):
+        circuit = well_posed_circuit()
+        circuit.add_resistor("rbad", "out", GROUND, float("nan"))
+        [d] = only(check_circuit(circuit), "nonphysical-value")
+        assert d.severity is Severity.ERROR
+        assert d.element == "rbad"
+
+    def test_negative_resistance_flagged(self):
+        circuit = well_posed_circuit()
+        r = circuit.add_resistor("rneg", "out", GROUND, 1e3)
+        r.resistance = -5.0  # past the constructor guard, like a bad sweep
+        [d] = only(check_circuit(circuit), "nonphysical-value")
+        assert d.element == "rneg"
+        assert "-5.0" in d.message
+
+    def test_nonfinite_source_flagged(self):
+        circuit = well_posed_circuit()
+        circuit.add_vsource("vinf", "x", GROUND, float("inf"))
+        circuit.add_resistor("rx", "x", GROUND, 1e3)
+        [d] = only(check_circuit(circuit), "nonphysical-value")
+        assert d.element == "vinf"
+
+
+class TestDegenerateElement:
+    def test_same_node_resistor_warned(self):
+        circuit = well_posed_circuit()
+        circuit.add_resistor("rloop", "out", "out", 1e3)
+        [d] = only(check_circuit(circuit), "degenerate-element")
+        assert d.severity is Severity.WARNING
+        assert d.element == "rloop"
+
+    def test_mosfet_parasitic_ground_caps_exempt(self):
+        # An NMOS with its source on ground gets a ground-to-ground csb
+        # parasitic by construction; that must not warn.
+        circuit = well_posed_circuit()
+        assert "degenerate-element" not in rules_of(check_circuit(circuit))
+
+
+class TestStructuralSingular:
+    def test_unstamped_node_reported(self):
+        circuit = Circuit("dangling")
+        circuit.add_vsource("vdd", "vdd", GROUND, 1.0)
+        circuit.add_resistor("r1", "vdd", GROUND, 1e3)
+        circuit.node_index("ghost")  # registered but never stamped
+        report = check_circuit(circuit)
+        [d] = only(report, "structural-singular")
+        assert d.severity is Severity.ERROR
+        assert d.nodes == ("ghost",)
+        assert "structurally zero" in d.message
+
+    def test_vsource_loop_is_also_structurally_singular(self):
+        circuit = Circuit("loop")
+        circuit.add_vsource("v1", "a", GROUND, 1.0)
+        circuit.add_vsource("v2", "a", GROUND, 1.0)
+        circuit.add_resistor("r", "a", GROUND, 1e3)
+        report = check_circuit(circuit)
+        assert "structural-singular" in rules_of(report)
+        assert "vsource-loop" in rules_of(report)
+
+    def test_plan_and_circuit_paths_agree(self):
+        circuit = Circuit("agree")
+        circuit.add_vsource("v1", "a", GROUND, 1.0)
+        circuit.add_vsource("v2", "a", GROUND, 1.0)
+        circuit.add_resistor("r", "a", GROUND, 1e3)
+        without_plan = check_circuit(circuit, rules=["structural-singular"])
+        with_plan = check_circuit(circuit, StampPlan(circuit),
+                                  rules=["structural-singular"])
+        assert rules_of(without_plan) == rules_of(with_plan)
+        assert len(without_plan) == len(with_plan)
+
+
+class TestFailFastGates:
+    def test_transient_rejects_before_any_newton_iteration(self):
+        """The contract: bad netlists never reach the Newton loop."""
+        circuit = well_posed_circuit()
+        circuit.add_vsource("vdd_dup", "vdd", GROUND, 1.2)
+        tele = Telemetry()
+        with use_telemetry(tele):
+            with pytest.raises(PreflightError) as excinfo:
+                transient(circuit, 1e-9, 1e-12)
+        counters = tele.snapshot()["counters"]
+        assert counters.get("newton_solves", 0) == 0
+        assert counters.get("newton_iterations", 0) == 0
+        assert "vdd_dup" in str(excinfo.value)
+
+    def test_batched_rejects_before_any_newton_iteration(self):
+        circuit = well_posed_circuit()
+        circuit.add_capacitor("cfloat", "adrift", GROUND, 1e-15)
+        tele = Telemetry()
+        with use_telemetry(tele):
+            with pytest.raises(PreflightError) as excinfo:
+                BatchedSimulation(circuit, BatchParameters.nominal(4))
+        counters = tele.snapshot()["counters"]
+        assert counters.get("newton_solves", 0) == 0
+        assert "adrift" in str(excinfo.value)
+
+    def test_transient_preflight_opt_out(self):
+        circuit = well_posed_circuit()
+        result = transient(circuit, 20e-12, 5e-12, preflight=False)
+        assert "out" in result.voltages
+
+    def test_preflight_circuit_report_only_counts_suppressed(self):
+        circuit = well_posed_circuit()
+        circuit.add_vsource("vdd_dup", "vdd", GROUND, 1.2)
+        tele = Telemetry()
+        with use_telemetry(tele):
+            report = preflight_circuit(circuit, fail=False)
+        assert report.has_errors
+        counters = tele.snapshot()["counters"]
+        assert counters["diag_emitted.vsource-loop"] == 1
+        assert counters["diag_suppressed.vsource-loop"] == 1
+
+    def test_preflight_records_telemetry_on_raise(self):
+        circuit = well_posed_circuit()
+        circuit.add_vsource("vdd_dup", "vdd", GROUND, 1.2)
+        tele = Telemetry()
+        with use_telemetry(tele):
+            with pytest.raises(PreflightError):
+                preflight_circuit(circuit)
+        counters = tele.snapshot()["counters"]
+        assert counters["diag_emitted.vsource-loop"] == 1
+        assert "diag_suppressed.vsource-loop" not in counters
+
+
+class TestTsvChecks:
+    def test_fault_range_x_out_of_bounds(self):
+        fault = ResistiveOpen(r_open=1e3, x=0.5)
+        # The constructor guards x; corrupt it the way a buggy sweep or
+        # deserializer would, past the guard.
+        object.__setattr__(fault, "x", 1.5)
+        tsv = Tsv(fault=fault)
+        diags = check_tsv(tsv, name="t0")
+        assert any(
+            d.rule == "fault-range" and d.severity is Severity.ERROR
+            and d.element == "t0" and "1.5" in d.message
+            for d in diags
+        )
+
+    def test_leakage_below_stop_is_info_not_error(self):
+        tsv = Tsv(fault=Leakage(r_leak=100.0))
+        diags = check_tsv(tsv, name="t0", stop_floor=1500.0)
+        [d] = [d for d in diags if d.rule == "leakage-below-stop"]
+        assert d.severity is Severity.INFO
+
+    def test_healthy_tsv_clean(self):
+        assert check_tsv(Tsv(), stop_floor=1500.0) == []
+
+    def test_check_die_labels_records(self):
+        population = DiePopulation(num_tsvs=8, seed=3)
+        report = check_die(population, label="die[0]")
+        assert not report.has_errors
+        # Labels carry die and TSV index for any finding that does fire.
+        assert report.subject == "die[0]"
+
+
+def test_fault_range_nan_r_leak():
+    tsv = Tsv(fault=Leakage(r_leak=float("nan")))
+    diags = check_tsv(tsv)
+    assert any(d.rule == "fault-range" for d in diags)
+
+
+def test_infinite_r_open_allowed():
+    tsv = Tsv(fault=ResistiveOpen(r_open=math.inf, x=0.2))
+    assert check_tsv(tsv) == []

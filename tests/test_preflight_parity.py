@@ -1,0 +1,145 @@
+"""Parity: every shipped netlist passes the pre-flight analyzer clean.
+
+The analyzer is only trustworthy as a fail-fast gate if it never
+rejects (or even warns about) the circuits the repo itself builds: the
+examples' declared netlists, the engines' segment/closer/ring shapes,
+and the benchmark topologies.  Plus smoke tests of the
+``python -m repro.staticcheck`` CLI.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cells import CellKit
+from repro.core.engines import StageDelayEngine
+from repro.core.segments import RingOscillatorConfig, build_ring_oscillator
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+from repro.spice import DC, Pulse
+from repro.spice.netlist import GROUND, Circuit
+from repro.spice.stamping import StampPlan
+from repro.spice.staticcheck import check_circuit
+from repro.staticcheck import discover, load_circuits, main
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def assert_clean(circuit, label):
+    report = check_circuit(circuit, StampPlan(circuit))
+    assert report.clean, f"{label}:\n{report.render()}"
+
+
+class TestExamplesClean:
+    def test_examples_exist(self):
+        assert len(EXAMPLE_FILES) >= 5
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+    )
+    def test_every_declared_circuit_is_clean(self, path):
+        circuits = load_circuits(path)
+        assert circuits, f"{path.name} declared no circuits"
+        for label, circuit in circuits.items():
+            assert_clean(circuit, f"{path.name}:{label}")
+
+    def test_discover_finds_every_example(self):
+        assert discover(EXAMPLES_DIR) == EXAMPLE_FILES
+
+
+class TestEngineShapesClean:
+    def test_stage_engine_circuits(self):
+        engine = StageDelayEngine(
+            config=RingOscillatorConfig(num_segments=5, vdd=1.1)
+        )
+        for tsv in (Tsv(), Tsv(fault=ResistiveOpen(3000.0, 0.5)),
+                    Tsv(fault=Leakage(700.0))):
+            for label, circuit in engine.preflight_circuits(tsv).items():
+                assert_clean(circuit, f"stage:{label}:{tsv.fault.kind}")
+
+    def test_full_ring_all_masks(self):
+        config = RingOscillatorConfig(num_segments=3)
+        for mask in ([True] * 3, [False] * 3, [True, False, False]):
+            ro = build_ring_oscillator([Tsv()] * 3, config, enabled=mask)
+            assert_clean(ro.circuit, f"ring:{mask}")
+
+    def test_benchmark_io_cell_shape(self):
+        # The Fig. 4 benchmark topology: driver + TSV + receiver.
+        circuit = Circuit("fig4")
+        circuit.add_vsource("vdd", "vdd", GROUND, DC(1.1))
+        circuit.add_vsource("v_en", "en", GROUND, DC(1.1))
+        circuit.add_vsource("vin", "in", GROUND,
+                            Pulse(0.0, 1.1, delay=100e-12, rise=20e-12,
+                                  fall=20e-12, width=900e-12))
+        kit = CellKit(circuit)
+        kit.io_cell("io", "in", "en", "pad", "out")
+        Tsv().build(circuit, "tsv", "pad")
+        assert_clean(circuit, "fig4-io-cell")
+
+    def test_benchmark_distributed_ladder_shape(self):
+        circuit = Circuit("ladder")
+        circuit.add_vsource("vdd", "vdd", GROUND, DC(1.1))
+        circuit.add_vsource("vin", "in", GROUND,
+                            Pulse(0.0, 1.1, delay=100e-12, rise=20e-12,
+                                  fall=20e-12, width=700e-12))
+        kit = CellKit(circuit)
+        kit.buffer("drv", "in", "pad", strength=4.0)
+        Tsv().build_distributed(circuit, "tsv", "pad", segments=10)
+        assert_clean(circuit, "distributed-ladder")
+
+
+class TestCli:
+    def test_clean_run_over_examples(self, capsys):
+        assert main([str(EXAMPLES_DIR)]) == 0
+        out = capsys.readouterr().out
+        assert "0 failing" in out
+
+    def test_rules_listing(self, capsys):
+        assert main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "floating-node" in out
+        assert "structural-singular" in out
+
+    def test_bad_netlist_fails_with_named_element(self, tmp_path, capsys):
+        bad = tmp_path / "bad_example.py"
+        bad.write_text(
+            "from repro.spice.netlist import Circuit, GROUND\n"
+            "def preflight_circuits():\n"
+            "    c = Circuit('bad')\n"
+            "    c.add_vsource('v1', 'a', GROUND, 1.0)\n"
+            "    c.add_vsource('v2', 'a', GROUND, 1.0)\n"
+            "    c.add_resistor('r', 'a', GROUND, 1e3)\n"
+            "    return {'bad': c}\n"
+        )
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "vsource-loop" in out
+        assert "'v2'" in out
+
+    def test_file_without_hook_is_usage_error(self, tmp_path, capsys):
+        plain = tmp_path / "plain.py"
+        plain.write_text("x = 1\n")
+        assert main([str(plain)]) == 2
+        assert "preflight_circuits" in capsys.readouterr().err
+
+    def test_no_targets_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_strict_mode_fails_on_warnings(self, tmp_path, capsys):
+        warny = tmp_path / "warny.py"
+        warny.write_text(
+            "from repro.spice.mosfet import NMOS_45LP\n"
+            "from repro.spice.netlist import Circuit, GROUND\n"
+            "def preflight_circuits():\n"
+            "    c = Circuit('warny')\n"
+            "    c.add_vsource('vdd', 'vdd', GROUND, 1.1)\n"
+            "    c.add_vsource('vin', 'in', GROUND, 0.0)\n"
+            "    c.add_mosfet('mn', 'out', 'in', GROUND, GROUND,\n"
+            "                 NMOS_45LP, w=1e-6, parasitics=False)\n"
+            "    c.add_resistor('rl', 'out', 'vdd', 1e4)\n"
+            "    return {'warny': c}\n"
+        )
+        assert main([str(warny)]) == 0
+        capsys.readouterr()
+        assert main(["--strict", str(warny)]) == 1
+        assert "zero-cap-dynamic-node" in capsys.readouterr().out

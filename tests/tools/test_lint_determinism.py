@@ -1,0 +1,154 @@
+"""Unit tests for the AST determinism lint (tools/lint_determinism.py)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+LINT_PATH = REPO_ROOT / "tools" / "lint_determinism.py"
+
+spec = importlib.util.spec_from_file_location("lint_determinism", LINT_PATH)
+lint = importlib.util.module_from_spec(spec)
+sys.modules["lint_determinism"] = lint
+spec.loader.exec_module(lint)
+
+
+def findings_of(tmp_path, source):
+    path = tmp_path / "case.py"
+    path.write_text(source)
+    return lint.lint_file(path)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestUnseededGenerators:
+    def test_default_rng_no_args(self, tmp_path):
+        findings = findings_of(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert rules_of(findings) == ["DET001"]
+
+    def test_default_rng_none(self, tmp_path):
+        findings = findings_of(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng(None)\n",
+        )
+        assert rules_of(findings) == ["DET001"]
+
+    def test_imported_default_rng(self, tmp_path):
+        findings = findings_of(
+            tmp_path,
+            "from numpy.random import default_rng\nrng = default_rng()\n",
+        )
+        assert rules_of(findings) == ["DET001"]
+
+    def test_seeded_default_rng_is_clean(self, tmp_path):
+        findings = findings_of(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+        )
+        assert findings == []
+
+    def test_seed_sequence_without_entropy(self, tmp_path):
+        findings = findings_of(
+            tmp_path,
+            "import numpy as np\nseq = np.random.SeedSequence()\n",
+        )
+        assert rules_of(findings) == ["DET002"]
+
+    def test_seed_sequence_with_entropy_is_clean(self, tmp_path):
+        findings = findings_of(
+            tmp_path,
+            "import numpy as np\nseq = np.random.SeedSequence(7)\n",
+        )
+        assert findings == []
+
+
+class TestLegacyModuleSamplers:
+    @pytest.mark.parametrize("call", [
+        "np.random.normal(0, 1, 10)",
+        "np.random.rand(4)",
+        "np.random.seed(0)",
+        "np.random.RandomState(0)",
+        "numpy.random.uniform()",
+    ])
+    def test_legacy_call_flagged(self, tmp_path, call):
+        findings = findings_of(
+            tmp_path, f"import numpy\nimport numpy as np\nx = {call}\n"
+        )
+        assert "DET003" in rules_of(findings)
+
+    def test_generator_method_is_clean(self, tmp_path):
+        findings = findings_of(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)\n"
+            "x = rng.normal(0, 1, 10)\n",
+        )
+        assert findings == []
+
+
+class TestWallClockSeeds:
+    def test_time_seed_in_default_rng(self, tmp_path):
+        findings = findings_of(
+            tmp_path,
+            "import time\nimport numpy as np\n"
+            "rng = np.random.default_rng(int(time.time()))\n",
+        )
+        assert "DET004" in rules_of(findings)
+
+    def test_time_ns_in_seed_kwarg(self, tmp_path):
+        findings = findings_of(
+            tmp_path,
+            "import time\ndef f(seed=0): pass\nf(seed=time.time_ns())\n",
+        )
+        assert rules_of(findings) == ["DET004"]
+
+    def test_datetime_now_entropy(self, tmp_path):
+        findings = findings_of(
+            tmp_path,
+            "from datetime import datetime\nimport numpy as np\n"
+            "seq = np.random.SeedSequence(datetime.now().microsecond)\n",
+        )
+        assert "DET004" in rules_of(findings)
+
+    def test_config_derived_seed_is_clean(self, tmp_path):
+        findings = findings_of(
+            tmp_path,
+            "import numpy as np\n"
+            "def build(seed):\n"
+            "    return np.random.default_rng(seed ^ 0x5F5F)\n",
+        )
+        assert findings == []
+
+
+class TestSuppressionAndCli:
+    def test_marker_suppresses_line(self, tmp_path):
+        findings = findings_of(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # det: allow\n",
+        )
+        assert findings == []
+
+    def test_syntax_error_reported_not_crashed(self, tmp_path):
+        findings = findings_of(tmp_path, "def broken(:\n")
+        assert rules_of(findings) == ["DET000"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("import numpy as np\nr = np.random.default_rng(0)\n")
+        assert lint.main([str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import numpy as np\nr = np.random.default_rng()\n")
+        assert lint.main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+
+    def test_repo_src_is_clean(self):
+        assert lint.main([str(REPO_ROOT / "src")]) == 0

@@ -105,3 +105,79 @@ class TestFlowMetrics:
         for key in ("detection_rate", "escape_rate", "overkill_rate",
                     "test_time_s"):
             assert key in row
+
+
+class TestFlowPreflight:
+    def _poisoned_die(self):
+        import dataclasses
+
+        from repro.core.tsv import TsvParameters
+
+        pop = DiePopulation(num_tsvs=10, seed=3)
+        rec = pop.records[0]
+        rec.tsv = dataclasses.replace(
+            rec.tsv,
+            params=dataclasses.replace(
+                rec.tsv.params, capacitance=float("nan")
+            ),
+        )
+        return pop
+
+    def test_bad_die_rejected_with_named_tsv(self, flow):
+        from repro.analysis.diagnostics import PreflightError
+
+        with pytest.raises(PreflightError) as excinfo:
+            flow.screen_die(self._poisoned_die())
+        assert "tsv[0]" in str(excinfo.value)
+        assert "nonphysical-value" in str(excinfo.value)
+
+    def test_rejection_happens_before_any_measurement(self):
+        from repro.analysis.diagnostics import PreflightError
+        from repro.telemetry import Telemetry, use_telemetry
+
+        bands_donor = ScreeningFlow(
+            analytic_engine_factory(RingOscillatorConfig()),
+            characterization_samples=40, seed=11,
+        )
+        gated = ScreeningFlow(
+            analytic_engine_factory(RingOscillatorConfig()),
+            characterization_samples=40, seed=11,
+            bands=bands_donor.bands,
+        )
+        tele = Telemetry()
+        with use_telemetry(tele):
+            with pytest.raises(PreflightError):
+                gated.screen_die(self._poisoned_die())
+        counters = tele.snapshot()["counters"]
+        assert counters.get("measurements", 0) == 0
+        assert counters["diag_emitted.nonphysical-value"] == 1
+
+    def test_opt_out_screens_anyway(self):
+        ungated = ScreeningFlow(
+            analytic_engine_factory(RingOscillatorConfig()),
+            characterization_samples=40, seed=11, preflight=False,
+        )
+        metrics = ungated.screen_die(self._poisoned_die())
+        assert metrics.num_tsvs == 10
+
+    def test_stop_floor_rises_at_lower_voltages(self, flow):
+        floor = flow.stop_floor
+        assert floor is not None and floor > 0
+        high_only = ScreeningFlow(
+            analytic_engine_factory(RingOscillatorConfig()),
+            voltages=(1.1,), characterization_samples=40, seed=11,
+        )
+        assert floor > high_only.stop_floor
+
+    def test_preflight_die_reports_strong_leak_as_info(self, flow):
+        from repro.core.tsv import Leakage as Leak
+
+        pop = DiePopulation(
+            num_tsvs=4,
+            stats=DefectStatistics(void_rate=0.0, pinhole_rate=0.0),
+            seed=1,
+        )
+        pop.records[0].tsv = Tsv(fault=Leak(r_leak=100.0))
+        report = flow.preflight_die(pop)  # must NOT raise
+        assert not report.has_errors
+        assert "leakage-below-stop" in report.rules_fired()

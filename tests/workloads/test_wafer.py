@@ -148,3 +148,59 @@ class TestWaferScreeningEngine:
         with pytest.raises(ValueError):
             ScreeningFlow(AnalyticEngineFactory(), voltages=VOLTAGES,
                           bands=bands)
+
+
+class TestPreflightRejection:
+    def _poisoned_wafer(self, bad_die=2):
+        import dataclasses
+
+        wafer = WaferPopulation(num_dies=5, tsvs_per_die=12, stats=STATS,
+                                seed=42)
+        rec = wafer.dies[bad_die].records[0]
+        rec.tsv = dataclasses.replace(
+            rec.tsv,
+            params=dataclasses.replace(
+                rec.tsv.params, capacitance=float("nan")
+            ),
+        )
+        return wafer
+
+    def test_bad_die_rejected_before_dispatch(self):
+        wafer = self._poisoned_wafer()
+        result = make_engine().screen(wafer, workers=1)
+        assert result.dies_rejected == 1
+        assert list(result.rejected) == [2]
+        assert result.counter("dies_rejected") == 1
+        assert result.counter("dies_screened") == len(wafer) - 1
+        report = result.rejected[2]
+        assert report.has_errors
+        assert "tsv[0]" in report.errors[0].message
+
+    def test_rejected_die_keeps_placeholder_slot(self):
+        wafer = self._poisoned_wafer()
+        result = make_engine().screen(wafer, workers=1)
+        assert len(result.per_die) == len(wafer)
+        placeholder = result.per_die[2]
+        assert placeholder.num_tsvs == 12
+        assert placeholder.measurements == 0
+
+    def test_sharded_rejection_matches_serial(self):
+        wafer = self._poisoned_wafer()
+        serial = make_engine().screen(wafer, workers=1)
+        sharded = make_engine(chunk_size=2).screen(wafer, workers=2)
+        assert list(sharded.rejected) == list(serial.rejected)
+        assert [m.as_row() for m in sharded.per_die] == \
+            [m.as_row() for m in serial.per_die]
+
+    def test_preflight_opt_out(self):
+        wafer = self._poisoned_wafer()
+        result = make_engine(preflight=False).screen(wafer, workers=1)
+        assert result.dies_rejected == 0
+        assert result.counter("dies_screened") == len(wafer)
+
+    def test_clean_wafer_unaffected(self, wafer):
+        gated = make_engine().screen(wafer, workers=1)
+        ungated = make_engine(preflight=False).screen(wafer, workers=1)
+        assert gated.dies_rejected == 0
+        assert [m.as_row() for m in gated.per_die] == \
+            [m.as_row() for m in ungated.per_die]
