@@ -17,8 +17,7 @@ import os
 
 import pytest
 
-from repro.core.segments import RingOscillatorConfig
-from repro.core.engines import AnalyticEngine, StageDelayEngine
+from repro.core.engines import registry as engine_registry
 from repro.spice.montecarlo import ProcessVariation
 
 
@@ -38,16 +37,11 @@ def variation():
 @pytest.fixture(scope="session")
 def stage_engines():
     """Stage-delay engines for the paper's supply voltages, shared."""
-    def make(vdd: float) -> StageDelayEngine:
-        return StageDelayEngine(
-            config=RingOscillatorConfig(vdd=vdd), timestep=bench_timestep()
-        )
-    return {v: make(v) for v in (0.70, 0.75, 0.8, 0.95, 1.1)}
+    spec = engine_registry.spec("stagedelay", timestep=bench_timestep())
+    return {v: spec(v) for v in (0.70, 0.75, 0.8, 0.95, 1.1)}
 
 
 @pytest.fixture(scope="session")
 def analytic_engines():
-    return {
-        v: AnalyticEngine(RingOscillatorConfig(vdd=v))
-        for v in (0.75, 0.8, 0.95, 1.1)
-    }
+    spec = engine_registry.spec("analytic")
+    return {v: spec(v) for v in (0.75, 0.8, 0.95, 1.1)}

@@ -15,7 +15,6 @@ import pytest
 
 from benchmarks.conftest import bench_samples
 from repro.analysis.reporting import Table, format_seconds
-from repro.core.multivoltage import analytic_engine_factory
 from repro.core.segments import RingOscillatorConfig
 from repro.spice.montecarlo import ProcessVariation
 from repro.workloads.flow import ScreeningFlow
@@ -33,7 +32,7 @@ def population():
 
 @pytest.fixture(scope="module")
 def factory():
-    return analytic_engine_factory(RingOscillatorConfig())
+    return "analytic"
 
 
 def run_flow(factory, voltages, variation, population, group_first=False):

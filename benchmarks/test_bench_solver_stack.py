@@ -43,7 +43,7 @@ def test_bench_mc_step_loop_wall_time():
 
     # Step count: two batched transients (TSV in loop / bypassed) over
     # the same window.
-    steps = 2 * int(round(engine._stop_time() / engine.timestep))
+    steps = 2 * int(round(engine.stop_time() / engine.timestep))
     circuit, _ = engine._segment_circuit(FAULT, bypassed=False)
     plan = MnaSystem(circuit).plan
     corner_steps = corners * steps

@@ -21,7 +21,7 @@ solve cache.
 import time
 
 from repro.analysis.reporting import Table, format_seconds, telemetry_table
-from repro.core.multivoltage import AnalyticEngineFactory
+from repro.core.engines.registry import spec as engine_spec
 from repro.spice.cache import SolveCache, cache_disabled, use_cache
 from repro.spice.montecarlo import ProcessVariation
 from repro.workloads.flow import ScreeningFlow
@@ -51,7 +51,7 @@ def serial_seed_flow(wafer, factory, variation):
 
 
 def test_bench_wafer_screening(benchmark):
-    factory = AnalyticEngineFactory()
+    factory = engine_spec("analytic")
     variation = ProcessVariation()
     wafer = WaferPopulation(num_dies=NUM_DIES, tsvs_per_die=TSVS_PER_DIE,
                             stats=STATS, seed=2013)

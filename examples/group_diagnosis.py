@@ -16,7 +16,7 @@ from repro.core.diagnosis import (
     GroupDiagnosis,
     fault_free_band_per_tsv,
 )
-from repro.core.engines import AnalyticEngine
+from repro.core.engines import registry as engine_registry
 from repro.core.segments import RingOscillatorConfig, build_ring_oscillator
 from repro.core.tsv import Leakage, ResistiveOpen, Tsv
 from repro.spice.montecarlo import ProcessVariation
@@ -25,7 +25,9 @@ from repro.workloads.generator import DefectStatistics, DiePopulation
 
 def main() -> None:
     group_size = 4
-    engine = AnalyticEngine(RingOscillatorConfig(num_segments=group_size))
+    engine = engine_registry.get(
+        "analytic", config=RingOscillatorConfig(num_segments=group_size)
+    )
     variation = ProcessVariation()
     band = fault_free_band_per_tsv(engine, variation, 150, sigma_band=3.5)
     print(f"per-TSV fault-free band: [{band.low * 1e12:.0f}, "

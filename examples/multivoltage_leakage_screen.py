@@ -15,19 +15,15 @@ Run:  python examples/multivoltage_leakage_screen.py
 import math
 
 from repro.analysis.reporting import Table, format_si
-from repro.core.engines import StageDelayEngine
-from repro.core.multivoltage import (
-    MultiVoltagePlan,
-    PAPER_VOLTAGES,
-    analytic_engine_factory,
-)
+from repro.core.engines import registry as engine_registry
+from repro.core.multivoltage import MultiVoltagePlan, PAPER_VOLTAGES
 from repro.core.segments import RingOscillatorConfig
 from repro.core.tsv import Leakage, Tsv
 
 
 def main() -> None:
     config = RingOscillatorConfig(num_segments=5)
-    factory = analytic_engine_factory(config)
+    factory = engine_registry.spec("analytic", config=config)
 
     print("characterizing the multi-voltage plan (analytic engine)...")
     plan = MultiVoltagePlan.characterize(factory, PAPER_VOLTAGES,
@@ -60,7 +56,8 @@ def main() -> None:
     for label, fault in checks:
         recommended = plan.best_voltage_for(fault.r_leak) or 0.75
         for vdd in sorted({1.1, recommended}, reverse=True):
-            engine = StageDelayEngine(
+            engine = engine_registry.get(
+                "stagedelay",
                 config=RingOscillatorConfig(num_segments=5, vdd=vdd),
                 timestep=2e-12,
             )
@@ -87,7 +84,8 @@ def preflight_circuits():
     """
     circuits = {}
     for vdd in (max(PAPER_VOLTAGES), min(PAPER_VOLTAGES)):
-        engine = StageDelayEngine(
+        engine = engine_registry.get(
+            "stagedelay",
             config=RingOscillatorConfig(num_segments=5, vdd=vdd),
             timestep=2e-12,
         )

@@ -11,7 +11,7 @@ Run:  python examples/production_die_screening.py
 """
 
 from repro.analysis.reporting import Table, format_seconds
-from repro.core.multivoltage import analytic_engine_factory
+from repro.core.engines import registry as engine_registry
 from repro.core.segments import RingOscillatorConfig
 from repro.dft.architecture import DftArchitecture
 from repro.spice.montecarlo import ProcessVariation
@@ -30,7 +30,7 @@ def main() -> None:
           f"({100 * summary['defect_rate']:.1f}% defective)")
 
     flow = ScreeningFlow(
-        analytic_engine_factory(RingOscillatorConfig()),
+        engine_registry.spec("analytic"),
         voltages=(1.1, 0.95, 0.8, 0.75, 0.70),
         variation=ProcessVariation(),
         characterization_samples=150,

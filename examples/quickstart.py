@@ -9,7 +9,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.analysis.reporting import Table, format_si
-from repro.core.engines import StageDelayEngine
+from repro.core.engines import registry as engine_registry
 from repro.core.segments import RingOscillatorConfig
 from repro.core.session import PrebondTestSession, ReferenceBand
 from repro.core.tsv import Leakage, ResistiveOpen, Tsv
@@ -19,7 +19,8 @@ from repro.spice.montecarlo import ProcessVariation
 def main() -> None:
     # The paper's setup: N = 5 TSVs per oscillator, X4 drivers, 1.1 V.
     config = RingOscillatorConfig(num_segments=5, vdd=1.1)
-    engine = StageDelayEngine(config=config, timestep=2e-12)
+    engine = engine_registry.get("stagedelay", config=config,
+                                 timestep=2e-12)
 
     # Characterize the fault-free DeltaT band over process variation
     # (batched Monte Carlo: all corners simulated in one stacked run).
@@ -54,7 +55,8 @@ def main() -> None:
 
 def preflight_circuits():
     """Netlists this example simulates, for ``python -m repro.staticcheck``."""
-    engine = StageDelayEngine(
+    engine = engine_registry.get(
+        "stagedelay",
         config=RingOscillatorConfig(num_segments=5, vdd=1.1),
         timestep=2e-12,
     )

@@ -22,7 +22,7 @@ from typing import Optional
 import numpy as np
 
 from repro.cells.technology import CELL_AREAS_UM2
-from repro.core.engines import AnalyticEngine
+from repro.core.engines import registry as engine_registry
 from repro.core.segments import RingOscillatorConfig
 from repro.core.tsv import FaultFree, Tsv
 from repro.spice.montecarlo import ProcessVariation
@@ -53,7 +53,7 @@ class SingleTsvRingOscillatorTest:
     def __post_init__(self) -> None:
         if self.config.num_segments != 1:
             self.config = replace(self.config, num_segments=1)
-        self._engine = AnalyticEngine(self.config)
+        self._engine = engine_registry.get("analytic", config=self.config)
 
     # ------------------------------------------------------------------
     def detection_probability(self, tsv: Tsv, num_trials: int = 200,

@@ -6,8 +6,8 @@ Submodules:
   (fault-free, resistive open, leakage; Fig. 2 of the paper).
 * :mod:`repro.core.segments` -- the ring-oscillator DfT netlist builders
   (Fig. 3: I/O segments, TE/BY/OE controls, shared inverter).
-* :mod:`repro.core.engines` -- three period-measurement engines at
-  different accuracy/speed points.
+* :mod:`repro.core.engines` -- the capability-typed engine registry and
+  three period-measurement engines at different accuracy/speed points.
 * :mod:`repro.core.session` -- the T1/T2 measurement flow and the
   DeltaT-based pass/fail decision.
 * :mod:`repro.core.multivoltage` -- multiple-supply-voltage test planning
@@ -31,9 +31,19 @@ from repro.core.tsv import (
 from repro.core.segments import RingOscillator, RingOscillatorConfig
 from repro.core.engines import (
     AnalyticEngine,
+    CapabilityError,
+    DeltaTEngine,
+    Engine,
+    EngineCapabilities,
+    EngineSpec,
+    MeasurementRequest,
+    MeasurementResult,
     StageDelayEngine,
+    StopTimePolicy,
     TransistorLevelEngine,
+    supports,
 )
+from repro.core.engines import registry as engine_registry
 from repro.core.diagnosis import (
     EngineGroupMeasurer,
     GroupDiagnosis,
@@ -41,9 +51,7 @@ from repro.core.diagnosis import (
 )
 from repro.core.session import PrebondTestSession, TestDecision, TestOutcome
 from repro.core.multivoltage import (
-    AnalyticEngineFactory,
     MultiVoltagePlan,
-    analytic_engine_factory,
     detectable_leakage_range,
     leakage_stop_threshold,
 )
@@ -58,13 +66,18 @@ from repro.core.area import DftAreaModel
 
 __all__ = [
     "AnalyticEngine",
-    "AnalyticEngineFactory",
+    "CapabilityError",
+    "DeltaTEngine",
     "DftAreaModel",
-    "Telemetry",
+    "Engine",
+    "EngineCapabilities",
     "EngineGroupMeasurer",
+    "EngineSpec",
     "FaultFree",
     "GroupDiagnosis",
     "Leakage",
+    "MeasurementRequest",
+    "MeasurementResult",
     "MultiVoltagePlan",
     "PrebondTestSession",
     "ResistiveOpen",
@@ -72,6 +85,8 @@ __all__ = [
     "RingOscillatorConfig",
     "SpreadPair",
     "StageDelayEngine",
+    "StopTimePolicy",
+    "Telemetry",
     "TestDecision",
     "TestOutcome",
     "TransistorLevelEngine",
@@ -79,12 +94,13 @@ __all__ = [
     "TsvFault",
     "TsvParameters",
     "TSV_DEFAULT",
-    "analytic_engine_factory",
     "detectable_leakage_range",
+    "engine_registry",
     "fault_free_band_per_tsv",
     "get_telemetry",
     "leakage_stop_threshold",
     "mc_delta_t_spread",
+    "supports",
     "telemetry_phase",
     "use_telemetry",
 ]

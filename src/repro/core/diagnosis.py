@@ -25,6 +25,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.engines.base import supports
+from repro.core.engines.registry import EngineLike, resolve_engine
 from repro.core.session import ReferenceBand
 from repro.core.tsv import Tsv
 from repro.spice.montecarlo import ProcessVariation
@@ -125,15 +127,16 @@ class EngineGroupMeasurer:
 
     def __init__(
         self,
-        engine,
+        engine: EngineLike,
         tsvs: Sequence[Tsv],
         variation: Optional[ProcessVariation] = None,
         seed: int = 0,
     ):
+        engine = resolve_engine(engine)
         self.tsvs = list(tsvs)
         self._contribution: Dict[int, float] = {}
         for i, tsv in enumerate(self.tsvs):
-            if variation is not None and hasattr(engine, "delta_t_mc"):
+            if variation is not None and supports(engine, "batched_mc"):
                 value = float(
                     engine.delta_t_mc(tsv, variation, 1, seed=seed + 7 * i)[0]
                 )
@@ -155,7 +158,7 @@ class EngineGroupMeasurer:
 
 
 def fault_free_band_per_tsv(
-    engine,
+    engine: EngineLike,
     variation: ProcessVariation,
     num_samples: int = 100,
     guard: float = 0.0,
@@ -165,10 +168,12 @@ def fault_free_band_per_tsv(
     """Characterize the per-TSV fault-free band used by the diagnosis.
 
     Args:
+        engine: Registry name, spec, or engine instance.
         sigma_band: When given, the band is mean +- sigma_band * std of
             the characterized samples (a tighter, statistically sized
             band) instead of the conservative min/max spread.
     """
+    engine = resolve_engine(engine)
     samples = np.asarray(
         engine.delta_t_mc(Tsv(), variation, num_samples, seed=seed)
     )

@@ -1,0 +1,91 @@
+"""Period-measurement engines at three accuracy/speed points.
+
+The paper measures ring-oscillator periods in HSPICE.  We provide three
+registered engines that agree on every qualitative claim (validated
+against each other in the cross-engine parity matrix):
+
+* :class:`TransistorLevelEngine` (``"transistor"``) -- simulates the
+  entire Fig. 3 loop at transistor level and measures the period from
+  the oscillator waveform.  Gold reference; the slowest.
+* :class:`StageDelayEngine` (``"stagedelay"``) -- simulates each I/O
+  segment as its own small transient (driver + TSV network + receiver +
+  bypass mux) and sums the per-stage propagation delays around the
+  loop.  Because T1 and T2 share every stage except the segment(s)
+  under test, DeltaT reduces to the difference of that segment's
+  TSV-path and bypass-path delays -- the idealized version of the
+  paper's cancellation argument.  ~100x faster, and its Monte Carlo
+  runs are *batched* (all corners simulated at once).
+* :class:`AnalyticEngine` (``"analytic"``) -- closed-form RC delay
+  model with an effective-resistance driver.  Used by property-based
+  tests and for instant sweeps; it also yields the leakage
+  oscillation-stop threshold in closed form (R_L,stop ~ pull-up
+  resistance, scaled by the receiver threshold), explaining Fig. 8's
+  voltage dependence.
+
+All engines share the convention: ``delta_t`` > 0 means the TSV path is
+slower than fault-free would suggest (leakage); < 0 means faster
+(resistive open); NaN means the path never switched (stuck-at-0, i.e.
+the oscillator would not oscillate).
+
+Backends implement the :class:`Engine` contract (:mod:`.base`), declare
+an :class:`EngineCapabilities` surface, and register under a string key
+(:mod:`.registry`); workloads resolve them with
+``registry.get("stagedelay")`` and ship them across processes as
+picklable :class:`EngineSpec` recipes.
+"""
+
+from repro.core.engines.analytic import AnalyticEngine
+from repro.core.engines.base import (
+    DEFAULT_STOP_POLICY,
+    CapabilityError,
+    DeltaTEngine,
+    Engine,
+    EngineCapabilities,
+    MeasurementRequest,
+    MeasurementResult,
+    StopTimePolicy,
+    supports,
+)
+from repro.core.engines.montecarlo import (
+    child_seeds,
+    same_seed_samples,
+    scalar_delta_t_mc,
+)
+from repro.core.engines.registry import (
+    EngineSpec,
+    as_engine_factory,
+    engine_class,
+    get,
+    names,
+    register,
+    resolve_engine,
+    spec,
+)
+from repro.core.engines.stagedelay import StageDelayEngine
+from repro.core.engines.transistor import TransistorLevelEngine
+
+__all__ = [
+    "AnalyticEngine",
+    "CapabilityError",
+    "DEFAULT_STOP_POLICY",
+    "DeltaTEngine",
+    "Engine",
+    "EngineCapabilities",
+    "EngineSpec",
+    "MeasurementRequest",
+    "MeasurementResult",
+    "StageDelayEngine",
+    "StopTimePolicy",
+    "TransistorLevelEngine",
+    "as_engine_factory",
+    "child_seeds",
+    "engine_class",
+    "get",
+    "names",
+    "register",
+    "resolve_engine",
+    "same_seed_samples",
+    "scalar_delta_t_mc",
+    "spec",
+    "supports",
+]

@@ -1,0 +1,469 @@
+"""Closed-form analytic engine -- instant sweeps and stop thresholds."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engines.base import Engine, EngineCapabilities
+from repro.core.engines.registry import register
+from repro.core.segments import RingOscillatorConfig
+from repro.core.tsv import FaultFree, Leakage, ResistiveOpen, Tsv
+from repro.spice.montecarlo import ProcessSample, ProcessVariation
+
+
+@register("analytic", "closed-form")
+@dataclass
+class AnalyticEngine(Engine):
+    """Closed-form effective-resistance RC delay model.
+
+    The driver output stage is a Thevenin source with pull-up resistance
+    ``R_p(V_DD)`` and pull-down ``R_n(V_DD)`` from the EKV model's
+    saturation current; the receiver switches at V_DD/2.  The TSV fault
+    networks are solved exactly:
+
+    * fault-free: single-pole charge to the rail;
+    * resistive open: the exact two-pole response of the split
+      capacitance (this is what makes the pad node *faster*);
+    * leakage (rising): single pole toward the divider voltage
+      ``V_DD * R_L / (R_L + R_p)`` -- if that divider sits below the
+      receiver threshold, the stage never switches: the closed-form
+      origin of the paper's oscillation-stop threshold and its supply
+      dependence;
+    * leakage (falling): single pole with the leakage aiding pull-down.
+
+    An intrinsic per-stage delay (driver input inverter, receiver,
+    bypass mux) is estimated from the same R_eff values and the cell
+    gate capacitances.
+    """
+
+    config: RingOscillatorConfig = RingOscillatorConfig()
+
+    capabilities: ClassVar[EngineCapabilities] = EngineCapabilities(
+        batched_mc=True,
+        parameter_sweeps=False,   # generic per-point fallback is instant
+        preflight_circuits=False,  # builds no netlists
+        oscillation_stop=True,
+        picklable=True,
+    )
+
+    #: Drive degradation of the series output stack relative to a single
+    #: double-width device (source degeneration); calibrated against the
+    #: stage engine's oscillation-stop thresholds.
+    STACK_FACTOR = 0.45
+
+    # -- device-level quantities -------------------------------------------
+    def _drive_resistances(self, vdd: float) -> Tuple[float, float]:
+        """(pull-up R_p, pull-down R_n) of the tri-state output stage.
+
+        The stacked output devices are doubled in width, so the stack is
+        equivalent to a single device at nominal strength width.
+        """
+        tech = self.config.tech
+        k = self.config.driver_strength
+        r_p = tech.pmos.effective_resistance(tech.pmos_width(k), vdd)
+        r_n = tech.nmos.effective_resistance(tech.nmos_width(k), vdd)
+        return r_p, r_n
+
+    def _drive_currents(self, vdd: float) -> Tuple[float, float]:
+        """(pull-up, pull-down) saturation currents of the output stacks."""
+        tech = self.config.tech
+        k = self.config.driver_strength
+        i_p = tech.pmos.saturation_current(2.0 * tech.pmos_width(k), vdd)
+        i_n = tech.nmos.saturation_current(2.0 * tech.nmos_width(k), vdd)
+        return i_p * self.STACK_FACTOR, i_n * self.STACK_FACTOR
+
+    def _pad_parasitics(self) -> float:
+        """Fixed capacitance at the pad beyond the TSV itself."""
+        tech = self.config.tech
+        k = self.config.driver_strength
+        # Driver stack junctions (doubled widths) + receiver input gate.
+        c_j = tech.nmos.cj * (2 * tech.nmos_width(k) + 2 * tech.pmos_width(k))
+        w_rx = tech.nmos_width(1.0) + tech.pmos_width(1.0)
+        c_rx = tech.nmos.cox * w_rx * tech.nmos.lmin + 2 * tech.nmos.cov * w_rx
+        return c_j + c_rx
+
+    def _gate_cap(self, strength: float) -> float:
+        tech = self.config.tech
+        w = tech.nmos_width(strength) + tech.pmos_width(strength)
+        return tech.nmos.cox * w * tech.nmos.lmin + 2 * tech.nmos.cov * w
+
+    #: Slew-interaction factor on gate delays (the closed-form Elmore
+    #: terms assume step inputs; real edges are slower).  Calibrated
+    #: against the stage engine at nominal supply.
+    SLEW_FACTOR = 2.2
+
+    def _r_x1(self, vdd: float) -> float:
+        tech = self.config.tech
+        return 0.5 * (
+            tech.pmos.effective_resistance(tech.pmos_width(1), vdd)
+            + tech.nmos.effective_resistance(tech.nmos_width(1), vdd)
+        )
+
+    def intrinsic_stage_delay(self, vdd: float) -> float:
+        """Per-edge delay of the non-TSV portions of one segment
+        (driver input inverter, receiver buffer, buffered bypass mux)."""
+        tech = self.config.tech
+        k = self.config.driver_strength
+        r1 = 0.5 * (
+            tech.pmos.effective_resistance(tech.pmos_width(k / 2), vdd)
+            + tech.nmos.effective_resistance(tech.nmos_width(k / 2), vdd)
+        )
+        # Input inverter driving the doubled output stacks.
+        d_in = 0.69 * r1 * self._gate_cap(2 * k)
+        # Receiver: two X1 inverters into gate-sized loads.
+        d_rx = 0.69 * self._r_x1(vdd) * self._gate_cap(1.0) * 2.0
+        d_mux = self.bypass_stage_delay(vdd)
+        return (d_in + d_rx) * self.SLEW_FACTOR + d_mux
+
+    def bypass_stage_delay(self, vdd: float) -> float:
+        """Per-edge delay of a bypassed segment.
+
+        The buffered MUX2 path: input inverter -> transmission gate ->
+        output inverter driving the next segment's input gates.
+        """
+        r_x1 = self._r_x1(vdd)
+        elmore = 0.69 * r_x1 * (4.0 * self._gate_cap(1.0) + 2.0 * self._gate_cap(2.0))
+        return elmore * self.SLEW_FACTOR
+
+    # -- fault-network crossing times ---------------------------------------
+    @staticmethod
+    def _two_pole_crossing(
+        r_drive: float, r_open: float, c_top: float, c_bot: float,
+        v_step: float, v_cross: float,
+    ) -> float:
+        """50% crossing time of the pad in the split-capacitance network.
+
+        Solves  C_t dVa/dt = (V - Va)/R_d - (Va - Vb)/R_o
+                C_b dVb/dt = (Va - Vb)/R_o
+        exactly via the 2x2 eigen-decomposition, then bisects for the
+        crossing (the pad response is monotonic for a step from 0).
+        """
+        if c_bot <= 1e-19 or not math.isfinite(r_open):
+            # Degenerate (defect at the very bottom, or a hard open):
+            # pure single pole on the top capacitance.
+            tau = r_drive * c_top
+            return tau * math.log(v_step / (v_step - v_cross))
+        a = np.array([
+            [-(1.0 / r_drive + 1.0 / r_open) / c_top, 1.0 / (r_open * c_top)],
+            [1.0 / (r_open * c_bot), -1.0 / (r_open * c_bot)],
+        ])
+        forcing = np.array([v_step / (r_drive * c_top), 0.0])
+        v_inf = np.array([v_step, v_step])
+        lam, vecs = np.linalg.eig(a)
+        # v(t) = v_inf + sum_k alpha_k vec_k exp(lam_k t), v(0) = 0.
+        alpha = np.linalg.solve(vecs, -v_inf)
+
+        def pad_voltage(t: float) -> float:
+            return float(v_inf[0] + np.real(
+                np.sum(alpha * vecs[0, :] * np.exp(lam * t))
+            ))
+
+        t_hi = r_drive * (c_top + c_bot) * 20.0
+        if pad_voltage(t_hi) < v_cross:
+            return math.inf
+        t_lo = 0.0
+        for _ in range(80):
+            t_mid = 0.5 * (t_lo + t_hi)
+            if pad_voltage(t_mid) < v_cross:
+                t_lo = t_mid
+            else:
+                t_hi = t_mid
+        return 0.5 * (t_lo + t_hi)
+
+    def tsv_charge_delays(self, tsv: Tsv, vdd: float) -> Tuple[float, float]:
+        """(rising, falling) 50%-crossing times of the pad node.
+
+        Returns ``inf`` for a transition that never reaches the receiver
+        threshold (leakage oscillation stop).  The fault-free and leakage
+        cases use the nonlinear current-balance integrals; resistive
+        opens apply the exact linear two-pole speedup *ratio* to the
+        fault-free baseline, so R_O -> 0 converges to fault-free.
+        """
+        c_par = self._pad_parasitics()
+        c = tsv.params.capacitance
+        half = vdd / 2.0
+        fault = tsv.fault
+        rise_ff, fall_ff = self._leakage_delays(1e18, vdd, c + c_par, half)
+        if isinstance(fault, FaultFree):
+            return rise_ff, fall_ff
+        if isinstance(fault, ResistiveOpen):
+            r_p, r_n = self._drive_resistances(vdd)
+            c_top = fault.x * c + c_par
+            c_bot = (1 - fault.x) * c
+            rise = rise_ff * (
+                self._two_pole_crossing(r_p, fault.r_open, c_top, c_bot, vdd, half)
+                / self._two_pole_crossing(r_p, 1e-3, c_top, c_bot, vdd, half)
+            )
+            fall = fall_ff * (
+                self._two_pole_crossing(r_n, fault.r_open, c_top, c_bot, vdd, half)
+                / self._two_pole_crossing(r_n, 1e-3, c_top, c_bot, vdd, half)
+            )
+            return rise, fall
+        if isinstance(fault, Leakage):
+            return self._leakage_delays(fault.r_leak, vdd, c + c_par, half)
+        raise TypeError(f"unsupported fault {type(fault).__name__}")
+
+    # -- nonlinear (current-balance) leakage model ---------------------------
+    def _pullup_current(self, v: np.ndarray, vdd: float,
+                        i_scale: float = 1.0) -> np.ndarray:
+        """PMOS stack current into the pad at pad voltage ``v``.
+
+        ``min(I_sat, (V_DD - V) / R_triode)``: a saturation plateau with a
+        steep triode line at the rail.  The triode branch is what keeps
+        the pad's resting HIGH level near the rail even under leakage, so
+        the rising edge -- not the falling edge -- carries the leakage
+        signature (Sec. III-B).
+        """
+        tech = self.config.tech
+        k = self.config.driver_strength
+        i_sat, _ = self._drive_currents(vdd)
+        i_sat *= i_scale
+        # Stack of two devices at doubled width == one device at width W.
+        r_tri = tech.pmos.triode_resistance(tech.pmos_width(k), vdd) / i_scale
+        return np.minimum(i_sat, np.maximum(vdd - np.asarray(v), 0.0) / r_tri)
+
+    def _pulldown_current(self, v: np.ndarray, vdd: float,
+                          i_scale: float = 1.0) -> np.ndarray:
+        tech = self.config.tech
+        k = self.config.driver_strength
+        _, i_sat = self._drive_currents(vdd)
+        i_sat *= i_scale
+        r_tri = tech.nmos.triode_resistance(tech.nmos_width(k), vdd) / i_scale
+        return np.minimum(i_sat, np.maximum(np.asarray(v), 0.0) / r_tri)
+
+    #: Receiver overdrive beyond V_DD/2 (as a fraction of V_DD) that the
+    #: pad must deliver before the receiver regenerates; calibrated
+    #: against the stage engine's near-threshold leakage behaviour.
+    RECEIVER_OVERDRIVE = 0.05
+
+    def _leakage_delays(
+        self, r_leak: float, vdd: float, c_total: float, half: float,
+        i_scale_p: float = 1.0, i_scale_n: float = 1.0,
+    ) -> Tuple[float, float]:
+        """(rise, fall) pad crossing times under a leakage fault.
+
+        Rising: integrate C dV / (I_p(V) - V/R_L) from 0 to the receiver
+        threshold plus a small regeneration overdrive; if the net current
+        vanishes first, the stage is stuck (``inf``).  An additional
+        receiver-regeneration penalty diverges as the pad's resting HIGH
+        level approaches the threshold -- this is what makes DeltaT
+        "extremely sensitive" just above the stop threshold (Sec. IV-B).
+        Falling: from the resting level down through the threshold, with
+        the leakage aiding the pull-down.
+        """
+        v_rx = half + self.RECEIVER_OVERDRIVE * vdd
+        grid = np.linspace(0.0, v_rx, 257)
+        i_net = self._pullup_current(grid, vdd, i_scale_p) - grid / r_leak
+        if np.any(i_net <= 0.0):
+            return math.inf, 0.0
+        rise = float(np.trapezoid(c_total / i_net, grid))
+        # Resting high level: where I_p(V) = V / R_L (unique crossing).
+        v_hi = np.linspace(half, vdd, 513)
+        balance = self._pullup_current(v_hi, vdd, i_scale_p) - v_hi / r_leak
+        idx = np.nonzero(balance <= 0.0)[0]
+        v_rest = float(v_hi[idx[0]]) if len(idx) else vdd
+        # Receiver regeneration penalty: diverges as v_rest -> threshold.
+        headroom = max(v_rest - half, 1e-6)
+        d_rx = self._receiver_unit_delay(vdd)
+        rise += d_rx * max(half / headroom - 1.0, 0.0)
+        grid_f = np.linspace(half, max(v_rest, half + 1e-6), 257)
+        i_f = self._pulldown_current(grid_f, vdd, i_scale_n) + grid_f / r_leak
+        fall = float(np.trapezoid(c_total / i_f, grid_f))
+        return rise, fall
+
+    def _receiver_unit_delay(self, vdd: float) -> float:
+        """Nominal X1 receiver stage delay used to scale the regeneration
+        penalty."""
+        tech = self.config.tech
+        r_x1 = 0.5 * (
+            tech.pmos.effective_resistance(tech.pmos_width(1), vdd)
+            + tech.nmos.effective_resistance(tech.nmos_width(1), vdd)
+        )
+        return 0.69 * r_x1 * self._gate_cap(1.0)
+
+    # -- stage / loop aggregates ---------------------------------------------
+    def segment_delays(self, tsv: Tsv, bypassed: bool = False) -> Tuple[float, float]:
+        vdd = self.config.vdd
+        if bypassed:
+            d = self.bypass_stage_delay(vdd)
+            return d, d
+        rise, fall = self.tsv_charge_delays(tsv, vdd)
+        d_int = self.intrinsic_stage_delay(vdd)
+        return rise + d_int, fall + d_int
+
+    def closer_delay(self) -> float:
+        """Per-edge delay of the loop inverter plus the TE multiplexer."""
+        vdd = self.config.vdd
+        d_inv = 0.69 * self._r_x1(vdd) * self._gate_cap(1.0) * self.SLEW_FACTOR
+        return d_inv + self.bypass_stage_delay(vdd)
+
+    def period(
+        self,
+        tsvs: Sequence[Tsv],
+        enabled: Sequence[bool],
+        sample: Optional[ProcessSample] = None,
+    ) -> float:
+        """Loop period; ``inf`` if any enabled stage cannot switch.
+
+        ``sample`` is accepted for interface parity but ignored -- the
+        closed-form model carries variation through
+        :meth:`delta_t_mc`'s sensitivity perturbations instead.
+        """
+        n = self.config.num_segments
+        if len(tsvs) != n or len(enabled) != n:
+            raise ValueError("tsvs and enabled must match num_segments")
+        total = 2.0 * self.closer_delay()
+        for tsv, on in zip(tsvs, enabled):
+            rise, fall = self.segment_delays(tsv, bypassed=not on)
+            total += rise + fall
+        return total
+
+    def delta_t(
+        self,
+        tsv: Tsv,
+        m: int = 1,
+        variation: Optional[ProcessVariation] = None,
+        seed: int = 0,
+    ) -> float:
+        """DeltaT = T1 - T2; NaN when the TSV path cannot switch.
+
+        With a ``variation``, one perturbed die is drawn from the
+        engine's sensitivity-based Monte Carlo (the unified scalar
+        signature every engine shares); nominal otherwise.
+        """
+        if variation is not None:
+            return float(
+                self.delta_t_mc(tsv, variation, 1, m=m, seed=seed)[0]
+            )
+        on_r, on_f = self.segment_delays(tsv, bypassed=False)
+        if not (math.isfinite(on_r) and math.isfinite(on_f)):
+            return math.nan
+        off_r, off_f = self.segment_delays(tsv, bypassed=True)
+        return m * ((on_r + on_f) - (off_r + off_f))
+
+    def oscillation_stop_r_leak(self, vdd: Optional[float] = None) -> float:
+        """Leakage below which the ring cannot oscillate at ``vdd``.
+
+        The rising edge stalls when the leakage current at the receiver
+        threshold exceeds the pull-up saturation current:
+        R_L,stop = (V_DD / 2) / I_p,sat(V_DD).  Because the drive current
+        grows super-linearly with supply voltage, the threshold drops as
+        V_DD rises -- Fig. 8's central observation.
+        """
+        v = self.config.vdd if vdd is None else vdd
+        v_rx = v / 2.0 + self.RECEIVER_OVERDRIVE * v
+        grid = np.linspace(1e-3, v_rx, 257)
+        i_p = self._pullup_current(grid, v)
+        # Stop when min over the path of (I_p(V) - V/R_L) hits zero:
+        # R_L,stop = max over V of V / I_p(V), up to the receiver's
+        # regeneration level (the same limit the delay integral uses).
+        return float(np.max(grid / np.maximum(i_p, 1e-18)))
+
+    # -- Monte Carlo -----------------------------------------------------------
+    def _vth_sensitivity(self, vdd: float) -> float:
+        """d ln(I_dsat) / d V_th (numeric, at the operating supply)."""
+        tech = self.config.tech
+        model = tech.nmos
+        w = tech.nmos_width(self.config.driver_strength)
+        dv = 1e-3
+        i0 = model.saturation_current(w, vdd)
+        i1 = model.with_variation(dvth=dv).saturation_current(w, vdd)
+        return (math.log(i1) - math.log(i0)) / dv
+
+    def delta_t_mc(
+        self,
+        tsv: Tsv,
+        variation: ProcessVariation,
+        num_samples: int,
+        m: int = 1,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """Fast Monte Carlo: perturbs drive strengths and thresholds.
+
+        Per sample and per segment under test, the driver R_eff values
+        and the receiver threshold are perturbed according to the Vth/Leff
+        sensitivities of the EKV model; the fault-network crossing times
+        are then re-evaluated in closed form.
+        """
+        vdd = self.config.vdd
+        rng = np.random.default_rng(seed)
+        sens = self._vth_sensitivity(vdd)
+        results = np.empty(num_samples)
+        # The segment-internal gates (driver input inverter, receiver,
+        # mux) carry independent mismatch that partially averages out;
+        # model them as this many independent devices.
+        intrinsic_gates = 4
+        for s in range(num_samples):
+            total = 0.0
+            for _ in range(m):
+                dvth_p = rng.normal(0.0, variation.sigma_vth)
+                dvth_n = rng.normal(0.0, variation.sigma_vth)
+                dl = rng.normal(0.0, variation.sigma_leff_rel)
+                r_scale_p = math.exp(-sens * dvth_p) * (1.0 + dl)
+                r_scale_n = math.exp(-sens * dvth_n) * (1.0 + dl)
+                dvth_int = float(np.mean(
+                    rng.normal(0.0, variation.sigma_vth, intrinsic_gates)
+                ))
+                dl_int = float(np.mean(
+                    rng.normal(0.0, variation.sigma_leff_rel, intrinsic_gates)
+                ))
+                r_scale_int = math.exp(-sens * dvth_int) * (1.0 + dl_int)
+                dvm = 0.5 * (dvth_n - dvth_p)
+                total += self._delta_t_perturbed(
+                    tsv, vdd, r_scale_p, r_scale_n, dvm, r_scale_int
+                )
+            results[s] = total
+        return results
+
+    def _delta_t_perturbed(
+        self, tsv: Tsv, vdd: float,
+        r_scale_p: float, r_scale_n: float, dvm: float,
+        r_scale_int: float = 1.0,
+    ) -> float:
+        """DeltaT of one segment with perturbed drive/threshold.
+
+        The bypass path goes through the *same* multiplexer the TSV path
+        uses, so its variation cancels in T1 - T2 and it is taken at its
+        nominal value; the TSV-path charge delay and the segment-internal
+        gates carry the perturbation.
+        """
+        half = vdd / 2.0 + dvm
+        c_par = self._pad_parasitics()
+        c = tsv.params.capacitance
+        i_scale_p = 1.0 / r_scale_p
+        i_scale_n = 1.0 / r_scale_n
+        fault = tsv.fault
+        rise_ff, fall_ff = self._leakage_delays(
+            1e18, vdd, c + c_par, half, i_scale_p, i_scale_n
+        )
+        if isinstance(fault, FaultFree):
+            rise, fall = rise_ff, fall_ff
+        elif isinstance(fault, ResistiveOpen):
+            r_p, r_n = self._drive_resistances(vdd)
+            r_p *= r_scale_p
+            r_n *= r_scale_n
+            c_top = fault.x * c + c_par
+            c_bot = (1 - fault.x) * c
+            rise = rise_ff * (
+                self._two_pole_crossing(r_p, fault.r_open, c_top, c_bot, vdd, half)
+                / self._two_pole_crossing(r_p, 1e-3, c_top, c_bot, vdd, half)
+            )
+            fall = fall_ff * (
+                self._two_pole_crossing(r_n, fault.r_open, c_top, c_bot, vdd, half)
+                / self._two_pole_crossing(r_n, 1e-3, c_top, c_bot, vdd, half)
+            )
+        elif isinstance(fault, Leakage):
+            rise, fall = self._leakage_delays(
+                fault.r_leak, vdd, c + c_par, half, i_scale_p, i_scale_n
+            )
+            if not math.isfinite(rise):
+                return math.nan
+        else:
+            raise TypeError(f"unsupported fault {type(fault).__name__}")
+        d_int = self.intrinsic_stage_delay(vdd) * r_scale_int
+        d_byp = self.bypass_stage_delay(vdd)
+        return (rise + fall) + 2.0 * d_int - 2.0 * d_byp

@@ -1,0 +1,77 @@
+"""Shared Monte Carlo scaffolding for every measurement engine.
+
+One home for the seed discipline the engines used to duplicate:
+
+* :func:`same_seed_samples` -- the same-die replay trick (T1 and T2 are
+  two measurements of *one* die, so both builds must draw identical
+  mismatch);
+* :func:`child_seeds` -- SeedSequence-spawned independent per-sample
+  seeds, matching the convention in :mod:`repro.spice.montecarlo`;
+* :func:`scalar_delta_t_mc` -- the generic per-sample MC loop that backs
+  ``Engine.delta_t_mc`` for engines without a native batched path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.spice.montecarlo import ProcessSample, ProcessVariation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.engines.base import Engine
+    from repro.core.tsv import Tsv
+
+
+def same_seed_samples(
+    variation: Optional[ProcessVariation], seed: int
+) -> Tuple[Optional[ProcessSample], Optional[ProcessSample]]:
+    """Two mismatch streams with identical draws (same die, two builds)."""
+    if variation is None:
+        return None, None
+    return (
+        variation.sample(np.random.default_rng(seed)),
+        variation.sample(np.random.default_rng(seed)),
+    )
+
+
+def child_seeds(seed: int, n: int) -> List[int]:
+    """``n`` independent child seeds spawned from ``seed``.
+
+    Uses ``np.random.SeedSequence`` spawning so per-sample streams are
+    statistically independent and stable across processes.
+    """
+    return [
+        int(child.generate_state(1)[0])
+        for child in np.random.SeedSequence(seed).spawn(n)
+    ]
+
+
+def scalar_delta_t_mc(
+    engine: "Engine",
+    tsv: "Tsv",
+    variation: ProcessVariation,
+    num_samples: int,
+    m: int = 1,
+    seed: int = 0,
+) -> np.ndarray:
+    """Monte Carlo DeltaT via one scalar ``delta_t`` call per sample.
+
+    The generic fallback behind ``Engine.delta_t_mc`` for engines that
+    declare ``batched_mc = False``.  Each sample replays one die through
+    the engine's own same-die measurement; a stuck die (RuntimeError from
+    the scalar path) records NaN, matching the batched engines.
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    results = np.empty(num_samples)
+    for i, child in enumerate(child_seeds(seed, num_samples)):
+        try:
+            results[i] = engine.delta_t(
+                tsv, m=m, variation=variation, seed=child
+            )
+        except RuntimeError:
+            results[i] = math.nan
+    return results

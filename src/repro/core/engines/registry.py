@@ -1,0 +1,211 @@
+"""String-keyed engine registry and picklable ``EngineSpec`` factories.
+
+Workloads name a backend (``"analytic"``, ``"stagedelay"``,
+``"transistor"``) instead of importing concrete classes; worker
+processes rehydrate engines from a pickled :class:`EngineSpec` rather
+than pickling the engines themselves.  ``EngineSpec`` is also the
+vdd-keyed engine factory the screening layers use (it replaces the old
+``AnalyticEngineFactory`` and the per-workload factory plumbing):
+
+>>> spec = spec("analytic")
+>>> engine = spec(0.8)            # AnalyticEngine at VDD = 0.8 V
+>>> registry_get = get("stage")   # alias for "stagedelay"
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, TypeVar, Union
+
+from repro.core.engines.base import Engine
+from repro.core.segments import RingOscillatorConfig
+
+EngineClassT = TypeVar("EngineClassT", bound=Type[Engine])
+
+_REGISTRY: Dict[str, Type[Engine]] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register(
+    name: str, *aliases: str
+) -> Callable[[EngineClassT], EngineClassT]:
+    """Class decorator registering an :class:`Engine` under ``name``.
+
+    The decorator stamps ``engine_name`` onto the class; extra
+    ``aliases`` resolve to the same class in :func:`get`/:func:`spec`.
+    """
+
+    def decorate(cls: EngineClassT) -> EngineClassT:
+        key = name.lower()
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"engine name {key!r} already registered")
+        cls.engine_name = key
+        _REGISTRY[key] = cls
+        for alias in aliases:
+            _ALIASES[alias.lower()] = key
+        return cls
+
+    return decorate
+
+
+def _ensure_builtin_engines() -> None:
+    """Import the package so the built-in engines self-register.
+
+    Needed when an :class:`EngineSpec` is unpickled in a fresh worker
+    process that has only imported this module.
+    """
+    if not _REGISTRY:
+        importlib.import_module("repro.core.engines")
+
+
+def _canonical(name: str) -> str:
+    _ensure_builtin_engines()
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown engine {name!r} (registered: {known})")
+    return key
+
+
+def names() -> List[str]:
+    """Canonical names of every registered engine, sorted."""
+    _ensure_builtin_engines()
+    return sorted(_REGISTRY)
+
+
+def engine_class(name: str) -> Type[Engine]:
+    """The registered :class:`Engine` subclass for ``name`` (or alias)."""
+    return _REGISTRY[_canonical(name)]
+
+
+def get(
+    name: str,
+    config: Optional[RingOscillatorConfig] = None,
+    vdd: Optional[float] = None,
+    **options: Any,
+) -> Engine:
+    """Instantiate a registered engine by name.
+
+    Args:
+        name: Registry name or alias.
+        config: Ring-oscillator configuration (defaults to the paper's).
+        vdd: Supply override applied on top of ``config``.
+        **options: Engine-specific constructor knobs (e.g. ``timestep``).
+    """
+    return spec(name, config=config, **options).build(vdd=vdd)
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A picklable recipe for building one engine at any supply voltage.
+
+    The unit of engine identity that crosses process boundaries: the
+    wafer engine pickles specs (never engines) to its workers, which
+    rehydrate bit-identical engines via :meth:`build`.  Calling a spec
+    with a supply voltage makes it a drop-in vdd-keyed engine factory
+    for the screening layers.
+
+    Attributes:
+        name: Registry name of the engine class.
+        config: Base configuration; ``None`` means the default
+            :class:`~repro.core.segments.RingOscillatorConfig`.
+        options: Extra constructor kwargs as a sorted tuple of pairs
+            (tuples keep the spec hashable and deterministic).
+    """
+
+    name: str
+    config: Optional[RingOscillatorConfig] = None
+    options: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", _canonical(self.name))
+        object.__setattr__(
+            self, "options", tuple(sorted(dict(self.options).items()))
+        )
+
+    def build(self, vdd: Optional[float] = None) -> Engine:
+        """Instantiate the engine, optionally rebound to ``vdd``."""
+        config = self.config or RingOscillatorConfig()
+        if vdd is not None and vdd != config.vdd:
+            config = replace(config, vdd=vdd)
+        cls = engine_class(self.name)
+        return cls(config=config, **dict(self.options))  # type: ignore[call-arg]
+
+    def __call__(self, vdd: float) -> Engine:
+        """Factory form: ``spec(vdd)`` -> engine at that supply."""
+        return self.build(vdd=vdd)
+
+    def describe(self) -> Dict[str, Any]:
+        caps = engine_class(self.name).capabilities
+        return {
+            "name": self.name,
+            "config": self.config,
+            "options": dict(self.options),
+            "capabilities": caps.as_dict(),
+        }
+
+
+def spec(
+    name: str,
+    config: Optional[RingOscillatorConfig] = None,
+    **options: Any,
+) -> EngineSpec:
+    """Build an :class:`EngineSpec` for a registered engine name."""
+    return EngineSpec(name=name, config=config,
+                      options=tuple(sorted(options.items())))
+
+
+EngineLike = Union[Engine, EngineSpec, str]
+
+
+def resolve_engine(
+    obj: EngineLike,
+    config: Optional[RingOscillatorConfig] = None,
+    vdd: Optional[float] = None,
+) -> Engine:
+    """Normalize an engine, spec, or name into an engine instance.
+
+    Engine instances pass through (rebound to ``vdd`` when given);
+    specs and names are built.  Anything else is assumed to be a
+    duck-typed engine and returned unchanged.
+    """
+    if isinstance(obj, str):
+        return get(obj, config=config, vdd=vdd)
+    if isinstance(obj, EngineSpec):
+        return obj.build(vdd=vdd)
+    if isinstance(obj, Engine) and vdd is not None:
+        return obj.at_vdd(vdd)
+    return obj
+
+
+def as_engine_factory(
+    obj: Union[EngineLike, Callable[[float], Any]],
+) -> Callable[[float], Any]:
+    """Normalize anything engine-shaped into a ``vdd -> engine`` factory.
+
+    Strings and specs become (picklable) :class:`EngineSpec` factories;
+    engine instances become specs when their fields permit, else a
+    rebinding closure; existing callables pass through untouched.
+    """
+    if isinstance(obj, str):
+        return spec(obj)
+    if isinstance(obj, EngineSpec):
+        return obj
+    if isinstance(obj, Engine):
+        extras = {
+            f.name: getattr(obj, f.name)
+            for f in dataclasses.fields(obj)
+            if f.name != "config"
+        }
+        return EngineSpec(
+            name=obj.engine_name,
+            config=obj.config,
+            options=tuple(sorted(extras.items())),
+        )
+    if callable(obj):
+        return obj
+    raise TypeError(f"cannot make an engine factory from {obj!r}")

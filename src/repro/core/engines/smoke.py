@@ -1,0 +1,100 @@
+"""Registry smoke check: ``python -m repro.core.engines.smoke``.
+
+Instantiates every registered engine, round-trips its
+:class:`~repro.core.engines.registry.EngineSpec` through pickle, checks
+that declared capabilities are backed by overridden methods, and runs a
+fast analytic numeric sanity check.  Exit status 0 on success, 1 on any
+failure -- run by the CI ``registry-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import sys
+from typing import List
+
+from repro.core.engines import registry
+from repro.core.engines.base import Engine, _CAPABILITY_METHODS
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+
+
+def _check_engine(name: str, problems: List[str]) -> None:
+    engine = registry.get(name)
+    if not isinstance(engine, Engine):
+        problems.append(f"{name}: registry.get did not return an Engine")
+        return
+    if engine.engine_name != name:
+        problems.append(f"{name}: engine_name is {engine.engine_name!r}")
+
+    # Declared capabilities must be backed by real overrides (an engine
+    # claiming a native surface while inheriting the generic fallback is
+    # lying to its callers; preflight/oscillation_stop fallbacks raise).
+    for flag, method in _CAPABILITY_METHODS.items():
+        declared = getattr(engine.capabilities, flag)
+        overridden = getattr(type(engine), method, None) is not getattr(
+            Engine, method, None
+        )
+        if declared and method in ("preflight_circuits",
+                                   "oscillation_stop_r_leak"):
+            if not overridden:
+                problems.append(
+                    f"{name}: declares {flag} but inherits the "
+                    f"raising fallback for {method}"
+                )
+
+    # Spec round-trip: build -> spec -> pickle -> rebuild must preserve
+    # the engine's identity and configuration.
+    spec = registry.as_engine_factory(engine)
+    if not isinstance(spec, registry.EngineSpec):
+        problems.append(f"{name}: as_engine_factory did not return a spec")
+        return
+    revived = pickle.loads(pickle.dumps(spec))
+    rebuilt = revived.build()
+    if rebuilt != engine:
+        problems.append(f"{name}: spec pickle round-trip lost state")
+    rebound = revived(0.8)
+    if rebound.config.vdd != 0.8:
+        problems.append(f"{name}: spec(vdd) did not rebind the supply")
+
+    if engine.capabilities.picklable:
+        clone = pickle.loads(pickle.dumps(engine))
+        if clone != engine:
+            problems.append(f"{name}: engine pickle round-trip lost state")
+
+
+def _check_analytic_numerics(problems: List[str]) -> None:
+    engine = registry.get("analytic")
+    stop = engine.oscillation_stop_r_leak()
+    ff = engine.delta_t(Tsv())
+    ro = engine.delta_t(Tsv(fault=ResistiveOpen(r_open=5000.0, x=0.5)))
+    # Leakage just above the stop threshold slows the loop (Fig. 8).
+    rl = engine.delta_t(Tsv(fault=Leakage(r_leak=1.2 * stop)))
+    if not (math.isfinite(ff) and ro < ff < rl):
+        problems.append(
+            f"analytic: fault ordering broken (open {ro!r} < fault-free "
+            f"{ff!r} < near-stop leak {rl!r} expected)"
+        )
+    stuck = engine.delta_t(Tsv(fault=Leakage(r_leak=0.5 * stop)))
+    if not math.isnan(stuck):
+        problems.append(f"analytic: sub-stop leak gave {stuck!r}, not NaN")
+
+
+def main() -> int:
+    problems: List[str] = []
+    names = registry.names()
+    if len(names) < 3:
+        problems.append(f"expected >= 3 registered engines, got {names}")
+    for name in names:
+        _check_engine(name, problems)
+    _check_analytic_numerics(problems)
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        return 1
+    print(f"registry smoke OK: {', '.join(names)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

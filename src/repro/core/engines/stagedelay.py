@@ -1,0 +1,358 @@
+"""Per-stage transient engine -- the batched Monte Carlo workhorse."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells import CellKit
+from repro.core.engines.base import (
+    DEFAULT_STOP_POLICY,
+    Engine,
+    EngineCapabilities,
+    StopTimePolicy,
+)
+from repro.core.engines.montecarlo import same_seed_samples
+from repro.core.engines.registry import register
+from repro.core.segments import RingOscillatorConfig
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+from repro.spice import Pulse, transient
+from repro.spice.batch import BatchParameters, BatchedSimulation
+from repro.spice.montecarlo import ProcessSample, ProcessVariation
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.waveform import NoOscillationError
+
+
+def _first_crossings_after(
+    time: np.ndarray,
+    traces: np.ndarray,
+    level: float,
+    direction: str,
+    t_min: float,
+) -> np.ndarray:
+    """Per-corner first interpolated crossing at/after ``t_min``.
+
+    Vectorized equivalent of ``Waveform.crossings(level, direction)``
+    followed by taking the first crossing ``>= t_min``; ``traces`` is the
+    stacked ``(S, T)`` voltage array and the return value is ``(S,)``
+    with NaN where a corner never crosses (stuck path).
+    """
+    below = traces < level
+    if direction == "rise":
+        mask = below[:, :-1] & ~below[:, 1:]
+    else:
+        mask = ~below[:, :-1] & below[:, 1:]
+    v1 = traces[:, :-1]
+    v2 = traces[:, 1:]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        frac = (level - v1) / (v2 - v1)
+    t_cross = time[:-1] + frac * (time[1:] - time[:-1])
+    cand = np.where(mask & (t_cross >= t_min), t_cross, np.inf)
+    first = cand.min(axis=1)
+    return np.where(np.isfinite(first), first, np.nan)
+
+
+@register("stagedelay", "stage", "stage-delay")
+@dataclass
+class StageDelayEngine(Engine):
+    """Per-stage transient simulation; the workhorse engine.
+
+    The segment test circuit is one I/O segment exactly as it appears in
+    the ring (I/O cell, TSV network, bypass mux) with a pulse input and a
+    receiver-sized load.  Stage delays are measured 50%-to-50%; the loop
+    period is the sum of stage delays plus the loop-closer (inverter +
+    TE mux) delays.
+
+    Monte Carlo runs are batched: all corners are simulated in one stacked
+    MNA run (:mod:`repro.spice.batch`).
+    """
+
+    config: RingOscillatorConfig = RingOscillatorConfig()
+    timestep: float = 1e-12
+    input_slew: float = 20e-12
+    pulse_width: float = 1.0e-9
+    stop_policy: StopTimePolicy = field(default=DEFAULT_STOP_POLICY)
+
+    capabilities: ClassVar[EngineCapabilities] = EngineCapabilities(
+        batched_mc=True,
+        parameter_sweeps=True,
+        preflight_circuits=True,
+        oscillation_stop=False,
+        picklable=True,
+    )
+
+    def _pulse_width(self) -> float:
+        return self.pulse_width
+
+    # -- circuit builders ------------------------------------------------
+    def _input_pulse(self) -> Pulse:
+        return Pulse(
+            0.0, self.config.vdd, delay=self.stop_policy.input_delay,
+            rise=self.input_slew, fall=self.input_slew,
+            width=self.pulse_width,
+        )
+
+    def _segment_circuit(
+        self,
+        tsv: Tsv,
+        bypassed: bool,
+        sample: Optional[ProcessSample] = None,
+        sweepable: bool = False,
+    ) -> Tuple[Circuit, Dict[str, str]]:
+        cfg = self.config
+        vdd = cfg.vdd
+        circuit = Circuit("segment")
+        circuit.add_vsource("vdd", "vdd", GROUND, vdd)
+        circuit.add_vsource("v_oe", "OE", GROUND, vdd)
+        circuit.add_vsource(
+            "v_by", "BY", GROUND, vdd if bypassed else 0.0
+        )
+        circuit.add_vsource("vin", "din", GROUND, self._input_pulse())
+        kit = CellKit(circuit, vdd="vdd", tech=cfg.tech, sample=sample)
+        kit.io_cell("io", "din", "OE", "pad", "rx",
+                    driver_strength=cfg.driver_strength)
+        if sweepable:
+            elements = tsv.build_sweepable(circuit, "tsv", "pad")
+        else:
+            elements = tsv.build(circuit, "tsv", "pad")
+        kit.mux2("bymux", "rx", "din", "BY", "dout")
+        # Load: the next segment's driver input inverter (X2-equivalent).
+        kit.inverter("load", "dout", "load_out", strength=2.0)
+        return circuit, elements
+
+    def _closer_circuit(
+        self, sample: Optional[ProcessSample] = None
+    ) -> Circuit:
+        """Loop inverter + TE mux, as seen between segment N and segment 1."""
+        cfg = self.config
+        vdd = cfg.vdd
+        circuit = Circuit("closer")
+        circuit.add_vsource("vdd", "vdd", GROUND, vdd)
+        circuit.add_vsource("v_te", "TE", GROUND, vdd)
+        circuit.add_vsource("v_func", "func_in", GROUND, 0.0)
+        circuit.add_vsource("vin", "din", GROUND, self._input_pulse())
+        kit = CellKit(circuit, vdd="vdd", tech=cfg.tech, sample=sample)
+        kit.inverter("loop_inv", "din", "osc", strength=1.0)
+        kit.mux2("te_mux", "func_in", "osc", "TE", "loop_in")
+        kit.inverter("load", "loop_in", "load_out", strength=2.0)
+        return circuit
+
+    def preflight_circuits(
+        self, tsv: Optional[Tsv] = None
+    ) -> Dict[str, Circuit]:
+        """The circuit shapes this engine simulates, built but not run.
+
+        For the static analyzer (:mod:`repro.spice.staticcheck`) and the
+        ``python -m repro.staticcheck`` CLI: one entry per distinct
+        topology a measurement touches, keyed by a stable label.
+        """
+        probe = tsv if tsv is not None else Tsv()
+        return {
+            "segment": self._segment_circuit(probe, bypassed=False)[0],
+            "segment-bypassed": self._segment_circuit(probe, bypassed=True)[0],
+            "segment-sweepable": self._segment_circuit(
+                probe, bypassed=False, sweepable=True
+            )[0],
+            "closer": self._closer_circuit(),
+        }
+
+    # -- scalar measurements ----------------------------------------------
+    def _edge_delays(
+        self, circuit: Circuit, out_node: str, inverting: bool
+    ) -> Tuple[float, float]:
+        """(delay after input rise, delay after input fall) at 50%/50%."""
+        vdd = self.config.vdd
+        result = transient(
+            circuit, self.stop_time(), self.timestep,
+            record=["din", out_node],
+        )
+        win = result.waveform("din")
+        wout = result.waveform(out_node)
+        half = vdd / 2.0
+        rise_out = "fall" if inverting else "rise"
+        fall_out = "rise" if inverting else "fall"
+        d_rise = win.propagation_delay_to(wout, half, edge_in="rise",
+                                          edge_out=rise_out)
+        d_fall = win.propagation_delay_to(wout, half, edge_in="fall",
+                                          edge_out=fall_out)
+        return d_rise, d_fall
+
+    def segment_delays(
+        self,
+        tsv: Tsv,
+        bypassed: bool = False,
+        sample: Optional[ProcessSample] = None,
+    ) -> Tuple[float, float]:
+        """(tpLH, tpHL) of one I/O segment (non-inverting path).
+
+        Raises:
+            NoOscillationError: If the segment output never switches
+                within the observation window (stuck path).
+        """
+        circuit, _ = self._segment_circuit(tsv, bypassed, sample)
+        return self._edge_delays(circuit, "dout", inverting=False)
+
+    def closer_delays(
+        self, sample: Optional[ProcessSample] = None
+    ) -> Tuple[float, float]:
+        """(input-rise, input-fall) delays of the inverter + TE mux path."""
+        circuit = self._closer_circuit(sample)
+        return self._edge_delays(circuit, "loop_in", inverting=True)
+
+    def period(
+        self,
+        tsvs: Sequence[Tsv],
+        enabled: Sequence[bool],
+        sample: Optional[ProcessSample] = None,
+    ) -> float:
+        """Loop period as the sum of per-stage delays."""
+        n = self.config.num_segments
+        if len(tsvs) != n or len(enabled) != n:
+            raise ValueError("tsvs and enabled must match num_segments")
+        total = 0.0
+        for tsv, on in zip(tsvs, enabled):
+            d_rise, d_fall = self.segment_delays(tsv, bypassed=not on,
+                                                 sample=sample)
+            total += d_rise + d_fall
+        c_rise, c_fall = self.closer_delays(sample)
+        return total + c_rise + c_fall
+
+    def delta_t(
+        self,
+        tsv: Tsv,
+        m: int = 1,
+        variation: Optional[ProcessVariation] = None,
+        seed: int = 0,
+    ) -> float:
+        """DeltaT = T1 - T2; shared stages cancel exactly by construction."""
+        if not 1 <= m <= self.config.num_segments:
+            raise ValueError("invalid m")
+        total = 0.0
+        for i in range(m):
+            s_on, s_off = same_seed_samples(variation, seed * 1000003 + i)
+            on_r, on_f = self.segment_delays(tsv, bypassed=False, sample=s_on)
+            off_r, off_f = self.segment_delays(tsv, bypassed=True, sample=s_off)
+            total += (on_r + on_f) - (off_r + off_f)
+        return total
+
+    # -- batched Monte Carlo ----------------------------------------------
+    def _batched_segment_delays(
+        self,
+        tsv: Tsv,
+        bypassed: bool,
+        params: BatchParameters,
+        sweepable: bool = False,
+        resistor_overrides: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-corner (tpLH, tpHL) arrays; NaN where the path is stuck."""
+        circuit, elements = self._segment_circuit(
+            tsv, bypassed, sample=None, sweepable=sweepable
+        )
+        if resistor_overrides:
+            for short_name, values in resistor_overrides.items():
+                params = params.with_resistor(elements[short_name], values)
+        sim = BatchedSimulation(circuit, params)
+        result = sim.transient(
+            self.stop_time(), self.timestep, record=["din", "dout"]
+        )
+        vdd = self.config.vdd
+        half = vdd / 2.0
+        win = result.waveform("din", 0)
+        t_rise_in = win.crossings(half, "rise")
+        t_fall_in = win.crossings(half, "fall")
+        if len(t_rise_in) == 0 or len(t_fall_in) == 0:
+            raise NoOscillationError("input pulse malformed")
+        tr, tf = t_rise_in[0], t_fall_in[0]
+        vout = result.voltages["dout"]
+        d_rise = _first_crossings_after(result.time, vout, half, "rise", tr) - tr
+        d_fall = _first_crossings_after(result.time, vout, half, "fall", tf) - tf
+        return d_rise, d_fall
+
+    def delta_t_mc(
+        self,
+        tsv: Tsv,
+        variation: ProcessVariation,
+        num_samples: int,
+        m: int = 1,
+        seed: int = 0,
+    ) -> np.ndarray:
+        """Monte Carlo DeltaT samples (batched).
+
+        Each sample models one die: ``m`` segments under test with
+        independent mismatch, measured once with TSVs in the loop (T1)
+        and once bypassed (T2).  The same mismatch is applied to both
+        measurements (same die), so only the segment-internal variation
+        that the paper says cannot cancel remains.
+
+        Returns:
+            Array of length ``num_samples``; NaN marks dies where the
+            TSV path did not switch (oscillation stop / stuck-at-0).
+        """
+        corners = num_samples * m
+        circuit_probe, _ = self._segment_circuit(tsv, bypassed=False)
+        params = BatchParameters.monte_carlo(
+            circuit_probe, variation, corners, seed=seed
+        )
+        # Identical topology and build order for both runs -> the same
+        # BatchParameters apply corner-for-corner.
+        on_r, on_f = self._batched_segment_delays(tsv, False, params)
+        off_r, off_f = self._batched_segment_delays(tsv, True, params)
+        per_corner = (on_r + on_f) - (off_r + off_f)
+        return per_corner.reshape(num_samples, m).sum(axis=1)
+
+    def delta_t_sweep_ro(
+        self,
+        r_open_values: Sequence[float],
+        x: float = 0.5,
+        tsv: Optional[Tsv] = None,
+    ) -> np.ndarray:
+        """Batched DeltaT sweep over open-resistance values (Fig. 6).
+
+        ``r_open`` of ~0 reproduces the fault-free point the paper plots
+        at R_O = 0.
+        """
+        base = tsv or Tsv()
+        probe = base.with_fault(ResistiveOpen(r_open=1.0, x=x))
+        values = np.maximum(np.asarray(r_open_values, dtype=float), 1e-2)
+        n = len(values)
+        params = self._sweep_params(probe, n)
+        on_r, on_f = self._batched_segment_delays(
+            probe, False, params, sweepable=True,
+            resistor_overrides={"ro": values},
+        )
+        params2 = self._sweep_params(probe, n)
+        off_r, off_f = self._batched_segment_delays(
+            probe, True, params2, sweepable=True,
+            resistor_overrides={"ro": values},
+        )
+        return (on_r + on_f) - (off_r + off_f)
+
+    def delta_t_sweep_rl(
+        self,
+        r_leak_values: Sequence[float],
+        tsv: Optional[Tsv] = None,
+    ) -> np.ndarray:
+        """Batched DeltaT sweep over leakage resistance (Fig. 8).
+
+        NaN entries mark leakage strong enough to stop the oscillation.
+        """
+        base = tsv or Tsv()
+        probe = base.with_fault(Leakage(r_leak=1e6))
+        values = np.asarray(r_leak_values, dtype=float)
+        n = len(values)
+        params = self._sweep_params(probe, n)
+        on_r, on_f = self._batched_segment_delays(
+            probe, False, params, sweepable=True,
+            resistor_overrides={"rl": values},
+        )
+        params2 = self._sweep_params(probe, n)
+        off_r, off_f = self._batched_segment_delays(
+            probe, True, params2, sweepable=True,
+            resistor_overrides={"rl": values},
+        )
+        return (on_r + on_f) - (off_r + off_f)
+
+    def _sweep_params(self, probe: Tsv, n: int) -> BatchParameters:
+        return BatchParameters.nominal(n)

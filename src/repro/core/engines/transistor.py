@@ -1,0 +1,159 @@
+"""Full-loop transistor-level engine -- the gold reference."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, Optional, Sequence
+
+from repro.core.engines.base import (
+    DEFAULT_STOP_POLICY,
+    Engine,
+    EngineCapabilities,
+    StopTimePolicy,
+)
+from repro.core.engines.montecarlo import same_seed_samples
+from repro.core.engines.registry import register
+from repro.core.segments import (
+    RingOscillator,
+    RingOscillatorConfig,
+    build_ring_oscillator,
+)
+from repro.core.tsv import Tsv
+from repro.spice import transient
+from repro.spice.montecarlo import ProcessSample, ProcessVariation
+from repro.spice.netlist import Circuit
+from repro.spice.waveform import NoOscillationError
+
+
+@register("transistor", "transistor-level", "full-loop")
+@dataclass
+class TransistorLevelEngine(Engine):
+    """Full-loop transient simulation of the Fig. 3 oscillator.
+
+    Simulates the entire ring at transistor level and measures the
+    period from the oscillator waveform.  Gold reference; the slowest.
+    Monte Carlo runs fall back to the generic scalar loop
+    (``capabilities.batched_mc`` is False) -- characterize with the
+    stage or analytic engine instead.
+
+    Attributes:
+        config: Ring-oscillator group configuration.
+        timestep: Transient step (s); 1 ps resolves the ~100 ps stage
+            delays well (crossings are interpolated below the step).
+        min_cycles: Periods averaged for one measurement.
+        skip_cycles: Startup cycles discarded.
+        stop_policy: Shared transient-window policy.
+    """
+
+    config: RingOscillatorConfig = RingOscillatorConfig()
+    timestep: float = 1e-12
+    min_cycles: int = 3
+    skip_cycles: int = 2
+    stop_policy: StopTimePolicy = field(default=DEFAULT_STOP_POLICY)
+
+    capabilities: ClassVar[EngineCapabilities] = EngineCapabilities(
+        batched_mc=False,
+        parameter_sweeps=False,
+        preflight_circuits=True,
+        oscillation_stop=False,
+        picklable=True,
+    )
+
+    def _measurement_cycles(self) -> int:
+        return self.skip_cycles + self.min_cycles
+
+    def build(
+        self,
+        tsvs: Sequence[Tsv],
+        enabled: Sequence[bool],
+        sample: Optional[ProcessSample] = None,
+    ) -> RingOscillator:
+        return build_ring_oscillator(tsvs, self.config, enabled=enabled,
+                                     sample=sample)
+
+    def period(
+        self,
+        tsvs: Sequence[Tsv],
+        enabled: Sequence[bool],
+        sample: Optional[ProcessSample] = None,
+    ) -> float:
+        """Oscillation period in seconds.
+
+        Raises:
+            NoOscillationError: If the loop does not oscillate (e.g. a
+                strong leakage fault -- the paper's stuck-at-0 case).
+        """
+        from repro.core.engines.analytic import AnalyticEngine
+
+        ro = self.build(tsvs, enabled, sample)
+        # The analytic estimate underestimates the loop period (it omits
+        # slew interaction), so pad it; retry once with a longer window
+        # before declaring the loop stuck.
+        estimate = AnalyticEngine(self.config).period(tsvs, enabled)
+        if not math.isfinite(estimate):
+            estimate = 5e-9  # give a stuck loop a chance to prove us wrong
+        stop = self.stop_time(2.5 * estimate)
+        for attempt in range(2):
+            result = transient(
+                ro.circuit,
+                stop,
+                self.timestep,
+                ics=ro.startup_ics,
+                record=[ro.osc_node],
+            )
+            wave = result.waveform(ro.osc_node)
+            try:
+                return wave.period(
+                    ro.measurement_threshold,
+                    skip_cycles=self.skip_cycles,
+                    min_cycles=self.min_cycles,
+                )
+            except NoOscillationError:
+                if attempt == 1 or not wave.oscillates(
+                    ro.measurement_threshold, min_edges=2
+                ):
+                    raise
+                stop *= 2.5  # it oscillates, just slower than estimated
+        raise AssertionError("unreachable")
+
+    def delta_t(
+        self,
+        tsv: Tsv,
+        m: int = 1,
+        variation: Optional[ProcessVariation] = None,
+        seed: int = 0,
+    ) -> float:
+        """DeltaT = T1 - T2 for ``m`` copies of ``tsv`` under test.
+
+        T1 is measured with segments 1..m enabled (their TSVs in the
+        loop), T2 with every segment bypassed.  Both builds replay the
+        same mismatch stream, modelling two measurements of one die.
+        """
+        n = self.config.num_segments
+        if not 1 <= m <= n:
+            raise ValueError(f"m must be in [1, {n}]")
+        tsvs = [tsv] * m + [Tsv()] * (n - m)
+        s1, s2 = same_seed_samples(variation, seed)
+        t1 = self.period(tsvs, [True] * m + [False] * (n - m), sample=s1)
+        t2 = self.period(tsvs, [False] * n, sample=s2)
+        return t1 - t2
+
+    def preflight_circuits(
+        self, tsv: Optional[Tsv] = None
+    ) -> Dict[str, Circuit]:
+        """The full-loop netlists this engine simulates, built but not run.
+
+        One entry per enable topology a DeltaT measurement touches: the
+        loop with the TSV under test enabled (T1) and fully bypassed
+        (T2).
+        """
+        probe = tsv if tsv is not None else Tsv()
+        n = self.config.num_segments
+        tsvs = [probe] + [Tsv()] * (n - 1)
+        enabled = self.build(tsvs, [True] + [False] * (n - 1))
+        bypassed = self.build(tsvs, [False] * n)
+        return {
+            "loop-enabled": enabled.circuit,
+            "loop-bypassed": bypassed.circuit,
+        }

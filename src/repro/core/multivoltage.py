@@ -18,21 +18,23 @@ assembles a :class:`MultiVoltagePlan` that the screening flow executes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
-from repro.core.engines import AnalyticEngine
-from repro.core.segments import RingOscillatorConfig
+from repro.core.engines.registry import EngineLike, as_engine_factory
 from repro.core.tsv import Leakage, Tsv
+
+#: Anything the planning helpers accept as an engine source: a registry
+#: name ("analytic"), an EngineSpec, an engine instance, or a bare
+#: ``vdd -> engine`` callable.
+EngineFactoryLike = Union[EngineLike, Callable[[float], object]]
 
 #: The supply voltages highlighted in the paper's Fig. 8.
 PAPER_VOLTAGES = (0.75, 0.80, 0.95, 1.10)
 
 
 def leakage_stop_threshold(
-    engine_factory: Callable[[float], object],
+    engine_factory: EngineFactoryLike,
     vdd: float,
     r_low: float = 100.0,
     r_high: float = 1e6,
@@ -41,14 +43,17 @@ def leakage_stop_threshold(
     """Smallest oscillatable leakage resistance at supply ``vdd``.
 
     Bisects between a resistance known to stop the oscillator and one
-    known to permit oscillation, using ``engine_factory(vdd)`` to build a
-    DeltaT engine per probe (engines return NaN / raise for a stuck path).
+    known to permit oscillation, building a DeltaT engine at ``vdd``
+    from ``engine_factory`` -- a registry name, an
+    :class:`~repro.core.engines.registry.EngineSpec`, an engine
+    instance, or a ``vdd -> engine`` callable (engines return NaN /
+    raise for a stuck path).
 
     Returns:
         The oscillation-stop resistance in Ohm (paper: ~1 kOhm at
         nominal supply, dropping as V_DD increases).
     """
-    engine = engine_factory(vdd)
+    engine = as_engine_factory(engine_factory)(vdd)
 
     def oscillates(r_leak: float) -> bool:
         try:
@@ -72,7 +77,7 @@ def leakage_stop_threshold(
 
 
 def detectable_leakage_range(
-    engine_factory: Callable[[float], object],
+    engine_factory: EngineFactoryLike,
     vdd: float,
     min_delta_t_shift: float,
     r_high: float = 1e7,
@@ -89,9 +94,10 @@ def detectable_leakage_range(
         stop up to the weakest still-detectable leakage.  Everything
         below ``r_stop`` is detectable as a stuck oscillator.
     """
-    engine = engine_factory(vdd)
+    factory = as_engine_factory(engine_factory)
+    engine = factory(vdd)
     ff = engine.delta_t(Tsv())
-    r_stop = leakage_stop_threshold(engine_factory, vdd)
+    r_stop = leakage_stop_threshold(factory, vdd)
 
     def shift(r_leak: float) -> float:
         try:
@@ -144,15 +150,16 @@ class MultiVoltagePlan:
     @classmethod
     def characterize(
         cls,
-        engine_factory: Callable[[float], object],
+        engine_factory: EngineFactoryLike,
         voltages: Sequence[float] = PAPER_VOLTAGES,
         min_delta_t_shift: float = 20e-12,
     ) -> "MultiVoltagePlan":
         """Compute each voltage's detectable leakage window."""
+        factory = as_engine_factory(engine_factory)
         entries = []
         for vdd in voltages:
             r_stop, r_max = detectable_leakage_range(
-                engine_factory, vdd, min_delta_t_shift
+                factory, vdd, min_delta_t_shift
             )
             entries.append(VoltagePlanEntry(vdd, r_stop, r_max))
         return cls(entries=entries)
@@ -200,23 +207,3 @@ class MultiVoltagePlan:
         ]
 
 
-@dataclass(frozen=True)
-class AnalyticEngineFactory:
-    """Picklable ``vdd -> AnalyticEngine`` factory.
-
-    A plain closure would do for in-process use, but the sharded wafer
-    engine ships its flow configuration to worker processes, so the
-    factory must survive pickling.
-    """
-
-    config: RingOscillatorConfig = RingOscillatorConfig()
-
-    def __call__(self, vdd: float) -> AnalyticEngine:
-        return AnalyticEngine(replace(self.config, vdd=vdd))
-
-
-def analytic_engine_factory(
-    config: RingOscillatorConfig = RingOscillatorConfig(),
-) -> Callable[[float], AnalyticEngine]:
-    """Factory of :class:`AnalyticEngine` instances at arbitrary V_DD."""
-    return AnalyticEngineFactory(config)

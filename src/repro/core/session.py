@@ -20,18 +20,27 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.engines.base import (
+    DeltaTEngine,
+    Engine,
+    MeasurementRequest,
+    supports,
+)
+from repro.core.engines.registry import EngineLike, resolve_engine
 from repro.core.tsv import Tsv
 from repro.spice.montecarlo import ProcessVariation
 
-
-class DeltaTEngine(Protocol):
-    """Anything that can produce DeltaT measurements for a TSV."""
-
-    def delta_t(self, tsv: Tsv, m: int = 1) -> float: ...
+__all__ = [
+    "DeltaTEngine",
+    "PrebondTestSession",
+    "ReferenceBand",
+    "TestDecision",
+    "TestOutcome",
+]
 
 
 class TestDecision(enum.Enum):
@@ -91,11 +100,14 @@ class PrebondTestSession:
     """Runs the pre-bond TSV test for one oscillator group at one supply.
 
     Args:
-        engine: A DeltaT engine (any of the three in
-            :mod:`repro.core.engines`).
+        engine: A DeltaT engine -- a registry name (``"analytic"``), an
+            :class:`~repro.core.engines.registry.EngineSpec`, an
+            :class:`~repro.core.engines.base.Engine` instance, or any
+            duck-typed object with ``delta_t``.
         band: Fault-free acceptance band.  If omitted, it is derived by
-            Monte Carlo from ``variation`` (or a 5% tolerance around the
-            nominal fault-free DeltaT when no variation is given).
+            Monte Carlo from ``variation`` when the engine supports a
+            native batched MC path (or a 5% tolerance around the nominal
+            fault-free DeltaT otherwise).
         variation: Process variation used for band characterization.
         num_characterization_samples: MC samples for the band.
         guard: Measurement-error guard band (seconds), e.g. the counter
@@ -104,24 +116,24 @@ class PrebondTestSession:
 
     def __init__(
         self,
-        engine,
+        engine: EngineLike,
         band: Optional[ReferenceBand] = None,
         variation: Optional[ProcessVariation] = None,
         num_characterization_samples: int = 50,
         guard: float = 0.0,
         seed: int = 1234,
     ):
-        self.engine = engine
+        self.engine = resolve_engine(engine)
         self.guard = guard
         if band is not None:
             self.band = band
-        elif variation is not None and hasattr(engine, "delta_t_mc"):
-            samples = engine.delta_t_mc(
+        elif variation is not None and supports(self.engine, "batched_mc"):
+            samples = self.engine.delta_t_mc(
                 Tsv(), variation, num_characterization_samples, seed=seed
             )
             self.band = ReferenceBand.from_samples(samples, guard=guard)
         else:
-            nominal = engine.delta_t(Tsv())
+            nominal = self.engine.delta_t(Tsv())
             margin = 0.05 * abs(nominal) + guard
             self.band = ReferenceBand(nominal - margin, nominal + margin)
 
@@ -131,10 +143,15 @@ class PrebondTestSession:
 
     def measure(self, tsv: Tsv, m: int = 1) -> TestOutcome:
         """Measure DeltaT for ``tsv`` and classify it."""
-        try:
-            delta_t = self.engine.delta_t(tsv, m=m)
-        except RuntimeError:
-            delta_t = math.nan
+        if isinstance(self.engine, Engine):
+            delta_t = self.engine.measure(
+                MeasurementRequest(tsv=tsv, m=m)
+            ).delta_t
+        else:
+            try:
+                delta_t = self.engine.delta_t(tsv, m=m)
+            except RuntimeError:
+                delta_t = math.nan
         return self.classify(delta_t)
 
     def classify(self, delta_t: float) -> TestOutcome:

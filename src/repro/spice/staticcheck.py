@@ -58,12 +58,17 @@ findings before a single Newton iteration runs.
 
 from __future__ import annotations
 
+import argparse
+import importlib.util
 import math
+import sys
 from dataclasses import dataclass
+from pathlib import Path
 from typing import (
     Any,
     Callable,
     Dict,
+    Iterable,
     Iterator,
     List,
     Optional,
@@ -83,12 +88,18 @@ from repro.spice.netlist import GROUND, Circuit
 from repro.telemetry import get_telemetry
 
 __all__ = [
+    "HOOK",
     "RULES",
     "RuleSpec",
     "check_circuit",
     "check_die",
+    "check_paths",
     "check_tsv",
+    "discover",
+    "load_circuits",
+    "main",
     "preflight_circuit",
+    "print_rules",
     "registered_rules",
     "rule",
 ]
@@ -845,3 +856,123 @@ def check_die(
             record.tsv, name=f"{label}.tsv[{index}]", stop_floor=stop_floor
         ))
     return report
+
+
+# ----------------------------------------------------------------------
+# Command-line front end (``python -m repro.staticcheck``)
+# ----------------------------------------------------------------------
+#: Name of the opt-in hook a checkable file must define.
+HOOK = "preflight_circuits"
+
+
+def load_circuits(path: Path) -> Dict[str, Circuit]:
+    """Import ``path`` as a throwaway module and call its hook.
+
+    Raises:
+        ValueError: When the file does not define ``preflight_circuits``.
+    """
+    spec = importlib.util.spec_from_file_location(
+        f"_staticcheck_{path.stem}", path
+    )
+    if spec is None or spec.loader is None:
+        raise ValueError(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    hook = getattr(module, HOOK, None)
+    if hook is None:
+        raise ValueError(
+            f"{path} defines no {HOOK}() hook; add one returning "
+            "{label: Circuit} to make the file checkable"
+        )
+    circuits = hook()
+    return dict(circuits)
+
+
+def discover(target: Path) -> List[Path]:
+    """Files to check: ``target`` itself, or its opted-in ``*.py``."""
+    if target.is_file():
+        return [target]
+    if target.is_dir():
+        return sorted(
+            p for p in target.glob("*.py")
+            if HOOK in p.read_text(encoding="utf-8")
+        )
+    raise ValueError(f"no such file or directory: {target}")
+
+
+def check_paths(
+    paths: List[Path],
+) -> Iterator[Tuple[Path, str, DiagnosticReport]]:
+    """Yield ``(path, label, report)`` for every declared circuit."""
+    from repro.spice.stamping import StampPlan
+
+    for path in paths:
+        for label, circuit in load_circuits(path).items():
+            # Compile the stamp plan so the structural-singularity rule
+            # exercises the same index arrays the solver would use.
+            report = check_circuit(circuit, StampPlan(circuit))
+            report.subject = f"{path.name}:{label}"
+            yield path, label, report
+
+
+def print_rules() -> None:
+    specs = registered_rules()
+    width = max(len(s.rule_id) for s in specs)
+    for spec in specs:
+        print(f"{spec.rule_id:<{width}}  {spec.severity.value:<7}  "
+              f"[{spec.scope}] {spec.summary}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="Pre-flight static analysis of example netlists.",
+    )
+    parser.add_argument(
+        "targets", nargs="*", type=Path,
+        help="python files (or directories of them) exposing "
+             f"{HOOK}()",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="print the registered rule table and exit",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings as well as errors",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print every diagnostic, not only the failing reports",
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        print_rules()
+        return 0
+    if not args.targets:
+        parser.print_usage(sys.stderr)
+        print("error: no targets given (or use --rules)", file=sys.stderr)
+        return 2
+
+    fail_rank = Severity.WARNING.rank if args.strict else Severity.ERROR.rank
+    checked = 0
+    failed = 0
+    try:
+        paths = [p for target in args.targets for p in discover(target)]
+        for _, _, report in check_paths(paths):
+            checked += 1
+            bad = any(
+                d.severity.rank >= fail_rank for d in report.diagnostics
+            )
+            if bad:
+                failed += 1
+            if bad or (args.verbose and not report.clean):
+                print(report.render())
+            elif args.verbose:
+                print(report.summary())
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{checked} circuit(s) checked, {failed} failing")
+    return 1 if failed else 0

@@ -1,150 +1,30 @@
-"""Command-line pre-flight netlist checker.
+"""Command-line pre-flight netlist checker (thin re-export).
 
-Runs the :mod:`repro.spice.staticcheck` rule registry over the circuits
-an example (or any python file) declares, *without* simulating anything.
-Files opt in by exposing a module-level ``preflight_circuits()`` that
-returns a mapping of ``label -> Circuit``; every example under
-``examples/`` does.
-
-Usage::
+The actual implementation -- the rule registry, the
+``preflight_circuits()`` discovery hook, and the CLI -- lives in
+:mod:`repro.spice.staticcheck`; this module only preserves the
+historical entry point::
 
     python -m repro.staticcheck examples/quickstart.py
     python -m repro.staticcheck examples/            # every opted-in file
     python -m repro.staticcheck --rules              # print the rule table
 
 Exit status is 0 when every circuit is free of error-severity
-diagnostics and 1 otherwise (or 2 for usage errors), so the command
-slots directly into CI.  Warnings and infos are printed but do not fail
-the run unless ``--strict`` is given.
+diagnostics and 1 otherwise (or 2 for usage errors).
 """
 
 from __future__ import annotations
 
-import argparse
-import importlib.util
 import sys
-from pathlib import Path
-from typing import Dict, Iterator, List, Tuple
 
-from repro.analysis.diagnostics import DiagnosticReport, Severity
-from repro.spice.netlist import Circuit
-from repro.spice.stamping import StampPlan
-from repro.spice.staticcheck import check_circuit, registered_rules
-
-#: Name of the opt-in hook a checkable file must define.
-HOOK = "preflight_circuits"
-
-
-def load_circuits(path: Path) -> Dict[str, Circuit]:
-    """Import ``path`` as a throwaway module and call its hook.
-
-    Raises:
-        ValueError: When the file does not define ``preflight_circuits``.
-    """
-    spec = importlib.util.spec_from_file_location(
-        f"_staticcheck_{path.stem}", path
-    )
-    if spec is None or spec.loader is None:
-        raise ValueError(f"cannot import {path}")
-    module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
-    hook = getattr(module, HOOK, None)
-    if hook is None:
-        raise ValueError(
-            f"{path} defines no {HOOK}() hook; add one returning "
-            "{label: Circuit} to make the file checkable"
-        )
-    circuits = hook()
-    return dict(circuits)
-
-
-def discover(target: Path) -> List[Path]:
-    """Files to check: ``target`` itself, or its opted-in ``*.py``."""
-    if target.is_file():
-        return [target]
-    if target.is_dir():
-        return sorted(
-            p for p in target.glob("*.py")
-            if HOOK in p.read_text(encoding="utf-8")
-        )
-    raise ValueError(f"no such file or directory: {target}")
-
-
-def check_paths(
-    paths: List[Path],
-) -> Iterator[Tuple[Path, str, DiagnosticReport]]:
-    """Yield ``(path, label, report)`` for every declared circuit."""
-    for path in paths:
-        for label, circuit in load_circuits(path).items():
-            # Compile the stamp plan so the structural-singularity rule
-            # exercises the same index arrays the solver would use.
-            report = check_circuit(circuit, StampPlan(circuit))
-            report.subject = f"{path.name}:{label}"
-            yield path, label, report
-
-
-def print_rules() -> None:
-    specs = registered_rules()
-    width = max(len(s.rule_id) for s in specs)
-    for spec in specs:
-        print(f"{spec.rule_id:<{width}}  {spec.severity.value:<7}  "
-              f"[{spec.scope}] {spec.summary}")
-
-
-def main(argv: List[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.staticcheck",
-        description="Pre-flight static analysis of example netlists.",
-    )
-    parser.add_argument(
-        "targets", nargs="*", type=Path,
-        help="python files (or directories of them) exposing "
-             f"{HOOK}()",
-    )
-    parser.add_argument(
-        "--rules", action="store_true",
-        help="print the registered rule table and exit",
-    )
-    parser.add_argument(
-        "--strict", action="store_true",
-        help="fail on warnings as well as errors",
-    )
-    parser.add_argument(
-        "-v", "--verbose", action="store_true",
-        help="print every diagnostic, not only the failing reports",
-    )
-    args = parser.parse_args(argv)
-
-    if args.rules:
-        print_rules()
-        return 0
-    if not args.targets:
-        parser.print_usage(sys.stderr)
-        print("error: no targets given (or use --rules)", file=sys.stderr)
-        return 2
-
-    fail_rank = Severity.WARNING.rank if args.strict else Severity.ERROR.rank
-    checked = 0
-    failed = 0
-    try:
-        paths = [p for target in args.targets for p in discover(target)]
-        for _, _, report in check_paths(paths):
-            checked += 1
-            bad = any(
-                d.severity.rank >= fail_rank for d in report.diagnostics
-            )
-            if bad:
-                failed += 1
-            if bad or (args.verbose and not report.clean):
-                print(report.render())
-            elif args.verbose:
-                print(report.summary())
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(f"{checked} circuit(s) checked, {failed} failing")
-    return 1 if failed else 0
-
+from repro.spice.staticcheck import (  # noqa: F401
+    HOOK,
+    check_paths,
+    discover,
+    load_circuits,
+    main,
+    print_rules,
+)
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.diagnostics import DiagnosticReport, record_diagnostics
+from repro.core.engines.base import Engine, MeasurementRequest, supports
+from repro.core.engines.registry import as_engine_factory
 from repro.core.session import ReferenceBand
 from repro.core.tsv import Tsv
 from repro.dft.control import MeasurementPlan
@@ -82,7 +84,11 @@ class ScreeningFlow:
     """Multi-voltage pre-bond TSV screening over a die population.
 
     Args:
-        engine_factory: ``vdd -> engine`` where the engine provides
+        engine_factory: Anything engine-shaped: a registry name
+            (``"analytic"``), a picklable
+            :class:`~repro.core.engines.registry.EngineSpec`, an
+            :class:`~repro.core.engines.base.Engine` instance, or a bare
+            ``vdd -> engine`` callable whose engines provide
             ``delta_t_mc(tsv, variation, n, seed=...)``.
         voltages: Supply voltages of the plan (paper: Fig. 8 set).
         variation: Process-variation model (shared by characterization
@@ -108,7 +114,7 @@ class ScreeningFlow:
 
     def __init__(
         self,
-        engine_factory: Callable[[float], object],
+        engine_factory: object,
         voltages: Sequence[float] = (1.1, 0.95, 0.8, 0.75),
         variation: ProcessVariation = ProcessVariation(),
         group_size: int = 5,
@@ -120,7 +126,7 @@ class ScreeningFlow:
         bands: Optional[Dict[float, ReferenceBand]] = None,
         preflight: bool = True,
     ):
-        self.engine_factory = engine_factory
+        self.engine_factory = as_engine_factory(engine_factory)
         self.preflight = preflight
         self.voltages = list(voltages)
         self.variation = variation
@@ -130,7 +136,7 @@ class ScreeningFlow:
         self.group_screen_first = group_screen_first
         self.tsv_cap_variation_rel = tsv_cap_variation_rel
         self.seed = seed
-        self._engines = {v: engine_factory(v) for v in self.voltages}
+        self._engines = {v: self.engine_factory(v) for v in self.voltages}
         self._stop_floor: Optional[float] = None
         self._stop_floor_known = False
         self._bands: Dict[float, ReferenceBand] = {}
@@ -227,17 +233,17 @@ class ScreeningFlow:
 
         The floor rises as the supply drops, so the maximum over the
         planned voltages marks every ``R_L`` that will stick the ring at
-        *some* voltage of the plan.  ``None`` when no engine exposes
-        ``oscillation_stop_r_leak`` (e.g. ad-hoc stubs in tests).
+        *some* voltage of the plan.  ``None`` when no engine declares
+        the ``oscillation_stop`` capability (numeric backends, ad-hoc
+        stubs in tests).
         """
         if not self._stop_floor_known:
             floors = []
             for engine in self._engines.values():
-                compute = getattr(engine, "oscillation_stop_r_leak", None)
-                if compute is None:
+                if not supports(engine, "oscillation_stop"):
                     continue
                 try:
-                    floor = float(compute())
+                    floor = float(engine.oscillation_stop_r_leak())
                 except Exception:
                     continue
                 if math.isfinite(floor) and floor > 0.0:
@@ -275,6 +281,12 @@ class ScreeningFlow:
     def _measure(self, tsv: Tsv, vdd: float, seed: int, m: int = 1) -> float:
         """One simulated DeltaT measurement of a specific die's TSV."""
         engine = self._engines[vdd]
+        if isinstance(engine, Engine):
+            result = engine.measure(MeasurementRequest(
+                tsv=tsv, m=m, seed=seed,
+                variation=self.variation, num_samples=1,
+            ))
+            return float(result.delta_t)
         return float(engine.delta_t_mc(tsv, self.variation, 1, m=m,
                                        seed=seed)[0])
 

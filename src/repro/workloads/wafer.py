@@ -25,9 +25,11 @@ workload:
   collected in the parent *and* inside every worker process.
 
 Worker processes rebuild their :class:`ScreeningFlow` from pickled
-constructor arguments, so the engine factory must be picklable
-(:class:`repro.core.multivoltage.AnalyticEngineFactory` is; ad-hoc
-closures only survive on fork-based platforms).
+constructor arguments; the engine crosses the process boundary as a
+picklable :class:`~repro.core.engines.registry.EngineSpec` (registry
+names, specs, and engine instances are normalized to one via
+:func:`~repro.core.engines.registry.as_engine_factory`; ad-hoc closures
+only survive on fork-based platforms).
 """
 
 from __future__ import annotations
@@ -35,11 +37,12 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.diagnostics import DiagnosticReport, PreflightError
+from repro.core.engines.registry import as_engine_factory
 from repro.core.session import ReferenceBand
 from repro.core.tsv import TsvParameters
 from repro.dft.control import MeasurementPlan
@@ -221,7 +224,11 @@ class WaferScreeningEngine:
     first run's accounting.
 
     Args:
-        engine_factory: Picklable ``vdd -> engine`` factory.
+        engine_factory: Registry name (``"analytic"``), picklable
+            :class:`~repro.core.engines.registry.EngineSpec`, engine
+            instance, or ``vdd -> engine`` callable; normalized to a
+            picklable spec wherever possible so workers can rehydrate
+            bit-identical engines.
         chunk_size: Dies per worker task (default: balanced at roughly
             four tasks per worker, so stragglers even out).
         preflight: Statically check every die in the parent process and
@@ -235,7 +242,7 @@ class WaferScreeningEngine:
 
     def __init__(
         self,
-        engine_factory: Callable[[float], object],
+        engine_factory: object,
         voltages: Sequence[float] = (1.1, 0.95, 0.8, 0.75),
         variation: ProcessVariation = ProcessVariation(),
         group_size: int = 5,
@@ -248,7 +255,7 @@ class WaferScreeningEngine:
         preflight: bool = True,
     ):
         self._flow_kwargs = dict(
-            engine_factory=engine_factory,
+            engine_factory=as_engine_factory(engine_factory),
             voltages=tuple(voltages),
             variation=variation,
             group_size=group_size,

@@ -1,0 +1,306 @@
+"""Unit tests for the capability-typed engine registry.
+
+Covers name/alias resolution, ``EngineSpec`` construction and pickling
+(the unit of engine identity that crosses worker-process boundaries),
+declared capabilities vs the generic base-class fallbacks, the unified
+stop-time policy, the ``measure`` envelope, and workload entry by
+engine name.
+"""
+
+import math
+import pickle
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+import pytest
+
+from repro.core.engines import (
+    AnalyticEngine,
+    CapabilityError,
+    Engine,
+    EngineCapabilities,
+    MeasurementRequest,
+    StageDelayEngine,
+    StopTimePolicy,
+    TransistorLevelEngine,
+    supports,
+)
+from repro.core.engines import registry
+from repro.core.engines.registry import EngineSpec, as_engine_factory
+from repro.core.segments import RingOscillatorConfig
+from repro.core.session import (
+    PrebondTestSession,
+    ReferenceBand,
+    TestDecision as Decision,  # aliased so pytest does not collect it
+)
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+from repro.spice.montecarlo import ProcessVariation
+
+
+@dataclass
+class _ToyEngine(Engine):
+    """Unregistered minimal backend exercising the generic fallbacks."""
+
+    config: RingOscillatorConfig = field(
+        default_factory=RingOscillatorConfig
+    )
+
+    def period(self, tsvs, enabled, sample=None):
+        return 1e-9
+
+    def delta_t(self, tsv, m=1, variation=None, seed=0):
+        if isinstance(tsv.fault, Leakage) and tsv.fault.r_leak < 500.0:
+            raise RuntimeError("oscillation stops")
+        return 1e-10 * m * (1.0 + (seed % 7) * 1e-3)
+
+
+class TestNamesAndAliases:
+    def test_builtins_registered(self):
+        assert registry.names() == ["analytic", "stagedelay", "transistor"]
+
+    @pytest.mark.parametrize("alias,cls", [
+        ("analytic", AnalyticEngine),
+        ("closed-form", AnalyticEngine),
+        ("stagedelay", StageDelayEngine),
+        ("stage", StageDelayEngine),
+        ("stage-delay", StageDelayEngine),
+        ("transistor", TransistorLevelEngine),
+        ("transistor-level", TransistorLevelEngine),
+        ("full-loop", TransistorLevelEngine),
+        ("ANALYTIC", AnalyticEngine),
+    ])
+    def test_get_resolves_names_and_aliases(self, alias, cls):
+        assert isinstance(registry.get(alias), cls)
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(KeyError, match="analytic"):
+            registry.get("spice3f5")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @registry.register("analytic")
+            class Impostor(_ToyEngine):
+                pass
+
+    def test_get_applies_config_vdd_and_options(self):
+        cfg = RingOscillatorConfig(num_segments=3, vdd=1.1)
+        engine = registry.get("stage", config=cfg, vdd=0.8,
+                              timestep=4e-12)
+        assert isinstance(engine, StageDelayEngine)
+        assert engine.config.vdd == 0.8
+        assert engine.config.num_segments == 3
+        assert engine.timestep == 4e-12
+
+
+class TestEngineSpec:
+    def test_alias_canonicalized_and_options_sorted(self):
+        a = registry.spec("stage", timestep=1e-12, input_slew=10e-12)
+        b = EngineSpec("stagedelay", options=(
+            ("timestep", 1e-12), ("input_slew", 10e-12),
+        ))
+        assert a == b
+        assert a.name == "stagedelay"
+        assert a.options == (("input_slew", 10e-12), ("timestep", 1e-12))
+
+    def test_spec_is_a_vdd_keyed_factory(self):
+        spec = registry.spec("analytic")
+        engine = spec(0.75)
+        assert isinstance(engine, AnalyticEngine)
+        assert engine.config.vdd == 0.75
+
+    def test_build_preserves_explicit_config(self):
+        cfg = RingOscillatorConfig(num_segments=2, vdd=0.9)
+        engine = registry.spec("analytic", config=cfg).build()
+        assert engine.config == cfg
+
+    def test_pickle_round_trip(self):
+        spec = registry.spec("stagedelay", timestep=1e-12)
+        revived = pickle.loads(pickle.dumps(spec))
+        assert revived == spec
+        assert revived.build(vdd=0.8) == spec.build(vdd=0.8)
+
+    def test_describe_reports_capabilities(self):
+        info = registry.spec("analytic").describe()
+        assert info["name"] == "analytic"
+        assert info["capabilities"]["oscillation_stop"] is True
+
+
+class TestAsEngineFactory:
+    def test_string_becomes_spec(self):
+        factory = as_engine_factory("analytic")
+        assert isinstance(factory, EngineSpec)
+        assert isinstance(factory(1.1), AnalyticEngine)
+
+    def test_spec_passes_through(self):
+        spec = registry.spec("analytic")
+        assert as_engine_factory(spec) is spec
+
+    def test_engine_instance_becomes_equivalent_spec(self):
+        engine = StageDelayEngine(
+            config=RingOscillatorConfig(num_segments=3), timestep=4e-12
+        )
+        factory = as_engine_factory(engine)
+        assert isinstance(factory, EngineSpec)
+        assert factory(engine.config.vdd) == engine
+
+    def test_callable_passes_through(self):
+        def closure(vdd):
+            return AnalyticEngine(RingOscillatorConfig(vdd=vdd))
+
+        assert as_engine_factory(closure) is closure
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            as_engine_factory(42)
+
+
+class TestCapabilities:
+    def test_declared_capability_table(self):
+        caps = {n: registry.engine_class(n).capabilities
+                for n in registry.names()}
+        assert caps["analytic"].batched_mc
+        assert caps["analytic"].oscillation_stop
+        assert not caps["analytic"].preflight_circuits
+        assert caps["stagedelay"].batched_mc
+        assert caps["stagedelay"].parameter_sweeps
+        assert caps["stagedelay"].preflight_circuits
+        assert not caps["transistor"].batched_mc
+        assert caps["transistor"].preflight_circuits
+
+    def test_supports_reads_declared_capabilities(self):
+        analytic = registry.get("analytic")
+        assert supports(analytic, "oscillation_stop")
+        assert not supports(analytic, "preflight_circuits")
+
+    def test_supports_falls_back_to_hasattr_for_ducks(self):
+        class Duck:
+            def delta_t(self, tsv, m=1):
+                return 0.0
+
+            def delta_t_mc(self, tsv, variation, n, m=1, seed=0):
+                return np.zeros(n)
+
+        assert supports(Duck(), "batched_mc")
+        assert not supports(Duck(), "oscillation_stop")
+
+    def test_missing_capability_raises_structured_error(self):
+        analytic = registry.get("analytic")
+        with pytest.raises(CapabilityError) as err:
+            analytic.preflight_circuits()
+        assert err.value.engine == "analytic"
+        assert err.value.capability == "preflight_circuits"
+        assert isinstance(err.value, RuntimeError)
+
+    def test_numeric_engine_has_no_closed_form_stop(self):
+        toy = _ToyEngine()
+        with pytest.raises(CapabilityError):
+            toy.oscillation_stop_r_leak()
+
+
+class TestGenericFallbacks:
+    def test_scalar_mc_is_seeded_and_deterministic(self):
+        toy = _ToyEngine()
+        a = toy.delta_t_mc(Tsv(), ProcessVariation(), 4, seed=3)
+        b = toy.delta_t_mc(Tsv(), ProcessVariation(), 4, seed=3)
+        c = toy.delta_t_mc(Tsv(), ProcessVariation(), 4, seed=4)
+        assert a.shape == (4,)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_scalar_mc_marks_stuck_samples_nan(self):
+        toy = _ToyEngine()
+        samples = toy.delta_t_mc(
+            Tsv(fault=Leakage(100.0)), ProcessVariation(), 3
+        )
+        assert np.isnan(samples).all()
+
+    def test_generic_sweeps_cover_stuck_and_fault_free(self):
+        toy = _ToyEngine()
+        rl = toy.delta_t_sweep_rl([100.0, 1e6])
+        assert math.isnan(rl[0]) and math.isfinite(rl[1])
+        ro = toy.delta_t_sweep_ro([0.0, 1000.0])
+        assert np.isfinite(ro).all()
+
+
+class TestStopTimePolicy:
+    def test_transistor_loop_window_matches_legacy_formula(self):
+        engine = TransistorLevelEngine(
+            config=RingOscillatorConfig(), min_cycles=3, skip_cycles=2
+        )
+        estimate = 0.7e-9
+        want = max(2e-9, estimate * (2 + 3 + 3))
+        assert engine.stop_time(estimate) == pytest.approx(want)
+        assert engine.stop_time(1e-12) == 2e-9  # floor
+
+    def test_stage_pulse_window_matches_legacy_formula(self):
+        engine = StageDelayEngine(config=RingOscillatorConfig(),
+                                  pulse_width=1.0e-9)
+        assert engine.stop_time() == pytest.approx(
+            0.15e-9 + 1.0e-9 + 1.0e-9
+        )
+
+    def test_policy_override_changes_window(self):
+        engine = StageDelayEngine(config=RingOscillatorConfig())
+        tight = replace(engine,
+                        stop_policy=StopTimePolicy(settle=0.5e-9))
+        assert tight.stop_time() < engine.stop_time()
+
+
+class TestMeasureEnvelope:
+    @pytest.fixture(scope="class")
+    def analytic(self):
+        return registry.get("analytic")
+
+    def test_scalar_measure_matches_delta_t(self, analytic):
+        result = analytic.measure(MeasurementRequest(tsv=Tsv(), m=2))
+        assert result.delta_t == analytic.delta_t(Tsv(), m=2)
+        assert result.engine == "analytic"
+        assert result.m == 2
+        assert not result.stuck
+
+    def test_vdd_override_rebinds_for_one_call(self, analytic):
+        result = analytic.measure(MeasurementRequest(tsv=Tsv(), vdd=0.8))
+        assert result.vdd == 0.8
+        assert result.delta_t == analytic.at_vdd(0.8).delta_t(Tsv())
+        assert analytic.config.vdd == 1.1  # caller engine untouched
+
+    def test_stuck_oscillator_reports_nan_not_raise(self, analytic):
+        stop = analytic.oscillation_stop_r_leak()
+        result = analytic.measure(
+            MeasurementRequest(tsv=Tsv(fault=Leakage(0.5 * stop)))
+        )
+        assert result.stuck and math.isnan(result.delta_t)
+
+    def test_mc_measure_returns_population(self, analytic):
+        request = MeasurementRequest(
+            tsv=Tsv(), variation=ProcessVariation(), num_samples=5,
+            seed=11, tags={"die": "7"},
+        )
+        result = analytic.measure(request)
+        assert result.samples.shape == (5,)
+        assert result.delta_t == result.samples[0]
+        assert result.tags == {"die": "7"}
+
+    def test_at_vdd_is_identity_at_same_supply(self, analytic):
+        assert analytic.at_vdd(analytic.config.vdd) is analytic
+        rebound = analytic.at_vdd(0.9)
+        assert type(rebound) is type(analytic)
+        assert rebound.config.vdd == 0.9
+
+
+class TestWorkloadEntryByName:
+    def test_session_accepts_engine_name(self):
+        engine = registry.get("analytic")
+        samples = engine.delta_t_mc(Tsv(), ProcessVariation(), 50, seed=2)
+        band = ReferenceBand.from_samples(samples, guard=2e-12)
+        session = PrebondTestSession("analytic", band=band)
+        assert isinstance(session.engine, AnalyticEngine)
+        outcome = session.measure(Tsv(fault=ResistiveOpen(1e4, 0.5)))
+        assert outcome.decision is Decision.RESISTIVE_OPEN
+
+    def test_engine_pickle_round_trip(self):
+        engine = registry.get("analytic", vdd=0.8)
+        assert engine.capabilities.picklable
+        revived = pickle.loads(pickle.dumps(engine))
+        assert revived == engine
+        assert revived.delta_t(Tsv()) == engine.delta_t(Tsv())

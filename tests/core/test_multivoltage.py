@@ -4,19 +4,18 @@ import math
 
 import pytest
 
+from repro.core.engines.registry import spec as engine_spec
 from repro.core.multivoltage import (
     MultiVoltagePlan,
     PAPER_VOLTAGES,
-    analytic_engine_factory,
     detectable_leakage_range,
     leakage_stop_threshold,
 )
-from repro.core.segments import RingOscillatorConfig
 
 
 @pytest.fixture(scope="module")
 def factory():
-    return analytic_engine_factory(RingOscillatorConfig())
+    return engine_spec("analytic")
 
 
 class TestStopThreshold:

@@ -143,12 +143,12 @@ class TestScoping:
         assert len(calls) == 2
 
     def test_flow_characterization_is_shared_through_cache(self):
-        from repro.core.multivoltage import AnalyticEngineFactory
+        from repro.core.engines.registry import spec as engine_spec
         from repro.workloads.flow import ScreeningFlow
 
         def make():
             return ScreeningFlow(
-                AnalyticEngineFactory(), voltages=(1.1, 0.8),
+                engine_spec("analytic"), voltages=(1.1, 0.8),
                 characterization_samples=30, seed=11,
             )
 

@@ -80,7 +80,7 @@ class TestBackendEquivalence:
         delays = {}
         for name in BACKENDS:
             result = transient(
-                circuit, engine._stop_time(), engine.timestep,
+                circuit, engine.stop_time(), engine.timestep,
                 record=["din", "dout"], backend=name,
             )
             t_in = result.waveform("din").crossings(half, "rise")[0]

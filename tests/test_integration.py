@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.core.engines import AnalyticEngine, StageDelayEngine
-from repro.core.multivoltage import analytic_engine_factory
 from repro.core.segments import RingOscillatorConfig
 from repro.core.session import PrebondTestSession
 from repro.core.session import TestDecision as Decision
@@ -89,7 +88,7 @@ class TestFlowAgainstArchitecture:
         arch = DftArchitecture(num_tsvs=50, group_size=5, plan=plan,
                                voltages=(1.1, 0.75))
         flow = ScreeningFlow(
-            analytic_engine_factory(RingOscillatorConfig()),
+            "analytic",
             voltages=(1.1, 0.75), plan=plan,
             characterization_samples=40, seed=1,
         )

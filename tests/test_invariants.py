@@ -20,14 +20,12 @@ import math
 import pytest
 from hypothesis import assume, given, settings, strategies as st
 
-from repro.core.multivoltage import (
-    AnalyticEngineFactory,
-    leakage_stop_threshold,
-)
+from repro.core.engines.registry import spec as engine_spec
+from repro.core.multivoltage import leakage_stop_threshold
 from repro.core.tsv import Leakage, ResistiveOpen, Tsv
 
 VOLTAGES = (1.1, 0.8)
-FACTORY = AnalyticEngineFactory()
+FACTORY = engine_spec("analytic")
 ENGINES = {v: FACTORY(v) for v in VOLTAGES}
 FAULT_FREE = {v: ENGINES[v].delta_t(Tsv()) for v in VOLTAGES}
 R_STOP = {v: leakage_stop_threshold(FACTORY, v) for v in VOLTAGES}

@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.core.multivoltage import analytic_engine_factory
 from repro.core.segments import RingOscillatorConfig
 from repro.core.tsv import Leakage, ResistiveOpen, Tsv
 from repro.workloads.flow import FlowMetrics, ScreeningFlow
@@ -14,7 +13,7 @@ from repro.workloads.generator import DefectStatistics, DiePopulation
 @pytest.fixture(scope="module")
 def flow():
     return ScreeningFlow(
-        analytic_engine_factory(RingOscillatorConfig()),
+        "analytic",
         characterization_samples=80,
         seed=11,
     )
@@ -68,7 +67,7 @@ class TestScreening:
         assert metrics.test_time > 0
 
     def test_group_screen_reduces_measurements_on_clean_die(self):
-        factory = analytic_engine_factory(RingOscillatorConfig())
+        factory = "analytic"
         stats = DefectStatistics(void_rate=0.0, pinhole_rate=0.0)
         pop = DiePopulation(num_tsvs=100, stats=stats, seed=5)
         isolating = ScreeningFlow(factory, characterization_samples=60,
@@ -80,7 +79,7 @@ class TestScreening:
         assert m_grp.measurements < m_iso.measurements
 
     def test_more_voltages_never_hurt_detection(self):
-        factory = analytic_engine_factory(RingOscillatorConfig())
+        factory = "analytic"
         stats = DefectStatistics(void_rate=0.0, pinhole_rate=0.15,
                                  pinhole_r_median=1200.0,
                                  pinhole_r_sigma_ln=0.5)
@@ -136,11 +135,11 @@ class TestFlowPreflight:
         from repro.telemetry import Telemetry, use_telemetry
 
         bands_donor = ScreeningFlow(
-            analytic_engine_factory(RingOscillatorConfig()),
+            "analytic",
             characterization_samples=40, seed=11,
         )
         gated = ScreeningFlow(
-            analytic_engine_factory(RingOscillatorConfig()),
+            "analytic",
             characterization_samples=40, seed=11,
             bands=bands_donor.bands,
         )
@@ -154,7 +153,7 @@ class TestFlowPreflight:
 
     def test_opt_out_screens_anyway(self):
         ungated = ScreeningFlow(
-            analytic_engine_factory(RingOscillatorConfig()),
+            "analytic",
             characterization_samples=40, seed=11, preflight=False,
         )
         metrics = ungated.screen_die(self._poisoned_die())
@@ -164,7 +163,7 @@ class TestFlowPreflight:
         floor = flow.stop_floor
         assert floor is not None and floor > 0
         high_only = ScreeningFlow(
-            analytic_engine_factory(RingOscillatorConfig()),
+            "analytic",
             voltages=(1.1,), characterization_samples=40, seed=11,
         )
         assert floor > high_only.stop_floor

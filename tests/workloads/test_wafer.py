@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.multivoltage import AnalyticEngineFactory
+from repro.core.engines import registry as engine_registry
 from repro.spice.cache import SolveCache, use_cache
 from repro.workloads.flow import FlowMetrics, ScreeningFlow
 from repro.workloads.generator import DefectStatistics
@@ -27,7 +27,7 @@ def make_engine(**kw):
     kw.setdefault("characterization_samples", 40)
     kw.setdefault("voltages", VOLTAGES)
     kw.setdefault("seed", 7)
-    return WaferScreeningEngine(AnalyticEngineFactory(), **kw)
+    return WaferScreeningEngine(engine_registry.spec("analytic"), **kw)
 
 
 class TestWaferPopulation:
@@ -123,7 +123,7 @@ class TestWaferScreeningEngine:
         engine = make_engine()
         flow = engine.flow
         handed = ScreeningFlow(
-            AnalyticEngineFactory(), voltages=VOLTAGES,
+            engine_registry.spec("analytic"), voltages=VOLTAGES,
             characterization_samples=40, seed=7, bands=flow.bands,
         )
         die, seed = wafer.dies[0], wafer.measure_seeds[0]
@@ -146,7 +146,7 @@ class TestWaferScreeningEngine:
         bands = engine.flow.bands
         bands.pop(VOLTAGES[0])
         with pytest.raises(ValueError):
-            ScreeningFlow(AnalyticEngineFactory(), voltages=VOLTAGES,
+            ScreeningFlow(engine_registry.spec("analytic"), voltages=VOLTAGES,
                           bands=bands)
 
 
