@@ -62,7 +62,7 @@ def main() -> None:
 
 
 def preflight_circuits():
-    """Netlists this example simulates, for ``python -m repro.staticcheck``."""
+    """Netlists this example simulates, for ``python -m repro.spice.staticcheck``."""
     config = RingOscillatorConfig(num_segments=3, vdd=1.1)
     circuits = {}
     for label, tsv in (("fault-free", Tsv()),

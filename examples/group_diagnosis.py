@@ -79,7 +79,7 @@ def main() -> None:
 
 
 def preflight_circuits():
-    """Netlists underlying this example, for ``python -m repro.staticcheck``.
+    """Netlists underlying this example, for ``python -m repro.spice.staticcheck``.
 
     The analytic engine never builds a netlist itself; the checked
     circuits are the Fig. 3 group topologies its closed-form model

@@ -77,7 +77,7 @@ def main() -> None:
 
 
 def preflight_circuits():
-    """Netlists this example simulates, for ``python -m repro.staticcheck``.
+    """Netlists this example simulates, for ``python -m repro.spice.staticcheck``.
 
     The spot checks run the stage engine at the extremes of the paper's
     voltage plan; one segment circuit per extreme covers every shape.

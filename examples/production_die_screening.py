@@ -71,7 +71,7 @@ def main() -> None:
 
 
 def preflight_circuits():
-    """Netlists underlying this example, for ``python -m repro.staticcheck``.
+    """Netlists underlying this example, for ``python -m repro.spice.staticcheck``.
 
     The production flow runs on the analytic engine; the checked
     circuits are the group topology that model abstracts, at the highest

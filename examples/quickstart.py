@@ -54,7 +54,7 @@ def main() -> None:
 
 
 def preflight_circuits():
-    """Netlists this example simulates, for ``python -m repro.staticcheck``."""
+    """Netlists this example simulates, for ``python -m repro.spice.staticcheck``."""
     engine = engine_registry.get(
         "stagedelay",
         config=RingOscillatorConfig(num_segments=5, vdd=1.1),

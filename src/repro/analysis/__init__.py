@@ -21,6 +21,7 @@ from repro.analysis.reporting import (
     Table,
     format_seconds,
     format_si,
+    service_table,
     telemetry_table,
 )
 from repro.analysis.stats import roc_auc, roc_points, summarize
@@ -36,6 +37,7 @@ __all__ = [
     "record_diagnostics",
     "roc_auc",
     "roc_points",
+    "service_table",
     "summarize",
     "telemetry_table",
 ]

@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.telemetry import Histogram
+
 Number = Union[int, float]
 
 _SI_PREFIXES = [
@@ -138,4 +140,47 @@ def telemetry_table(
     misses = counters.get("cache_misses", 0)
     if hits + misses:
         table.add_row(["cache_hit_rate", f"{hits / (hits + misses):.1%}"])
+    return table
+
+
+def service_table(
+    snapshot: Dict[str, Dict[str, object]],
+    title: str = "screening service",
+) -> Table:
+    """Render the service-side of a telemetry snapshot as a table.
+
+    One row per ``service.*`` counter (request accounting: submitted /
+    completed / rejected / expired / failed, batches formed, retries,
+    coalesced requests), then one row per ``service.*`` histogram with
+    its count, mean, conservative p50/p99, and max.  Latency histograms
+    (``*_s`` names) format as engineering-notation seconds; the batch
+    occupancy histogram stays a plain count.
+
+    Example:
+        >>> from repro.telemetry import get_telemetry
+        >>> service_table(get_telemetry().snapshot()).print()  # doctest: +SKIP
+    """
+    table = Table(["metric", "count", "mean", "p50", "p99", "max"],
+                  title=title)
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        if name.startswith("service."):
+            table.add_row([name, counters[name], "", "", "", ""])
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        if not name.startswith("service."):
+            continue
+        data = histograms[name]
+        hist = Histogram()
+        hist.merge(data)
+        fmt = format_seconds if name.endswith("_s") else (
+            lambda v: f"{v:g}")
+        table.add_row([
+            name,
+            hist.count,
+            fmt(hist.mean),
+            fmt(hist.quantile(0.5)),
+            fmt(hist.quantile(0.99)),
+            fmt(hist.max),
+        ])
     return table

@@ -15,8 +15,9 @@ Submodules:
 * :mod:`repro.core.aliasing` -- Monte Carlo spread/overlap analysis
   (Figs. 7, 9, 10).
 * :mod:`repro.core.area` -- the DfT area-cost model (Sec. IV-D).
-* :mod:`repro.core.telemetry` -- the run-wide telemetry registry
-  (Newton/solver counters, cache traffic, per-phase wall time).
+* :mod:`repro.telemetry` -- the run-wide telemetry registry
+  (Newton/solver counters, cache traffic, per-phase wall time,
+  service latency histograms); re-exported here for convenience.
 """
 
 from repro.core.tsv import (
@@ -55,7 +56,7 @@ from repro.core.multivoltage import (
     detectable_leakage_range,
     leakage_stop_threshold,
 )
-from repro.core.telemetry import (
+from repro.telemetry import (
     Telemetry,
     get_telemetry,
     telemetry_phase,

@@ -45,6 +45,7 @@ from repro.core.engines.base import (
     MeasurementResult,
     StopTimePolicy,
     supports,
+    supports_batching,
 )
 from repro.core.engines.montecarlo import (
     child_seeds,
@@ -88,4 +89,5 @@ __all__ = [
     "scalar_delta_t_mc",
     "spec",
     "supports",
+    "supports_batching",
 ]

@@ -71,6 +71,12 @@ class EngineCapabilities:
             False the base class still provides ``delta_t_mc`` as a
             scalar per-sample loop -- correct, but workloads should not
             characterize through it.
+        batched_requests: ``measure_batch`` natively *coalesces*
+            compatible requests (same :meth:`Engine.batch_key`) into
+            shared stacked solves, and ``batch_key`` answers non-None
+            for coalescible requests.  When False the base class still
+            provides ``measure_batch`` as a per-request loop, and
+            ``batch_key`` answers None (nothing coalesces).
         parameter_sweeps: ``delta_t_sweep_ro``/``delta_t_sweep_rl`` are
             native batched sweeps (one stacked MNA run); otherwise the
             generic per-point fallback runs.
@@ -83,6 +89,7 @@ class EngineCapabilities:
     """
 
     batched_mc: bool = False
+    batched_requests: bool = False
     parameter_sweeps: bool = False
     preflight_circuits: bool = False
     oscillation_stop: bool = False
@@ -91,6 +98,7 @@ class EngineCapabilities:
     def as_dict(self) -> Dict[str, bool]:
         return {
             "batched_mc": self.batched_mc,
+            "batched_requests": self.batched_requests,
             "parameter_sweeps": self.parameter_sweeps,
             "preflight_circuits": self.preflight_circuits,
             "oscillation_stop": self.oscillation_stop,
@@ -118,6 +126,7 @@ class CapabilityError(RuntimeError):
 #: Method each capability flag promises, for duck-typed fallbacks.
 _CAPABILITY_METHODS: Dict[str, str] = {
     "batched_mc": "delta_t_mc",
+    "batched_requests": "measure_batch",
     "parameter_sweeps": "delta_t_sweep_ro",
     "preflight_circuits": "preflight_circuits",
     "oscillation_stop": "oscillation_stop_r_leak",
@@ -135,6 +144,17 @@ def supports(engine: object, capability: str) -> bool:
     if isinstance(caps, EngineCapabilities):
         return bool(getattr(caps, capability))
     return hasattr(engine, _CAPABILITY_METHODS[capability])
+
+
+def supports_batching(engine: object) -> bool:
+    """The screening service's capability gate for request coalescing.
+
+    True when ``engine`` can merge compatible measurement requests into
+    shared stacked solves (``capabilities.batched_requests``).  Engines
+    without it still serve every request correctly through the generic
+    per-request ``measure_batch`` loop -- they just never coalesce.
+    """
+    return supports(engine, "batched_requests")
 
 
 @dataclass(frozen=True)
@@ -342,6 +362,36 @@ class Engine(abc.ABC):
             tags=dict(request.tags),
         )
 
+    def batch_key(self, request: MeasurementRequest) -> Optional[str]:
+        """Compatibility key for request coalescing, or None.
+
+        Two requests whose keys are equal (and non-None) may be answered
+        from one shared stacked solve by :meth:`measure_batch` with
+        bit-identical results to measuring them one at a time.  The key
+        must therefore cover *everything* that shapes the solve except
+        the per-request mismatch draw: the engine's own parameters, the
+        effective supply and stop policy, and the circuit content (the
+        service derives it from the netlist fingerprint).
+
+        The base class answers None -- nothing coalesces -- which is
+        correct for any engine that has not audited its solve path for
+        batch-composition independence.
+        """
+        return None
+
+    def measure_batch(
+        self, requests: Sequence[MeasurementRequest]
+    ) -> "list[MeasurementResult]":
+        """Execute several requests, coalescing where the engine can.
+
+        Generic fallback: one :meth:`measure` call per request
+        (``capabilities.batched_requests`` is False here).  Engines that
+        can stack compatible requests into shared solves override this;
+        results are bit-identical to the serial loop either way, in
+        request order.
+        """
+        return [self.measure(request) for request in requests]
+
     # -- generic capability fallbacks --------------------------------------
     def delta_t_mc(
         self,
@@ -413,7 +463,7 @@ class Engine(abc.ABC):
     ) -> Dict[str, Circuit]:
         """The netlists this engine would simulate, built but not run.
 
-        For the static analyzer and the ``python -m repro.staticcheck``
+        For the static analyzer and the ``python -m repro.spice.staticcheck``
         CLI.  Only netlist-building engines can answer.
         """
         raise CapabilityError(

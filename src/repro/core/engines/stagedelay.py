@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import ClassVar, Dict, Optional, Sequence, Tuple
+import math
+from dataclasses import dataclass, field, replace
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -12,6 +13,8 @@ from repro.core.engines.base import (
     DEFAULT_STOP_POLICY,
     Engine,
     EngineCapabilities,
+    MeasurementRequest,
+    MeasurementResult,
     StopTimePolicy,
 )
 from repro.core.engines.montecarlo import same_seed_samples
@@ -20,9 +23,11 @@ from repro.core.segments import RingOscillatorConfig
 from repro.core.tsv import Leakage, ResistiveOpen, Tsv
 from repro.spice import Pulse, transient
 from repro.spice.batch import BatchParameters, BatchedSimulation
+from repro.spice.cache import circuit_fingerprint, fingerprint, memoize
 from repro.spice.montecarlo import ProcessSample, ProcessVariation
 from repro.spice.netlist import Circuit, GROUND
 from repro.spice.waveform import NoOscillationError
+from repro.telemetry import get_telemetry
 
 
 def _first_crossings_after(
@@ -77,6 +82,7 @@ class StageDelayEngine(Engine):
 
     capabilities: ClassVar[EngineCapabilities] = EngineCapabilities(
         batched_mc=True,
+        batched_requests=True,
         parameter_sweeps=True,
         preflight_circuits=True,
         oscillation_stop=False,
@@ -145,7 +151,7 @@ class StageDelayEngine(Engine):
         """The circuit shapes this engine simulates, built but not run.
 
         For the static analyzer (:mod:`repro.spice.staticcheck`) and the
-        ``python -m repro.staticcheck`` CLI: one entry per distinct
+        ``python -m repro.spice.staticcheck`` CLI: one entry per distinct
         topology a measurement touches, keyed by a stable label.
         """
         probe = tsv if tsv is not None else Tsv()
@@ -301,6 +307,123 @@ class StageDelayEngine(Engine):
         off_r, off_f = self._batched_segment_delays(tsv, True, params)
         per_corner = (on_r + on_f) - (off_r + off_f)
         return per_corner.reshape(num_samples, m).sum(axis=1)
+
+    # -- request coalescing (screening service) ---------------------------
+    def _rebound(self, request: MeasurementRequest) -> "StageDelayEngine":
+        """This engine with the request's supply/stop-policy overrides."""
+        engine = self
+        if request.vdd is not None:
+            engine = engine.at_vdd(request.vdd)
+        if request.stop_policy is not None:
+            engine = replace(engine, stop_policy=request.stop_policy)
+        return engine
+
+    def batch_key(self, request: MeasurementRequest) -> Optional[str]:
+        """Compatibility key: engine knobs + effective supply + netlist.
+
+        Only Monte Carlo requests coalesce: the scalar path bakes a
+        :class:`ProcessSample` into the netlist at build time, so two
+        scalar requests never share a circuit.  The key is memoized
+        through the solve cache -- repeated request shapes skip the
+        netlist build and fingerprint walk.
+        """
+        if request.num_samples is None:
+            return None
+        engine = self._rebound(request)
+
+        def compute() -> str:
+            circuit, _ = engine._segment_circuit(request.tsv, bypassed=False)
+            return fingerprint(
+                "stagedelay.batch_key",
+                type(engine).__name__,
+                circuit_fingerprint(circuit),
+                engine.timestep,
+                engine.input_slew,
+                engine.pulse_width,
+                engine.stop_policy,
+            )
+
+        return memoize(
+            fingerprint(
+                "stagedelay.batch_key.inputs", type(engine).__name__,
+                engine.config, engine.timestep, engine.input_slew,
+                engine.pulse_width, engine.stop_policy, request.tsv,
+            ),
+            compute,
+        )
+
+    def measure_batch(
+        self, requests: Sequence[MeasurementRequest]
+    ) -> List[MeasurementResult]:
+        """Execute requests, stacking compatible ones into shared solves.
+
+        Requests with equal non-None :meth:`batch_key` draw their
+        mismatch corners independently (exactly as :meth:`measure`
+        would) and run as one concatenated :class:`BatchParameters`
+        through a single on/bypassed simulation pair; per-request slices
+        of the stacked result are bit-identical to serial measurement.
+        Scalar requests and singleton groups fall back to
+        :meth:`measure`.
+        """
+        results: List[Optional[MeasurementResult]] = [None] * len(requests)
+        groups: Dict[str, List[int]] = {}
+        for i, request in enumerate(requests):
+            key = self.batch_key(request)
+            if key is None:
+                results[i] = self.measure(request)
+            else:
+                groups.setdefault(key, []).append(i)
+        for indices in groups.values():
+            if len(indices) == 1:
+                results[indices[0]] = self.measure(requests[indices[0]])
+                continue
+            grouped = self._measure_group([requests[i] for i in indices])
+            for i, result in zip(indices, grouped):
+                results[i] = result
+        return [r for r in results if r is not None]
+
+    def _measure_group(
+        self, requests: Sequence[MeasurementRequest]
+    ) -> List[MeasurementResult]:
+        """One stacked solve pair for requests sharing a batch key."""
+        first = requests[0]
+        engine = self._rebound(first)
+        circuit_probe, _ = engine._segment_circuit(first.tsv, bypassed=False)
+        parts = []
+        for request in requests:
+            assert request.num_samples is not None
+            corners = request.num_samples * request.m
+            parts.append(BatchParameters.monte_carlo(
+                circuit_probe,
+                request.variation or ProcessVariation(),
+                corners,
+                seed=request.seed,
+            ))
+        params = BatchParameters.concat(parts)
+        on_r, on_f = engine._batched_segment_delays(first.tsv, False, params)
+        off_r, off_f = engine._batched_segment_delays(first.tsv, True, params)
+        per_corner = (on_r + on_f) - (off_r + off_f)
+        results: List[MeasurementResult] = []
+        offset = 0
+        for request, part in zip(requests, parts):
+            assert request.num_samples is not None
+            samples = (
+                per_corner[offset:offset + part.num_corners]
+                .reshape(request.num_samples, request.m)
+                .sum(axis=1)
+            )
+            offset += part.num_corners
+            get_telemetry().incr(f"measure.{self.engine_name}")
+            results.append(MeasurementResult(
+                delta_t=float(samples[0]) if len(samples) else math.nan,
+                engine=self.engine_name,
+                vdd=engine.config.vdd,
+                m=request.m,
+                seed=request.seed,
+                samples=samples,
+                tags=dict(request.tags),
+            ))
+        return results
 
     def delta_t_sweep_ro(
         self,

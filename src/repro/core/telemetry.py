@@ -1,20 +1,30 @@
-"""Telemetry counters for the solver stack and screening engines.
+"""Deprecated re-export shim; the registry lives at :mod:`repro.telemetry`.
 
-Canonical public import path.  The implementation lives in
-:mod:`repro.telemetry` (a dependency-free top-level module) so the
-:mod:`repro.spice` solver layers can import it without creating an
-import cycle through ``repro.core``'s package init, which pulls in the
-engines and therefore the whole spice package.
+This module used to advertise itself as the canonical import path while
+the implementation sat at the top level; the duplication meant two
+docstrings to keep in sync and ambiguity about where new surface (the
+service latency histograms) should land.  ``repro.telemetry`` is now the
+single canonical module -- import from there.
 """
 
+import warnings
+
 from repro.telemetry import (  # noqa: F401
+    Histogram,
     Telemetry,
     get_telemetry,
     telemetry_phase,
     use_telemetry,
 )
 
+warnings.warn(
+    "repro.core.telemetry is deprecated; import from repro.telemetry",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
 __all__ = [
+    "Histogram",
     "Telemetry",
     "get_telemetry",
     "telemetry_phase",

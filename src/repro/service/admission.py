@@ -1,0 +1,128 @@
+"""Bounded admission queue with backpressure and load-shedding.
+
+The first stage of the service pipeline: every submitted request lands
+here (or is turned away here), so this queue is where overload policy
+lives.  Two policies:
+
+* ``BLOCK`` -- ``put`` awaits until the queue has room (backpressure:
+  closed-loop producers slow down to the service's pace);
+* ``SHED`` -- a full queue turns the request away immediately and the
+  caller answers it with a structured ``REJECTED`` response (open-loop
+  producers cannot be slowed, so excess load must be dropped at the
+  door before it costs a solve).
+
+``max_depth`` bounds the service's *standing backlog*, not just this
+deque: an admitted request holds its admission slot until its response
+future resolves (the slot releases via a done-callback attached at
+``put``).  Without that, the micro-batcher's greedy drain would empty
+the deque instantly and overload would pile up invisibly -- and
+unboundedly -- in forming groups and the dispatch heap instead of
+shedding at the door.
+
+The implementation is a deque guarded by a pair of ``asyncio.Event``s
+rather than an ``asyncio.Queue``: the micro-batcher needs a synchronous
+``get_nowait`` drain (to coalesce a burst without timer churn), and a
+close() that wakes *both* blocked producers and the consumer -- neither
+of which ``asyncio.Queue`` offers.  All mutation happens on the event
+loop thread; the wait loops re-check their condition after every wake,
+so spurious wakeups are harmless.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from enum import Enum
+from typing import Deque, Optional, Union
+
+from repro.service.request import PendingEntry
+
+__all__ = ["AdmissionPolicy", "AdmissionQueue"]
+
+
+class AdmissionPolicy(Enum):
+    """What a full admission queue does to the next request."""
+
+    BLOCK = "block"
+    SHED = "shed"
+
+    @classmethod
+    def coerce(cls, value: Union["AdmissionPolicy", str]) -> "AdmissionPolicy":
+        if isinstance(value, cls):
+            return value
+        return cls(str(value).lower())
+
+
+class AdmissionQueue:
+    """Bounded FIFO of admitted requests, closable from either side."""
+
+    def __init__(self, max_depth: int, policy: AdmissionPolicy):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.policy = policy
+        self._items: Deque[PendingEntry] = deque()
+        self._not_empty = asyncio.Event()
+        self._space = asyncio.Event()
+        self._closed = False
+        #: Admitted-but-unanswered requests (the bounded quantity).
+        self._in_flight = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def put(self, entry: PendingEntry) -> bool:
+        """Admit ``entry``; False when shed or the queue is closed.
+
+        Under ``BLOCK`` this awaits space (and still returns False if
+        the queue closes while waiting); under ``SHED`` a full queue
+        answers False immediately.
+        """
+        while True:
+            if self._closed:
+                return False
+            if self._in_flight < self.max_depth:
+                self._in_flight += 1
+                entry.future.add_done_callback(self._release)
+                self._items.append(entry)
+                self._not_empty.set()
+                return True
+            if self.policy is AdmissionPolicy.SHED:
+                return False
+            self._space.clear()
+            await self._space.wait()
+
+    def _release(self, _future: object) -> None:
+        """An admitted request was answered; its slot frees up."""
+        self._in_flight -= 1
+        self._space.set()
+
+    async def get(self) -> Optional[PendingEntry]:
+        """Next admitted entry; None once closed *and* drained."""
+        while True:
+            if self._items:
+                return self._items.popleft()
+            if self._closed:
+                return None
+            self._not_empty.clear()
+            await self._not_empty.wait()
+
+    def get_nowait(self) -> Optional[PendingEntry]:
+        """Synchronous drain step: next entry, or None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def close(self) -> None:
+        """Stop admitting; wakes blocked producers and the consumer."""
+        self._closed = True
+        self._not_empty.set()
+        self._space.set()

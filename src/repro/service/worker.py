@@ -1,0 +1,210 @@
+"""Worker pool: execute dispatched batches and fan results back out.
+
+The last stage of the service pipeline.  Each worker coroutine pulls
+the most urgent batch from the dispatch queue and runs its coalesced
+solve on a thread-pool executor (the event loop stays responsive for
+admission, batching, and deadline watchdogs while numpy works).
+
+Failure semantics are *retry-once by decomposition*: when a coalesced
+solve raises, the batch is split and every member is retried as a
+singleton ``measure_batch`` call.  That is not just damage control --
+the stepper's convergence fallbacks (global step bisection, the DC gmin
+ladder) are the one place where batch composition can influence a
+corner's result, so a member that fails inside a batch can legitimately
+succeed alone.  A singleton that still raises is answered ``FAILED``
+with the exception text; nothing propagates out of the worker.
+
+Deadlines are enforced by the watchdog timers armed at submission: a
+request whose deadline fires mid-solve is answered ``EXPIRED``
+immediately (the solve's late result is discarded on arrival), so a
+slow or hung engine can never turn a deadline into a hang.  Workers
+additionally shed already-expired entries *before* paying for their
+solve.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.engines.base import Engine, MeasurementResult
+from repro.core.engines.registry import EngineLike, resolve_engine
+from repro.service.batcher import Batch, DispatchQueue
+from repro.service.request import (
+    PendingEntry,
+    ResponseStatus,
+    ScreenResponse,
+)
+from repro.spice.cache import fingerprint
+from repro.telemetry import get_telemetry
+
+__all__ = ["EngineCache", "WorkerPool"]
+
+
+class EngineCache:
+    """Rehydrate engines from specs/names, once per distinct recipe.
+
+    The service ships :class:`~repro.core.engines.registry.EngineSpec`
+    recipes through its pipeline, not engines; this cache is the one
+    rehydration point.  Keys are content fingerprints of the recipe, so
+    two equal specs arriving through different requests share one
+    engine instance (and therefore one warm compile path).  Engine
+    *instances* pass through untouched.
+    """
+
+    def __init__(self) -> None:
+        self._memo: Dict[str, Engine] = {}
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def resolve(self, obj: EngineLike) -> Engine:
+        if isinstance(obj, Engine):
+            return obj
+        key = fingerprint("service.engine", obj)
+        engine = self._memo.get(key)
+        if engine is None:
+            engine = self._memo[key] = resolve_engine(obj)
+        return engine
+
+
+class WorkerPool:
+    """N worker coroutines draining the dispatch queue until closed."""
+
+    def __init__(
+        self,
+        dispatch: DispatchQueue,
+        executor: Executor,
+        *,
+        num_workers: int,
+        clock: Callable[[], float],
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self._dispatch = dispatch
+        self._executor = executor
+        self.num_workers = num_workers
+        self._clock = clock
+        self._tasks: List["asyncio.Task[None]"] = []
+
+    def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._tasks = [
+            loop.create_task(self._worker(), name=f"repro-service-worker-{i}")
+            for i in range(self.num_workers)
+        ]
+
+    async def join(self) -> None:
+        if self._tasks:
+            await asyncio.gather(*self._tasks)
+            self._tasks = []
+
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            batch = await self._dispatch.get()
+            if batch is None:
+                return
+            await self._execute(batch)
+
+    async def _solve(
+        self, engine: Engine, entries: Sequence[PendingEntry]
+    ) -> List[MeasurementResult]:
+        loop = asyncio.get_running_loop()
+        requests = [e.measurement for e in entries]
+        for entry in entries:
+            entry.attempts += 1
+        return await loop.run_in_executor(
+            self._executor, engine.measure_batch, requests
+        )
+
+    async def _execute(self, batch: Batch) -> None:
+        live = [e for e in batch.entries if not e.future.done()]
+        if not live:
+            return
+        tele = get_telemetry()
+        engine = live[0].engine
+        now = self._clock()
+        for entry in live:
+            entry.solve_started_at = now
+        tele.incr("service.batches")
+        tele.observe("service.batch_occupancy", len(live))
+        if len(live) > 1:
+            tele.incr("service.coalesced", len(live))
+        solve_start = now
+        try:
+            results = await self._solve(engine, live)
+        except Exception:
+            # Retry-once by decomposition: a fresh singleton solve per
+            # member; batch-composition-dependent failures recover here.
+            tele.incr("service.batch_retries")
+            for entry in live:
+                try:
+                    singleton = await self._solve(engine, [entry])
+                except Exception as exc:
+                    self._fail(entry, exc, batch_size=1)
+                else:
+                    self._deliver(
+                        entry, singleton[0], batch_size=1,
+                        solve_s=self._clock() - solve_start,
+                    )
+            return
+        solve_s = self._clock() - solve_start
+        for entry, result in zip(live, results):
+            self._deliver(
+                entry, result, batch_size=len(live), solve_s=solve_s
+            )
+        tele.observe("service.solve_s", solve_s)
+        tele.observe("service.post_s", self._clock() - solve_start - solve_s)
+
+    # ------------------------------------------------------------------
+    def _deliver(
+        self,
+        entry: PendingEntry,
+        result: MeasurementResult,
+        *,
+        batch_size: int,
+        solve_s: float,
+    ) -> None:
+        now = self._clock()
+        latency = entry.stage_latency(
+            now, solve_s=solve_s,
+            post_s=max(now - entry.solve_started_at - solve_s, 0.0),
+        )
+        response = ScreenResponse(
+            status=ResponseStatus.OK,
+            request=entry.request,
+            delta_t=result.delta_t,
+            samples=result.samples,
+            engine=result.engine,
+            vdd=result.vdd,
+            batch_size=batch_size,
+            attempts=entry.attempts,
+            latency=latency,
+        )
+        if entry.finish(response):
+            tele = get_telemetry()
+            tele.incr("service.completed")
+            tele.observe("service.queue_wait_s", latency.queue_wait_s)
+            tele.observe("service.batch_form_s", latency.batch_form_s)
+            tele.observe("service.total_s", latency.total_s)
+        # else: the deadline watchdog answered first; the late result
+        # is discarded (already accounted as expired).
+
+    def _fail(
+        self, entry: PendingEntry, exc: Exception, *, batch_size: int
+    ) -> None:
+        now = self._clock()
+        response = ScreenResponse(
+            status=ResponseStatus.FAILED,
+            request=entry.request,
+            batch_size=batch_size,
+            attempts=entry.attempts,
+            reason=f"{type(exc).__name__}: {exc}",
+            latency=entry.stage_latency(now),
+        )
+        if entry.finish(response):
+            tele = get_telemetry()
+            tele.incr("service.failed")
+            tele.observe("service.total_s", response.latency.total_s)

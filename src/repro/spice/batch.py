@@ -27,7 +27,7 @@ and local step bisection on convergence failure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -80,6 +80,61 @@ class BatchParameters:
         dvth = clamp_4sigma(dvth, variation.sigma_vth)
         dl = clamp_4sigma(dl, variation.sigma_leff_rel)
         return cls(num_corners=num_corners, mosfet_dvth=dvth, mosfet_dl_rel=dl)
+
+    @classmethod
+    def concat(cls, parts: "Sequence[BatchParameters]") -> "BatchParameters":
+        """Stack parameter sets for the *same* circuit along the corner axis.
+
+        The screening service coalesces compatible measurement requests
+        by drawing each request's corners independently (exactly as the
+        serial path would) and concatenating them into one stacked run;
+        per-corner results are bit-identical to solving each part alone
+        because the Newton masking and the batched LAPACK solve are
+        per-corner independent.  (The stepper's global bisection retry
+        and the DC gmin ladder are batch-composition dependent, but they
+        only engage on convergence failure -- callers that need strict
+        identity under failure re-solve parts individually.)
+
+        All parts must override the same mosfet arrays and the same
+        resistor/capacitor names; mixing overridden and nominal parts
+        would need the circuit's nominal values to fill the gaps, which
+        parameters alone cannot know.
+        """
+        if not parts:
+            raise ValueError("concat needs at least one BatchParameters")
+        first = parts[0]
+        for p in parts[1:]:
+            if (p.mosfet_dvth is None) != (first.mosfet_dvth is None) or \
+                    (p.mosfet_dl_rel is None) != (first.mosfet_dl_rel is None):
+                raise ValueError("parts mix overridden and nominal mosfets")
+            if set(p.resistor_values) != set(first.resistor_values):
+                raise ValueError("parts override different resistors")
+            if set(p.capacitor_values) != set(first.capacitor_values):
+                raise ValueError("parts override different capacitors")
+        num_corners = sum(p.num_corners for p in parts)
+        dvth = (
+            np.concatenate([p.mosfet_dvth for p in parts], axis=0)
+            if first.mosfet_dvth is not None else None
+        )
+        dl_rel = (
+            np.concatenate([p.mosfet_dl_rel for p in parts], axis=0)
+            if first.mosfet_dl_rel is not None else None
+        )
+        resistors = {
+            name: np.concatenate([p.resistor_values[name] for p in parts])
+            for name in first.resistor_values
+        }
+        capacitors = {
+            name: np.concatenate([p.capacitor_values[name] for p in parts])
+            for name in first.capacitor_values
+        }
+        return cls(
+            num_corners=num_corners,
+            mosfet_dvth=dvth,
+            mosfet_dl_rel=dl_rel,
+            resistor_values=resistors,
+            capacitor_values=capacitors,
+        )
 
     def _check_shape(self, name: str, values: np.ndarray) -> np.ndarray:
         values = np.asarray(values, dtype=float)

@@ -859,7 +859,7 @@ def check_die(
 
 
 # ----------------------------------------------------------------------
-# Command-line front end (``python -m repro.staticcheck``)
+# Command-line front end (``python -m repro.spice.staticcheck``)
 # ----------------------------------------------------------------------
 #: Name of the opt-in hook a checkable file must define.
 HOOK = "preflight_circuits"
@@ -925,7 +925,7 @@ def print_rules() -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.staticcheck",
+        prog="python -m repro.spice.staticcheck",
         description="Pre-flight static analysis of example netlists.",
     )
     parser.add_argument(
@@ -976,3 +976,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     print(f"{checked} circuit(s) checked, {failed} failing")
     return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,4 @@
-"""Command-line pre-flight netlist checker (thin re-export).
+"""Deprecated CLI shim; the checker lives at :mod:`repro.spice.staticcheck`.
 
 The actual implementation -- the rule registry, the
 ``preflight_circuits()`` discovery hook, and the CLI -- lives in
@@ -10,12 +10,14 @@ historical entry point::
     python -m repro.staticcheck --rules              # print the rule table
 
 Exit status is 0 when every circuit is free of error-severity
-diagnostics and 1 otherwise (or 2 for usage errors).
+diagnostics and 1 otherwise (or 2 for usage errors).  New code should
+import (and invoke) ``repro.spice.staticcheck`` directly.
 """
 
 from __future__ import annotations
 
 import sys
+import warnings
 
 from repro.spice.staticcheck import (  # noqa: F401
     HOOK,
@@ -24,6 +26,13 @@ from repro.spice.staticcheck import (  # noqa: F401
     load_circuits,
     main,
     print_rules,
+)
+
+warnings.warn(
+    "repro.staticcheck is deprecated; use repro.spice.staticcheck "
+    "(python -m repro.spice.staticcheck for the CLI)",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 if __name__ == "__main__":

@@ -7,11 +7,11 @@ is riding its Woodbury fast path or refactorizing, and how well the
 solve cache is doing.  This module is the one place those numbers
 accumulate.
 
-The implementation lives at ``repro.telemetry`` (dependency-free, so
-the :mod:`repro.spice` solver layers can import it without touching the
-:mod:`repro.core` package and its heavier import graph); the canonical
-public import path is :mod:`repro.core.telemetry`, which re-exports
-everything here.
+This module *is* the canonical import path.  It lives at the top level
+(dependency-free) so the :mod:`repro.spice` solver layers can import it
+without touching the :mod:`repro.core` package and its heavier import
+graph.  :mod:`repro.core.telemetry` survives only as a deprecated
+re-export shim.
 
 Design constraints:
 
@@ -47,21 +47,142 @@ Counter names used by the stack (all optional -- absent means zero):
                            (:mod:`repro.spice.staticcheck`).
 ``diag_suppressed.<rule>`` Emitted diagnostics a fail-fast gate let through
                            (severity below the gate's threshold).
+``service.*``              Screening-service request accounting
+                           (:mod:`repro.service`): ``submitted``,
+                           ``completed``, ``rejected``, ``expired``,
+                           ``failed``, ``batches``, ``batch_retries``,
+                           ``coalesced``.
 =========================  ====================================================
+
+Histogram names used by the screening service (latency distributions;
+``*_s`` suffixed names hold seconds, the rest are unitless):
+
+==========================  ===================================================
+``service.queue_wait_s``    Admission-queue residency per request.
+``service.batch_form_s``    Micro-batcher residency (batch forming + dispatch
+                            queue) per request.
+``service.solve_s``         Engine solve time per batch.
+``service.post_s``          Post-processing (result fan-out) per batch.
+``service.total_s``         Submit-to-response latency per request.
+``service.batch_occupancy`` Requests coalesced into each dispatched batch.
+==========================  ===================================================
 """
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
 
 __all__ = [
+    "Histogram",
     "Telemetry",
     "get_telemetry",
     "use_telemetry",
     "telemetry_phase",
 ]
+
+
+class Histogram:
+    """A sparse log-bucketed histogram for latency-style observations.
+
+    Buckets are geometric with four per decade (bucket ``k`` covers
+    ``(10^((k-1)/4), 10^(k/4)]``), which resolves quantiles to ~78%
+    relative error bounds over any value range without pre-declared
+    edges -- the same shape Prometheus-style native histograms use.
+    Exact ``count``/``total``/``min``/``max`` are tracked alongside, so
+    means are exact and only the quantiles are bucket-quantized.
+
+    Like the counters, observations are cheap (a ``math.log10`` and two
+    dict updates) and snapshots merge across process boundaries.
+    """
+
+    _BUCKETS_PER_DECADE = 4
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: bucket index -> observation count; index 'lo' collects
+        #: non-positive values (log-bucketing needs value > 0).
+        self.buckets: Dict[int, int] = {}
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= 0.0:
+            return -(10**6)  # single underflow bucket
+        return math.ceil(self._BUCKETS_PER_DECADE * math.log10(value))
+
+    def _bucket_upper_edge(self, index: int) -> float:
+        if index <= -(10**6):
+            return 0.0
+        return 10.0 ** (index / self._BUCKETS_PER_DECADE)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        idx = self._bucket_index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket edge at quantile ``q`` (conservative estimate).
+
+        NaN with no observations; the exact ``max`` for the top bucket.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return math.nan
+        target = q * self.count
+        cumulative = 0
+        indices = sorted(self.buckets)
+        for idx in indices:
+            cumulative += self.buckets[idx]
+            if cumulative >= target:
+                if idx == indices[-1]:
+                    return self.max
+                return min(self._bucket_upper_edge(idx), self.max)
+        return self.max
+
+    # -- transport -------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict copy safe to pickle across process boundaries."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(self.buckets),
+        }
+
+    def merge(self, other: "Union[Histogram, Mapping[str, Any]]") -> None:
+        """Fold another histogram (or its :meth:`snapshot`) into this one."""
+        if isinstance(other, Histogram):
+            other = other.snapshot()
+        self.count += int(other.get("count", 0))
+        self.total += float(other.get("total", 0.0))
+        self.min = min(self.min, float(other.get("min", math.inf)))
+        self.max = max(self.max, float(other.get("max", -math.inf)))
+        for idx, n in other.get("buckets", {}).items():
+            idx = int(idx)  # JSON round-trips stringify the keys
+            self.buckets[idx] = self.buckets.get(idx, 0) + int(n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Histogram count={self.count} mean={self.mean:.3g} "
+            f"max={self.max:.3g}>"
+        )
 
 
 class Telemetry:
@@ -79,11 +200,23 @@ class Telemetry:
     def __init__(self) -> None:
         self.counters: Dict[str, float] = {}
         self.phase_seconds: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
 
     # -- accumulation ----------------------------------------------------
     def incr(self, name: str, amount: float = 1) -> None:
         """Add ``amount`` to counter ``name`` (creating it at zero)."""
         self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name`` (creating it empty)."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """Histogram ``name``; an empty one when nothing was observed."""
+        return self.histograms.get(name, Histogram())
 
     def add_phase_time(self, name: str, seconds: float) -> None:
         self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
@@ -109,29 +242,47 @@ class Telemetry:
         return hits / total if total else 0.0
 
     # -- transport -------------------------------------------------------
-    def snapshot(self) -> Dict[str, Dict[str, float]]:
-        """A plain-dict copy safe to pickle across process boundaries."""
-        return {
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A plain-dict copy safe to pickle across process boundaries.
+
+        The ``histograms`` key only appears when something was observed,
+        so counter-only payloads keep their historical two-key shape.
+        """
+        snap: Dict[str, Dict[str, Any]] = {
             "counters": dict(self.counters),
             "phase_seconds": dict(self.phase_seconds),
         }
+        if self.histograms:
+            snap["histograms"] = {
+                name: hist.snapshot()
+                for name, hist in self.histograms.items()
+            }
+        return snap
 
     def merge(self, other: "Telemetry | Mapping") -> None:
         """Fold another registry (or a :meth:`snapshot`) into this one."""
         if isinstance(other, Telemetry):
             counters: Mapping = other.counters
             phases: Mapping = other.phase_seconds
+            histograms: Mapping = other.histograms
         else:
             counters = other.get("counters", {})
             phases = other.get("phase_seconds", {})
+            histograms = other.get("histograms", {})
         for name, value in counters.items():
             self.incr(name, value)
         for name, value in phases.items():
             self.add_phase_time(name, value)
+        for name, hist in histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(hist)
 
     def reset(self) -> None:
         self.counters.clear()
         self.phase_seconds.clear()
+        self.histograms.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -10,6 +10,7 @@ overkill / test-time numbers a production deployment would care about.
 
 from repro.workloads.generator import DefectStatistics, DiePopulation, TsvRecord
 from repro.workloads.flow import FlowMetrics, ScreeningFlow
+from repro.workloads.loadgen import LoadReport, ServiceLoadGenerator
 from repro.workloads.wafer import (
     WaferPopulation,
     WaferScreenResult,
@@ -21,7 +22,9 @@ __all__ = [
     "DefectStatistics",
     "DiePopulation",
     "FlowMetrics",
+    "LoadReport",
     "ScreeningFlow",
+    "ServiceLoadGenerator",
     "TsvRecord",
     "WaferPopulation",
     "WaferScreenResult",

@@ -1,10 +1,13 @@
 """Unit tests for the telemetry registry."""
 
+import math
 import time
+import warnings
 
 import pytest
 
-from repro.core.telemetry import (
+from repro.telemetry import (
+    Histogram,
     Telemetry,
     get_telemetry,
     telemetry_phase,
@@ -121,9 +124,82 @@ class TestInstrumentationHooks:
         assert tele.count("newton_solves") >= 1
         assert tele.count("newton_iterations") >= tele.count("newton_solves")
 
-    def test_shim_module_reexports_implementation(self):
-        import repro.core.telemetry as shim
+    def test_shim_module_reexports_implementation_and_deprecates(self):
+        import importlib
+        import sys
+
         import repro.telemetry as impl
 
+        sys.modules.pop("repro.core.telemetry", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            import repro.core.telemetry as shim
+
+            shim = importlib.reload(shim)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
         assert shim.Telemetry is impl.Telemetry
         assert shim.get_telemetry is impl.get_telemetry
+
+
+class TestHistograms:
+    def test_observe_tracks_exact_count_total_min_max(self):
+        hist = Histogram()
+        for v in (0.001, 0.01, 0.25, 4.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.total == pytest.approx(4.261)
+        assert hist.min == 0.001
+        assert hist.max == 4.0
+        assert hist.mean == pytest.approx(4.261 / 4)
+
+    def test_empty_histogram_quantiles_are_nan(self):
+        hist = Histogram()
+        assert math.isnan(hist.mean)
+        assert math.isnan(hist.quantile(0.5))
+
+    def test_quantile_is_conservative_bucket_edge(self):
+        hist = Histogram()
+        for v in [0.010] * 98 + [1.0, 2.0]:
+            hist.observe(v)
+        p50 = hist.quantile(0.50)
+        p99 = hist.quantile(0.99)
+        # p50 lands in the 10 ms bucket: >= the value, within one
+        # bucket's relative width above it.
+        assert 0.010 <= p50 <= 0.010 * 10 ** 0.25
+        assert 1.0 <= p99 <= 2.0
+        assert hist.quantile(1.0) == 2.0
+
+    def test_nonpositive_values_use_underflow_bucket(self):
+        hist = Histogram()
+        hist.observe(0.0)
+        hist.observe(5.0)
+        assert hist.count == 2
+        assert hist.quantile(0.25) == 0.0
+
+    def test_telemetry_observe_and_snapshot_roundtrip(self):
+        tele = Telemetry()
+        snap_before = tele.snapshot()
+        assert "histograms" not in snap_before  # historical shape kept
+        tele.observe("service.solve_s", 0.125)
+        tele.observe("service.solve_s", 0.25)
+        snap = tele.snapshot()
+        assert snap["histograms"]["service.solve_s"]["count"] == 2
+        other = Telemetry()
+        other.observe("service.solve_s", 0.5)
+        other.merge(snap)
+        assert other.histogram("service.solve_s").count == 3
+        assert other.histogram("service.solve_s").max == 0.5
+        other.reset()
+        assert other.histograms == {}
+
+    def test_merge_accepts_json_stringified_bucket_keys(self):
+        hist = Histogram()
+        hist.observe(0.1)
+        snap = hist.snapshot()
+        snap["buckets"] = {str(k): v for k, v in snap["buckets"].items()}
+        fresh = Histogram()
+        fresh.merge(snap)
+        assert fresh.count == 1
+        assert fresh.quantile(1.0) == pytest.approx(0.1)

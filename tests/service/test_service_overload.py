@@ -1,0 +1,305 @@
+"""Overload behavior: saturation, deadlines, shutdown, retry-once.
+
+Under overload the service must *degrade structurally*: every request
+still gets exactly one typed response -- REJECTED at a full queue,
+EXPIRED at a blown deadline (promptly, even mid-solve), FAILED after
+the retry budget -- and graceful shutdown answers everything already
+admitted.  Stub engines with controllable delay/failure keep these
+tests independent of solver speed.
+"""
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.core.engines.base import (
+    Engine,
+    EngineCapabilities,
+    MeasurementRequest,
+    MeasurementResult,
+)
+from repro.core.segments import RingOscillatorConfig
+from repro.core.tsv import Tsv
+from repro.service import (
+    AdmissionPolicy,
+    ResponseStatus,
+    ScreenRequest,
+    ScreeningService,
+)
+from repro.telemetry import use_telemetry
+
+
+@dataclass
+class SleepyEngine(Engine):
+    """Answers every request with a fixed value after a fixed delay."""
+
+    engine_name = "sleepy"
+    capabilities = EngineCapabilities(batched_requests=True)
+
+    config: RingOscillatorConfig = field(
+        default_factory=RingOscillatorConfig
+    )
+    delay_s: float = 0.0
+    value: float = 1e-10
+
+    def period(self, tsvs, enabled, sample=None):
+        return self.value
+
+    def delta_t(self, tsv, m=1, variation=None, seed=0):
+        return self.value
+
+    def batch_key(self, request: MeasurementRequest) -> Optional[str]:
+        return "sleepy"
+
+    def measure(self, request: MeasurementRequest) -> MeasurementResult:
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return MeasurementResult(
+            delta_t=self.value, engine=self.engine_name,
+            vdd=self.config.vdd, m=request.m, seed=request.seed,
+        )
+
+    def measure_batch(
+        self, requests: Sequence[MeasurementRequest]
+    ) -> List[MeasurementResult]:
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return [
+            MeasurementResult(
+                delta_t=self.value, engine=self.engine_name,
+                vdd=self.config.vdd, m=r.m, seed=r.seed,
+            )
+            for r in requests
+        ]
+
+
+@dataclass
+class FlakyEngine(SleepyEngine):
+    """Raises on every coalesced (multi-request) solve; singletons work."""
+
+    engine_name = "flaky"
+
+    def measure_batch(
+        self, requests: Sequence[MeasurementRequest]
+    ) -> List[MeasurementResult]:
+        if len(requests) > 1:
+            raise RuntimeError("coalesced solve diverged")
+        return super().measure_batch(requests)
+
+
+@dataclass
+class BrokenEngine(SleepyEngine):
+    """Raises on every solve, coalesced or not."""
+
+    engine_name = "broken"
+
+    def measure_batch(self, requests):
+        raise ValueError("no convergence at any composition")
+
+
+def request(**kwargs) -> ScreenRequest:
+    kwargs.setdefault("tsv", Tsv())
+    return ScreenRequest(**kwargs)
+
+
+class TestAdmissionOverload:
+    def test_shed_policy_rejects_structurally(self):
+        """A saturated queue sheds with typed responses, not exceptions."""
+        engine = SleepyEngine(delay_s=0.05)
+
+        async def scenario():
+            with use_telemetry() as telemetry:
+                async with ScreeningService(
+                    engine=engine, admission="shed", max_queue_depth=2,
+                    batch_window_s=0.2, max_batch_size=2, num_workers=1,
+                ) as service:
+                    # Burst far past depth without yielding: whatever
+                    # does not fit must shed at the door.
+                    futures = [
+                        await service.enqueue(request(seed=i))
+                        for i in range(12)
+                    ]
+                    responses = await asyncio.gather(*futures)
+                return responses, telemetry.snapshot()
+
+        responses, snapshot = asyncio.run(scenario())
+        statuses = [r.status for r in responses]
+        assert statuses.count(ResponseStatus.REJECTED) >= 1
+        assert statuses.count(ResponseStatus.OK) >= 2
+        assert len(responses) == 12  # every request answered
+        for r in responses:
+            if r.status is ResponseStatus.REJECTED:
+                assert "admission queue full" in r.reason
+                assert math.isnan(r.delta_t)
+        counters = snapshot["counters"]
+        assert counters["service.rejected"] == statuses.count(
+            ResponseStatus.REJECTED
+        )
+
+    def test_block_policy_admits_everything(self):
+        """Backpressure: a blocking producer eventually gets all OKs."""
+        engine = SleepyEngine(delay_s=0.001)
+
+        async def scenario():
+            async with ScreeningService(
+                engine=engine, admission=AdmissionPolicy.BLOCK,
+                max_queue_depth=2, batch_window_s=0.0, num_workers=1,
+            ) as service:
+                return await service.submit_many(
+                    [request(seed=i) for i in range(10)]
+                )
+
+        responses = asyncio.run(scenario())
+        assert all(r.status is ResponseStatus.OK for r in responses)
+
+
+class TestDeadlines:
+    def test_deadline_expires_mid_solve_without_hanging(self):
+        """A 50 ms deadline against a 500 ms solve answers in ~50 ms."""
+        engine = SleepyEngine(delay_s=0.5)
+
+        async def scenario():
+            async with ScreeningService(
+                engine=engine, batch_window_s=0.0, num_workers=1,
+            ) as service:
+                start = time.monotonic()
+                response = await service.submit(
+                    request(deadline_s=0.05)
+                )
+                waited = time.monotonic() - start
+            return response, waited
+
+        response, waited = asyncio.run(scenario())
+        assert response.status is ResponseStatus.EXPIRED
+        assert "deadline" in response.reason
+        # Answered at the deadline, not after the solve (0.5 s) -- the
+        # generous bound absorbs CI scheduler noise.
+        assert waited < 0.4
+
+    def test_deadline_expires_while_queued(self):
+        """Requests stuck behind a slow solve expire on time too."""
+        engine = SleepyEngine(delay_s=0.3)
+
+        async def scenario():
+            async with ScreeningService(
+                engine=engine, batch_window_s=0.0, num_workers=1,
+                max_batch_size=1,
+            ) as service:
+                first = await service.enqueue(request(seed=0))
+                # Give the worker time to start solving the first
+                # request so the second actually waits behind it.
+                await asyncio.sleep(0.05)
+                second = await service.enqueue(
+                    request(seed=1, deadline_s=0.05)
+                )
+                return await asyncio.gather(first, second)
+
+        first, second = asyncio.run(scenario())
+        assert first.status is ResponseStatus.OK
+        assert second.status is ResponseStatus.EXPIRED
+
+    def test_generous_deadline_is_met(self):
+        engine = SleepyEngine(delay_s=0.01)
+
+        async def scenario():
+            async with ScreeningService(
+                engine=engine, batch_window_s=0.0,
+            ) as service:
+                return await service.submit(request(deadline_s=5.0))
+
+        response = asyncio.run(scenario())
+        assert response.status is ResponseStatus.OK
+
+
+class TestShutdown:
+    def test_graceful_close_drains_in_flight_requests(self):
+        engine = SleepyEngine(delay_s=0.02)
+
+        async def scenario():
+            service = ScreeningService(
+                engine=engine, batch_window_s=0.1, num_workers=1,
+            )
+            await service.start()
+            futures = [
+                await service.enqueue(request(seed=i)) for i in range(6)
+            ]
+            # Close immediately: the batch window has not elapsed, so
+            # the requests are still forming -- drain must flush them.
+            await service.close()
+            return await asyncio.gather(*futures)
+
+        responses = asyncio.run(scenario())
+        assert all(r.status is ResponseStatus.OK for r in responses)
+
+    def test_abrupt_close_answers_rejected(self):
+        engine = SleepyEngine(delay_s=0.02)
+
+        async def scenario():
+            service = ScreeningService(
+                engine=engine, batch_window_s=5.0, num_workers=1,
+            )
+            await service.start()
+            futures = [
+                await service.enqueue(request(seed=i)) for i in range(4)
+            ]
+            await service.close(drain=False)
+            return await asyncio.gather(*futures)
+
+        responses = asyncio.run(scenario())
+        assert all(r.status is ResponseStatus.REJECTED for r in responses)
+        assert all("shutdown" in r.reason for r in responses)
+
+    def test_submit_after_close_is_rejected(self):
+        engine = SleepyEngine()
+
+        async def scenario():
+            service = ScreeningService(engine=engine)
+            await service.start()
+            await service.close()
+            await service.start()  # reopen to prove close is not fatal
+            ok = await service.submit(request(seed=0))
+            await service.close()
+            return ok
+
+        response = asyncio.run(scenario())
+        assert response.status is ResponseStatus.OK
+
+
+class TestRetryOnce:
+    def test_coalesced_failure_recovers_via_singleton_retry(self):
+        engine = FlakyEngine()
+
+        async def scenario():
+            with use_telemetry() as telemetry:
+                async with ScreeningService(
+                    engine=engine, batch_window_s=0.05, num_workers=1,
+                ) as service:
+                    responses = await service.submit_many(
+                        [request(seed=i) for i in range(4)]
+                    )
+                return responses, telemetry.snapshot()
+
+        responses, snapshot = asyncio.run(scenario())
+        assert all(r.status is ResponseStatus.OK for r in responses)
+        assert all(r.attempts == 2 for r in responses)
+        assert all(r.batch_size == 1 for r in responses)
+        assert snapshot["counters"]["service.batch_retries"] == 1
+
+    def test_persistent_failure_is_answered_failed(self):
+        engine = BrokenEngine()
+
+        async def scenario():
+            async with ScreeningService(
+                engine=engine, batch_window_s=0.0,
+            ) as service:
+                return await service.submit(request(seed=0))
+
+        response = asyncio.run(scenario())
+        assert response.status is ResponseStatus.FAILED
+        assert "ValueError" in response.reason
+        assert "no convergence" in response.reason
+        assert response.attempts == 2

@@ -4,7 +4,8 @@ The analyzer is only trustworthy as a fail-fast gate if it never
 rejects (or even warns about) the circuits the repo itself builds: the
 examples' declared netlists, the engines' segment/closer/ring shapes,
 and the benchmark topologies.  Plus smoke tests of the
-``python -m repro.staticcheck`` CLI.
+``python -m repro.spice.staticcheck`` CLI (and its deprecated
+``repro.staticcheck`` shim).
 """
 
 from pathlib import Path
@@ -18,8 +19,7 @@ from repro.core.tsv import Leakage, ResistiveOpen, Tsv
 from repro.spice import DC, Pulse
 from repro.spice.netlist import GROUND, Circuit
 from repro.spice.stamping import StampPlan
-from repro.spice.staticcheck import check_circuit
-from repro.staticcheck import discover, load_circuits, main
+from repro.spice.staticcheck import check_circuit, discover, load_circuits, main
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
@@ -143,3 +143,24 @@ class TestCli:
         capsys.readouterr()
         assert main(["--strict", str(warny)]) == 1
         assert "zero-cap-dynamic-node" in capsys.readouterr().out
+
+
+class TestDeprecatedShim:
+    def test_shim_warns_and_reexports(self):
+        import importlib
+        import sys
+        import warnings
+
+        sys.modules.pop("repro.staticcheck", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            import repro.staticcheck as shim
+
+            shim = importlib.reload(shim)
+        messages = [
+            str(w.message) for w in caught
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert any("repro.spice.staticcheck" in m for m in messages)
+        assert shim.main is main
+        assert shim.discover is discover
