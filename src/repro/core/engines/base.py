@@ -77,6 +77,13 @@ class EngineCapabilities:
             for coalescible requests.  When False the base class still
             provides ``measure_batch`` as a per-request loop, and
             ``batch_key`` answers None (nothing coalesces).
+        family_requests: ``family_key`` answers a *coarse* topology-level
+            key and ``measure_batch`` can pack requests whose family keys
+            match -- but whose exact ``batch_key``s differ -- into one
+            ragged cross-topology solve
+            (:mod:`repro.spice.ragged`).  When False ``family_key``
+            degenerates to ``batch_key`` (families are exact groups,
+            nothing extra coalesces).
         parameter_sweeps: ``delta_t_sweep_ro``/``delta_t_sweep_rl`` are
             native batched sweeps (one stacked MNA run); otherwise the
             generic per-point fallback runs.
@@ -90,6 +97,7 @@ class EngineCapabilities:
 
     batched_mc: bool = False
     batched_requests: bool = False
+    family_requests: bool = False
     parameter_sweeps: bool = False
     preflight_circuits: bool = False
     oscillation_stop: bool = False
@@ -99,6 +107,7 @@ class EngineCapabilities:
         return {
             "batched_mc": self.batched_mc,
             "batched_requests": self.batched_requests,
+            "family_requests": self.family_requests,
             "parameter_sweeps": self.parameter_sweeps,
             "preflight_circuits": self.preflight_circuits,
             "oscillation_stop": self.oscillation_stop,
@@ -127,6 +136,7 @@ class CapabilityError(RuntimeError):
 _CAPABILITY_METHODS: Dict[str, str] = {
     "batched_mc": "delta_t_mc",
     "batched_requests": "measure_batch",
+    "family_requests": "family_key",
     "parameter_sweeps": "delta_t_sweep_ro",
     "preflight_circuits": "preflight_circuits",
     "oscillation_stop": "oscillation_stop_r_leak",
@@ -378,6 +388,25 @@ class Engine(abc.ABC):
         batch-composition independence.
         """
         return None
+
+    def family_key(self, request: MeasurementRequest) -> Optional[str]:
+        """Coarse topology-family key for cross-topology packing, or None.
+
+        Where :meth:`batch_key` fingerprints *everything* that shapes the
+        solve -- including element values, so every distinct fault
+        resistance is its own group -- the family key fingerprints only
+        what must match for requests to share one ragged packed time
+        loop (:mod:`repro.spice.ragged`): the engine parameters, the
+        effective supply and stop policy, and the solver configuration.
+        Requests with equal (non-None) family keys but different exact
+        keys may be packed into one cross-topology solve with results
+        bit-identical to measuring each exact group alone.
+
+        The base class degenerates to :meth:`batch_key`
+        (``capabilities.family_requests`` is False here): families equal
+        exact groups and nothing extra coalesces.
+        """
+        return self.batch_key(request)
 
     def measure_batch(
         self, requests: Sequence[MeasurementRequest]

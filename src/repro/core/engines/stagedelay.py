@@ -22,7 +22,8 @@ from repro.core.engines.registry import register
 from repro.core.segments import RingOscillatorConfig
 from repro.core.tsv import Leakage, ResistiveOpen, Tsv
 from repro.spice import Pulse, transient
-from repro.spice.batch import BatchParameters, BatchedSimulation
+from repro.spice.batch import BatchedResult, BatchParameters, BatchedSimulation
+from repro.spice.ragged import ragged_transient
 from repro.spice.cache import circuit_fingerprint, fingerprint, memoize
 from repro.spice.montecarlo import ProcessSample, ProcessVariation
 from repro.spice.netlist import Circuit, GROUND
@@ -83,6 +84,7 @@ class StageDelayEngine(Engine):
     capabilities: ClassVar[EngineCapabilities] = EngineCapabilities(
         batched_mc=True,
         batched_requests=True,
+        family_requests=True,
         parameter_sweeps=True,
         preflight_circuits=True,
         oscillation_stop=False,
@@ -244,27 +246,28 @@ class StageDelayEngine(Engine):
         return total
 
     # -- batched Monte Carlo ----------------------------------------------
-    def _batched_segment_delays(
+    def _segment_sim(
         self,
         tsv: Tsv,
         bypassed: bool,
         params: BatchParameters,
         sweepable: bool = False,
         resistor_overrides: Optional[Dict[str, np.ndarray]] = None,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-corner (tpLH, tpHL) arrays; NaN where the path is stuck."""
+    ) -> BatchedSimulation:
+        """Compile one segment circuit + corner overrides, ready to run."""
         circuit, elements = self._segment_circuit(
             tsv, bypassed, sample=None, sweepable=sweepable
         )
         if resistor_overrides:
             for short_name, values in resistor_overrides.items():
                 params = params.with_resistor(elements[short_name], values)
-        sim = BatchedSimulation(circuit, params)
-        result = sim.transient(
-            self.stop_time(), self.timestep, record=["din", "dout"]
-        )
-        vdd = self.config.vdd
-        half = vdd / 2.0
+        return BatchedSimulation(circuit, params)
+
+    def _delays_from_result(
+        self, result: BatchedResult
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-corner (tpLH, tpHL) from a recorded din/dout transient."""
+        half = self.config.vdd / 2.0
         win = result.waveform("din", 0)
         t_rise_in = win.crossings(half, "rise")
         t_fall_in = win.crossings(half, "fall")
@@ -275,6 +278,23 @@ class StageDelayEngine(Engine):
         d_rise = _first_crossings_after(result.time, vout, half, "rise", tr) - tr
         d_fall = _first_crossings_after(result.time, vout, half, "fall", tf) - tf
         return d_rise, d_fall
+
+    def _batched_segment_delays(
+        self,
+        tsv: Tsv,
+        bypassed: bool,
+        params: BatchParameters,
+        sweepable: bool = False,
+        resistor_overrides: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-corner (tpLH, tpHL) arrays; NaN where the path is stuck."""
+        sim = self._segment_sim(
+            tsv, bypassed, params, sweepable, resistor_overrides
+        )
+        result = sim.transient(
+            self.stop_time(), self.timestep, record=["din", "dout"]
+        )
+        return self._delays_from_result(result)
 
     def delta_t_mc(
         self,
@@ -352,43 +372,86 @@ class StageDelayEngine(Engine):
             compute,
         )
 
+    def family_key(self, request: MeasurementRequest) -> Optional[str]:
+        """Coarse key: engine knobs + effective supply, *no* netlist.
+
+        Where :meth:`batch_key` fingerprints the circuit content (so
+        every distinct fault resistance is its own group), the family
+        key only fingerprints what every member of a ragged pack must
+        share: the engine parameters, the effective
+        :class:`~repro.core.segments.RingOscillatorConfig` (which
+        carries the supply) and the stop policy.  All same-supply Monte
+        Carlo requests therefore coalesce into one family regardless of
+        their TSV fault values -- the realistic mixed-wafer load the
+        exact key fragments into singletons.
+        """
+        if request.num_samples is None:
+            return None
+        engine = self._rebound(request)
+        return fingerprint(
+            "stagedelay.family_key",
+            type(engine).__name__,
+            engine.config,
+            engine.timestep,
+            engine.input_slew,
+            engine.pulse_width,
+            engine.stop_policy,
+        )
+
     def measure_batch(
         self, requests: Sequence[MeasurementRequest]
     ) -> List[MeasurementResult]:
-        """Execute requests, stacking compatible ones into shared solves.
+        """Execute requests, stacking and packing compatible ones.
 
-        Requests with equal non-None :meth:`batch_key` draw their
-        mismatch corners independently (exactly as :meth:`measure`
-        would) and run as one concatenated :class:`BatchParameters`
-        through a single on/bypassed simulation pair; per-request slices
-        of the stacked result are bit-identical to serial measurement.
-        Scalar requests and singleton groups fall back to
-        :meth:`measure`.
+        Two coalescing tiers:
+
+        * Requests with equal non-None :meth:`batch_key` draw their
+          mismatch corners independently (exactly as :meth:`measure`
+          would) and run as one concatenated :class:`BatchParameters`
+          through a single on/bypassed simulation pair.
+        * Exact groups that differ in circuit content but share a
+          :meth:`family_key` -- different fault values, same engine
+          configuration -- are packed into one ragged cross-topology
+          solve (:func:`repro.spice.ragged.ragged_transient`).
+
+        Either way per-request results are bit-identical to serial
+        measurement.  Scalar requests and families containing a single
+        singleton group fall back to :meth:`measure`.
         """
         results: List[Optional[MeasurementResult]] = [None] * len(requests)
-        groups: Dict[str, List[int]] = {}
+        families: Dict[str, Dict[str, List[int]]] = {}
         for i, request in enumerate(requests):
             key = self.batch_key(request)
             if key is None:
                 results[i] = self.measure(request)
-            else:
-                groups.setdefault(key, []).append(i)
-        for indices in groups.values():
-            if len(indices) == 1:
-                results[indices[0]] = self.measure(requests[indices[0]])
                 continue
-            grouped = self._measure_group([requests[i] for i in indices])
-            for i, result in zip(indices, grouped):
-                results[i] = result
+            family = self.family_key(request) or key
+            families.setdefault(family, {}).setdefault(key, []).append(i)
+        for subgroups in families.values():
+            get_telemetry().observe("stagedelay.family_span", len(subgroups))
+            if len(subgroups) == 1:
+                (indices,) = subgroups.values()
+                if len(indices) == 1:
+                    results[indices[0]] = self.measure(requests[indices[0]])
+                    continue
+                grouped = self._measure_group(
+                    [requests[i] for i in indices]
+                )
+                for i, result in zip(indices, grouped):
+                    results[i] = result
+                continue
+            packed = self._measure_family(
+                [[requests[i] for i in idx] for idx in subgroups.values()]
+            )
+            for indices, grouped in zip(subgroups.values(), packed):
+                for i, result in zip(indices, grouped):
+                    results[i] = result
         return [r for r in results if r is not None]
 
-    def _measure_group(
-        self, requests: Sequence[MeasurementRequest]
-    ) -> List[MeasurementResult]:
-        """One stacked solve pair for requests sharing a batch key."""
-        first = requests[0]
-        engine = self._rebound(first)
-        circuit_probe, _ = engine._segment_circuit(first.tsv, bypassed=False)
+    def _mc_parts(
+        self, circuit_probe: Circuit, requests: Sequence[MeasurementRequest]
+    ) -> List[BatchParameters]:
+        """Per-request independent mismatch draws, in request order."""
         parts = []
         for request in requests:
             assert request.num_samples is not None
@@ -399,10 +462,15 @@ class StageDelayEngine(Engine):
                 corners,
                 seed=request.seed,
             ))
-        params = BatchParameters.concat(parts)
-        on_r, on_f = engine._batched_segment_delays(first.tsv, False, params)
-        off_r, off_f = engine._batched_segment_delays(first.tsv, True, params)
-        per_corner = (on_r + on_f) - (off_r + off_f)
+        return parts
+
+    def _slice_results(
+        self,
+        requests: Sequence[MeasurementRequest],
+        parts: Sequence[BatchParameters],
+        per_corner: np.ndarray,
+    ) -> List[MeasurementResult]:
+        """Split a stacked per-corner DeltaT array back into results."""
         results: List[MeasurementResult] = []
         offset = 0
         for request, part in zip(requests, parts):
@@ -417,13 +485,64 @@ class StageDelayEngine(Engine):
             results.append(MeasurementResult(
                 delta_t=float(samples[0]) if len(samples) else math.nan,
                 engine=self.engine_name,
-                vdd=engine.config.vdd,
+                vdd=self.config.vdd,
                 m=request.m,
                 seed=request.seed,
                 samples=samples,
                 tags=dict(request.tags),
             ))
         return results
+
+    def _measure_group(
+        self, requests: Sequence[MeasurementRequest]
+    ) -> List[MeasurementResult]:
+        """One stacked solve pair for requests sharing a batch key."""
+        first = requests[0]
+        engine = self._rebound(first)
+        circuit_probe, _ = engine._segment_circuit(first.tsv, bypassed=False)
+        parts = engine._mc_parts(circuit_probe, requests)
+        params = BatchParameters.concat(parts)
+        on_r, on_f = engine._batched_segment_delays(first.tsv, False, params)
+        off_r, off_f = engine._batched_segment_delays(first.tsv, True, params)
+        per_corner = (on_r + on_f) - (off_r + off_f)
+        return engine._slice_results(requests, parts, per_corner)
+
+    def _measure_family(
+        self, groups: Sequence[Sequence[MeasurementRequest]]
+    ) -> List[List[MeasurementResult]]:
+        """One ragged pack for several exact groups sharing a family.
+
+        Each group's on/bypassed simulation pair becomes two pack
+        members; the whole family then advances through one shared time
+        loop, with one bucketed LAPACK call per distinct matrix
+        dimension per Newton iteration instead of one solve per group.
+        Bucket packing keeps every member bit-identical to running its
+        group alone through :meth:`_measure_group`.
+        """
+        engine = self._rebound(groups[0][0])
+        sims: List[BatchedSimulation] = []
+        all_parts: List[List[BatchParameters]] = []
+        for group in groups:
+            first = group[0]
+            circuit_probe, _ = engine._segment_circuit(
+                first.tsv, bypassed=False
+            )
+            parts = engine._mc_parts(circuit_probe, group)
+            all_parts.append(parts)
+            params = BatchParameters.concat(parts)
+            sims.append(engine._segment_sim(first.tsv, False, params))
+            sims.append(engine._segment_sim(first.tsv, True, params))
+        results = ragged_transient(
+            sims, engine.stop_time(), engine.timestep,
+            record=["din", "dout"],
+        )
+        out: List[List[MeasurementResult]] = []
+        for g, (group, parts) in enumerate(zip(groups, all_parts)):
+            on_r, on_f = engine._delays_from_result(results[2 * g])
+            off_r, off_f = engine._delays_from_result(results[2 * g + 1])
+            per_corner = (on_r + on_f) - (off_r + off_f)
+            out.append(engine._slice_results(group, parts, per_corner))
+        return out
 
     def delta_t_sweep_ro(
         self,

@@ -1,11 +1,15 @@
 """Dynamic micro-batcher: coalesce compatible requests into shared solves.
 
 The middle stage of the service pipeline.  Requests drain from the
-admission queue into *forming groups* keyed by their engine-computed
-compatibility key (engine parameters + effective supply + circuit
-fingerprint -- see :meth:`repro.core.engines.base.Engine.batch_key`).
-A group is flushed to the worker dispatch queue when the first of three
-things happens:
+admission queue into *forming groups* keyed by an engine-computed
+compatibility key: under the default ``"family"`` coalescing policy the
+coarse topology-family key (engine parameters + effective supply -- see
+:meth:`repro.core.engines.base.Engine.family_key`), under ``"exact"``
+the full batch key with the circuit fingerprint included
+(:meth:`~repro.core.engines.base.Engine.batch_key`).  Family groups may
+span several exact keys; the engine re-partitions and ragged-packs them
+inside ``measure_batch``.  A group is flushed to the worker dispatch
+queue when the first of three things happens:
 
 * it reaches ``max_batch_size`` (flush immediately -- the solve is as
   amortized as it will get);

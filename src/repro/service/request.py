@@ -171,6 +171,10 @@ class PendingEntry:
     future: "asyncio.Future[ScreenResponse]"
     submitted_at: float
     deadline_at: float  # math.inf when the request has no deadline
+    #: Exact batch key (engine fingerprint incl. circuit content); kept
+    #: alongside ``key`` -- which may be the coarser family key -- so
+    #: workers can report how many exact groups a flushed batch spans.
+    exact_key: Optional[str] = None
     joined_at: float = 0.0
     solve_started_at: float = 0.0
     attempts: int = 0

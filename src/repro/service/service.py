@@ -42,7 +42,7 @@ from repro.service.request import (
 from repro.service.worker import EngineCache, WorkerPool
 from repro.telemetry import get_telemetry
 
-__all__ = ["ScreeningService", "ServiceConfig"]
+__all__ = ["COALESCE_POLICIES", "ScreeningService", "ServiceConfig"]
 
 
 @dataclass(frozen=True)
@@ -63,6 +63,13 @@ class ServiceConfig:
             executor threads).
         deadline_slack_s: Dispatch a batch early when a member deadline
             comes within this margin.
+        coalesce: Request-grouping policy: ``"family"`` (default) groups
+            by the engine's coarse topology-family key, so requests that
+            differ only in circuit content -- distinct fault values on a
+            mixed wafer -- share one ragged packed solve; ``"exact"``
+            groups by the exact batch key (circuit fingerprint included,
+            the pre-family behavior); ``"none"`` disables coalescing
+            entirely (every request solves alone).
         clock: Monotonic time source (overridable for tests).
     """
 
@@ -73,7 +80,12 @@ class ServiceConfig:
     max_batch_size: int = 32
     num_workers: int = 2
     deadline_slack_s: float = 0.0
+    coalesce: str = "family"
     clock: Callable[[], float] = time.monotonic
+
+
+#: Valid :attr:`ServiceConfig.coalesce` policies.
+COALESCE_POLICIES = ("family", "exact", "none")
 
 
 class ScreeningService:
@@ -95,6 +107,11 @@ class ScreeningService:
         if overrides:
             base = replace(base, **overrides)
         self.config = base
+        if base.coalesce not in COALESCE_POLICIES:
+            raise ValueError(
+                f"unknown coalesce policy {base.coalesce!r}; "
+                f"expected one of {COALESCE_POLICIES}"
+            )
         self._policy = AdmissionPolicy.coerce(base.admission)
         self._clock = base.clock
         self._engines = EngineCache()
@@ -201,15 +218,26 @@ class ScreeningService:
             self.config.engine
         )
         measurement = request.to_measurement()
+        exact: Optional[str] = None
         key: Optional[str] = None
-        if supports_batching(engine):
-            key = engine.batch_key(measurement)
+        if self.config.coalesce != "none" and supports_batching(engine):
+            exact = engine.batch_key(measurement)
+            if exact is not None:
+                # Family grouping widens the coalescing pool: requests
+                # whose exact keys differ (distinct fault values) still
+                # share one ragged packed solve when the engine supports
+                # it; the engine re-partitions by exact key internally.
+                key = (
+                    engine.family_key(measurement) or exact
+                    if self.config.coalesce == "family" else exact
+                )
         entry = PendingEntry(
             seq=self._seq,
             request=request,
             measurement=measurement,
             engine=engine,
             key=key if key is not None else f"!solo:{self._seq}",
+            exact_key=exact,
             future=loop.create_future(),
             submitted_at=now,
             deadline_at=(

@@ -130,6 +130,10 @@ class WorkerPool:
             entry.solve_started_at = now
         tele.incr("service.batches")
         tele.observe("service.batch_occupancy", len(live))
+        # How many exact-key groups this (possibly family-keyed) batch
+        # spans: >1 means the coalescing the exact key alone would miss.
+        span = len({e.exact_key for e in live if e.exact_key is not None})
+        tele.observe("service.family_span", max(span, 1))
         if len(live) > 1:
             tele.incr("service.coalesced", len(live))
         solve_start = now

@@ -13,9 +13,13 @@ This package replaces the HSPICE runs of the paper.  It provides:
 * :mod:`repro.spice.stamping` -- the assembly layer: compiled
   :class:`StampPlan` scatter indices shared by scalar and batched runs.
 * :mod:`repro.spice.linalg` -- the linear-solve layer: pluggable
-  :class:`LinearSolver` backends (cached LU, batched dense).
+  :class:`LinearSolver` backends (cached LU, batched dense, sparse
+  ``splu``-cached CSC).
 * :mod:`repro.spice.stepper` -- the stepper layer: the shared Newton
   loop, DC solve, and trap/BE integrator.
+* :mod:`repro.spice.ragged` -- ragged cross-topology batch packing:
+  mixed circuits advanced through one shared time loop with
+  dimension-bucketed (bit-identical) or padded stacked solves.
 * :mod:`repro.spice.dc` -- DC operating-point analysis.
 * :mod:`repro.spice.transient` -- backward-Euler / trapezoidal transient
   analysis.
@@ -67,9 +71,16 @@ from repro.spice.linalg import (
     DenseDirect,
     DenseLU,
     LinearSolver,
+    SparseLU,
     available_backends,
     make_solver,
     register_backend,
+    resolve_backend,
+)
+from repro.spice.ragged import (
+    RaggedPack,
+    TopologyFamily,
+    ragged_transient,
 )
 from repro.spice.stamping import StampPlan
 from repro.spice.staticcheck import (
@@ -91,11 +102,16 @@ __all__ = [
     "DenseDirect",
     "DenseLU",
     "LinearSolver",
+    "RaggedPack",
+    "SparseLU",
     "StampPlan",
+    "TopologyFamily",
     "TransientStepper",
     "available_backends",
     "make_solver",
+    "ragged_transient",
     "register_backend",
+    "resolve_backend",
     "Capacitor",
     "Circuit",
     "CurrentSource",

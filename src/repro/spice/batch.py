@@ -103,14 +103,35 @@ class BatchParameters:
         if not parts:
             raise ValueError("concat needs at least one BatchParameters")
         first = parts[0]
-        for p in parts[1:]:
-            if (p.mosfet_dvth is None) != (first.mosfet_dvth is None) or \
-                    (p.mosfet_dl_rel is None) != (first.mosfet_dl_rel is None):
-                raise ValueError("parts mix overridden and nominal mosfets")
-            if set(p.resistor_values) != set(first.resistor_values):
-                raise ValueError("parts override different resistors")
-            if set(p.capacitor_values) != set(first.capacitor_values):
-                raise ValueError("parts override different capacitors")
+        for i, p in enumerate(parts[1:], start=1):
+            for attr in ("mosfet_dvth", "mosfet_dl_rel"):
+                a0 = getattr(first, attr)
+                ai = getattr(p, attr)
+                if (ai is None) != (a0 is None):
+                    raise ValueError(
+                        f"part {i} {'omits' if ai is None else 'overrides'} "
+                        f"{attr} while part 0 does not; parts mix overridden "
+                        f"and nominal mosfets"
+                    )
+                if ai is not None and ai.shape[1:] != a0.shape[1:]:
+                    raise ValueError(
+                        f"part {i} has {attr} for {ai.shape[1]} mosfets but "
+                        f"part 0 has {a0.shape[1]}; parts target different "
+                        f"circuits"
+                    )
+            for attr, kind in (
+                ("resistor_values", "resistors"),
+                ("capacitor_values", "capacitors"),
+            ):
+                names_i = set(getattr(p, attr))
+                names_0 = set(getattr(first, attr))
+                if names_i != names_0:
+                    delta = sorted(names_i ^ names_0)
+                    raise ValueError(
+                        f"part {i} overrides different {kind} than part 0 "
+                        f"(mismatched: {delta}); all parts must override the "
+                        f"same named elements"
+                    )
         num_corners = sum(p.num_corners for p in parts)
         dvth = (
             np.concatenate([p.mosfet_dvth for p in parts], axis=0)

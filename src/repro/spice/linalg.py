@@ -28,12 +28,18 @@ Backends:
 * :class:`BatchedDense` -- the stacked ``(S, m, m)`` corner batch solved
   through numpy's broadcasted LAPACK ``solve``; supports per-corner
   *active masks* so converged corners drop out of the Newton iteration.
+* :class:`SparseLU` -- CSC matrix with an ``splu``-cached factorization,
+  compiled from the :meth:`~repro.spice.stamping.SolveSpace.sparse_pattern`
+  scatter targets; inherits :class:`DenseLU`'s low-rank MOSFET update.
+  Registered only when scipy.sparse imports; the string ``"auto"``
+  resolves to it at or above :data:`SPARSE_AUTO_DIM` unknowns (else to
+  the dense LU) via :func:`resolve_backend`.
 
 All solve shapes are batched: ``b`` is ``(A, m)`` and the result is
 ``(A, m)`` where ``A`` is the number of active corners (``1`` for scalar
 analyses) and ``m`` the solve-space dimension.  Register additional
-backends with :func:`register_backend` (e.g. sparse or
-accelerator-resident solvers).
+backends with :func:`register_backend` (e.g. accelerator-resident
+solvers).
 """
 
 from __future__ import annotations
@@ -52,6 +58,25 @@ try:  # pragma: no cover - exercised implicitly on scipy-equipped hosts
 except Exception:  # pragma: no cover - scipy is an optional dependency
     _scipy_lu_factor = None
     _scipy_lu_solve = None
+
+try:  # pragma: no cover - exercised implicitly on scipy-equipped hosts
+    from scipy.sparse import csc_matrix as _csc_matrix
+    from scipy.sparse.linalg import splu as _splu
+except Exception:  # pragma: no cover - scipy is an optional dependency
+    _csc_matrix = None
+    _splu = None
+
+
+def batched_dense_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """One broadcasted LAPACK solve of the stacked systems ``a x = b``.
+
+    ``a`` is ``(A, m, m)``, ``b`` is ``(A, m)``.  The single shared
+    entry point for every stacked dense solve in the stack (the batched
+    backend and the ragged pack's dimension buckets): numpy dispatches
+    the whole stack through one ``gesv`` loop, and per-corner results
+    are bit-identical to solving each system alone.
+    """
+    return np.linalg.solve(a, b[..., None])[..., 0]
 
 
 def _lu_factor(a: np.ndarray):
@@ -158,7 +183,7 @@ class DenseDirect(LinearSolver):
         a = np.broadcast_to(self._base, (num,) + self._base.shape).copy()
         if lin is not None:
             self.space.stamp_fet_matrix(a, lin)
-        return np.linalg.solve(a, b[..., None])[..., 0]
+        return batched_dense_solve(a, b)
 
 
 class DenseLU(LinearSolver):
@@ -197,12 +222,21 @@ class DenseLU(LinearSolver):
         self._factorization = None
         self._z = None
 
+    # -- factorization strategy (overridden by sparse subclasses) --------
+    def _factorize(self, a: np.ndarray):
+        """Factor the base matrix; the cached-factorization extension point."""
+        return _lu_factor(a)
+
+    def _backsolve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve against the cached factorization; ``rhs`` is ``(m, k)``."""
+        return _lu_solve(self._factorization, rhs)
+
     def _factor(self):
         if self._factorization is None:
             get_telemetry().incr("lu_refactorizations")
-            self._factorization = _lu_factor(self._base)
+            self._factorization = self._factorize(self._base)
             if self._use_woodbury:
-                self._z = _lu_solve(self._factorization, self.space.fet_u)
+                self._z = self._backsolve(self.space.fet_u)
         return self._factorization
 
     def _dense_solve(self, b, lin):
@@ -211,7 +245,7 @@ class DenseLU(LinearSolver):
         a = np.broadcast_to(self._base, (num,) + self._base.shape).copy()
         if lin is not None:
             self.space.stamp_fet_matrix(a, lin)
-        return np.linalg.solve(a, b[..., None])[..., 0]
+        return batched_dense_solve(a, b)
 
     def _build_w(self, lin: FetLinearization, num: int) -> np.ndarray:
         """Column ``f`` of ``W`` holds the four conductances of device
@@ -238,13 +272,13 @@ class DenseLU(LinearSolver):
         return w
 
     def solve(self, b, lin=None, active=None):
-        factorization = self._factor()
+        self._factor()
         if lin is None:
-            return _lu_solve(factorization, b.T).T
+            return self._backsolve(b.T).T
         if not self._use_woodbury:
             return self._dense_solve(b, lin)
         num = b.shape[0]
-        y = _lu_solve(factorization, b.T).T                      # (A, m)
+        y = self._backsolve(b.T).T                               # (A, m)
         w = self._build_w(lin, num)                              # (A, m, F)
         wt = w.transpose(0, 2, 1)                                # (A, F, m)
         cap = np.eye(self.space.plan.num_fets) + wt @ self._z    # (A, F, F)
@@ -297,7 +331,54 @@ class BatchedDense(LinearSolver):
             a = base[active]
         if lin is not None:
             self.space.stamp_fet_matrix(a, lin)
-        return np.linalg.solve(a, b[..., None])[..., 0]
+        return batched_dense_solve(a, b)
+
+
+class SparseLU(DenseLU):
+    """CSC backend with an ``splu``-cached factorization.
+
+    The MNA matrices of the paper's segment and ring circuits are
+    chain-structured and sparse (a handful of nonzeros per row), so
+    above modest dimensions a sparse factorization beats the dense LU.
+    The sparsity structure is compiled once from the
+    :meth:`~repro.spice.stamping.SolveSpace.sparse_pattern` scatter
+    targets -- no dense scan per refactorization; the gathered values
+    are cross-checked against the dense base so a stray out-of-pattern
+    entry falls back to an exact conversion instead of being dropped.
+
+    Everything else -- the Sherman-Morrison-Woodbury low-rank MOSFET
+    update, the residual guard, the dense fallback -- is inherited from
+    :class:`DenseLU`; only the factorization strategy differs.
+    """
+
+    def __init__(self, space: SolveSpace):
+        if _splu is None:  # pragma: no cover - scipy is baked into CI
+            raise RuntimeError(
+                "the 'sparse' backend requires scipy.sparse; "
+                "use 'dense_lu' instead"
+            )
+        super().__init__(space)
+        self._rows, self._cols = space.sparse_pattern()
+
+    def _factorize(self, a: np.ndarray):
+        tele = get_telemetry()
+        mat = _csc_matrix(
+            (a[self._rows, self._cols], (self._rows, self._cols)),
+            shape=a.shape,
+        )
+        if mat.nnz != np.count_nonzero(a) and not np.array_equal(
+            mat.toarray(), a
+        ):
+            # Values landed outside the compiled pattern (e.g. a caller
+            # edited the base in place); exact conversion keeps the
+            # solve correct and telemetry flags the pattern miss.
+            tele.incr("sparse_pattern_misses")
+            mat = _csc_matrix(a)
+        tele.incr("sparse_refactorizations")
+        return _splu(mat)
+
+    def _backsolve(self, rhs: np.ndarray) -> np.ndarray:
+        return self._factorization.solve(np.asarray(rhs, dtype=float))
 
 
 #: Backend registry: name -> solver class.
@@ -317,9 +398,30 @@ def available_backends() -> Dict[str, Type[LinearSolver]]:
 
 BackendSpec = Union[str, Type[LinearSolver]]
 
+#: ``"auto"`` picks the sparse backend at or above this solve dimension.
+#: Below it the dense LU's BLAS constant factors win; the crossover was
+#: measured on the paper's chain-structured segment/ring matrices.
+SPARSE_AUTO_DIM = 48
+
+
+def resolve_backend(backend: BackendSpec, space: SolveSpace) -> BackendSpec:
+    """Resolve the ``"auto"`` backend choice for one solve space.
+
+    ``"auto"`` maps to ``"sparse"`` when scipy.sparse is available and
+    the space's dimension is at least :data:`SPARSE_AUTO_DIM`, else to
+    ``"dense_lu"``.  Every other spec passes through unchanged.
+    """
+    if backend == "auto":
+        if _splu is not None and space.dim >= SPARSE_AUTO_DIM:
+            return "sparse"
+        return "dense_lu"
+    return backend
+
 
 def make_solver(backend: BackendSpec, space: SolveSpace) -> LinearSolver:
-    """Instantiate a backend from a registry name or a solver class."""
+    """Instantiate a backend from a registry name, a solver class, or
+    ``"auto"`` (size-thresholded sparse/dense choice per solve space)."""
+    backend = resolve_backend(backend, space)
     if isinstance(backend, str):
         try:
             cls = _BACKENDS[backend]
@@ -336,3 +438,5 @@ def make_solver(backend: BackendSpec, space: SolveSpace) -> LinearSolver:
 register_backend("dense", DenseDirect)
 register_backend("dense_lu", DenseLU)
 register_backend("batched", BatchedDense)
+if _splu is not None:  # registered only on scipy-equipped hosts
+    register_backend("sparse", SparseLU)

@@ -352,6 +352,38 @@ class SolveSpace:
                     dynamic.append((r, sign, src.waveform))
         self.b_static = b_static
         self._dynamic_sources = dynamic
+        self._sparse_pattern: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Sparsity
+    # ------------------------------------------------------------------
+    def sparse_pattern(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Coordinates of every potential Jacobian nonzero in this space.
+
+        Compiled from the same scatter targets the stamp methods write
+        through: the static matrix (gmin diagonal + source incidence),
+        the resistor and capacitor quad stamps, the MOSFET Jacobian
+        entries, and the full diagonal (gmin stepping and ``.IC`` clamps
+        add there).  Sparse backends build their CSR/CSC structure from
+        this pattern instead of scanning assembled dense matrices.
+
+        Returns:
+            ``(rows, cols)`` index arrays, deduplicated and ordered by
+            flat position; cached after the first call.
+        """
+        if self._sparse_pattern is None:
+            dim = self.dim
+            diag = np.arange(dim, dtype=np.intp)
+            flat = np.concatenate([
+                np.flatnonzero(self.a_static.reshape(-1)).astype(np.intp),
+                diag * dim + diag,
+                self.res_a.targets,
+                self.cap_a.targets,
+                self.fet_a.targets,
+            ])
+            targets = np.unique(flat)
+            self._sparse_pattern = (targets // dim, targets % dim)
+        return self._sparse_pattern
 
     # ------------------------------------------------------------------
     # Pinned voltages and solution scatter

@@ -38,6 +38,56 @@ from repro.telemetry import get_telemetry
 CLAMP_G = 1e3
 
 
+def companion_geq(cap_c: np.ndarray, h: float, use_trap: bool) -> np.ndarray:
+    """Companion-model conductance per capacitor for a step of ``h``."""
+    return (2.0 if use_trap else 1.0) * cap_c / h
+
+
+def newton_update(
+    xa: np.ndarray,
+    x_new: np.ndarray,
+    num_nodes: int,
+    opts: NewtonOptions,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One damped Newton acceptance step over the active corners.
+
+    The single implementation of the damping/convergence arithmetic,
+    shared by :func:`newton_iterate` and the ragged pack stepper
+    (:mod:`repro.spice.ragged`) so packed solves accept iterates with
+    bit-identical arithmetic to standalone solves.
+
+    Args:
+        xa: Current iterates, ``(A, size)`` full coordinates.
+        x_new: Undamped solver proposals, same shape.
+        num_nodes: Number of node unknowns (leading block of ``x``).
+        opts: Newton tuning knobs.
+
+    Returns:
+        ``(xa_next, max_dv, worst_node, converged)``: the damped (or,
+        where converged with a small step, undamped) next iterates, the
+        per-corner max node-voltage update, the node index realizing it,
+        and the per-corner convergence mask.
+    """
+    delta = x_new - xa
+    if num_nodes > 1:
+        dv_nodes = np.abs(delta[:, :num_nodes])
+        max_dv = dv_nodes.max(axis=1)
+        worst = dv_nodes.argmax(axis=1)
+    else:
+        max_dv = np.zeros(len(xa))
+        worst = np.zeros(len(xa), dtype=np.intp)
+    xa = xa + np.clip(delta, -opts.damping, opts.damping)
+    vmax = np.abs(xa[:, :num_nodes]).max(axis=1) + 1e-12
+    converged = max_dv < opts.vntol + opts.reltol * vmax
+    if converged.any():
+        # Take the undamped final solution where the step was small.
+        undamped = (np.abs(delta) <= opts.damping + 1e-15).all(axis=1)
+        take = converged & undamped
+        if take.any():
+            xa[take] = x_new[take]
+    return xa, max_dv, worst, converged
+
+
 def newton_iterate(
     solver: LinearSolver,
     space: SolveSpace,
@@ -115,22 +165,8 @@ def newton_iterate(
 
         x_new = xa.copy()
         x_new[:, space.kept] = sol
-        delta = x_new - xa
-        if num_nodes > 1:
-            dv_nodes = np.abs(delta[:, :num_nodes])
-            max_dv = dv_nodes.max(axis=1)
-            last_node[active] = dv_nodes.argmax(axis=1)
-        else:
-            max_dv = np.zeros(len(active))
-        xa = xa + np.clip(delta, -opts.damping, opts.damping)
-        vmax = np.abs(xa[:, :num_nodes]).max(axis=1) + 1e-12
-        converged = max_dv < opts.vntol + opts.reltol * vmax
-        if converged.any():
-            # Take the undamped final solution where the step was small.
-            undamped = (np.abs(delta) <= opts.damping + 1e-15).all(axis=1)
-            take = converged & undamped
-            if take.any():
-                xa[take] = x_new[take]
+        xa, max_dv, worst, converged = newton_update(xa, x_new, num_nodes, opts)
+        last_node[active] = worst
         x[active] = xa
         last_dv[active] = max_dv
         if converged.all():
@@ -278,7 +314,7 @@ class TransientStepper:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(base matrix, geq, B_pin): linear assembly plus companions."""
         space = self.space
-        geq = (2.0 if use_trap else 1.0) * self.cap_c / h
+        geq = companion_geq(self.cap_c, h, use_trap)
         batched = self.a_linear.ndim == 3 or geq.ndim == 2
         if batched:
             m = space.dim
@@ -303,19 +339,24 @@ class TransientStepper:
         return solver, geq, bpin
 
     # -- stepping --------------------------------------------------------
-    def _single_step(
+    def _assemble_rhs(
         self,
-        solver: LinearSolver,
         geq: np.ndarray,
         bpin: np.ndarray,
         use_trap: bool,
         t_new: float,
-        x_guess: np.ndarray,
         vc: np.ndarray,
         ic: np.ndarray,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> Tuple[
+        np.ndarray, Optional[np.ndarray], Optional[np.ndarray], np.ndarray
+    ]:
+        """Linear RHS of one time step: sources, pinned columns, companions.
+
+        Returns ``(b, vpin, fet_vpin, ieq)``; also the reuse point for
+        the ragged pack stepper, which assembles each member through its
+        own :class:`TransientStepper` and shares only the Newton loop.
+        """
         space = self.space
-        plan = self.plan
         b = np.zeros((self.num_corners, space.dim))
         space.source_rhs_into(b, t_new)
         vpin = None
@@ -327,12 +368,41 @@ class TransientStepper:
                 fet_vpin = space.fet_pin_values(vpin)
         ieq = geq * vc + ic if use_trap else geq * vc
         space.stamp_capacitor_rhs(b, ieq)
-        x_new = newton_iterate(
-            solver, space, self.fets, b, x_guess, self.options,
-            label=f"tran t={t_new:.3e}", pinned=vpin, fet_vpin=fet_vpin,
-        )
+        return b, vpin, fet_vpin, ieq
+
+    def _cap_state(
+        self,
+        x_new: np.ndarray,
+        geq: np.ndarray,
+        ieq: np.ndarray,
+        vc: np.ndarray,
+        use_trap: bool,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Next capacitor state ``(vc, ic)`` after an accepted step."""
+        plan = self.plan
         vc_new = x_new[:, plan.cap_n1] - x_new[:, plan.cap_n2]
         ic_new = geq * vc_new - ieq if use_trap else geq * (vc_new - vc)
+        return vc_new, ic_new
+
+    def _single_step(
+        self,
+        solver: LinearSolver,
+        geq: np.ndarray,
+        bpin: np.ndarray,
+        use_trap: bool,
+        t_new: float,
+        x_guess: np.ndarray,
+        vc: np.ndarray,
+        ic: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        b, vpin, fet_vpin, ieq = self._assemble_rhs(
+            geq, bpin, use_trap, t_new, vc, ic
+        )
+        x_new = newton_iterate(
+            solver, self.space, self.fets, b, x_guess, self.options,
+            label=f"tran t={t_new:.3e}", pinned=vpin, fet_vpin=fet_vpin,
+        )
+        vc_new, ic_new = self._cap_state(x_new, geq, ieq, vc, use_trap)
         return x_new, vc_new, ic_new
 
     def _advance(

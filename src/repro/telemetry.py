@@ -10,8 +10,7 @@ accumulate.
 This module *is* the canonical import path.  It lives at the top level
 (dependency-free) so the :mod:`repro.spice` solver layers can import it
 without touching the :mod:`repro.core` package and its heavier import
-graph.  :mod:`repro.core.telemetry` survives only as a deprecated
-re-export shim.
+graph.
 
 Design constraints:
 

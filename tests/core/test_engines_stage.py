@@ -132,3 +132,128 @@ class TestBatchedMonteCarlo:
         m1 = engine.delta_t_mc(Tsv(), variation, 6, m=1, seed=9)
         m2 = engine.delta_t_mc(Tsv(), variation, 6, m=2, seed=9)
         assert np.mean(m2) == pytest.approx(2 * np.mean(m1), rel=0.2)
+
+
+class TestFamilyKeyPartition:
+    """The family/batch key matrix: what coalesces at which tier.
+
+    ``batch_key`` partitions by everything including circuit content;
+    ``family_key`` only by engine configuration + effective supply.  The
+    matrix below pins which request pairs share which key -- the
+    contract the service's ``coalesce="family"`` policy relies on.
+    """
+
+    def engine(self):
+        return StageDelayEngine(timestep=40e-12)
+
+    def req(self, **kw):
+        from repro.core.engines.base import MeasurementRequest
+
+        kw.setdefault("tsv", Tsv())
+        kw.setdefault("num_samples", 1)
+        return MeasurementRequest(**kw)
+
+    def test_scalar_requests_have_no_keys(self):
+        engine = self.engine()
+        scalar = self.req(num_samples=None)
+        assert engine.batch_key(scalar) is None
+        assert engine.family_key(scalar) is None
+
+    def test_different_faults_same_family_different_exact(self):
+        engine = self.engine()
+        a = self.req(tsv=Tsv())
+        b = self.req(tsv=Tsv(fault=Leakage(5e4)))
+        c = self.req(tsv=Tsv(fault=ResistiveOpen(2e3)))
+        exact = {engine.batch_key(r) for r in (a, b, c)}
+        family = {engine.family_key(r) for r in (a, b, c)}
+        assert len(exact) == 3
+        assert len(family) == 1
+
+    def test_supply_splits_both_keys(self):
+        engine = self.engine()
+        a, b = self.req(vdd=1.1), self.req(vdd=0.8)
+        assert engine.batch_key(a) != engine.batch_key(b)
+        assert engine.family_key(a) != engine.family_key(b)
+
+    def test_stop_policy_splits_both_keys(self):
+        from repro.core.engines.base import StopTimePolicy
+
+        engine = self.engine()
+        a = self.req()
+        b = self.req(stop_policy=StopTimePolicy(settle=2.0e-9))
+        assert engine.batch_key(a) != engine.batch_key(b)
+        assert engine.family_key(a) != engine.family_key(b)
+
+    def test_engine_knobs_split_both_keys(self):
+        a = StageDelayEngine(timestep=40e-12)
+        b = StageDelayEngine(timestep=20e-12)
+        request = self.req()
+        assert a.batch_key(request) != b.batch_key(request)
+        assert a.family_key(request) != b.family_key(request)
+
+    def test_identical_requests_share_exact_key(self):
+        engine = self.engine()
+        assert engine.batch_key(self.req(seed=1)) == \
+            engine.batch_key(self.req(seed=2))
+
+    def test_base_class_family_degenerates_to_batch_key(self):
+        from repro.core.engines import AnalyticEngine
+
+        engine = AnalyticEngine()
+        request = self.req()
+        assert engine.family_key(request) == engine.batch_key(request)
+
+
+class TestFamilyPackedMeasureBatch:
+    """Cross-topology family packing == serial measurement, bit for bit."""
+
+    def test_mixed_faults_pack_and_match_serial(self):
+        from repro.core.engines.base import MeasurementRequest
+        from repro.spice.cache import cache_disabled
+        from repro.telemetry import use_telemetry
+
+        engine = StageDelayEngine(timestep=40e-12)
+        variation = ProcessVariation()
+        requests = [
+            MeasurementRequest(
+                tsv=tsv, seed=seed, variation=variation, num_samples=1
+            )
+            for tsv in (
+                Tsv(),
+                Tsv(fault=Leakage(5e4)),
+                Tsv(fault=ResistiveOpen(2e3)),
+            )
+            for seed in (1, 2)
+        ]
+        with cache_disabled():
+            serial = [engine.measure(r) for r in requests]
+            with use_telemetry() as tele:
+                batched = engine.measure_batch(requests)
+        assert len(batched) == len(serial)
+        for got, want in zip(batched, serial):
+            assert got.delta_t == want.delta_t
+            assert got.vdd == want.vdd
+            np.testing.assert_array_equal(got.samples, want.samples)
+        # The equality must have been earned through one ragged pack
+        # spanning all three exact groups (2 sims per group: on/bypassed).
+        assert tele.count("ragged.packs") == 1
+        assert tele.histogram("ragged.pack_members").max == 6
+        assert tele.histogram("stagedelay.family_span").max == 3
+
+    def test_single_group_families_keep_the_concat_path(self):
+        from repro.core.engines.base import MeasurementRequest
+        from repro.spice.cache import cache_disabled
+        from repro.telemetry import use_telemetry
+
+        engine = StageDelayEngine(timestep=40e-12)
+        requests = [
+            MeasurementRequest(
+                tsv=Tsv(), seed=seed, variation=ProcessVariation(),
+                num_samples=1,
+            )
+            for seed in (1, 2)
+        ]
+        with cache_disabled(), use_telemetry() as tele:
+            engine.measure_batch(requests)
+        assert tele.count("ragged.packs") == 0
+        assert tele.histogram("stagedelay.family_span").max == 1

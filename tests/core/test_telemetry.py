@@ -2,7 +2,6 @@
 
 import math
 import time
-import warnings
 
 import pytest
 
@@ -124,23 +123,9 @@ class TestInstrumentationHooks:
         assert tele.count("newton_solves") >= 1
         assert tele.count("newton_iterations") >= tele.count("newton_solves")
 
-    def test_shim_module_reexports_implementation_and_deprecates(self):
-        import importlib
-        import sys
-
-        import repro.telemetry as impl
-
-        sys.modules.pop("repro.core.telemetry", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            import repro.core.telemetry as shim
-
-            shim = importlib.reload(shim)
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        assert shim.Telemetry is impl.Telemetry
-        assert shim.get_telemetry is impl.get_telemetry
+    def test_legacy_shim_module_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.core.telemetry  # noqa: F401
 
 
 class TestHistograms:

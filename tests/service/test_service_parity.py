@@ -190,3 +190,74 @@ class TestFlowParity:
 
         responses = run(scenario())
         assert [r.delta_t for r in responses] == flow_values
+
+
+class TestCoalescePolicies:
+    """The three grouping policies trade batch width for key strictness.
+
+    ``"family"`` (default) must widen coalescing across circuit-content
+    variants without changing any number; ``"exact"`` restores the
+    pre-family grouping; ``"none"`` disables coalescing entirely.
+    """
+
+    def requests(self):
+        variation = ProcessVariation()
+        tsvs = [Tsv(), Tsv(fault=Leakage(5e4)), Tsv(fault=ResistiveOpen(2e3))]
+        return [
+            ScreenRequest(
+                tsv=tsv, seed=seed, variation=variation, num_samples=1
+            )
+            for tsv in tsvs for seed in range(2)
+        ]
+
+    def run_policy(self, engine, coalesce):
+        async def scenario():
+            async with ScreeningService(
+                engine=engine, batch_window_s=0.02, coalesce=coalesce
+            ) as service:
+                return await service.submit_many(self.requests())
+
+        with use_telemetry() as telemetry:
+            responses = run(scenario())
+            snapshot = telemetry.snapshot()
+        assert all(r.status is ResponseStatus.OK for r in responses)
+        return responses, snapshot
+
+    def test_family_policy_packs_across_faults_bit_identically(self):
+        engine = COARSE.build()
+        serial = [
+            engine.measure(request.to_measurement())
+            for request in self.requests()
+        ]
+        responses, snapshot = self.run_policy(engine, "family")
+        for response, expected in zip(responses, serial):
+            assert response.delta_t == expected.delta_t
+            np.testing.assert_array_equal(response.samples, expected.samples)
+        # One family batch spanning all three exact groups.
+        assert snapshot["histograms"]["service.family_span"]["max"] == 3
+        assert snapshot["histograms"]["service.batch_occupancy"]["max"] == 6
+        assert snapshot["counters"]["ragged.packs"] >= 1
+
+    def test_exact_policy_never_spans_exact_groups(self):
+        responses, snapshot = self.run_policy(COARSE.build(), "exact")
+        assert snapshot["histograms"]["service.family_span"]["max"] == 1
+        # Same-fault requests still coalesce (occupancy 2 per group).
+        assert snapshot["histograms"]["service.batch_occupancy"]["max"] == 2
+        assert snapshot["counters"].get("ragged.packs", 0) == 0
+
+    def test_none_policy_solves_every_request_alone(self):
+        responses, snapshot = self.run_policy(COARSE.build(), "none")
+        assert all(r.batch_size == 1 for r in responses)
+        assert snapshot["histograms"]["service.batch_occupancy"]["max"] == 1
+
+    def test_policies_agree_numerically(self):
+        engine = COARSE.build()
+        family, _ = self.run_policy(engine, "family")
+        exact, _ = self.run_policy(engine, "exact")
+        none, _ = self.run_policy(engine, "none")
+        for a, b, c in zip(family, exact, none):
+            assert a.delta_t == b.delta_t == c.delta_t
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="coalesce policy"):
+            ScreeningService(engine=COARSE, coalesce="fuzzy")

@@ -128,3 +128,83 @@ class TestMonteCarloParameters:
         sim = BatchedSimulation(rc_circuit(), BatchParameters.nominal(1))
         with pytest.raises(ValueError):
             sim.transient(1e-9, -1e-12)
+
+
+class TestConcatValidation:
+    """Structured errors from :meth:`BatchParameters.concat`.
+
+    The screening service concatenates per-request parameter draws; a
+    shape mismatch must name the offending part so a bad coalescing key
+    is debuggable from the exception alone.
+    """
+
+    def test_concat_stacks_corners_in_order(self):
+        circuit = inverter_circuit()
+        parts = [
+            BatchParameters.monte_carlo(circuit, ProcessVariation(), n, seed=n)
+            for n in (2, 3)
+        ]
+        merged = BatchParameters.concat(parts)
+        assert merged.num_corners == 5
+        assert np.array_equal(merged.mosfet_dvth[:2], parts[0].mosfet_dvth)
+        assert np.array_equal(merged.mosfet_dvth[2:], parts[1].mosfet_dvth)
+
+    def test_empty_concat_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BatchParameters.concat([])
+
+    def test_mixed_nominal_and_mc_names_the_part(self):
+        circuit = inverter_circuit()
+        parts = [
+            BatchParameters.monte_carlo(circuit, ProcessVariation(), 2),
+            BatchParameters.nominal(2),
+        ]
+        with pytest.raises(ValueError, match="part 1 omits mosfet_dvth"):
+            BatchParameters.concat(parts)
+
+    def test_mosfet_count_mismatch_names_the_part(self):
+        parts = [
+            BatchParameters(
+                num_corners=2,
+                mosfet_dvth=np.zeros((2, 4)),
+                mosfet_dl_rel=np.zeros((2, 4)),
+            ),
+            BatchParameters(
+                num_corners=2,
+                mosfet_dvth=np.zeros((2, 4)),
+                mosfet_dl_rel=np.zeros((2, 4)),
+            ),
+            BatchParameters(
+                num_corners=1,
+                mosfet_dvth=np.zeros((1, 6)),
+                mosfet_dl_rel=np.zeros((1, 6)),
+            ),
+        ]
+        with pytest.raises(
+            ValueError, match="part 2 has mosfet_dvth for 6 mosfets but "
+                              "part 0 has 4"
+        ):
+            BatchParameters.concat(parts)
+
+    def test_resistor_name_mismatch_names_part_and_element(self):
+        parts = [
+            BatchParameters.nominal(2).with_resistor("r1", np.ones(2)),
+            BatchParameters.nominal(2).with_resistor("r2", np.ones(2)),
+        ]
+        with pytest.raises(
+            ValueError, match=r"part 1 overrides different resistors.*"
+                              r"\['r1', 'r2'\]"
+        ):
+            BatchParameters.concat(parts)
+
+    def test_capacitor_name_mismatch_names_part_and_element(self):
+        parts = [
+            BatchParameters.nominal(1).with_capacitor("c1", np.ones(1)),
+            BatchParameters.nominal(1).with_capacitor("c1", np.ones(1)),
+            BatchParameters.nominal(1),
+        ]
+        with pytest.raises(
+            ValueError, match=r"part 2 overrides different capacitors.*"
+                              r"\['c1'\]"
+        ):
+            BatchParameters.concat(parts)

@@ -296,3 +296,90 @@ class TestNoDuplicatedIntegratorLogic:
                 f"{module.__name__} re-implements integrator logic "
                 f"(found {token!r})"
             )
+
+
+class TestSparseBackend:
+    """The splu-cached CSC backend: pattern, auto-selection, goldens."""
+
+    def test_sparse_pattern_covers_every_stamp_target(self):
+        _, circuit = _leakage_stage()
+        space = StampPlan(circuit, gmin=1e-9).condensed
+        rows, cols = space.sparse_pattern()
+        # The static linear assembly must fit entirely in the pattern.
+        r, c = np.nonzero(space.a_static)
+        pattern = set(zip(rows.tolist(), cols.tolist()))
+        assert set(zip(r.tolist(), c.tolist())) <= pattern
+        # Plus the full diagonal (gmin / companion stamps land there).
+        assert all((d, d) in pattern for d in range(space.dim))
+
+    def test_auto_resolution_by_dimension(self):
+        from repro.spice.linalg import SPARSE_AUTO_DIM, resolve_backend
+
+        _, circuit = _leakage_stage()
+        space = StampPlan(circuit, gmin=1e-9).condensed
+        expected = "sparse" if space.dim >= SPARSE_AUTO_DIM else "dense_lu"
+        assert resolve_backend("auto", space) == expected
+        assert resolve_backend("dense", space) == "dense"
+
+    def test_make_solver_resolves_auto(self):
+        from repro.spice.linalg import SparseLU, DenseLU as _DenseLU
+
+        _, circuit = _leakage_stage()
+        space = StampPlan(circuit, gmin=1e-9).condensed
+        solver = make_solver("auto", space)
+        assert isinstance(solver, (SparseLU, _DenseLU))
+        assert isinstance(make_solver("sparse", space), SparseLU)
+
+
+class TestSparseGoldenParity:
+    """Sparse and dense LU reproduce the checked-in DeltaT goldens.
+
+    Same fixture and tolerances as :class:`TestGoldenDeltaTParity`, but
+    the transient runs through explicit backend choices: the sparse
+    factorization must agree with the dense LU within the cross-path
+    tolerance and both must stay on the goldens.
+    """
+
+    GOLDEN_TOL = 0.05e-12
+    CROSS_TOL = 0.01e-12
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        path = Path(__file__).parent.parent / "data" / "delta_t_parity.json"
+        return json.loads(path.read_text())
+
+    def _delta_t(self, engine, tsv, backend):
+        """Engine DeltaT with an explicit scalar solver backend."""
+        half = engine.config.vdd / 2.0
+        total = 0.0
+        deltas = []
+        for bypassed in (False, True):
+            circuit, _ = engine._segment_circuit(tsv, bypassed)
+            result = transient(
+                circuit, engine.stop_time(), engine.timestep,
+                record=["din", "dout"], backend=backend,
+            )
+            win = result.waveform("din")
+            wout = result.waveform("dout")
+            deltas.append(
+                win.propagation_delay_to(wout, half, edge_in="rise",
+                                         edge_out="rise")
+                + win.propagation_delay_to(wout, half, edge_in="fall",
+                                           edge_out="fall")
+            )
+        return deltas[0] - deltas[1]
+
+    def test_sparse_matches_dense_lu_and_goldens(self, golden):
+        from repro.core.engines import StageDelayEngine
+
+        engine = StageDelayEngine(timestep=golden["engine"]["timestep_s"])
+        probes = [(Tsv(), golden["scalar"]["fault_free"])] + [
+            (Tsv(fault=ResistiveOpen(r, golden["x_open"])), want)
+            for r, want in zip(golden["r_open_ohm"][:2],
+                               golden["scalar"]["open"][:2])
+        ]
+        for tsv, want in probes:
+            dense = self._delta_t(engine, tsv, "dense_lu")
+            sparse = self._delta_t(engine, tsv, "sparse")
+            assert sparse == pytest.approx(dense, abs=self.CROSS_TOL)
+            assert sparse == pytest.approx(want, abs=self.GOLDEN_TOL)

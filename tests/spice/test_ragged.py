@@ -1,0 +1,240 @@
+"""Ragged cross-topology packing: bit-identity, families, pack modes.
+
+The contract under test is the one the screening service's family
+coalescing rests on: packing mixed-topology :class:`BatchedSimulation`
+members into one shared time loop (``pack="bucket"``) must reproduce
+every member's standalone ``transient()`` traces *bit-for-bit* -- not
+approximately -- because dimension-bucketed stacked LAPACK solves are
+per-corner transparent.  The padded single-solve mode only promises
+solver-precision agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    DC,
+    NMOS_45LP,
+    PMOS_45LP,
+    RaggedPack,
+    Step,
+    TopologyFamily,
+    ragged_transient,
+)
+from repro.spice.batch import BatchParameters, BatchedSimulation
+from repro.spice.mna import NewtonOptions
+from repro.spice.montecarlo import ProcessVariation
+from repro.spice.netlist import GROUND
+from repro.telemetry import use_telemetry
+
+
+def rc_circuit(r=1000.0):
+    c = Circuit("rc")
+    c.add_vsource("vin", "in", GROUND, Step(0.0, 1.0, t0=20e-12, rise=1e-13))
+    c.add_resistor("r1", "in", "out", r)
+    c.add_capacitor("c1", "out", GROUND, 100e-15)
+    return c
+
+
+def inverter_circuit(vdd=1.1, series_r=None):
+    """CMOS inverter; an optional series resistor adds a node (new dim)."""
+    c = Circuit("inv")
+    drain = "mid" if series_r is not None else "out"
+    c.add_vsource("vdd", "vdd", GROUND, DC(vdd))
+    c.add_vsource("vin", "in", GROUND, Step(0.0, vdd, t0=50e-12, rise=20e-12))
+    c.add_mosfet("mp", drain, "in", "vdd", "vdd", PMOS_45LP, w=0.8e-6)
+    c.add_mosfet("mn", drain, "in", GROUND, GROUND, NMOS_45LP, w=0.4e-6)
+    if series_r is not None:
+        c.add_resistor("ro", "mid", "out", series_r)
+    c.add_capacitor("cl", "out", GROUND, 2e-15)
+    return c
+
+
+def mixed_sims():
+    """Four members spanning linear/nonlinear, three distinct dims."""
+    var = ProcessVariation()
+    sims = []
+    for i, circuit in enumerate([
+        rc_circuit(),
+        inverter_circuit(),
+        inverter_circuit(series_r=5e3),
+        inverter_circuit(vdd=0.9),
+    ]):
+        params = (
+            BatchParameters.monte_carlo(circuit, var, 3, seed=11 + i)
+            if circuit.mosfets else BatchParameters.nominal(2)
+        )
+        sims.append(BatchedSimulation(circuit, params))
+    return sims
+
+
+class TestBucketBitIdentity:
+    def test_mixed_topologies_match_standalone_exactly(self):
+        sims = mixed_sims()
+        solo = [s.transient(400e-12, 1e-12, record=["out"]) for s in sims]
+        packed = ragged_transient(sims, 400e-12, 1e-12, record=["out"])
+        assert len(packed) == len(sims)
+        for a, b in zip(solo, packed):
+            assert np.array_equal(a.time, b.time)
+            assert np.array_equal(a.voltages["out"], b.voltages["out"])
+            assert a.num_corners == b.num_corners
+
+    def test_per_corner_resistor_overrides_pack_bit_identically(self):
+        # A stacked (S, m, m) base matrix member next to shared-base ones.
+        values = np.array([500.0, 1000.0, 2000.0])
+        params = BatchParameters.nominal(3).with_resistor("r1", values)
+        sims = [
+            BatchedSimulation(rc_circuit(), params),
+            BatchedSimulation(inverter_circuit(),
+                              BatchParameters.nominal(2)),
+        ]
+        solo = [s.transient(300e-12, 1e-12, record=["out"]) for s in sims]
+        packed = ragged_transient(sims, 300e-12, 1e-12, record=["out"])
+        for a, b in zip(solo, packed):
+            assert np.array_equal(a.voltages["out"], b.voltages["out"])
+
+    def test_single_member_pack_is_standalone(self):
+        sim = BatchedSimulation(rc_circuit(), BatchParameters.nominal(2))
+        solo = sim.transient(200e-12, 1e-12, record=["out"])
+        packed = ragged_transient([sim], 200e-12, 1e-12, record=["out"])
+        assert np.array_equal(
+            solo.voltages["out"], packed[0].voltages["out"]
+        )
+
+    def test_backward_euler_method_matches(self):
+        sims = [
+            BatchedSimulation(rc_circuit(), BatchParameters.nominal(2)),
+            BatchedSimulation(rc_circuit(500.0), BatchParameters.nominal(1)),
+        ]
+        solo = [
+            s.transient(200e-12, 1e-12, record=["out"], method="be")
+            for s in sims
+        ]
+        packed = ragged_transient(
+            sims, 200e-12, 1e-12, record=["out"], method="be"
+        )
+        for a, b in zip(solo, packed):
+            assert np.array_equal(a.voltages["out"], b.voltages["out"])
+
+
+class TestPadMode:
+    def test_padded_solves_agree_to_solver_precision(self):
+        sims = mixed_sims()
+        solo = [s.transient(400e-12, 1e-12, record=["out"]) for s in sims]
+        packed = ragged_transient(
+            sims, 400e-12, 1e-12, record=["out"], pack="pad"
+        )
+        for a, b in zip(solo, packed):
+            np.testing.assert_allclose(
+                b.voltages["out"], a.voltages["out"],
+                rtol=1e-6, atol=1e-9,
+            )
+
+    def test_pad_waste_model(self):
+        sims = mixed_sims()
+        pack = RaggedPack(sims)
+        solved = sum(
+            m.num_corners * m.space.dim ** 3 for m in pack.members
+        )
+        padded = pack.num_corners * pack.max_dim ** 3
+        assert pack.pad_waste == pytest.approx(1.0 - solved / padded)
+        assert 0.0 < pack.pad_waste < 1.0
+
+    def test_uniform_pack_wastes_nothing(self):
+        sims = [
+            BatchedSimulation(rc_circuit(r), BatchParameters.nominal(2))
+            for r in (500.0, 1000.0)
+        ]
+        assert RaggedPack(sims).pad_waste == 0.0
+
+
+class TestTopologyFamily:
+    def test_values_do_not_split_families(self):
+        a = TopologyFamily.of(rc_circuit(500.0))
+        b = TopologyFamily.of(rc_circuit(2000.0))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_supply_does_not_split_families(self):
+        a = TopologyFamily.of(inverter_circuit(1.1))
+        b = TopologyFamily.of(inverter_circuit(0.9))
+        assert a == b
+
+    def test_structure_splits_families(self):
+        a = TopologyFamily.of(inverter_circuit())
+        b = TopologyFamily.of(inverter_circuit(series_r=5e3))
+        assert a != b
+        assert b.num_resistors == a.num_resistors + 1
+        assert b.dim > a.dim
+
+    def test_of_accepts_precompiled_plan(self):
+        sim = BatchedSimulation(rc_circuit(), BatchParameters.nominal(1))
+        assert TopologyFamily.of(sim.circuit, sim.plan) == \
+            TopologyFamily.of(rc_circuit())
+
+    def test_pack_exposes_member_families(self):
+        sims = mixed_sims()
+        families = RaggedPack(sims).families
+        assert len(families) == len(sims)
+        assert families[1] != families[2]
+
+
+class TestValidation:
+    def test_empty_pack_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            RaggedPack([])
+
+    def test_mismatched_newton_options_rejected(self):
+        sims = [
+            BatchedSimulation(rc_circuit(), BatchParameters.nominal(1)),
+            BatchedSimulation(
+                rc_circuit(), BatchParameters.nominal(1),
+                options=NewtonOptions(damping=0.2),
+            ),
+        ]
+        with pytest.raises(ValueError, match="member 1.*Newton options"):
+            RaggedPack(sims)
+
+    def test_missing_record_node_names_the_member(self):
+        sims = [
+            BatchedSimulation(inverter_circuit(series_r=5e3),
+                              BatchParameters.nominal(1)),
+            BatchedSimulation(rc_circuit(), BatchParameters.nominal(1)),
+        ]
+        with pytest.raises(ValueError, match=r"member 1.*\['mid'\]"):
+            ragged_transient(sims, 100e-12, 1e-12, record=["out", "mid"])
+
+    def test_default_record_rejected(self):
+        sims = [BatchedSimulation(rc_circuit(), BatchParameters.nominal(1))]
+        with pytest.raises(ValueError, match="node names"):
+            ragged_transient(sims, 100e-12, 1e-12)
+
+    def test_unknown_pack_mode_rejected(self):
+        sims = [BatchedSimulation(rc_circuit(), BatchParameters.nominal(1))]
+        with pytest.raises(ValueError, match="pack mode"):
+            ragged_transient(sims, 100e-12, 1e-12, record=["out"],
+                             pack="diagonal")
+
+
+class TestTelemetry:
+    def test_pack_counters_and_waste_are_reported(self):
+        sims = mixed_sims()
+        with use_telemetry() as tele:
+            ragged_transient(sims, 100e-12, 1e-12, record=["out"])
+        assert tele.count("ragged.packs") == 1
+        assert tele.histogram("ragged.pack_members").max == len(sims)
+        assert tele.histogram("ragged.pack_corners").max == sum(
+            s.num_corners for s in sims
+        )
+        assert tele.histogram("ragged.pad_waste").count == 1
+        assert tele.count("ragged.bucket_solves") > 0
+
+    def test_pad_mode_counts_padded_solves(self):
+        sims = mixed_sims()
+        with use_telemetry() as tele:
+            ragged_transient(
+                sims, 100e-12, 1e-12, record=["out"], pack="pad"
+            )
+        assert tele.count("ragged.padded_solves") > 0
+        assert tele.count("ragged.bucket_solves") == 0

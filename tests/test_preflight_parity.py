@@ -4,8 +4,7 @@ The analyzer is only trustworthy as a fail-fast gate if it never
 rejects (or even warns about) the circuits the repo itself builds: the
 examples' declared netlists, the engines' segment/closer/ring shapes,
 and the benchmark topologies.  Plus smoke tests of the
-``python -m repro.spice.staticcheck`` CLI (and its deprecated
-``repro.staticcheck`` shim).
+``python -m repro.spice.staticcheck`` CLI.
 """
 
 from pathlib import Path
@@ -145,22 +144,7 @@ class TestCli:
         assert "zero-cap-dynamic-node" in capsys.readouterr().out
 
 
-class TestDeprecatedShim:
-    def test_shim_warns_and_reexports(self):
-        import importlib
-        import sys
-        import warnings
-
-        sys.modules.pop("repro.staticcheck", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            import repro.staticcheck as shim
-
-            shim = importlib.reload(shim)
-        messages = [
-            str(w.message) for w in caught
-            if issubclass(w.category, DeprecationWarning)
-        ]
-        assert any("repro.spice.staticcheck" in m for m in messages)
-        assert shim.main is main
-        assert shim.discover is discover
+class TestShimRemoved:
+    def test_legacy_entry_point_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.staticcheck  # noqa: F401
