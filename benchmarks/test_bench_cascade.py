@@ -1,0 +1,229 @@
+"""E16 -- multi-fidelity cascade cost vs all-top-stage screening.
+
+The cascade's pitch is economic: the statistical escape harness
+(``tests/cascade/``) certifies it ships (almost) nothing the top engine
+would reject, and this bench prices what that certificate saves.  The
+same die population is screened twice:
+
+* **full** -- every TSV measured with the ladder's top engine
+  (stage-delay transient) at every supply, the paper's plain flow;
+* **cascade** -- every TSV measured with the analytic stage-0 engine,
+  only ambiguous TSVs escalated to the top engine.
+
+Each side runs inside its own isolated in-memory solve cache, and the
+population carries per-TSV capacitance variation, so the full flow
+really pays one transient per (TSV, supply) -- no cross-TSV
+memoization subsidizes either side.  Asserted claims: verdicts agree
+die-for-die, the cascade resolves >= 90% of TSVs at stage 0, and the
+screening wall-clock drops by >= 3x.
+
+A second experiment prices the :class:`PersistentSolveCache`: the
+ladder is characterized twice against one on-disk store -- a cold run
+that computes everything and a warm run (fresh process-equivalent
+instance, same file) that must hit > 90% of its characterization
+solves.  Speedup, stage measurement counts, and the cold/warm hit rates
+land in ``BENCH_cascade.json`` for the ``cascade-smoke`` CI job to
+publish.
+
+Environment knobs:
+
+* ``REPRO_BENCH_CASCADE_TIMESTEP_PS`` -- top-stage (stage-delay)
+  timestep in ps (default 8; the routing decisions are identical at any
+  resolution, so CI spends its seconds on the cost ratio, not on
+  picoseconds).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.reporting import Table, format_seconds
+from repro.cascade import CascadeConfig
+from repro.core.engines.registry import spec as engine_spec
+from repro.spice.cache import PersistentSolveCache, SolveCache, use_cache
+from repro.workloads.flow import ScreeningFlow
+from repro.workloads.generator import DiePopulation
+
+NUM_DIES = 8
+NUM_TSVS = 4
+VOLTAGES = (1.1, 0.8)
+SEED = 11
+
+
+def cascade_timestep() -> float:
+    return float(
+        os.environ.get("REPRO_BENCH_CASCADE_TIMESTEP_PS", "8")
+    ) * 1e-12
+
+
+def flow_kwargs() -> dict:
+    return dict(
+        voltages=VOLTAGES,
+        characterization_samples=48,
+        seed=SEED,
+        preflight=False,
+        measurement_variation=None,
+    )
+
+
+def _population():
+    # Default stats keep the 2% per-TSV capacitance spread: every TSV
+    # is a distinct circuit, so the full flow pays per TSV.
+    return [
+        DiePopulation(num_tsvs=NUM_TSVS, seed=2000 + k)
+        for k in range(NUM_DIES)
+    ]
+
+
+def _screen(flow, dies):
+    """Screen every die; returns (verdicts, wall seconds, metrics)."""
+    verdicts, metrics = [], []
+    t0 = time.perf_counter()
+    for k, pop in enumerate(dies):
+        m = flow.screen_die(pop, measure_seed=6000 + k)
+        verdicts.append((m.detected + m.overkill) > 0)
+        metrics.append(m)
+    return verdicts, time.perf_counter() - t0, metrics
+
+
+def test_bench_cascade_vs_full_fidelity(benchmark):
+    top = engine_spec("stagedelay", timestep=cascade_timestep())
+    config = CascadeConfig(
+        escalation=(top,), stage_characterization_samples=48
+    )
+    dies = _population()
+
+    # Isolated caches: neither side benefits from the other's solves,
+    # and characterization (outside the timed region) is paid by each
+    # flow through its own store.
+    with use_cache(SolveCache()):
+        cascade_flow = ScreeningFlow(
+            "analytic", cascade=config, **flow_kwargs()
+        )
+        cascade_flow.cascade.prepare()
+        cascade_verdicts, t_cascade, cascade_metrics = _screen(
+            cascade_flow, dies
+        )
+    with use_cache(SolveCache()):
+        full_flow = ScreeningFlow(top, **flow_kwargs())
+        full_verdicts, t_full, _ = _screen(full_flow, dies)
+
+    total_tsvs = sum(m.num_tsvs for m in cascade_metrics)
+    escalated = sum(m.escalated for m in cascade_metrics)
+    stage_counts: dict = {}
+    for m in cascade_metrics:
+        for name, count in m.stage_measurements.items():
+            stage_counts[name] = stage_counts.get(name, 0) + count
+    speedup = t_full / t_cascade
+    agree = sum(
+        1 for c, f in zip(cascade_verdicts, full_verdicts) if c == f
+    )
+
+    table = Table(
+        ["flow", "wall time", "top-engine measurements", "speedup"],
+        title=(f"E16: {NUM_DIES} dies x {NUM_TSVS} TSVs x "
+               f"{len(VOLTAGES)} supplies, stage-delay top stage"),
+    )
+    table.add_row([
+        "full fidelity", format_seconds(t_full),
+        str(2 * total_tsvs * len(VOLTAGES)), "1.0x",
+    ])
+    table.add_row([
+        "cascade", format_seconds(t_cascade),
+        str(stage_counts.get("stagedelay", 0)), f"{speedup:.1f}x",
+    ])
+    table.print()
+    print(f"\nescalated {escalated}/{total_tsvs} TSVs | verdict "
+          f"agreement {agree}/{NUM_DIES} | stage measurements "
+          f"{stage_counts}")
+
+    payload = {
+        "num_dies": NUM_DIES,
+        "num_tsvs_per_die": NUM_TSVS,
+        "voltages": list(VOLTAGES),
+        "timestep_ps": cascade_timestep() * 1e12,
+        "full": {"wall_s": t_full},
+        "cascade": {
+            "wall_s": t_cascade,
+            "escalated": escalated,
+            "total_tsvs": total_tsvs,
+            "stage_measurements": stage_counts,
+        },
+        "speedup": speedup,
+        "verdict_agreement": f"{agree}/{NUM_DIES}",
+    }
+    payload.update(_persistent_cache_experiment(config))
+    Path("BENCH_cascade.json").write_text(json.dumps(payload, indent=2))
+    print(f"wrote BENCH_cascade.json (speedup {speedup:.2f}x, warm hit "
+          f"rate {payload['persistent_cache']['warm_hit_rate']:.1%})")
+
+    # The cost claim: same verdicts, a fraction of the fidelity budget.
+    assert agree == NUM_DIES, "cascade and full-fidelity verdicts differ"
+    assert escalated <= 0.10 * total_tsvs, (
+        f"cascade escalated {escalated}/{total_tsvs} TSVs -- the cheap "
+        "stage is not resolving anything"
+    )
+    assert speedup >= 3.0, (
+        f"cascade speedup {speedup:.2f}x < 3x over all-top-stage"
+    )
+    assert payload["persistent_cache"]["warm_hit_rate"] > 0.90
+
+    # Registered timing: one cascade pass over a single die.
+    benchmark.pedantic(
+        lambda: _screen(cascade_flow, dies[:1]),
+        rounds=1, iterations=1,
+    )
+
+
+def _persistent_cache_experiment(config) -> dict:
+    """Characterize the ladder twice against one on-disk store.
+
+    The warm run opens a *fresh* cache instance on the same file --
+    the restarted-service / next-CI-run scenario -- and must find
+    essentially all of its characterization solves already there.
+    """
+    path = Path("BENCH_cascade_cache.sqlite")
+    if path.exists():
+        path.unlink()
+
+    def characterize_once() -> tuple:
+        cache = PersistentSolveCache(str(path))
+        with use_cache(cache):
+            t0 = time.perf_counter()
+            flow = ScreeningFlow(
+                "analytic",
+                cascade=CascadeConfig(
+                    escalation=config.escalation,
+                    stage_characterization_samples=(
+                        config.stage_characterization_samples
+                    ),
+                ),
+                **flow_kwargs(),
+            )
+            flow.cascade.prepare()
+            wall = time.perf_counter() - t0
+        stats = cache.stats()
+        cache.close()
+        return wall, stats
+
+    t_cold, cold = characterize_once()
+    t_warm, warm = characterize_once()
+    path.unlink(missing_ok=True)
+    Path(str(path) + "-wal").unlink(missing_ok=True)
+    Path(str(path) + "-shm").unlink(missing_ok=True)
+
+    print(f"persistent cache: cold {format_seconds(t_cold)} "
+          f"({cold['misses']:.0f} misses) -> warm "
+          f"{format_seconds(t_warm)} (hit rate {warm['hit_rate']:.1%})")
+    return {
+        "persistent_cache": {
+            "cold_wall_s": t_cold,
+            "warm_wall_s": t_warm,
+            "cold_misses": cold["misses"],
+            "warm_hits": warm["hits"],
+            "warm_misses": warm["misses"],
+            "warm_hit_rate": warm["hit_rate"],
+            "warm_speedup": t_cold / t_warm if t_warm > 0 else 0.0,
+        }
+    }

@@ -1,0 +1,177 @@
+"""Cascade configuration and escalation-decision records.
+
+The policy layer is pure data: what fidelities exist, how cautious the
+pass decision must be (the escape budget ``epsilon``), and a structured,
+JSON-serializable record of every routing decision -- which stage each
+TSV reached, why it escalated, and the verdict.  The golden fixtures in
+``tests/data/cascade_decisions.json`` are serialized
+:class:`DieDecision` records, so routing regressions surface as fixture
+diffs instead of statistical-harness reruns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "CascadeConfig",
+    "DieDecision",
+    "EscalationReason",
+    "TsvDecision",
+]
+
+
+class EscalationReason(str, Enum):
+    """Why a TSV was escalated past a cheaper fidelity."""
+
+    #: Some consistent fault hypothesis predicts a top-stage position
+    #: within the margin of a band edge (ambiguous verdict).
+    NEAR_BAND = "near_band"
+    #: Consistent hypotheses disagree: one predicts a confident pass,
+    #: another a confident top-stage flag.
+    LOW_AGREEMENT = "low_agreement"
+    #: No calibrated fault signature explains the measured DeltaT
+    #: vector -- a novel response is never resolved at a cheap stage.
+    NOVEL = "novel"
+    #: The die carried warning-severity preflight diagnostics.
+    PREFLIGHT = "preflight"
+
+
+@dataclass(frozen=True)
+class CascadeConfig:
+    """Knobs of the multi-fidelity screening cascade.
+
+    Args:
+        escalation: Fidelity ladder *above* the flow's own engine
+            (stage 0), cheapest first.  Entries are anything
+            :func:`repro.core.engines.registry.as_engine_factory`
+            accepts -- registry names, :class:`EngineSpec`, engines.
+        epsilon: Escape-rate budget of the whole cascade relative to the
+            top-stage verdict.  Split across the plan's voltages
+            (Bonferroni) to set the per-measurement confidence margin.
+        margin_scale: Multiplier on the prediction margin; > 1 trades
+            extra escalations for slack against calibration error.
+        match_tolerance: Max-norm distance (in band-sigma ``u`` units)
+            within which a measured DeltaT vector matches a calibrated
+            signature curve.  Larger values admit more hypotheses per
+            measurement (more conservative, more escalations).
+        predict_sigma: Residual uncertainty (``u`` units) of a curve
+            prediction -- interpolation error plus severity-grid
+            coarseness.  Sets the confident-verdict margin together
+            with the epsilon quantile.
+        noise_sigma: Extra per-measurement spread (``u`` units) when
+            measurements carry process variation; both the matching
+            tolerance and the verdict margin widen by it.  Noise-free
+            deterministic measurements drop this term.
+        stage_characterization_samples: Monte Carlo population per
+            voltage when characterizing an escalation stage that
+            supports batched MC (stage 0 keeps the flow's own sample
+            count).
+        escalate_on_preflight: Route every TSV of a die carrying
+            warning-severity preflight diagnostics past stage 0.
+    """
+
+    escalation: Tuple[Any, ...] = ("stagedelay", "transistor")
+    epsilon: float = 0.01
+    margin_scale: float = 1.0
+    match_tolerance: float = 0.45
+    predict_sigma: float = 0.15
+    noise_sigma: float = 0.35
+    stage_characterization_samples: int = 48
+    escalate_on_preflight: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.escalation:
+            raise ValueError("cascade needs at least one escalation stage")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.margin_scale <= 0.0:
+            raise ValueError("margin_scale must be positive")
+        if self.match_tolerance <= 0.0:
+            raise ValueError("match_tolerance must be positive")
+        if self.predict_sigma < 0.0:
+            raise ValueError("predict_sigma must be non-negative")
+        if self.noise_sigma < 0.0:
+            raise ValueError("noise_sigma must be non-negative")
+        if self.stage_characterization_samples < 2:
+            raise ValueError("stage characterization needs >= 2 samples")
+
+
+@dataclass
+class TsvDecision:
+    """Routing record for one TSV: stage reached, verdict, and why."""
+
+    index: int
+    flagged: bool
+    stage: int
+    stage_name: str
+    reasons: List[str] = field(default_factory=list)
+    measurements: int = 0
+    stage_measurements: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "flagged": self.flagged,
+            "stage": self.stage,
+            "stage_name": self.stage_name,
+            "reasons": list(self.reasons),
+            "measurements": self.measurements,
+        }
+
+
+@dataclass
+class DieDecision:
+    """Routing record for one die, the unit of the golden fixtures."""
+
+    die_fingerprint: str
+    rejected: bool
+    max_stage: int
+    max_stage_name: str
+    tsv_decisions: List[TsvDecision] = field(default_factory=list)
+    preflight_escalated: bool = False
+
+    @property
+    def escalated(self) -> int:
+        """TSVs that went past stage 0."""
+        return sum(1 for d in self.tsv_decisions if d.stage > 0)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "die_fingerprint": self.die_fingerprint,
+            "rejected": self.rejected,
+            "max_stage": self.max_stage,
+            "max_stage_name": self.max_stage_name,
+            "preflight_escalated": self.preflight_escalated,
+            "tsvs": [d.as_dict() for d in self.tsv_decisions],
+        }
+
+
+def _parse_tsv(raw: Dict[str, Any]) -> TsvDecision:
+    return TsvDecision(
+        index=int(raw["index"]),
+        flagged=bool(raw["flagged"]),
+        stage=int(raw["stage"]),
+        stage_name=str(raw["stage_name"]),
+        reasons=[str(r) for r in raw.get("reasons", [])],
+        measurements=int(raw.get("measurements", 0)),
+    )
+
+
+def parse_die_decision(raw: Dict[str, Any]) -> DieDecision:
+    """Rehydrate a :class:`DieDecision` from its ``as_dict`` form."""
+    decision = DieDecision(
+        die_fingerprint=str(raw["die_fingerprint"]),
+        rejected=bool(raw["rejected"]),
+        max_stage=int(raw["max_stage"]),
+        max_stage_name=str(raw["max_stage_name"]),
+        preflight_escalated=bool(raw.get("preflight_escalated", False)),
+    )
+    decision.tsv_decisions = [_parse_tsv(t) for t in raw.get("tsvs", [])]
+    return decision
+
+
+#: Present for symmetry with ``parse_die_decision`` in test helpers.
+parse_tsv_decision = _parse_tsv

@@ -1,0 +1,318 @@
+"""Predictive DeltaT distributions and the escape-rate statistics.
+
+The cascade's escalation decision is predictive: a TSV may be resolved
+at a cheap fidelity only when every fault hypothesis consistent with its
+measured DeltaT vector predicts the *same* top-stage verdict.  The
+engines do not share a DeltaT response shape -- a leakage that sits one
+sigma inside the analytic band can sit three sigma outside the
+transistor-level band -- so scalar margins around the cheap band cannot
+bound the escape rate.  This module supplies the machinery that can:
+
+* :class:`TailFit` -- a normal fit of the characterization Monte Carlo
+  population per (stage, supply voltage); its ``center``/``sigma``
+  normalize raw DeltaT seconds into band-relative ``u`` units.
+* :class:`SignatureCurve` / :class:`CalibrationTable` -- the predictive
+  DeltaT distribution per (voltage, fault signature): each signature
+  (healthy capacitance spread, resistive-open voids, pinhole leakage)
+  is probed along a severity grid through *every* stage of the ladder
+  at characterization time, producing per-stage response trajectories.
+  At screening time :meth:`CalibrationTable.match` inverts the curves:
+  the measured multi-voltage ``u`` vector selects the consistent
+  severity ranges, and each match yields the envelope of top-stage
+  positions that hypothesis predicts.
+* :func:`binomial_upper_bound` -- the exact (Clopper-Pearson) upper
+  confidence bound on an escape *rate* observed as ``k`` escapes in
+  ``n`` shipped dies, which the statistical acceptance harness asserts
+  against the configured ``epsilon``.
+
+All of it is dependency-free (no scipy): the normal quantile uses
+Acklam's rational approximation (|relative error| < 1.15e-9 over the
+open unit interval) and the binomial bound inverts the exact CDF by
+bisection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CalibrationTable",
+    "PredictedVerdict",
+    "SignatureCurve",
+    "TailFit",
+    "binomial_upper_bound",
+    "normal_quantile",
+]
+
+
+# Acklam's inverse-normal-CDF coefficients.
+_A = (
+    -3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+    1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00,
+)
+_B = (
+    -5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+    6.680131188771972e01, -1.328068155288572e01,
+)
+_C = (
+    -7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+    -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00,
+)
+_D = (
+    7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+    3.754408661907416e00,
+)
+_P_LOW = 0.02425
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF ``Phi^{-1}(p)`` for ``0 < p < 1``.
+
+    Acklam's rational approximation; accurate to ~1.15e-9 relative
+    error, far below anything an escape-rate margin can resolve.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile probability must be in (0, 1), got {p}")
+    if p < _P_LOW:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (
+            ((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q + _C[4]) * q
+            + _C[5]
+        ) / ((((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0)
+    if p > 1.0 - _P_LOW:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(
+            ((((_C[0] * q + _C[1]) * q + _C[2]) * q + _C[3]) * q + _C[4]) * q
+            + _C[5]
+        ) / ((((_D[0] * q + _D[1]) * q + _D[2]) * q + _D[3]) * q + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (
+        ((((_A[0] * r + _A[1]) * r + _A[2]) * r + _A[3]) * r + _A[4]) * r
+        + _A[5]
+    ) * q / (
+        ((((_B[0] * r + _B[1]) * r + _B[2]) * r + _B[3]) * r + _B[4]) * r
+        + 1.0
+    )
+
+
+@dataclass(frozen=True)
+class TailFit:
+    """Normal fit of a characterization DeltaT population.
+
+    ``center``/``sigma`` are the sample mean and standard deviation;
+    ``num_samples`` records the population size so downstream margins
+    can widen for thin fits.  Frozen and picklable: wafer workers
+    receive the parent's fits verbatim.
+    """
+
+    center: float
+    sigma: float
+    num_samples: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "TailFit":
+        arr = np.asarray(samples, dtype=float)
+        arr = arr[np.isfinite(arr)]
+        if arr.size == 0:
+            raise ValueError("cannot fit a tail to zero finite samples")
+        sigma = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+        return cls(center=float(arr.mean()), sigma=sigma,
+                   num_samples=int(arr.size))
+
+    def margin(self, epsilon: float, scale: float = 1.0) -> float:
+        """Half-width in seconds covering all but ``epsilon`` of the fit.
+
+        ``z_{1-epsilon} * sigma * scale``; zero-variance fits (single
+        sample, or a degenerate population) get a zero statistical
+        margin -- callers add their model-bias term on top.
+        """
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+        if self.sigma <= 0.0:
+            return 0.0
+        return normal_quantile(1.0 - epsilon) * self.sigma * scale
+
+
+@dataclass(frozen=True)
+class SignatureCurve:
+    """One fault signature's calibrated response trajectory.
+
+    ``points[i][stage][v]`` is the band-normalized DeltaT position
+    ``u = (delta_t - center) / sigma`` of severity-grid point ``i`` at
+    ``stage``, supply index ``v``.  ``NaN`` marks a stuck oscillator
+    (the ring does not toggle at that stage and voltage).  Points are
+    ordered by severity, so consecutive points bound the response of
+    every intermediate severity by linear interpolation.
+    """
+
+    name: str
+    points: Tuple[Tuple[Tuple[float, ...], ...], ...]
+
+
+@dataclass(frozen=True)
+class PredictedVerdict:
+    """Top-stage positions one matched hypothesis predicts.
+
+    Per supply voltage: the ``[low, high]`` envelope of top-stage ``u``
+    (in the *top* band's units) over the matched severity range, plus
+    ``may_stick`` when the range borders a severity whose top-stage
+    oscillator is stuck.
+    """
+
+    signature: str
+    low: Tuple[float, ...]
+    high: Tuple[float, ...]
+    may_stick: Tuple[bool, ...]
+
+
+@dataclass(frozen=True)
+class CalibrationTable:
+    """All signature curves of one cascade, ready to invert.
+
+    Frozen and picklable: the wafer engine ships the parent's table to
+    its worker processes inside the cascade state, so calibration runs
+    once per wafer (and, through a persistent solve cache, once ever).
+    """
+
+    voltages: Tuple[float, ...]
+    num_stages: int
+    curves: Tuple[SignatureCurve, ...]
+
+    #: Interpolation grid per curve segment when inverting.
+    _GRID = 33
+
+    def match(
+        self,
+        stage: int,
+        u_measured: Sequence[float],
+        tolerance: float,
+    ) -> List[PredictedVerdict]:
+        """Fault hypotheses consistent with a measured ``u`` vector.
+
+        A curve segment matches when some interpolated severity sits
+        within ``tolerance`` (max-norm over supplies) of ``u_measured``
+        in the *stage*'s own units.  Supplies where the curve is stuck
+        at this stage cannot discriminate and are skipped; a segment
+        stuck at every supply never matches.  Matching is joint across
+        supplies -- that is what separates a weak leakage (strong at
+        nominal VDD, invisible at low VDD) from healthy capacitance
+        spread even when their positions overlap at one supply.
+
+        Returns one :class:`PredictedVerdict` per matching segment; an
+        empty list means no calibrated signature explains the
+        measurement (the caller escalates).
+        """
+        if not 0 <= stage < self.num_stages:
+            raise ValueError(f"stage {stage} out of range")
+        top = self.num_stages - 1
+        num_v = len(self.voltages)
+        hypotheses: List[PredictedVerdict] = []
+        for curve in self.curves:
+            for a, b in zip(curve.points, curve.points[1:]):
+                usable = [
+                    v for v in range(num_v)
+                    if math.isfinite(a[stage][v])
+                    and math.isfinite(b[stage][v])
+                ]
+                if not usable:
+                    continue
+                # A segment stuck at this stage over its whole severity
+                # range at some supply cannot have produced the finite
+                # oscillation we measured there: the hypothesis is
+                # refuted, not merely non-discriminating.
+                refuted = any(
+                    not math.isfinite(a[stage][v])
+                    and not math.isfinite(b[stage][v])
+                    and math.isfinite(u_measured[v])
+                    for v in range(num_v)
+                )
+                if refuted:
+                    continue
+                lo = [math.inf] * num_v
+                hi = [-math.inf] * num_v
+                stick = [False] * num_v
+                matched = False
+                for k in range(self._GRID):
+                    t = k / (self._GRID - 1)
+                    dist = max(
+                        abs(
+                            u_measured[v]
+                            - ((1.0 - t) * a[stage][v] + t * b[stage][v])
+                        )
+                        for v in usable
+                    )
+                    if dist > tolerance:
+                        continue
+                    matched = True
+                    for v in range(num_v):
+                        ua, ub = a[top][v], b[top][v]
+                        if math.isfinite(ua) and math.isfinite(ub):
+                            value = (1.0 - t) * ua + t * ub
+                        elif math.isfinite(ua):
+                            value, stick[v] = ua, True
+                        elif math.isfinite(ub):
+                            value, stick[v] = ub, True
+                        else:
+                            stick[v] = True
+                            continue
+                        lo[v] = min(lo[v], value)
+                        hi[v] = max(hi[v], value)
+                if matched:
+                    hypotheses.append(PredictedVerdict(
+                        signature=curve.name,
+                        low=tuple(lo),
+                        high=tuple(hi),
+                        may_stick=tuple(stick),
+                    ))
+        return hypotheses
+
+
+def binomial_upper_bound(k: int, n: int, confidence: float = 0.95) -> float:
+    """Exact (Clopper-Pearson) upper confidence bound on a proportion.
+
+    The largest escape probability ``p`` consistent (at ``confidence``)
+    with observing ``k`` escapes among ``n`` shipped dies: the root of
+    ``P[Binomial(n, p) <= k] = 1 - confidence``, found by bisection on
+    the exact CDF.  ``k == n`` returns 1.0.
+    """
+    if n <= 0:
+        raise ValueError(f"need a positive sample count, got n={n}")
+    if not 0 <= k <= n:
+        raise ValueError(f"k={k} outside [0, {n}]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if k == n:
+        return 1.0
+    alpha = 1.0 - confidence
+
+    def cdf(p: float) -> float:
+        if p <= 0.0:
+            return 1.0
+        if p >= 1.0:
+            return 0.0
+        # Sum in log space per term to stay stable for large n.
+        total = 0.0
+        for i in range(k + 1):
+            log_term = (
+                math.lgamma(n + 1) - math.lgamma(i + 1)
+                - math.lgamma(n - i + 1)
+                + i * math.log(p) + (n - i) * math.log1p(-p)
+            )
+            total += math.exp(log_term)
+        return total
+
+    lo, hi = k / n, 1.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if cdf(mid) > alpha:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-12:
+            break
+    return hi

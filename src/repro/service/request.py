@@ -124,6 +124,9 @@ class StageLatency:
     solve_s: float = 0.0
     post_s: float = 0.0
     total_s: float = 0.0
+    #: Which cascade fidelity stage issued this request (the
+    #: ``cascade_stage`` request tag; empty for non-cascade traffic).
+    cascade_stage: str = ""
 
 
 @dataclass
@@ -192,6 +195,7 @@ class PendingEntry:
             solve_s=solve_s,
             post_s=post_s,
             total_s=max(now - self.submitted_at, 0.0),
+            cascade_stage=self.request.tags.get("cascade_stage", ""),
         )
 
     def finish(self, response: ScreenResponse) -> bool:

@@ -190,6 +190,8 @@ class WorkerPool:
         if entry.finish(response):
             tele = get_telemetry()
             tele.incr("service.completed")
+            if latency.cascade_stage:
+                tele.incr(f"service.cascade.{latency.cascade_stage}")
             tele.observe("service.queue_wait_s", latency.queue_wait_s)
             tele.observe("service.batch_form_s", latency.batch_form_s)
             tele.observe("service.total_s", latency.total_s)

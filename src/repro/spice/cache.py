@@ -14,19 +14,36 @@ and the analysis inputs (variation sigmas, sample counts, seeds).  Two
 callers that build identical circuits through different code paths hit
 the same entry; any parameter change, however small, misses.
 
+Two stores implement the same surface:
+
+* :class:`SolveCache` -- the in-process dict (one process, one run);
+* :class:`PersistentSolveCache` -- a sqlite-backed on-disk store shared
+  across wafer worker processes, :class:`~repro.service.ScreeningService`
+  restarts, and CI runs.  Entries are checksummed so a partially written
+  row is never returned, writes are transactional (WAL journaling, busy
+  retries), and a corrupted store degrades to recompute-with-warning
+  instead of crashing the wafer run.
+
 Hits and misses are accounted in the current :mod:`repro.telemetry`
-registry (``cache_hits`` / ``cache_misses``), so the wafer benchmark can
-report the hit rate alongside its throughput numbers.
+registry (``cache_hits`` / ``cache_misses``; persistent stores also emit
+``cache_evictions`` and ``cache_store_errors``), so the wafer benchmark
+can report the hit rate alongside its throughput numbers.
 
 Scoping mirrors the telemetry registry: a process-wide default cache,
-swappable with :func:`use_cache`; :func:`cache_disabled` turns caching
-off for a block (every ``memoize`` computes), which the benchmarks use
-to measure the uncached baseline.
+swappable with :func:`use_cache` (or permanently with
+:func:`install_cache`, which the wafer engine uses to hand worker
+processes the parent's persistent store); :func:`cache_disabled` turns
+caching off for a block (every ``memoize`` computes), which the
+benchmarks use to measure the uncached baseline.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import sqlite3
+import warnings
 from contextlib import contextmanager
 from dataclasses import fields, is_dataclass
 from typing import Any, Callable, Dict, Iterator, Optional, TypeVar
@@ -37,16 +54,21 @@ from repro.spice.netlist import Circuit
 from repro.telemetry import get_telemetry
 
 __all__ = [
+    "PersistentSolveCache",
     "SolveCache",
     "cache_disabled",
     "circuit_fingerprint",
     "fingerprint",
     "get_cache",
+    "install_cache",
     "memoize",
     "use_cache",
 ]
 
 T = TypeVar("T")
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+_MISSING: Any = object()
 
 
 # ----------------------------------------------------------------------
@@ -67,6 +89,12 @@ def _canonical(obj: Any, out: list, depth: int = 0) -> None:
         out.append(repr(obj))
     elif isinstance(obj, float):
         out.append(float(obj).hex())
+    elif isinstance(obj, np.generic):
+        # numpy scalars canonicalize as their python equivalents so
+        # ``np.float32(0.8)`` / ``np.int64(5)`` key identically to the
+        # python float/int a different code path would have passed.
+        # (np.float64 subclasses float and is caught above -- same key.)
+        _canonical(obj.item(), out, depth + 1)
     elif isinstance(obj, np.ndarray):
         arr = np.ascontiguousarray(obj)
         out.append(f"ndarray{arr.dtype.str}{arr.shape}")
@@ -153,6 +181,7 @@ class SolveCache:
         self._store: Dict[str, Any] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -160,26 +189,34 @@ class SolveCache:
     def __contains__(self, key: str) -> bool:
         return key in self._store
 
+    def _get(self, key: str, default: Any) -> Any:
+        """Fetch ``key`` or ``default``; the single point subclasses override."""
+        return self._store.get(key, default)
+
     def lookup(self, key: str) -> Any:
-        return self._store.get(key)
+        value = self._get(key, _MISSING)
+        return None if value is _MISSING else value
 
     def store(self, key: str, value: Any) -> None:
         if self.max_entries is not None and key not in self._store:
             while len(self._store) >= self.max_entries:
                 self._store.pop(next(iter(self._store)))
+                self.evictions += 1
+                get_telemetry().incr("cache_evictions")
         self._store[key] = value
 
     def memoize(self, key: str, compute: Callable[[], T]) -> T:
         """Return the cached value for ``key``, computing it on a miss."""
-        if key in self._store:
+        value = self._get(key, _MISSING)
+        if value is not _MISSING:
             self.hits += 1
             get_telemetry().incr("cache_hits")
-            return self._store[key]
+            return value  # type: ignore[no-any-return]
         self.misses += 1
         get_telemetry().incr("cache_misses")
-        value = compute()
-        self.store(key, value)
-        return value
+        fresh = compute()
+        self.store(key, fresh)
+        return fresh
 
     def clear(self) -> None:
         self._store.clear()
@@ -191,11 +228,225 @@ class SolveCache:
 
     def stats(self) -> Dict[str, float]:
         return {
-            "entries": len(self._store),
+            "entries": len(self),
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
         }
+
+
+class PersistentSolveCache(SolveCache):
+    """Sqlite-backed content-addressed store shared across processes.
+
+    Same surface and key schema as :class:`SolveCache` -- a drop-in for
+    :func:`use_cache` / :func:`install_cache` -- but entries live in an
+    on-disk sqlite database, so characterization bands and guard periods
+    computed by one wafer worker (or one CI run) are hits for every
+    other process that opens the same path.
+
+    Durability and safety properties:
+
+    * **Process-safe writes.** WAL journaling plus a generous busy
+      timeout; each write is a single transaction, and the connection is
+      re-opened after a ``fork`` (pid-checked) so pool workers never
+      share a connection object.
+    * **Torn entries are never returned.** Every row stores a SHA-256
+      checksum of its pickled payload; a row whose blob fails the
+      checksum (or fails to unpickle) reads as a *miss* and is dropped
+      so the recomputed value replaces it.
+    * **Corruption degrades, never crashes.** Any
+      :class:`sqlite3.Error` -- including opening a garbage file --
+      emits a single :class:`RuntimeWarning`, bumps the
+      ``cache_store_errors`` counter, and flips the instance into
+      in-memory recompute mode for the rest of its life.
+    * **Bounded size.** ``max_entries`` evicts oldest-inserted rows on
+      store, accounted in ``cache_evictions`` telemetry.
+
+    Instances pickle as (path, max_entries) and reconnect lazily on
+    unpickle, which is how the wafer engine ships the store to its
+    worker processes.  Hit/miss counters are per-process.
+
+    Values must be picklable; a value that is not stays process-local
+    (stored in the in-memory dict only), so callers never lose caching
+    entirely.
+    """
+
+    _SCHEMA = (
+        "CREATE TABLE IF NOT EXISTS solve_cache ("
+        "  key TEXT PRIMARY KEY,"
+        "  checksum TEXT NOT NULL,"
+        "  value BLOB NOT NULL)"
+    )
+
+    def __init__(self, path: Any, max_entries: Optional[int] = None):
+        super().__init__(max_entries=max_entries)
+        self.path = os.fspath(path)
+        self._conn: Optional[sqlite3.Connection] = None
+        self._pid: Optional[int] = None
+        self._degraded = False
+        # Connect eagerly so a corrupted store warns at construction,
+        # not in the middle of a wafer run.
+        self._connection()
+
+    # -- connection management -----------------------------------------
+    def _connection(self) -> Optional[sqlite3.Connection]:
+        if self._degraded:
+            return None
+        pid = os.getpid()
+        if self._conn is not None and pid == self._pid:
+            return self._conn
+        try:
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.execute(self._SCHEMA)
+            conn.commit()
+        except sqlite3.Error as exc:
+            self._degrade(exc)
+            return None
+        self._conn = conn
+        self._pid = pid
+        return conn
+
+    def _degrade(self, exc: Exception) -> None:
+        """Fall back to in-memory recompute mode, warning once."""
+        already = self._degraded
+        self._degraded = True
+        self._conn = None
+        get_telemetry().incr("cache_store_errors")
+        if not already:
+            warnings.warn(
+                f"persistent solve cache at {self.path!r} is unusable"
+                f" ({exc}); degrading to in-memory recompute",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    @property
+    def degraded(self) -> bool:
+        """True once the on-disk store has been abandoned."""
+        return self._degraded
+
+    def close(self) -> None:
+        """Close the sqlite connection (reopened on next use)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - close never fails
+                pass
+            self._conn = None
+            self._pid = None
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"path": self.path, "max_entries": self.max_entries}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__init__(state["path"], max_entries=state["max_entries"])  # type: ignore[misc]
+
+    # -- storage -------------------------------------------------------
+    def _get(self, key: str, default: Any) -> Any:
+        conn = self._connection()
+        if conn is None:
+            return self._store.get(key, default)
+        try:
+            row = conn.execute(
+                "SELECT checksum, value FROM solve_cache WHERE key = ?",
+                (key,),
+            ).fetchone()
+        except sqlite3.Error as exc:
+            self._degrade(exc)
+            return self._store.get(key, default)
+        if row is None:
+            # Values that could not be pickled live only in the
+            # in-memory dict (see ``store``); they still count as hits
+            # for this process.
+            return self._store.get(key, default)
+        checksum, blob = row
+        if hashlib.sha256(blob).hexdigest() != checksum:
+            # Torn or tampered row: read as a miss and drop it so the
+            # recomputed value replaces it.
+            get_telemetry().incr("cache_store_errors")
+            try:
+                with conn:
+                    conn.execute("DELETE FROM solve_cache WHERE key = ?", (key,))
+            except sqlite3.Error:
+                pass
+            return default
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            get_telemetry().incr("cache_store_errors")
+            return default
+
+    def store(self, key: str, value: Any) -> None:
+        conn = self._connection()
+        if conn is None:
+            super().store(key, value)
+            return
+        try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # Unpicklable values stay process-local.
+            super().store(key, value)
+            return
+        checksum = hashlib.sha256(blob).hexdigest()
+        try:
+            with conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO solve_cache"
+                    " (key, checksum, value) VALUES (?, ?, ?)",
+                    (key, checksum, blob),
+                )
+                if self.max_entries is not None:
+                    cursor = conn.execute(
+                        "DELETE FROM solve_cache WHERE rowid IN ("
+                        " SELECT rowid FROM solve_cache"
+                        " ORDER BY rowid DESC LIMIT -1 OFFSET ?)",
+                        (self.max_entries,),
+                    )
+                    if cursor.rowcount > 0:
+                        self.evictions += cursor.rowcount
+                        get_telemetry().incr("cache_evictions", cursor.rowcount)
+        except sqlite3.Error as exc:
+            self._degrade(exc)
+            super().store(key, value)
+
+    def __len__(self) -> int:
+        conn = self._connection()
+        if conn is None:
+            return len(self._store)
+        try:
+            (count,) = conn.execute("SELECT COUNT(*) FROM solve_cache").fetchone()
+        except sqlite3.Error as exc:
+            self._degrade(exc)
+            return len(self._store)
+        return int(count)
+
+    def __contains__(self, key: str) -> bool:
+        conn = self._connection()
+        if conn is None:
+            return key in self._store
+        try:
+            row = conn.execute(
+                "SELECT 1 FROM solve_cache WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error as exc:
+            self._degrade(exc)
+            return key in self._store
+        return row is not None
+
+    def clear(self) -> None:
+        self._store.clear()
+        conn = self._connection()
+        if conn is None:
+            return
+        try:
+            with conn:
+                conn.execute("DELETE FROM solve_cache")
+        except sqlite3.Error as exc:
+            self._degrade(exc)
 
 
 #: Process-wide default cache; ``None`` while caching is disabled.
@@ -213,6 +464,20 @@ def memoize(key: str, compute: Callable[[], T]) -> T:
     if cache is None:
         return compute()
     return cache.memoize(key, compute)
+
+
+def install_cache(cache: Optional[SolveCache]) -> Optional[SolveCache]:
+    """Permanently install ``cache`` as the process-wide default.
+
+    Unlike the scoped :func:`use_cache`, this sticks for the life of the
+    process -- it is how wafer worker processes adopt the parent's
+    :class:`PersistentSolveCache` in their pool initializer.  Returns
+    the previously installed cache so callers that *can* restore it may.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = cache
+    return previous
 
 
 @contextmanager

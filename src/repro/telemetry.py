@@ -38,6 +38,10 @@ Counter names used by the stack (all optional -- absent means zero):
 ``batched_solves``         Stacked LAPACK solve calls (BatchedDense).
 ``cache_hits``             Solve-cache lookups served from memory.
 ``cache_misses``           Solve-cache lookups that had to compute.
+``cache_evictions``        Entries evicted by a bounded solve cache.
+``cache_store_errors``     Persistent-cache corruption events (checksum
+                           failures, sqlite errors; the store degrades to
+                           recompute instead of crashing).
 ``measurements``           Simulated DeltaT measurements (screening flow).
 ``dies_screened``          Dies completed by the screening/wafer engines.
 ``dies_rejected``          Dies the pre-flight check disqualified before
@@ -51,6 +55,13 @@ Counter names used by the stack (all optional -- absent means zero):
                            ``completed``, ``rejected``, ``expired``,
                            ``failed``, ``batches``, ``batch_retries``,
                            ``coalesced``.
+``service.cascade.<s>``    Completed service requests tagged with cascade
+                           fidelity stage ``<s>`` (the ``cascade_stage``
+                           request tag).
+``cascade.stage.<s>``      TSV screening passes executed at cascade stage
+                           ``<s>`` (:mod:`repro.cascade`).
+``cascade.escalations.*``  Cascade escalations by reason: ``near_band``,
+                           ``low_agreement``, ``novel``, ``preflight``.
 =========================  ====================================================
 
 Histogram names used by the screening service (latency distributions;

@@ -23,9 +23,14 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.analysis.diagnostics import DiagnosticReport, record_diagnostics
+from repro.cascade.cascade import CascadeScreen, CascadeState
+from repro.cascade.characterize import (
+    characterization_cap_factors,
+    characterization_samples,
+    quant_guard,
+)
+from repro.cascade.policy import CascadeConfig
 from repro.core.engines.base import Engine, MeasurementRequest, supports
 from repro.core.engines.registry import as_engine_factory
 from repro.core.session import ReferenceBand
@@ -51,19 +56,33 @@ class FlowMetrics:
     escaped_by_kind: Dict[str, int] = field(default_factory=dict)
     measurements: int = 0
     test_time: float = 0.0
+    #: TSVs routed past stage 0 (cascade fidelity only; 0 otherwise).
+    escalated: int = 0
+    #: Measurement counts per cascade stage name.
+    stage_measurements: Dict[str, int] = field(default_factory=dict)
+    #: Escalation counts per reason (``near_band`` / ``low_agreement``
+    #: / ``novel`` / ``preflight``).
+    escalations: Dict[str, int] = field(default_factory=dict)
 
     @property
     def escape_rate(self) -> float:
+        """Escapes per truly faulty TSV; 0.0 on an all-healthy die."""
         return self.escapes / self.true_faulty if self.true_faulty else 0.0
 
     @property
     def overkill_rate(self) -> float:
+        """Overkill per healthy TSV; 0.0 on an all-faulty (or empty) die."""
         healthy = self.num_tsvs - self.true_faulty
         return self.overkill / healthy if healthy else 0.0
 
     @property
     def detection_rate(self) -> float:
         return self.detected / self.true_faulty if self.true_faulty else 1.0
+
+    @property
+    def escalation_rate(self) -> float:
+        """Escalated TSVs per screened TSV; 0.0 on an empty population."""
+        return self.escalated / self.num_tsvs if self.num_tsvs else 0.0
 
     def as_row(self) -> Dict[str, float]:
         return {
@@ -77,6 +96,8 @@ class FlowMetrics:
             "overkill_rate": self.overkill_rate,
             "measurements": self.measurements,
             "test_time_s": self.test_time,
+            "escalated": self.escalated,
+            "escalation_rate": self.escalation_rate,
         }
 
 
@@ -110,6 +131,31 @@ class ScreeningFlow:
             :class:`~repro.analysis.diagnostics.PreflightError`.  The
             wafer engine turns this off here and pre-checks dies itself,
             before pool dispatch.
+        fidelity: ``"full"`` (default) measures every TSV with this
+            flow's engine at every voltage; ``"cascade"`` routes TSVs
+            through the multi-fidelity ladder of
+            :class:`~repro.cascade.cascade.CascadeScreen` -- cheap
+            stage-0 screening with statistical escalation of ambiguous
+            TSVs.  Cascade fidelity ignores ``group_screen_first`` (the
+            cascade always isolates per TSV).
+        cascade: :class:`~repro.cascade.policy.CascadeConfig` knobs;
+            passing one implies ``fidelity="cascade"``.  ``None`` with
+            cascade fidelity uses the defaults.
+        cascade_state: Precomputed per-(stage, voltage) bands from a
+            parent process's :meth:`CascadeScreen.prepare` -- how wafer
+            workers inherit one cascade characterization.
+        cascade_signatures: Override the cascade's fault-signature
+            probe sets (name -> TSVs along a severity grid) used to
+            build the predictive calibration table; ``None`` keeps
+            :func:`~repro.cascade.characterize.default_calibration_signatures`.
+        measurement_variation: Process variation applied to the
+            simulated *measurements* (characterization always uses
+            ``variation``).  The default ``"inherit"`` reuses
+            ``variation``; ``None`` makes every measurement a
+            deterministic nominal solve, memoized under seed-free keys
+            -- the mode the cascade's statistical escape harness runs
+            in, so repeated measurements of identical TSVs cost one
+            solve fleet-wide.
     """
 
     def __init__(
@@ -125,7 +171,16 @@ class ScreeningFlow:
         seed: int = 2024,
         bands: Optional[Dict[float, ReferenceBand]] = None,
         preflight: bool = True,
+        fidelity: str = "full",
+        cascade: Optional[CascadeConfig] = None,
+        cascade_state: Optional[CascadeState] = None,
+        cascade_signatures: Optional[Dict[str, Sequence[object]]] = None,
+        measurement_variation: object = "inherit",
     ):
+        if fidelity not in ("full", "cascade"):
+            raise ValueError(
+                f"fidelity must be 'full' or 'cascade', got {fidelity!r}"
+            )
         self.engine_factory = as_engine_factory(engine_factory)
         self.preflight = preflight
         self.voltages = list(voltages)
@@ -136,6 +191,13 @@ class ScreeningFlow:
         self.group_screen_first = group_screen_first
         self.tsv_cap_variation_rel = tsv_cap_variation_rel
         self.seed = seed
+        self.fidelity = "cascade" if cascade is not None else fidelity
+        self.measurement_variation: Optional[ProcessVariation] = (
+            self.variation
+            if isinstance(measurement_variation, str)
+            and measurement_variation == "inherit"
+            else measurement_variation  # type: ignore[assignment]
+        )
         self._engines = {v: self.engine_factory(v) for v in self.voltages}
         self._stop_floor: Optional[float] = None
         self._stop_floor_known = False
@@ -149,6 +211,27 @@ class ScreeningFlow:
             self._bands = {v: bands[v] for v in self.voltages}
         else:
             self._characterize()
+        self._cascade: Optional[CascadeScreen] = None
+        if self.fidelity == "cascade":
+            self._cascade = CascadeScreen(
+                stage0=self.engine_factory,
+                config=cascade if cascade is not None else CascadeConfig(),
+                voltages=self.voltages,
+                variation=self.variation,
+                group_size=self.group_size,
+                window=self.plan.window,
+                characterization_samples=self.characterization_samples,
+                tsv_cap_variation_rel=self.tsv_cap_variation_rel,
+                seed=self.seed,
+                state=cascade_state,
+                signatures=cascade_signatures,
+                measurement_variation=self.measurement_variation,
+            )
+
+    @property
+    def cascade(self) -> Optional[CascadeScreen]:
+        """The cascade router, when ``fidelity="cascade"``."""
+        return self._cascade
 
     @property
     def bands(self) -> Dict[float, ReferenceBand]:
@@ -170,30 +253,15 @@ class ScreeningFlow:
         one characterization instead of re-simulating it.
         """
         with telemetry_phase("characterize"):
-            rng = np.random.default_rng(self.seed ^ 0x5F5F)
-            cap_factors = 1.0 + rng.normal(
-                0.0, self.tsv_cap_variation_rel,
-                max(self.characterization_samples // 10, 3),
+            cap_factors = characterization_cap_factors(
+                self.seed, self.tsv_cap_variation_rel,
+                self.characterization_samples,
             )
-            cap_factors = np.clip(cap_factors, 0.8, 1.2)
             for vdd, engine in self._engines.items():
-                chunks = []
-                per_factor = max(
-                    self.characterization_samples // len(cap_factors), 1
+                samples = characterization_samples(
+                    engine, self.variation,
+                    self.characterization_samples, self.seed, cap_factors,
                 )
-                for k, factor in enumerate(cap_factors):
-                    probe = Tsv(params=Tsv().params.scaled(float(factor)))
-                    seed = self.seed + 911 * k
-                    key = solve_cache.fingerprint(
-                        "characterize.delta_t_mc", engine, probe,
-                        self.variation, per_factor, seed,
-                    )
-                    chunks.append(solve_cache.memoize(
-                        key,
-                        lambda e=engine, p=probe, n=per_factor, s=seed:
-                            e.delta_t_mc(p, self.variation, n, seed=s),
-                    ))
-                samples = np.concatenate(chunks)
                 guard = self._quant_guard(engine)
                 self._bands[vdd] = ReferenceBand.from_samples(
                     samples, guard=guard
@@ -204,24 +272,9 @@ class ScreeningFlow:
 
         The all-bypassed T2 reference period is shared by every die
         tested with the same engine and group size, so it is served from
-        the solve cache.
+        the solve cache (see :func:`repro.cascade.characterize.quant_guard`).
         """
-        key = solve_cache.fingerprint(
-            "characterize.t2_period", engine, self.group_size
-        )
-
-        def compute() -> float:
-            try:
-                return float(engine.period(
-                    [Tsv()] * self.group_size, [False] * self.group_size
-                ))
-            except Exception:
-                return 2e-9
-
-        typical = solve_cache.memoize(key, compute)
-        if not math.isfinite(typical):
-            typical = 2e-9
-        return 2.0 * typical**2 / self.plan.window
+        return quant_guard(engine, self.group_size, self.plan.window)
 
     def band(self, vdd: float) -> ReferenceBand:
         return self._bands[vdd]
@@ -279,16 +332,32 @@ class ScreeningFlow:
 
     # ------------------------------------------------------------------
     def _measure(self, tsv: Tsv, vdd: float, seed: int, m: int = 1) -> float:
-        """One simulated DeltaT measurement of a specific die's TSV."""
+        """One simulated DeltaT measurement of a specific die's TSV.
+
+        With ``measurement_variation=None`` the measurement is a
+        deterministic nominal solve, memoized under a seed-free key
+        shared with :meth:`CascadeScreen._measure` -- identical TSVs
+        cost one solve per engine regardless of die, seed, or caller.
+        """
         engine = self._engines[vdd]
-        if isinstance(engine, Engine):
-            result = engine.measure(MeasurementRequest(
-                tsv=tsv, m=m, seed=seed,
-                variation=self.variation, num_samples=1,
-            ))
-            return float(result.delta_t)
-        return float(engine.delta_t_mc(tsv, self.variation, 1, m=m,
-                                       seed=seed)[0])
+        variation = self.measurement_variation
+
+        def compute() -> float:
+            if isinstance(engine, Engine):
+                result = engine.measure(MeasurementRequest(
+                    tsv=tsv, m=m, seed=seed, variation=variation,
+                    num_samples=1 if variation is not None else None,
+                ))
+                return float(result.delta_t)
+            return float(engine.delta_t_mc(tsv, variation, 1, m=m,
+                                           seed=seed)[0])
+
+        if variation is None:
+            key = solve_cache.fingerprint(
+                "measure.deterministic", engine, tsv, m
+            )
+            return float(solve_cache.memoize(key, compute))
+        return compute()
 
     def _flagged(self, delta_t: float, vdd: float) -> bool:
         if not math.isfinite(delta_t):
@@ -315,10 +384,28 @@ class ScreeningFlow:
                 pre-flight check is on and the die carries
                 error-severity diagnostics.
         """
+        preflight_warned = False
         if self.preflight:
-            self.preflight_die(population)
+            report = self.preflight_die(population)
+            preflight_warned = bool(report.warnings)
+        elif (
+            self._cascade is not None
+            and self._cascade.config.escalate_on_preflight
+        ):
+            # Workers run with the rejecting gate off (the wafer parent
+            # already checked the die), but the cascade still needs the
+            # warning signal -- recomputed here, identically on serial
+            # and sharded paths, without re-recording diagnostics.
+            report = check_die(population, stop_floor=self.stop_floor,
+                               label="die")
+            preflight_warned = bool(report.warnings)
         with telemetry_phase("screen"):
-            metrics = self._screen_die(population, measure_seed)
+            if self._cascade is not None:
+                metrics = self._screen_die_cascade(
+                    population, measure_seed, preflight_warned
+                )
+            else:
+                metrics = self._screen_die(population, measure_seed)
         tele = get_telemetry()
         tele.incr("dies_screened")
         tele.incr("measurements", metrics.measurements)
@@ -378,6 +465,18 @@ class ScreeningFlow:
                         flagged[rec.index] = True
                         del pending[index]
 
+        self._account(population, flagged, metrics)
+        metrics.measurements = measurement_count
+        metrics.test_time = measurement_count * self.plan.measurement_time()
+        return metrics
+
+    @staticmethod
+    def _account(
+        population: DiePopulation,
+        flagged: Dict[int, bool],
+        metrics: FlowMetrics,
+    ) -> None:
+        """Fold verdicts against ground truth into ``metrics``."""
         for rec in population:
             got = flagged.get(rec.index, False)
             if rec.truly_faulty:
@@ -395,6 +494,34 @@ class ScreeningFlow:
             elif got:
                 metrics.overkill += 1
 
-        metrics.measurements = measurement_count
-        metrics.test_time = measurement_count * self.plan.measurement_time()
+    def _screen_die_cascade(
+        self,
+        population: DiePopulation,
+        measure_seed: Optional[int],
+        preflight_warned: bool,
+    ) -> FlowMetrics:
+        """Cascade fidelity: route every TSV through the fidelity ladder."""
+        assert self._cascade is not None
+        base_seed = self.seed if measure_seed is None else measure_seed
+        metrics = FlowMetrics(num_tsvs=len(population))
+        decision = self._cascade.classify_die(
+            population, base_seed, preflight_warned=preflight_warned
+        )
+        flagged = {d.index: d.flagged for d in decision.tsv_decisions}
+        self._account(population, flagged, metrics)
+        for d in decision.tsv_decisions:
+            metrics.measurements += d.measurements
+            if d.stage > 0:
+                metrics.escalated += 1
+            for name, count in d.stage_measurements.items():
+                metrics.stage_measurements[name] = (
+                    metrics.stage_measurements.get(name, 0) + count
+                )
+            for reason in d.reasons:
+                metrics.escalations[reason] = (
+                    metrics.escalations.get(reason, 0) + 1
+                )
+        metrics.test_time = (
+            metrics.measurements * self.plan.measurement_time()
+        )
         return metrics

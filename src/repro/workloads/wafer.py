@@ -42,10 +42,18 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.diagnostics import DiagnosticReport, PreflightError
+from repro.cascade.cascade import CascadeState
+from repro.cascade.policy import CascadeConfig
 from repro.core.engines.registry import as_engine_factory
 from repro.core.session import ReferenceBand
 from repro.core.tsv import TsvParameters
 from repro.dft.control import MeasurementPlan
+from repro.spice.cache import (
+    PersistentSolveCache,
+    SolveCache,
+    get_cache,
+    install_cache,
+)
 from repro.spice.montecarlo import ProcessVariation
 from repro.telemetry import Telemetry, get_telemetry, use_telemetry
 from repro.workloads.flow import FlowMetrics, ScreeningFlow
@@ -132,6 +140,7 @@ def aggregate_metrics(per_die: Sequence[FlowMetrics]) -> FlowMetrics:
         total.overkill += m.overkill
         total.measurements += m.measurements
         total.test_time += m.test_time
+        total.escalated += m.escalated
         for kind, count in m.detected_by_kind.items():
             total.detected_by_kind[kind] = (
                 total.detected_by_kind.get(kind, 0) + count
@@ -139,6 +148,14 @@ def aggregate_metrics(per_die: Sequence[FlowMetrics]) -> FlowMetrics:
         for kind, count in m.escaped_by_kind.items():
             total.escaped_by_kind[kind] = (
                 total.escaped_by_kind.get(kind, 0) + count
+            )
+        for name, count in m.stage_measurements.items():
+            total.stage_measurements[name] = (
+                total.stage_measurements.get(name, 0) + count
+            )
+        for reason, count in m.escalations.items():
+            total.escalations[reason] = (
+                total.escalations.get(reason, 0) + count
             )
     return total
 
@@ -196,10 +213,26 @@ class WaferScreenResult:
 _WORKER_FLOW: Optional[ScreeningFlow] = None
 
 
-def _worker_init(flow_kwargs: Dict, bands: Dict[float, ReferenceBand]) -> None:
-    """Build this worker's flow once, from the parent's bands."""
+def _worker_init(
+    flow_kwargs: Dict,
+    bands: Dict[float, ReferenceBand],
+    cascade_state: Optional[CascadeState] = None,
+    cache: Optional[SolveCache] = None,
+) -> None:
+    """Build this worker's flow once, from the parent's bands.
+
+    ``cascade_state`` carries the parent's cascade characterization
+    (stage bands plus the signature-calibration table); ``cache`` is
+    the parent's :class:`PersistentSolveCache`
+    (pickled as its path), installed process-wide so every worker shares
+    the same on-disk characterization and escalated-solve entries.
+    """
     global _WORKER_FLOW
-    _WORKER_FLOW = ScreeningFlow(bands=bands, **flow_kwargs)
+    if cache is not None:
+        install_cache(cache)
+    _WORKER_FLOW = ScreeningFlow(
+        bands=bands, cascade_state=cascade_state, **flow_kwargs
+    )
 
 
 def _screen_chunk(
@@ -253,6 +286,9 @@ class WaferScreeningEngine:
         seed: int = 2024,
         chunk_size: Optional[int] = None,
         preflight: bool = True,
+        fidelity: str = "full",
+        cascade: Optional[CascadeConfig] = None,
+        measurement_variation: object = "inherit",
     ):
         self._flow_kwargs = dict(
             engine_factory=as_engine_factory(engine_factory),
@@ -265,6 +301,9 @@ class WaferScreeningEngine:
             tsv_cap_variation_rel=tsv_cap_variation_rel,
             seed=seed,
             preflight=False,  # the engine pre-checks dies itself
+            fidelity=fidelity,
+            cascade=cascade,
+            measurement_variation=measurement_variation,
         )
         self.preflight = preflight
         self.chunk_size = chunk_size
@@ -365,10 +404,22 @@ class WaferScreeningEngine:
     ) -> Dict[int, FlowMetrics]:
         chunks = self._chunks(items, workers)
         indexed: Dict[int, FlowMetrics] = {}
+        cascade_state = None
+        if flow.cascade is not None:
+            # One cascade characterization in the parent, shared by all
+            # workers (stage bands are solve-cache-memoized, so repeat
+            # preparations with a persistent cache are free).
+            cascade_state = flow.cascade.prepare()
+        current = get_cache()
+        shared_cache = (
+            current if isinstance(current, PersistentSolveCache) else None
+        )
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(self._flow_kwargs, flow.bands),
+            initargs=(
+                self._flow_kwargs, flow.bands, cascade_state, shared_cache
+            ),
         ) as pool:
             for results, snapshot in pool.map(_screen_chunk, chunks):
                 tele.merge(snapshot)

@@ -1,0 +1,70 @@
+"""Shared fixtures for the cascade test package.
+
+Characterizing a two-stage ladder (bands, quantization guards, and the
+signature-calibration probes through the stagedelay engine) costs
+seconds, so the flows are session-scoped and shared by the statistical
+escape harness, the golden routing fixtures, and the integration tests.
+Everything runs in deterministic measurement mode
+(``measurement_variation=None``): measurements are nominal solves
+memoized under seed-free keys, which is both what makes a 500-die
+cascade-vs-oracle comparison affordable and the mode the escape-rate
+bound is certified in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cascade import CascadeConfig
+from repro.core.engines.registry import EngineSpec, spec
+from repro.workloads.flow import ScreeningFlow
+
+#: Two supplies keep solve counts down while preserving the
+#: multi-voltage signature matching the cascade's decisions rest on.
+VOLTAGES = (1.1, 0.8)
+
+#: 8 ps steps: crossing interpolation still resolves DeltaT to well
+#: under a picosecond, at ~0.2 s per scalar solve.
+TOP_SPEC = spec("stagedelay", timestep=8e-12)
+
+SEED = 11
+
+FLOW_KWARGS = dict(
+    voltages=VOLTAGES,
+    characterization_samples=48,
+    tsv_cap_variation_rel=0.02,
+    seed=SEED,
+    preflight=False,
+    measurement_variation=None,
+)
+
+
+def top_spec() -> EngineSpec:
+    return TOP_SPEC
+
+
+@pytest.fixture(scope="session")
+def cascade_config() -> CascadeConfig:
+    return CascadeConfig(
+        escalation=(TOP_SPEC,), stage_characterization_samples=48
+    )
+
+
+@pytest.fixture(scope="session")
+def cascade_flow(cascade_config) -> ScreeningFlow:
+    """The cascade under test: analytic stage 0, stagedelay top."""
+    flow = ScreeningFlow("analytic", cascade=cascade_config, **FLOW_KWARGS)
+    flow.cascade.prepare()
+    return flow
+
+
+@pytest.fixture(scope="session")
+def oracle_flow() -> ScreeningFlow:
+    """A full-fidelity flow running the ladder's top engine everywhere.
+
+    Same characterization sample count, seed, group size, and window as
+    the cascade's top stage, so its band is bit-identical to the
+    cascade's -- any verdict difference is the cascade's routing, not
+    characterization drift.
+    """
+    return ScreeningFlow(TOP_SPEC, **FLOW_KWARGS)

@@ -1,0 +1,119 @@
+"""Golden escalation-decision fixtures.
+
+A fixed gallery of crafted dies -- healthy, stuck, weak leakage, mild
+and severe voids, mixed, preflight-warned -- is routed through the
+standard two-stage ladder and the full :class:`DieDecision` records
+(die fingerprint, stage reached per TSV, escalation reasons, verdicts)
+are compared against ``tests/data/cascade_decisions.json``.  Routing
+regressions -- a changed tolerance, a broken refutation rule, a
+reordered ladder -- surface here as a readable fixture diff instead of
+a statistical harness failure.
+
+Regenerate after an *intentional* routing change with::
+
+    PYTHONPATH=src python -m tests.cascade.test_decisions_golden
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv
+from repro.workloads.generator import TsvRecord
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "cascade_decisions.json"
+
+BASE_SEED = 97
+
+#: name -> (TSVs, preflight_warned).  Severities are chosen to span the
+#: router's whole decision surface: confident stage-0 passes and flags,
+#: stuck oscillators, and the ambiguous mid-range that escalates.
+CRAFTED_DIES: List[Tuple[str, Tuple[Tsv, ...], bool]] = [
+    ("healthy", (Tsv(), Tsv(), Tsv()), False),
+    ("stuck_leak", (Tsv(), Tsv(fault=Leakage(r_leak=500.0))), False),
+    ("weak_leak", (Tsv(fault=Leakage(r_leak=2700.0)),), False),
+    ("strong_leak", (Tsv(fault=Leakage(r_leak=1200.0)),), False),
+    ("void_mild", (Tsv(fault=ResistiveOpen(r_open=300.0, x=0.5)),), False),
+    (
+        "void_severe",
+        (Tsv(fault=ResistiveOpen(r_open=24300.0, x=0.5)),),
+        False,
+    ),
+    (
+        "mixed",
+        (
+            Tsv(),
+            Tsv(fault=ResistiveOpen(r_open=2700.0, x=0.5)),
+            Tsv(fault=Leakage(r_leak=2000.0)),
+        ),
+        False,
+    ),
+    ("preflight_healthy", (Tsv(), Tsv()), True),
+]
+
+
+def build_decisions(cascade) -> Dict[str, Any]:
+    """Route every crafted die; returns the golden JSON structure."""
+    decisions: Dict[str, Any] = {}
+    for name, tsvs, preflight in CRAFTED_DIES:
+        records = [TsvRecord(index=i, tsv=t) for i, t in enumerate(tsvs)]
+        decision = cascade.classify_die(
+            records, base_seed=BASE_SEED, preflight_warned=preflight
+        )
+        decisions[name] = decision.as_dict()
+    return decisions
+
+
+def test_routing_matches_golden_fixtures(cascade_flow):
+    expected = json.loads(GOLDEN_PATH.read_text())
+    actual = build_decisions(cascade_flow.cascade)
+    assert actual.keys() == expected.keys()
+    for name in expected:
+        assert actual[name] == expected[name], (
+            f"routing changed for crafted die {name!r}; if intentional,"
+            " regenerate with"
+            " PYTHONPATH=src python -m tests.cascade.test_decisions_golden"
+        )
+
+
+def test_goldens_exercise_the_decision_surface():
+    """The fixture file itself must keep covering all router outcomes."""
+    goldens = json.loads(GOLDEN_PATH.read_text())
+    stages = {t["stage"] for die in goldens.values() for t in die["tsvs"]}
+    reasons = {
+        r for die in goldens.values() for t in die["tsvs"]
+        for r in t["reasons"]
+    }
+    verdicts = {t["flagged"] for die in goldens.values() for t in die["tsvs"]}
+    assert stages == {0, 1}, "need both stage-0 and escalated decisions"
+    assert verdicts == {True, False}
+    assert "preflight" in reasons
+
+
+def main() -> None:
+    from repro.cascade import CascadeConfig
+    from repro.workloads.flow import ScreeningFlow
+
+    from tests.cascade.conftest import FLOW_KWARGS, TOP_SPEC
+
+    flow = ScreeningFlow(
+        "analytic",
+        cascade=CascadeConfig(
+            escalation=(TOP_SPEC,), stage_characterization_samples=48
+        ),
+        **FLOW_KWARGS,
+    )
+    flow.cascade.prepare()
+    decisions = build_decisions(flow.cascade)
+    GOLDEN_PATH.write_text(
+        json.dumps(decisions, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {len(decisions)} golden die decisions to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

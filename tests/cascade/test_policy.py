@@ -1,0 +1,126 @@
+"""Unit tests for the cascade policy data layer."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.cascade import (
+    CascadeConfig,
+    DieDecision,
+    EscalationReason,
+    TsvDecision,
+    parse_die_decision,
+)
+
+
+class TestCascadeConfig:
+    def test_defaults_validate(self):
+        config = CascadeConfig()
+        assert config.escalation == ("stagedelay", "transistor")
+        assert 0.0 < config.epsilon < 1.0
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            CascadeConfig().epsilon = 0.5  # type: ignore[misc]
+
+    def test_picklable(self):
+        config = CascadeConfig(escalation=("stagedelay",), epsilon=0.02)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"escalation": ()},
+            {"epsilon": 0.0},
+            {"epsilon": 1.0},
+            {"epsilon": -0.1},
+            {"margin_scale": 0.0},
+            {"margin_scale": -1.0},
+            {"match_tolerance": 0.0},
+            {"match_tolerance": -0.2},
+            {"predict_sigma": -0.01},
+            {"noise_sigma": -0.01},
+            {"stage_characterization_samples": 1},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            CascadeConfig(**kwargs)
+
+    def test_zero_sigmas_are_legal(self):
+        # A perfectly calibrated deterministic cascade may claim zero
+        # residuals; only negative values are nonsense.
+        config = CascadeConfig(predict_sigma=0.0, noise_sigma=0.0)
+        assert config.predict_sigma == 0.0
+
+
+class TestEscalationReason:
+    def test_reason_values_are_the_telemetry_suffixes(self):
+        assert {r.value for r in EscalationReason} == {
+            "near_band", "low_agreement", "novel", "preflight"
+        }
+
+    def test_reasons_serialize_as_plain_strings(self):
+        assert json.loads(json.dumps(EscalationReason.NOVEL)) == "novel"
+
+
+def _die_decision() -> DieDecision:
+    return DieDecision(
+        die_fingerprint="abc123",
+        rejected=True,
+        max_stage=1,
+        max_stage_name="stagedelay",
+        preflight_escalated=True,
+        tsv_decisions=[
+            TsvDecision(
+                index=0, flagged=False, stage=0, stage_name="analytic",
+                measurements=4,
+            ),
+            TsvDecision(
+                index=1, flagged=True, stage=1, stage_name="stagedelay",
+                reasons=[EscalationReason.NEAR_BAND.value],
+                measurements=8,
+            ),
+        ],
+    )
+
+
+class TestDecisionRecords:
+    def test_round_trip_through_as_dict(self):
+        decision = _die_decision()
+        raw = json.loads(json.dumps(decision.as_dict()))
+        clone = parse_die_decision(raw)
+        assert clone.as_dict() == decision.as_dict()
+
+    def test_escalated_counts_tsvs_past_stage_zero(self):
+        assert _die_decision().escalated == 1
+        assert DieDecision(
+            die_fingerprint="x", rejected=False, max_stage=0,
+            max_stage_name="analytic",
+        ).escalated == 0
+
+    def test_parse_tolerates_missing_optional_fields(self):
+        decision = parse_die_decision({
+            "die_fingerprint": "f",
+            "rejected": False,
+            "max_stage": 0,
+            "max_stage_name": "analytic",
+            "tsvs": [{
+                "index": 3, "flagged": False, "stage": 0,
+                "stage_name": "analytic",
+            }],
+        })
+        assert decision.preflight_escalated is False
+        (tsv,) = decision.tsv_decisions
+        assert tsv.reasons == []
+        assert tsv.measurements == 0
+
+    def test_as_dict_is_json_clean(self):
+        # Goldens are written with sort_keys: every value must be a
+        # plain JSON scalar/collection.
+        text = json.dumps(_die_decision().as_dict(), sort_keys=True)
+        assert "near_band" in text

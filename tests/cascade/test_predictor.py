@@ -1,0 +1,276 @@
+"""Unit tests for the cascade's predictive statistics machinery."""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.cascade import (
+    CalibrationTable,
+    SignatureCurve,
+    TailFit,
+    binomial_upper_bound,
+    normal_quantile,
+)
+
+NAN = math.nan
+
+
+# ----------------------------------------------------------------------
+# normal_quantile
+# ----------------------------------------------------------------------
+class TestNormalQuantile:
+    @pytest.mark.parametrize(
+        "p, expected",
+        [
+            (0.5, 0.0),
+            (0.975, 1.959963985),
+            (0.025, -1.959963985),
+            (0.841344746, 1.0),
+            (0.999, 3.090232306),
+            (0.001, -3.090232306),
+        ],
+    )
+    def test_known_values(self, p, expected):
+        assert normal_quantile(p) == pytest.approx(expected, abs=1e-6)
+
+    def test_antisymmetric(self):
+        for p in (0.01, 0.1, 0.3, 0.49, 0.0001):
+            assert normal_quantile(p) == pytest.approx(
+                -normal_quantile(1.0 - p), rel=1e-9, abs=1e-12
+            )
+
+    def test_round_trips_through_erf_cdf(self):
+        for p in (0.001, 0.02425, 0.1, 0.5, 0.9, 0.97575, 0.999):
+            x = normal_quantile(p)
+            cdf = 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+            assert cdf == pytest.approx(p, abs=1e-8)
+
+    def test_monotonic(self):
+        grid = [k / 100 for k in range(1, 100)]
+        values = [normal_quantile(p) for p in grid]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_out_of_range(self, p):
+        with pytest.raises(ValueError):
+            normal_quantile(p)
+
+
+# ----------------------------------------------------------------------
+# TailFit
+# ----------------------------------------------------------------------
+class TestTailFit:
+    def test_from_samples_mean_and_sample_std(self):
+        fit = TailFit.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert fit.center == pytest.approx(2.5)
+        assert fit.sigma == pytest.approx(1.2909944, abs=1e-6)  # ddof=1
+        assert fit.num_samples == 4
+
+    def test_drops_non_finite_samples(self):
+        fit = TailFit.from_samples([1.0, NAN, 3.0, math.inf, -math.inf])
+        assert fit.center == pytest.approx(2.0)
+        assert fit.num_samples == 2
+
+    def test_single_sample_has_zero_sigma(self):
+        fit = TailFit.from_samples([7.0])
+        assert fit.sigma == 0.0
+        assert fit.margin(0.01) == 0.0
+
+    def test_zero_finite_samples_raises(self):
+        with pytest.raises(ValueError):
+            TailFit.from_samples([NAN, math.inf])
+
+    def test_margin_is_quantile_times_sigma(self):
+        fit = TailFit(center=0.0, sigma=2.0, num_samples=100)
+        expected = normal_quantile(0.99) * 2.0
+        assert fit.margin(0.01) == pytest.approx(expected)
+        assert fit.margin(0.01, scale=1.5) == pytest.approx(1.5 * expected)
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.5])
+    def test_margin_rejects_bad_epsilon(self, eps):
+        fit = TailFit(center=0.0, sigma=1.0, num_samples=10)
+        with pytest.raises(ValueError):
+            fit.margin(eps)
+
+    def test_picklable(self):
+        fit = TailFit(center=1.0, sigma=0.5, num_samples=48)
+        assert pickle.loads(pickle.dumps(fit)) == fit
+
+
+# ----------------------------------------------------------------------
+# binomial_upper_bound (Clopper-Pearson)
+# ----------------------------------------------------------------------
+class TestBinomialUpperBound:
+    def test_zero_escapes_closed_form(self):
+        # k=0: the bound solves (1-p)^n = alpha exactly.
+        for n in (10, 480, 500):
+            bound = binomial_upper_bound(0, n, confidence=0.95)
+            assert bound == pytest.approx(1.0 - 0.05 ** (1.0 / n), abs=1e-9)
+
+    def test_harness_scale_values(self):
+        # The escape harness ships ~480 dies: 0 escapes certifies
+        # epsilon=0.01, 1 escape still does, 2 does not.
+        assert binomial_upper_bound(0, 480) < 0.01
+        assert binomial_upper_bound(1, 480) < 0.01
+        assert binomial_upper_bound(2, 480) > 0.01
+
+    def test_bound_inverts_the_exact_cdf(self):
+        k, n, conf = 3, 200, 0.95
+        p = binomial_upper_bound(k, n, confidence=conf)
+        cdf = sum(
+            math.comb(n, i) * p**i * (1.0 - p) ** (n - i)
+            for i in range(k + 1)
+        )
+        assert cdf == pytest.approx(1.0 - conf, abs=1e-6)
+
+    def test_monotone_in_k(self):
+        bounds = [binomial_upper_bound(k, 100) for k in range(0, 6)]
+        assert bounds == sorted(bounds)
+        assert bounds[0] < bounds[-1]
+
+    def test_decreasing_in_n(self):
+        assert binomial_upper_bound(1, 1000) < binomial_upper_bound(1, 100)
+
+    def test_increasing_in_confidence(self):
+        assert binomial_upper_bound(1, 100, confidence=0.99) > (
+            binomial_upper_bound(1, 100, confidence=0.9)
+        )
+
+    def test_all_escapes_is_one(self):
+        assert binomial_upper_bound(5, 5) == 1.0
+
+    @pytest.mark.parametrize(
+        "k, n, conf",
+        [(0, 0, 0.95), (-1, 10, 0.95), (11, 10, 0.95), (1, 10, 0.0),
+         (1, 10, 1.0)],
+    )
+    def test_rejects_bad_arguments(self, k, n, conf):
+        with pytest.raises(ValueError):
+            binomial_upper_bound(k, n, confidence=conf)
+
+
+# ----------------------------------------------------------------------
+# CalibrationTable.match
+# ----------------------------------------------------------------------
+def _curve(name, points):
+    return SignatureCurve(
+        name=name,
+        points=tuple(
+            tuple(tuple(stage) for stage in point) for point in points
+        ),
+    )
+
+
+def _table(*curves):
+    return CalibrationTable(
+        voltages=(1.1, 0.8), num_stages=2, curves=tuple(curves)
+    )
+
+
+#: A benign diagonal curve: stage-0 u runs -1..+1 at both supplies while
+#: the top stage amplifies it to -2..+2 (the healthy-curve gain shape).
+HEALTHY = _curve(
+    "healthy",
+    [
+        [(-1.0, -1.0), (-2.0, -2.0)],
+        [(1.0, 1.0), (2.0, 2.0)],
+    ],
+)
+
+
+class TestCalibrationMatch:
+    def test_match_returns_top_stage_envelope(self):
+        table = _table(HEALTHY)
+        hits = table.match(0, [0.0, 0.0], tolerance=0.2)
+        assert [h.signature for h in hits] == ["healthy"]
+        (hyp,) = hits
+        # Matching severities t in [0.4, 0.6] map to top u in [-0.5, 0.5];
+        # the 33-point grid lands on t = 13/32 .. 19/32, i.e. +/-0.375.
+        for v in range(2):
+            assert not hyp.may_stick[v]
+            assert hyp.low[v] == pytest.approx(-0.375, abs=1e-9)
+            assert hyp.high[v] == pytest.approx(0.375, abs=1e-9)
+
+    def test_no_match_outside_tolerance(self):
+        table = _table(HEALTHY)
+        assert table.match(0, [3.0, 3.0], tolerance=0.2) == []
+
+    def test_matching_is_joint_across_supplies(self):
+        # Consistent with the curve at each supply separately but not
+        # jointly (t=0.25 at one supply, t=0.75 at the other).
+        table = _table(HEALTHY)
+        assert table.match(0, [-0.5, 0.5], tolerance=0.2) == []
+        assert table.match(0, [0.5, 0.5], tolerance=0.2) != []
+
+    def test_segment_stuck_at_measured_supply_is_refuted(self):
+        # Stuck (NaN at both endpoints) at stage 0 / supply 1: a finite
+        # measurement there refutes the hypothesis even though supply 0
+        # matches perfectly.
+        stuck_leak = _curve(
+            "leak",
+            [
+                [(0.1, NAN), (0.5, -3.0)],
+                [(0.3, NAN), (1.5, -9.0)],
+            ],
+        )
+        table = _table(stuck_leak)
+        assert table.match(0, [0.2, 0.0], tolerance=0.3) == []
+
+    def test_transition_segment_matches_on_usable_supplies(self):
+        # One endpoint stuck, one oscillating at supply 1: the segment
+        # spans the stick threshold, so supply 1 cannot discriminate but
+        # does not refute; supply 0 alone decides the match.
+        transition = _curve(
+            "leak",
+            [
+                [(0.1, 0.5), (0.5, -3.0)],
+                [(0.3, NAN), (1.5, NAN)],
+            ],
+        )
+        table = _table(transition)
+        hits = table.match(0, [0.2, 9.9], tolerance=0.3)
+        assert [h.signature for h in hits] == ["leak"]
+
+    def test_top_stage_stick_sets_may_stick(self):
+        # The matched severity range borders a severity whose top-stage
+        # ring is stuck at supply 0: the envelope must carry may_stick.
+        sticky_top = _curve(
+            "void",
+            [
+                [(0.0, 0.0), (1.0, 1.0)],
+                [(0.4, 0.4), (NAN, 3.0)],
+            ],
+        )
+        table = _table(sticky_top)
+        (hyp,) = table.match(0, [0.2, 0.2], tolerance=0.3)
+        assert hyp.may_stick[0]
+        assert not hyp.may_stick[1]
+        # The finite endpoint still bounds the envelope at supply 0.
+        assert hyp.low[0] == pytest.approx(1.0)
+        assert hyp.high[0] == pytest.approx(1.0)
+
+    def test_multiple_curves_yield_multiple_hypotheses(self):
+        shifted = _curve(
+            "leak",
+            [
+                [(-0.2, -0.2), (4.0, 4.0)],
+                [(0.8, 0.8), (6.0, 6.0)],
+            ],
+        )
+        table = _table(HEALTHY, shifted)
+        hits = table.match(0, [0.1, 0.1], tolerance=0.35)
+        assert sorted(h.signature for h in hits) == ["healthy", "leak"]
+
+    @pytest.mark.parametrize("stage", [-1, 2, 5])
+    def test_rejects_stage_out_of_range(self, stage):
+        with pytest.raises(ValueError):
+            _table(HEALTHY).match(stage, [0.0, 0.0], tolerance=0.3)
+
+    def test_table_is_picklable(self):
+        table = _table(HEALTHY)
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone == table
+        assert clone.match(0, [0.0, 0.0], tolerance=0.2)

@@ -1,0 +1,194 @@
+"""Property-based tests for the solve-cache key schema.
+
+The cache is only sound if its content-addressed keys respect two
+invariants:
+
+* **No false misses** -- two callers that describe the *same* work
+  through different code paths (separately constructed objects,
+  different dict insertion orders, numpy scalars where another path
+  passes python numbers) must land on the same key, or the cache
+  silently loses its hit rate.
+* **No false hits** -- any perturbation of any field that influences a
+  solve (a resistance, a seed, a sigma) must change the key, or the
+  cache returns a stale result for different physics.
+
+Hypothesis drives both directions over the value types that actually
+appear in keys: floats, ints, dataclasses (TSVs, faults, variation
+models), circuits, dicts, and numpy scalars/arrays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tsv import Leakage, ResistiveOpen, Tsv, TsvParameters
+from repro.spice.cache import circuit_fingerprint, fingerprint
+from repro.spice.montecarlo import ProcessVariation
+from repro.spice.netlist import Circuit
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, width=64
+)
+positive_floats = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def _tsv_circuit(tsv: Tsv) -> Circuit:
+    circuit = Circuit(title="key-prop")
+    tsv.build(circuit, name="t0", pad="pad")
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# No false misses: equal content -> equal key
+# ----------------------------------------------------------------------
+class TestEqualContentEqualKey:
+    @given(r=positive_floats, c=positive_floats)
+    def test_separately_constructed_tsvs_key_identically(self, r, c):
+        a = Tsv(params=TsvParameters(resistance=r, capacitance=c))
+        b = Tsv(params=TsvParameters(resistance=r, capacitance=c))
+        assert a is not b
+        assert fingerprint("solve", a) == fingerprint("solve", b)
+
+    @given(r=positive_floats)
+    def test_equal_circuits_built_twice_key_identically(self, r):
+        tsv = Tsv(fault=Leakage(r_leak=r))
+        assert circuit_fingerprint(_tsv_circuit(tsv)) == (
+            circuit_fingerprint(_tsv_circuit(tsv))
+        )
+
+    @given(
+        entries=st.dictionaries(
+            st.text(max_size=8), st.integers(), max_size=6
+        )
+    )
+    def test_dict_insertion_order_is_canonicalized(self, entries):
+        reversed_entries = dict(reversed(list(entries.items())))
+        assert fingerprint(entries) == fingerprint(reversed_entries)
+
+    @given(x=finite_floats)
+    def test_numpy_float64_keys_like_python_float(self, x):
+        assert fingerprint(np.float64(x)) == fingerprint(x)
+
+    @given(x=st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_numpy_float32_keys_like_its_python_value(self, x):
+        narrowed = np.float32(x)
+        assert fingerprint(narrowed) == fingerprint(float(narrowed))
+
+    @given(n=st.integers(min_value=-(2**62), max_value=2**62))
+    def test_numpy_int64_keys_like_python_int(self, n):
+        assert fingerprint(np.int64(n)) == fingerprint(n)
+
+    def test_numpy_bool_keys_like_python_bool(self):
+        assert fingerprint(np.bool_(True)) == fingerprint(True)
+        assert fingerprint(np.bool_(False)) == fingerprint(False)
+
+    @given(x=finite_floats)
+    def test_numpy_scalars_nested_in_structures(self, x):
+        assert fingerprint({"vdd": np.float64(x), "m": np.int64(3)}) == (
+            fingerprint({"vdd": x, "m": 3})
+        )
+
+    def test_signed_zero_and_nan_are_stable(self):
+        # float.hex() distinguishes -0.0 from 0.0 and pins down NaN;
+        # either way the same value always produces the same key.
+        assert fingerprint(math.nan) == fingerprint(math.nan)
+        assert fingerprint(0.0) != fingerprint(-0.0)
+
+
+# ----------------------------------------------------------------------
+# No false hits: any perturbation -> different key
+# ----------------------------------------------------------------------
+class TestPerturbationChangesKey:
+    @given(
+        field_name=st.sampled_from(["resistance", "capacitance"]),
+        factor=st.floats(min_value=1.0 + 1e-12, max_value=10.0),
+    )
+    def test_single_tsv_parameter_perturbation_misses(
+        self, field_name, factor
+    ):
+        base = TsvParameters()
+        bumped = dataclasses.replace(
+            base, **{field_name: getattr(base, field_name) * factor}
+        )
+        assert fingerprint(Tsv(params=base)) != (
+            fingerprint(Tsv(params=bumped))
+        )
+
+    @given(r=positive_floats, delta=positive_floats)
+    def test_fault_parameter_perturbation_misses(self, r, delta):
+        assert fingerprint(Tsv(fault=Leakage(r_leak=r))) != (
+            fingerprint(Tsv(fault=Leakage(r_leak=r + delta)))
+        )
+
+    @given(x=st.floats(min_value=0.0, max_value=0.9, exclude_min=False))
+    def test_fault_kind_is_part_of_the_key(self, x):
+        # Same resistance value, different physics.
+        assert fingerprint(Tsv(fault=ResistiveOpen(r_open=500.0, x=x))) != (
+            fingerprint(Tsv(fault=Leakage(r_leak=500.0)))
+        )
+
+    @given(
+        field_name=st.sampled_from(["sigma_vth", "sigma_leff_rel"]),
+        factor=st.floats(min_value=1.0 + 1e-9, max_value=5.0),
+    )
+    def test_variation_perturbation_misses(self, field_name, factor):
+        base = ProcessVariation()
+        bumped = dataclasses.replace(
+            base, **{field_name: getattr(base, field_name) * factor}
+        )
+        assert fingerprint("mc", base, 100, 7) != (
+            fingerprint("mc", bumped, 100, 7)
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_seed_and_sample_count_are_part_of_the_key(self, seed):
+        base = fingerprint("mc", ProcessVariation(), 100, seed)
+        assert base != fingerprint("mc", ProcessVariation(), 101, seed)
+        assert base != fingerprint("mc", ProcessVariation(), 100, seed + 1)
+
+    @given(r=positive_floats, factor=st.floats(min_value=1.0001,
+                                               max_value=10.0))
+    def test_circuit_element_value_perturbation_misses(self, r, factor):
+        a = _tsv_circuit(Tsv(fault=Leakage(r_leak=r)))
+        b = _tsv_circuit(Tsv(fault=Leakage(r_leak=r * factor)))
+        assert circuit_fingerprint(a) != circuit_fingerprint(b)
+
+    def test_namespace_tag_separates_key_families(self):
+        tsv = Tsv()
+        assert fingerprint("measure.deterministic", tsv) != (
+            fingerprint("cascade.measure", tsv)
+        )
+
+    @settings(max_examples=25)
+    @given(
+        values=st.lists(finite_floats, min_size=1, max_size=16),
+    )
+    def test_array_content_and_shape_are_keyed(self, values):
+        arr = np.asarray(values)
+        assert fingerprint(arr) == fingerprint(arr.copy())
+        assert fingerprint(arr) != fingerprint(arr.reshape(1, -1))
+        bumped = arr.copy()
+        bumped[0] += 1.0
+        if not np.array_equal(bumped, arr):
+            assert fingerprint(bumped) != fingerprint(arr)
+
+
+class TestKeyShape:
+    def test_fingerprint_is_hex_sha256(self):
+        key = fingerprint("anything", 1, 2.0)
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
+
+    def test_nesting_depth_is_bounded(self):
+        nested: object = 0.0
+        for _ in range(20):
+            nested = [nested]
+        with pytest.raises(ValueError, match="nesting too deep"):
+            fingerprint(nested)

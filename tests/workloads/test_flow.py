@@ -99,11 +99,41 @@ class TestFlowMetrics:
         assert metrics.escape_rate == 0.0
         assert metrics.detection_rate == 1.0
 
+    def test_overkill_rate_on_all_faulty_die_is_zero(self):
+        metrics = FlowMetrics(num_tsvs=4, true_faulty=4, overkill=0)
+        assert metrics.overkill_rate == 0.0
+
+    def test_empty_population_rates_are_zero(self):
+        metrics = FlowMetrics()
+        assert metrics.num_tsvs == 0
+        assert metrics.escape_rate == 0.0
+        assert metrics.overkill_rate == 0.0
+        assert metrics.escalation_rate == 0.0
+        # Every as_row value must stay finite for the report writers.
+        assert all(math.isfinite(v) for v in metrics.as_row().values())
+
+    def test_rates_with_nonzero_denominators(self):
+        metrics = FlowMetrics(
+            num_tsvs=10, true_faulty=4, detected=3, escapes=1,
+            overkill=2, escalated=5,
+        )
+        assert metrics.escape_rate == pytest.approx(1 / 4)
+        assert metrics.overkill_rate == pytest.approx(2 / 6)
+        assert metrics.detection_rate == pytest.approx(3 / 4)
+        assert metrics.escalation_rate == pytest.approx(5 / 10)
+
     def test_as_row_keys(self):
         row = FlowMetrics(num_tsvs=5).as_row()
         for key in ("detection_rate", "escape_rate", "overkill_rate",
-                    "test_time_s"):
+                    "test_time_s", "escalated", "escalation_rate"):
             assert key in row
+
+    def test_cascade_dicts_are_per_instance(self):
+        first, second = FlowMetrics(), FlowMetrics()
+        first.stage_measurements["analytic"] = 8
+        first.escalations["near_band"] = 1
+        assert second.stage_measurements == {}
+        assert second.escalations == {}
 
 
 class TestFlowPreflight:
