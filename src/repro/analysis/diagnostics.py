@@ -65,10 +65,16 @@ class Diagnostic:
         severity: How bad the finding is.
         message: Human-readable description; uses element and node
             *names*, never MNA indices.
-        element: Name of the offending element, when one exists.
-        nodes: Names of the involved circuit nodes.
+        element: Name of the offending element, when one exists.  The
+            codebase analyzer (:mod:`repro.lint`) stores the enclosing
+            function/class qualname here.
+        nodes: Names of the involved circuit nodes (or, for code
+            diagnostics, the symbol names involved).
         hint: A short suggestion for fixing the netlist.
         subject: What was checked (circuit title, die label, ...).
+        location: ``path:line`` source position for code diagnostics
+            (:mod:`repro.lint`); empty for netlist diagnostics, whose
+            subjects are circuits, not files.
     """
 
     rule: str
@@ -78,10 +84,13 @@ class Diagnostic:
     nodes: Tuple[str, ...] = ()
     hint: Optional[str] = None
     subject: str = ""
+    location: str = ""
 
     def format(self) -> str:
         """One-line rendering: ``error[rule] message (element; nodes)``."""
         parts = [f"{self.severity.value}[{self.rule}] {self.message}"]
+        if self.location:
+            parts.insert(0, f"{self.location}:")
         details = []
         if self.element:
             details.append(f"element {self.element!r}")

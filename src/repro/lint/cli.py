@@ -1,0 +1,154 @@
+"""``python -m repro.lint``: the codebase-invariant gate.
+
+Usage::
+
+    python -m repro.lint src/repro --strict            # CI gate
+    python -m repro.lint src/repro --json report.json  # machine-readable
+    python -m repro.lint --rules                       # rule table
+    python -m repro.lint src --select DET              # one family
+    python -m repro.lint src --baseline lint-baseline.json
+    python -m repro.lint src --write-baseline lint-baseline.json
+
+Exit status: 0 clean (or everything baselined/suppressed), 1 when
+findings at or above the failing severity survive (``--strict`` lowers
+the bar from error to warning), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.reporting import Table
+from repro.lint.framework import (
+    LintResult,
+    load_baseline,
+    registered_rules,
+    run_lint,
+    write_baseline,
+)
+
+__all__ = ["main"]
+
+
+def print_rules() -> None:
+    specs = registered_rules()
+    width = max(len(s.rule_id) for s in specs)
+    for spec in specs:
+        print(f"{spec.rule_id:<{width}}  {spec.severity.value:<7}  "
+              f"{spec.summary}")
+
+
+def render_table(result: LintResult) -> str:
+    table = Table(
+        ["location", "rule", "severity", "symbol", "message"],
+        title="repro.lint findings",
+    )
+    for diagnostic in result.diagnostics:
+        table.add_row([
+            diagnostic.location,
+            diagnostic.rule,
+            diagnostic.severity.value,
+            diagnostic.element or "<module>",
+            diagnostic.message,
+        ])
+    return table.render()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Whole-program concurrency & serialization analyzer "
+                    "for the repro codebase.",
+    )
+    parser.add_argument(
+        "targets", nargs="*", type=Path,
+        help="python files or directories to analyze",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="print the registered rule table and exit",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="run only these rule ids/families (repeatable, e.g. "
+             "--select PKL --select DET001)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--json", nargs="?", const="-", metavar="FILE",
+        help="write the JSON report to FILE (default: stdout)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, metavar="FILE",
+        help="subtract a previously recorded baseline before gating",
+    )
+    parser.add_argument(
+        "--write-baseline", type=Path, metavar="FILE",
+        help="record the surviving findings as the new baseline",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress the findings table (summary line only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        print_rules()
+        return 0
+    if not args.targets:
+        parser.print_usage(sys.stderr)
+        print("error: no targets given (or use --rules)", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(f"error: baseline {args.baseline} does not exist",
+                  file=sys.stderr)
+            return 2
+        baseline = load_baseline(args.baseline)
+
+    try:
+        result = run_lint(
+            args.targets, rules=args.select, baseline=baseline
+        )
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, result)
+        print(f"baseline with {len(result.diagnostics)} finding(s) "
+              f"written to {args.write_baseline}")
+        return 0
+
+    if args.json is not None:
+        payload = json.dumps(result.to_json(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n", encoding="utf-8")
+
+    if result.diagnostics and not args.quiet and args.json != "-":
+        print(render_table(result))
+
+    summary = (
+        f"{result.modules_checked} module(s) checked, "
+        f"{len(result.diagnostics)} finding(s), "
+        f"{result.suppressed_total} suppressed"
+    )
+    if result.baselined:
+        summary += f", {result.baselined} baselined"
+    print(summary, file=sys.stderr if args.json == "-" else sys.stdout)
+    return 1 if result.failed(strict=args.strict) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

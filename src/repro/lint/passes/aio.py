@@ -1,0 +1,203 @@
+"""AIO: nothing reachable inside ``async def`` may block the event loop.
+
+The screening service (PR 5) keeps admission, batching, and the
+deadline watchdogs responsive *because* every expensive solve is pushed
+to an executor: one blocking call on the loop stalls every in-flight
+request and turns deadlines from timeouts into hangs.  This pass walks
+the direct body of every ``async def`` (nested synchronous ``def``
+bodies are skipped -- they run wherever they are called) and flags
+provably blocking calls.
+
+=========  =============================================================
+``AIO001`` blocking call (``time.sleep``, file I/O, ``sqlite3``,
+           ``subprocess``, sockets/HTTP) inside ``async def``
+``AIO002`` synchronous future/executor wait (``.result()``,
+           ``executor.shutdown(wait=True)``, ``thread.join()``)
+           inside ``async def``
+=========  =============================================================
+
+The fix is always the same shape: ``await`` the async equivalent, or
+push the call through ``loop.run_in_executor``/``asyncio.to_thread``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.diagnostics import Severity
+from repro.lint.framework import LintContext, LintFinding, lint_pass, rule
+from repro.lint.modgraph import ModuleInfo, dotted_name
+
+__all__ = ["aio_blocking"]
+
+#: Resolved dotted calls that block the calling thread.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "sqlite3.connect",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "os.system",
+    "os.popen",
+    "os.waitpid",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "requests.put",
+    "requests.delete",
+    "requests.head",
+    "requests.request",
+}
+
+#: Attribute-call tails that are file I/O on any receiver.
+_BLOCKING_METHOD_TAILS = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+#: Attribute tails naming executors/pools (for the shutdown check).
+_EXECUTOR_HINTS = ("executor", "pool")
+
+rule(
+    "AIO001", Severity.ERROR,
+    "blocking call inside async def (event-loop stall)",
+)
+rule(
+    "AIO002", Severity.ERROR,
+    "synchronous future/executor wait inside async def",
+)
+
+
+def _iter_async_body(node: ast.AST) -> Iterator[ast.AST]:
+    """Every node in an async function's own body.
+
+    Nested function definitions (sync or async) are *not* descended
+    into: a nested sync def may run on an executor, and a nested async
+    def is visited as its own function.
+    """
+    for child in ast.iter_child_nodes(node):
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield child
+        yield from _iter_async_body(child)
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _check_call(
+    module: ModuleInfo, func_name: str, call: ast.Call
+) -> Iterator[LintFinding]:
+    dotted = dotted_name(call.func)
+    resolved = module.resolve(dotted) if dotted else None
+    attr_tail = (
+        call.func.attr if isinstance(call.func, ast.Attribute) else None
+    )
+    receiver = (
+        dotted_name(call.func.value)
+        if isinstance(call.func, ast.Attribute) else None
+    )
+
+    if resolved is not None and (
+        resolved in _BLOCKING_CALLS or resolved == "open"
+    ):
+        yield LintFinding(
+            rule="AIO001",
+            severity=Severity.ERROR,
+            message=(
+                f"blocking call {dotted}() inside async def "
+                f"{func_name!r} stalls the event loop"
+            ),
+            line=call.lineno,
+            names=(dotted or "",),
+            hint="await the async equivalent, or push it through "
+                 "loop.run_in_executor/asyncio.to_thread",
+        )
+        return
+    if attr_tail in _BLOCKING_METHOD_TAILS:
+        yield LintFinding(
+            rule="AIO001",
+            severity=Severity.ERROR,
+            message=(
+                f"blocking file I/O .{attr_tail}() inside async def "
+                f"{func_name!r} stalls the event loop"
+            ),
+            line=call.lineno,
+            names=(attr_tail,),
+            hint="push file I/O through "
+                 "loop.run_in_executor/asyncio.to_thread",
+        )
+        return
+    if attr_tail == "result" and not call.args and not call.keywords:
+        yield LintFinding(
+            rule="AIO002",
+            severity=Severity.ERROR,
+            message=(
+                f"synchronous .result() wait inside async def "
+                f"{func_name!r} blocks the event loop"
+            ),
+            line=call.lineno,
+            names=((receiver or "?"),),
+            hint="await the future (wrap with asyncio.wrap_future for "
+                 "concurrent.futures results)",
+        )
+        return
+    if attr_tail == "shutdown" and receiver is not None:
+        tail = receiver.split(".")[-1].lower()
+        wait = _keyword(call, "wait")
+        explicit_nowait = (
+            isinstance(wait, ast.Constant) and wait.value is False
+        )
+        if any(h in tail for h in _EXECUTOR_HINTS) and not explicit_nowait:
+            yield LintFinding(
+                rule="AIO002",
+                severity=Severity.ERROR,
+                message=(
+                    f"{receiver}.shutdown(wait=True) inside async def "
+                    f"{func_name!r} joins worker threads on the event "
+                    "loop"
+                ),
+                line=call.lineno,
+                names=(receiver,),
+                hint="await asyncio.to_thread(executor.shutdown, True) "
+                     "(or shutdown(wait=False) when dropping work is "
+                     "acceptable)",
+            )
+    if attr_tail == "join" and receiver is not None:
+        tail = receiver.split(".")[-1].lower()
+        if "thread" in tail:
+            yield LintFinding(
+                rule="AIO002",
+                severity=Severity.ERROR,
+                message=(
+                    f"{receiver}.join() inside async def {func_name!r} "
+                    "blocks the event loop until the thread exits"
+                ),
+                line=call.lineno,
+                names=(receiver,),
+                hint="await asyncio.to_thread(thread.join)",
+            )
+
+
+@lint_pass("AIO001", "AIO002")
+def aio_blocking(
+    module: ModuleInfo, ctx: LintContext
+) -> Iterator[LintFinding]:
+    """Scan every ``async def`` body for provably blocking calls."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            for sub in _iter_async_body(node):
+                if isinstance(sub, ast.Call):
+                    yield from _check_call(module, node.name, sub)

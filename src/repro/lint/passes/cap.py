@@ -1,0 +1,165 @@
+"""CAP: engine access flows through declared capabilities.
+
+PR 4 split the engine monolith into capability-typed backends exactly
+so workload layers stop guessing what an engine can do: the contract is
+the :class:`~repro.core.engines.base.Engine` ABC surface plus
+:func:`~repro.core.engines.base.supports` over declared
+:class:`~repro.core.engines.base.EngineCapabilities`.  ``hasattr``
+probes and ``isinstance`` checks on engines outside ``core/engines/``
+re-open the door to per-backend drift (the pre-PR-4 ``_stop_time``
+signature skew being the cautionary tale).
+
+=========  =============================================================
+``CAP001`` ``hasattr``/``getattr``/``isinstance`` probing of an engine
+           outside ``repro.core.engines`` (use ``supports()`` /
+           ``is_engine()``)
+``CAP002`` engine attribute outside the declared Engine surface
+           accessed from a workload layer
+=========  =============================================================
+
+Engine-ish receivers are recognized conservatively: local names
+``engine``/``_engine``, attributes ``self.engine``/``self._engine``,
+and ``isinstance`` class arguments resolving into
+``repro.core.engines``.  The declared surface lives in
+:data:`ENGINE_SURFACE` and is asserted against the real ABC by a unit
+test, so the two cannot drift apart silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.diagnostics import Severity
+from repro.lint.framework import LintContext, LintFinding, lint_pass, rule
+from repro.lint.modgraph import ModuleInfo, dotted_name
+
+__all__ = ["ENGINE_SURFACE", "cap_flow"]
+
+#: Module prefixes where direct engine introspection is legitimate --
+#: the engine package itself defines the capability surface.
+_EXEMPT_PREFIXES = ("repro.core.engines", "repro.lint")
+
+#: The declared public surface of the Engine ABC (attributes workload
+#: layers may touch).  tests/lint/test_cap_surface.py asserts this set
+#: matches the real class, so additions to the ABC update it or fail.
+ENGINE_SURFACE = frozenset({
+    "config",
+    "engine_name",
+    "capabilities",
+    "period",
+    "delta_t",
+    "at_vdd",
+    "stop_time",
+    "measure",
+    "stop_policy",
+    "batch_key",
+    "family_key",
+    "measure_batch",
+    "delta_t_mc",
+    "delta_t_sweep_ro",
+    "delta_t_sweep_rl",
+    "preflight_circuits",
+    "oscillation_stop_r_leak",
+    "describe",
+})
+
+#: Receiver spellings treated as "this is an engine".
+_ENGINE_NAMES = {"engine", "_engine"}
+_ENGINE_ATTRS = {"self.engine", "self._engine"}
+
+rule(
+    "CAP001", Severity.ERROR,
+    "hasattr/isinstance probing of engines outside core/engines",
+)
+rule(
+    "CAP002", Severity.ERROR,
+    "engine attribute outside the declared capability surface",
+)
+
+
+def _is_engine_expr(expr: ast.expr) -> Optional[str]:
+    """The engine-ish spelling of ``expr``, or None."""
+    if isinstance(expr, ast.Name) and expr.id in _ENGINE_NAMES:
+        return expr.id
+    dotted = dotted_name(expr)
+    if dotted in _ENGINE_ATTRS:
+        return dotted
+    return None
+
+
+def _engine_class_arg(module: ModuleInfo, expr: ast.expr) -> Optional[str]:
+    """An Engine-class name inside an ``isinstance`` classinfo arg."""
+    candidates = (
+        expr.elts if isinstance(expr, ast.Tuple) else [expr]
+    )
+    for candidate in candidates:
+        dotted = dotted_name(candidate)
+        if dotted is None:
+            continue
+        resolved = module.resolve(dotted)
+        if resolved.startswith("repro.core.engines") and (
+            resolved.split(".")[-1].endswith("Engine")
+        ):
+            return dotted
+    return None
+
+
+@lint_pass("CAP001", "CAP002")
+def cap_flow(
+    module: ModuleInfo, ctx: LintContext
+) -> Iterator[LintFinding]:
+    """Scan workload-layer modules for out-of-contract engine access."""
+    if module.name.startswith(_EXEMPT_PREFIXES):
+        return
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            func = dotted_name(node.func)
+            if func == "isinstance" and len(node.args) == 2:
+                cls = _engine_class_arg(module, node.args[1])
+                if cls is not None:
+                    yield LintFinding(
+                        rule="CAP001",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"isinstance(..., {cls}) outside "
+                            "core/engines: engine typing is the "
+                            "registry's job"
+                        ),
+                        line=node.lineno,
+                        names=(cls,),
+                        hint="use is_engine()/resolve_engine() from "
+                             "repro.core.engines",
+                    )
+            elif func in ("hasattr", "getattr") and node.args:
+                spelling = _is_engine_expr(node.args[0])
+                if spelling is not None:
+                    yield LintFinding(
+                        rule="CAP001",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"{func}() probe on engine {spelling!r} "
+                            "outside core/engines bypasses declared "
+                            "capabilities"
+                        ),
+                        line=node.lineno,
+                        names=(spelling,),
+                        hint="declare the capability in "
+                             "EngineCapabilities and gate on supports()",
+                    )
+        elif isinstance(node, ast.Attribute):
+            spelling = _is_engine_expr(node.value)
+            if spelling is not None and node.attr not in ENGINE_SURFACE:
+                yield LintFinding(
+                    rule="CAP002",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"engine attribute .{node.attr} on {spelling!r} "
+                        "is outside the declared Engine surface"
+                    ),
+                    line=node.lineno,
+                    names=(spelling, node.attr),
+                    hint="route new engine behavior through the Engine "
+                         "ABC + EngineCapabilities, then extend "
+                         "ENGINE_SURFACE",
+                )

@@ -1,0 +1,258 @@
+"""RACE: no unsynchronized shared-state mutation on thread worker paths.
+
+The service's worker pool (PR 5) runs engine solves on a
+``ThreadPoolExecutor`` while the event loop keeps admitting requests:
+any module-level mutable touched from a thread-dispatched function is
+shared state that two workers can interleave on.  Process pools are
+exempt by construction (workers own their memory); this pass cares
+only about *thread* boundaries.
+
+``RACE001`` fires when a function dispatched to a thread pool -- or
+reachable from one through same-module calls -- mutates module-level
+state (a ``global`` rebind, or an item/attribute/mutating-method write
+on a module-level container) without an enclosing ``with <lock>:``
+block (any context manager whose name contains ``lock``/``mutex``).
+
+The reachability analysis is intra-module and name-based on purpose:
+it catches the dangerous local patterns exactly, while cross-module
+flows stay the job of the capability typing (engines declare
+``batched_requests`` before the service will thread their solves).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.diagnostics import Severity
+from repro.lint.framework import LintContext, LintFinding, lint_pass, rule
+from repro.lint.modgraph import ModuleInfo, dotted_name
+
+__all__ = ["race_shared_state"]
+
+_THREAD_POOL_TYPES = {
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.thread.ThreadPoolExecutor",
+    "multiprocessing.pool.ThreadPool",
+    "multiprocessing.dummy.Pool",
+}
+
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "add", "update", "pop", "popitem",
+    "setdefault", "clear", "remove", "discard", "appendleft",
+}
+
+_LOCK_HINTS = ("lock", "mutex", "semaphore", "condition")
+
+rule(
+    "RACE001", Severity.ERROR,
+    "unsynchronized module-state mutation on a thread worker path",
+)
+
+
+def _mutable_literal(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        return name in (
+            "dict", "list", "set", "collections.defaultdict",
+            "defaultdict", "collections.deque", "deque",
+            "collections.OrderedDict", "OrderedDict", "Counter",
+            "collections.Counter",
+        )
+    return False
+
+
+def _module_mutables(module: ModuleInfo) -> Set[str]:
+    names: Set[str] = set()
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign) and _mutable_literal(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and _mutable_literal(node.value) \
+                and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def _function_defs(module: ModuleInfo) -> Dict[str, ast.AST]:
+    """Bare name -> def node, for every function/method in the module."""
+    defs: Dict[str, ast.AST] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.setdefault(node.name, node)
+    return defs
+
+
+def _called_names(func: ast.AST) -> Set[str]:
+    """Bare names this function calls (``f()`` and ``self.f()`` alike)."""
+    called: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                called.add(node.func.id)
+            elif isinstance(node.func, ast.Attribute):
+                called.add(node.func.attr)
+    return called
+
+
+def _thread_entry_names(module: ModuleInfo) -> Set[str]:
+    """Bare names of callables handed to a thread pool in this module."""
+    entries: Set[str] = set()
+    pool_names: Set[str] = set()
+
+    def note_callable(expr: ast.expr) -> None:
+        if isinstance(expr, ast.Name):
+            entries.add(expr.id)
+        elif isinstance(expr, ast.Attribute):
+            entries.add(expr.attr)
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.Call
+        ):
+            name = dotted_name(node.value.func)
+            if name and module.resolve(name) in _THREAD_POOL_TYPES:
+                for target in node.targets:
+                    tail = dotted_name(target)
+                    if tail:
+                        pool_names.add(tail.split(".")[-1])
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if isinstance(item.context_expr, ast.Call):
+                    name = dotted_name(item.context_expr.func)
+                    if name and (
+                        module.resolve(name) in _THREAD_POOL_TYPES
+                    ) and item.optional_vars is not None:
+                        tail = dotted_name(item.optional_vars)
+                        if tail:
+                            pool_names.add(tail.split(".")[-1])
+
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute):
+            receiver = dotted_name(node.func.value)
+            tail = receiver.split(".")[-1] if receiver else ""
+            if node.func.attr in ("submit", "map") and (
+                tail in pool_names
+            ):
+                if node.args:
+                    note_callable(node.args[0])
+            elif node.func.attr == "run_in_executor" and len(
+                node.args
+            ) >= 2:
+                note_callable(node.args[1])
+    return entries
+
+
+def _reachable(
+    entries: Set[str], defs: Dict[str, ast.AST]
+) -> Dict[str, ast.AST]:
+    """Entry defs plus same-module transitive callees, by bare name."""
+    seen: Dict[str, ast.AST] = {}
+    frontier: List[str] = [name for name in entries if name in defs]
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen[name] = defs[name]
+        for callee in _called_names(defs[name]):
+            if callee in defs and callee not in seen:
+                frontier.append(callee)
+    return seen
+
+
+def _locked(stack: List[ast.AST]) -> bool:
+    for node in stack:
+        if isinstance(node, ast.With):
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                name = dotted_name(expr) or ""
+                if any(h in name.lower() for h in _LOCK_HINTS):
+                    return True
+    return False
+
+
+def _mutations(
+    func_name: str,
+    func: ast.AST,
+    mutables: Set[str],
+) -> Iterator[LintFinding]:
+    declared_globals: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared_globals.update(node.names)
+
+    def check(node: ast.AST, stack: List[ast.AST]) -> Iterator[LintFinding]:
+        target_name: Optional[str] = None
+        what = ""
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and (
+                    target.id in declared_globals
+                ):
+                    target_name, what = target.id, "global rebind of"
+                elif isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ) and target.value.id in (mutables | declared_globals):
+                    target_name = target.value.id
+                    what = "item write on module-level"
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ) and node.func.attr in _MUTATING_METHODS and isinstance(
+            node.func.value, ast.Name
+        ) and node.func.value.id in (mutables | declared_globals):
+            target_name = node.func.value.id
+            what = f".{node.func.attr}() on module-level"
+        if target_name is not None and not _locked(stack):
+            yield LintFinding(
+                rule="RACE001",
+                severity=Severity.ERROR,
+                message=(
+                    f"{what} {target_name!r} in {func_name!r}, which "
+                    "runs on thread-pool workers, without holding a "
+                    "lock"
+                ),
+                line=getattr(node, "lineno", 1),
+                names=(target_name,),
+                hint="guard the mutation with a threading.Lock, or "
+                     "accumulate per-worker and merge (the telemetry "
+                     "snapshot/merge pattern)",
+            )
+
+    def walk(node: ast.AST, stack: List[ast.AST]) -> Iterator[LintFinding]:
+        yield from check(node, stack)
+        stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                yield from walk(child, stack)
+        stack.pop()
+
+    yield from walk(func, [])
+
+
+@lint_pass("RACE001")
+def race_shared_state(
+    module: ModuleInfo, ctx: LintContext
+) -> Iterator[LintFinding]:
+    """Flag unlocked module-state mutation on thread-dispatched paths."""
+    entries = _thread_entry_names(module)
+    if not entries:
+        return
+    defs = _function_defs(module)
+    mutables = _module_mutables(module)
+    for name, func in _reachable(entries, defs).items():
+        yield from _mutations(name, func, mutables)

@@ -1,0 +1,188 @@
+"""TEL: every telemetry metric is registered, kind-correct, namespaced.
+
+Fleet debugging rides on telemetry names meaning one thing everywhere:
+a wafer run's merged snapshot, the service tables, and the benchmark
+JSON artifacts all join on them.  :data:`repro.telemetry.METRICS` is
+the declaration point (name, counter-vs-histogram kind, which
+reporting table renders it); this pass statically checks every
+``.incr(...)`` / ``.observe(...)`` call site against it.
+
+=========  =============================================================
+``TEL001`` incremented/observed metric name not registered in
+           ``repro.telemetry.METRICS`` (orphaned metric)
+``TEL002`` kind collision: ``incr`` on a histogram or ``observe`` on
+           a counter
+``TEL003`` malformed or non-namespaced metric name (new metrics must
+           be ``layer.metric``; flat names are grandfathered via
+           ``legacy=True`` registry entries)
+=========  =============================================================
+
+Dynamic names are handled through registered families: an f-string
+like ``f"diag_emitted.{rule}"`` validates against the
+``"diag_emitted.*"`` entry.  An f-string with no literal ``layer.``
+prefix cannot be validated at all and is flagged (TEL003).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.diagnostics import Severity
+from repro.lint.framework import LintContext, LintFinding, lint_pass, rule
+from repro.lint.modgraph import ModuleInfo, dotted_name
+from repro.telemetry import metric_spec
+
+__all__ = ["tel_registry"]
+
+#: Modules whose incr/observe calls are the registry machinery itself.
+_EXEMPT_PREFIXES = ("repro.telemetry",)
+
+#: Receiver names treated as "the process telemetry registry".
+_TELEMETRY_NAMES = {"tele", "telemetry"}
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+rule(
+    "TEL001", Severity.ERROR,
+    "unregistered telemetry metric name (orphaned metric)",
+)
+rule(
+    "TEL002", Severity.ERROR,
+    "metric kind collision (incr on histogram / observe on counter)",
+)
+rule(
+    "TEL003", Severity.ERROR,
+    "malformed or non-namespaced metric name",
+)
+
+
+def _is_telemetry_receiver(module: ModuleInfo, expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Name):
+        return expr.id in _TELEMETRY_NAMES
+    if isinstance(expr, ast.Call):
+        func = dotted_name(expr.func)
+        if func is None:
+            return False
+        return module.resolve(func).split(".")[-1] == "get_telemetry"
+    dotted = dotted_name(expr)
+    if dotted is not None:
+        return dotted.split(".")[-1] in _TELEMETRY_NAMES
+    return False
+
+
+def _literal_metric(expr: ast.expr) -> Tuple[Optional[str], bool]:
+    """``(name, dynamic)`` for a metric-name argument.
+
+    A plain string constant returns ``(name, False)``.  An f-string
+    returns its literal prefix folded to a ``family.*`` pattern and
+    ``dynamic=True``; with no usable prefix, ``(None, True)``.
+    """
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value, False
+    if isinstance(expr, ast.JoinedStr):
+        prefix = ""
+        first = expr.values[0] if expr.values else None
+        if isinstance(first, ast.Constant) and isinstance(
+            first.value, str
+        ):
+            prefix = first.value
+        if "." in prefix:
+            family = prefix.rsplit(".", 1)[0]
+            return f"{family}.<dynamic>", True
+        return None, True
+    return None, True
+
+
+@lint_pass("TEL001", "TEL002", "TEL003")
+def tel_registry(
+    module: ModuleInfo, ctx: LintContext
+) -> Iterator[LintFinding]:
+    """Check every incr/observe call site against the metric registry."""
+    if module.name.startswith(_EXEMPT_PREFIXES):
+        return
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("incr", "observe")
+            and node.args
+        ):
+            continue
+        if not _is_telemetry_receiver(module, node.func.value):
+            continue
+        used_kind = (
+            "counter" if node.func.attr == "incr" else "histogram"
+        )
+        name, dynamic = _literal_metric(node.args[0])
+        if name is None:
+            yield LintFinding(
+                rule="TEL003",
+                severity=Severity.ERROR,
+                message=(
+                    f"dynamic metric name in .{node.func.attr}() has no "
+                    "literal 'family.' prefix; it cannot be validated "
+                    "against the registry"
+                ),
+                line=node.lineno,
+                hint="prefix the f-string with a registered family "
+                     "(e.g. f\"layer.{detail}\")",
+            )
+            continue
+        plain = name.replace(".<dynamic>", ".x")
+        if not _NAME_RE.match(plain):
+            yield LintFinding(
+                rule="TEL003",
+                severity=Severity.ERROR,
+                message=(
+                    f"malformed metric name {name!r}: metric names are "
+                    "lowercase dot-separated [a-z0-9_] segments"
+                ),
+                line=node.lineno,
+                names=(name,),
+            )
+            continue
+        spec = metric_spec(plain)
+        if spec is None:
+            yield LintFinding(
+                rule="TEL001",
+                severity=Severity.ERROR,
+                message=(
+                    f"metric {name!r} is not registered in "
+                    "repro.telemetry.METRICS (orphaned metric)"
+                ),
+                line=node.lineno,
+                names=(name,),
+                hint="register_metric() it next to its family, with "
+                     "the table that renders it",
+            )
+            continue
+        if spec.kind != used_kind:
+            yield LintFinding(
+                rule="TEL002",
+                severity=Severity.ERROR,
+                message=(
+                    f"metric {name!r} is registered as a {spec.kind} "
+                    f"but used as a {used_kind} "
+                    f"(.{node.func.attr}())"
+                ),
+                line=node.lineno,
+                names=(name,),
+                hint="counters are incremented, histograms observed; "
+                     "pick one name per kind",
+            )
+            continue
+        if not dynamic and "." not in name and not spec.legacy:
+            yield LintFinding(
+                rule="TEL003",
+                severity=Severity.ERROR,
+                message=(
+                    f"metric {name!r} is flat; new metrics must be "
+                    "namespaced layer.metric"
+                ),
+                line=node.lineno,
+                names=(name,),
+                hint="rename to <layer>.<metric> (flat names are "
+                     "grandfathered only via legacy=True entries)",
+            )

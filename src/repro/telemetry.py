@@ -83,15 +83,87 @@ from __future__ import annotations
 import math
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, Mapping, Optional, Union
+from typing import Any, Dict, Iterator, Mapping, NamedTuple, Optional, Union
 
 __all__ = [
+    "METRICS",
     "Histogram",
+    "MetricSpec",
     "Telemetry",
     "get_telemetry",
+    "metric_spec",
+    "register_metric",
     "use_telemetry",
     "telemetry_phase",
 ]
+
+
+class MetricSpec(NamedTuple):
+    """Declared shape of one metric family.
+
+    Attributes:
+        name: Exact metric name, or a family pattern ending in ``.*``
+            (one wildcard tail segment, e.g. ``"diag_emitted.*"``).
+        kind: ``"counter"`` (incremented) or ``"histogram"`` (observed).
+        table: The reporting table that renders it
+            (:func:`repro.analysis.reporting.telemetry_table` renders
+            ``"telemetry"``, :func:`~repro.analysis.reporting.service_table`
+            renders ``"service"``).
+        description: One line of documentation.
+        legacy: True for pre-registry flat names that predate the
+            ``layer.metric`` namespacing convention; new metrics must
+            be namespaced (enforced by the ``TEL`` lint pass).
+    """
+
+    name: str
+    kind: str
+    table: str
+    description: str
+    legacy: bool = False
+
+
+#: Every metric name the stack may increment or observe.  The ``TEL``
+#: pass of :mod:`repro.lint` statically checks each ``incr``/``observe``
+#: call site against this registry, so an unregistered (or
+#: kind-colliding) metric name is a lint error, not silent drift.
+METRICS: Dict[str, MetricSpec] = {}
+
+
+def register_metric(
+    name: str,
+    kind: str,
+    table: str = "telemetry",
+    description: str = "",
+    legacy: bool = False,
+) -> MetricSpec:
+    """Declare a metric family; duplicate or colliding names are errors."""
+    if kind not in ("counter", "histogram"):
+        raise ValueError(f"unknown metric kind {kind!r}")
+    if name in METRICS:
+        raise ValueError(f"metric {name!r} registered twice")
+    spec = MetricSpec(name, kind, table, description, legacy)
+    METRICS[name] = spec
+    return spec
+
+
+def metric_spec(name: str) -> Optional[MetricSpec]:
+    """Resolve ``name`` against the registry, honoring ``.*`` families.
+
+    Exact entries win; otherwise the longest registered family pattern
+    whose prefix matches is returned; ``None`` for unregistered names.
+    """
+    spec = METRICS.get(name)
+    if spec is not None:
+        return spec
+    best: Optional[MetricSpec] = None
+    for pattern, candidate in METRICS.items():
+        if not pattern.endswith(".*"):
+            continue
+        prefix = pattern[: -1]  # keep the trailing dot
+        if name.startswith(prefix) and len(name) > len(prefix):
+            if best is None or len(pattern) > len(best.name):
+                best = candidate
+    return best
 
 
 class Histogram:
@@ -299,6 +371,77 @@ class Telemetry:
             f"<Telemetry counters={self.counters!r} "
             f"phases={self.phase_seconds!r}>"
         )
+
+
+# ----------------------------------------------------------------------
+# Metric declarations.  Flat (un-dotted) names are grandfathered as
+# legacy; everything added since the registry exists is namespaced
+# ``layer.metric``.  Keep this list in sync with the docstring tables
+# above -- the TEL lint pass fails on any name missing here.
+# ----------------------------------------------------------------------
+for _name, _desc in [
+    ("newton_solves", "calls into the shared Newton loop"),
+    ("newton_iterations", "Newton loop passes, summed over solves"),
+    ("newton_failures", "solves that exhausted max_iterations"),
+    ("step_retries", "transient steps that failed and were retried"),
+    ("step_halvings", "half-steps taken by the bisection fallback"),
+    ("lu_refactorizations", "base-matrix LU factorizations (DenseLU)"),
+    ("woodbury_updates", "low-rank Sherman-Morrison-Woodbury solves"),
+    ("woodbury_fallbacks", "Woodbury results rejected by the residual guard"),
+    ("dense_solves", "full dense assemble-and-solve calls"),
+    ("batched_solves", "stacked LAPACK solve calls (BatchedDense)"),
+    ("sparse_refactorizations", "sparse LU factorizations (SparseLU)"),
+    ("sparse_pattern_misses", "sparse solves outside the compiled pattern"),
+    ("cache_hits", "solve-cache lookups served from memory"),
+    ("cache_misses", "solve-cache lookups that had to compute"),
+    ("cache_evictions", "entries evicted by a bounded solve cache"),
+    ("cache_store_errors", "persistent-cache corruption events"),
+    ("measurements", "simulated DeltaT measurements (screening flow)"),
+    ("dies_screened", "dies completed by the screening/wafer engines"),
+    ("dies_rejected", "dies disqualified by the pre-flight check"),
+]:
+    register_metric(_name, "counter", "telemetry", _desc, legacy=True)
+
+for _name, _desc in [
+    ("diag_emitted.*", "static-analysis diagnostics emitted, per rule id"),
+    ("diag_suppressed.*", "emitted diagnostics a gate or allow-comment "
+                          "let through"),
+    ("measure.*", "measurement-envelope calls, per engine name"),
+    ("ragged.packs", "ragged cross-topology packs built"),
+    ("ragged.bucket_solves", "dimension-bucketed stacked solves"),
+    ("ragged.padded_solves", "members solved identity-padded"),
+    ("cascade.stage.*", "TSV screening passes per cascade stage"),
+    ("cascade.escalations.*", "cascade escalations by reason"),
+]:
+    register_metric(_name, "counter", "telemetry", _desc)
+
+for _name, _desc in [
+    ("ragged.pack_members", "members coalesced into each ragged pack"),
+    ("ragged.pack_corners", "stacked corners per ragged pack"),
+    ("ragged.pad_waste", "padded-solve waste fraction per pack"),
+    ("stagedelay.family_span", "exact-key subgroups per family batch"),
+]:
+    register_metric(_name, "histogram", "telemetry", _desc)
+
+for _name, _kind, _desc in [
+    ("service.submitted", "counter", "requests admitted for processing"),
+    ("service.completed", "counter", "requests answered OK"),
+    ("service.rejected", "counter", "requests shed or refused"),
+    ("service.expired", "counter", "requests answered past deadline"),
+    ("service.failed", "counter", "requests whose solve raised"),
+    ("service.batches", "counter", "dispatched coalesced batches"),
+    ("service.batch_retries", "counter", "batches retried by decomposition"),
+    ("service.coalesced", "counter", "requests sharing a coalesced solve"),
+    ("service.cascade.*", "counter", "completions per cascade stage tag"),
+    ("service.queue_wait_s", "histogram", "admission-queue residency"),
+    ("service.batch_form_s", "histogram", "micro-batcher residency"),
+    ("service.solve_s", "histogram", "engine solve time per batch"),
+    ("service.post_s", "histogram", "result fan-out time per batch"),
+    ("service.total_s", "histogram", "submit-to-response latency"),
+    ("service.batch_occupancy", "histogram", "requests per dispatched batch"),
+    ("service.family_span", "histogram", "exact-key groups per batch"),
+]:
+    register_metric(_name, _kind, "service", _desc)
 
 
 #: The process-current registry; swap with :func:`use_telemetry`.
