@@ -185,7 +185,9 @@ class ScreeningService:
             self._batcher_task = None
         self._dispatch.close(self._workers.num_workers)
         await self._workers.join()
-        self._executor.shutdown(wait=True)
+        # Joining worker threads can take a full solve; do it off-loop
+        # so concurrent submitters see timely rejections (AIO002).
+        await asyncio.to_thread(self._executor.shutdown, True)
         self._started = False
 
     async def __aenter__(self) -> "ScreeningService":
