@@ -38,7 +38,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.engines.base import Engine, MeasurementRequest, supports
+from repro.core.engines.base import MeasurementRequest, is_engine, supports
 from repro.core.engines.registry import as_engine_factory
 from repro.core.tsv import Tsv
 from repro.spice import cache as solve_cache
@@ -305,7 +305,7 @@ class CascadeScreen:
         variation = self.measurement_variation
 
         def compute() -> float:
-            if isinstance(engine, Engine):
+            if is_engine(engine):
                 result = engine.measure(MeasurementRequest(
                     tsv=tsv, m=1, seed=seed, variation=variation,
                     num_samples=1 if variation is not None else None,

@@ -25,7 +25,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.core.engines.base import Engine, MeasurementRequest
+from repro.core.engines.base import MeasurementRequest, is_engine
 from repro.core.session import ReferenceBand
 from repro.core.tsv import Leakage, ResistiveOpen, Tsv
 from repro.spice import cache as solve_cache
@@ -197,7 +197,7 @@ def nominal_delta_t(engine: object, tsv: Tsv) -> float:
     key = solve_cache.fingerprint("measure.deterministic", engine, tsv, 1)
 
     def compute() -> float:
-        if isinstance(engine, Engine):
+        if is_engine(engine):
             result = engine.measure(MeasurementRequest(
                 tsv=tsv, m=1, seed=0, variation=None, num_samples=None,
             ))
@@ -212,7 +212,7 @@ def nominal_delta_t(engine: object, tsv: Tsv) -> float:
 def _nominal_delta_t(engine: object, seed: int) -> float:
     """Memoized single fault-free DeltaT solve at nominal parameters."""
     key = solve_cache.fingerprint("cascade.nominal_delta_t", engine, seed)
-    if isinstance(engine, Engine):
+    if is_engine(engine):
         return float(solve_cache.memoize(
             key, lambda: engine.delta_t(Tsv(), m=1, seed=seed)
         ))

@@ -44,6 +44,7 @@ from repro.core.engines.base import (
     MeasurementRequest,
     MeasurementResult,
     StopTimePolicy,
+    is_engine,
     supports,
     supports_batching,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "child_seeds",
     "engine_class",
     "get",
+    "is_engine",
     "names",
     "register",
     "resolve_engine",

@@ -29,6 +29,7 @@ import abc
 import math
 from dataclasses import dataclass, field, replace
 from typing import (
+    TYPE_CHECKING,
     Any,
     ClassVar,
     Dict,
@@ -38,6 +39,9 @@ from typing import (
     Tuple,
     TypeVar,
 )
+
+if TYPE_CHECKING:
+    from typing_extensions import TypeGuard
 
 import numpy as np
 
@@ -165,6 +169,19 @@ def supports_batching(engine: object) -> bool:
     per-request ``measure_batch`` loop -- they just never coalesce.
     """
     return supports(engine, "batched_requests")
+
+
+def is_engine(obj: object) -> "TypeGuard[Engine]":
+    """True when ``obj`` is a real :class:`Engine` (not a duck-typed stub).
+
+    The one sanctioned engine-type probe for code outside this package:
+    workload/service/cascade layers branch between the full
+    :class:`Engine` surface (capabilities, ``measure_batch``) and the
+    minimal :class:`DeltaTEngine` duck type through this predicate
+    instead of importing ``Engine`` for an ``isinstance`` check
+    (``repro.lint`` rule CAP001).
+    """
+    return isinstance(obj, Engine)
 
 
 @dataclass(frozen=True)

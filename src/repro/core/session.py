@@ -26,8 +26,8 @@ import numpy as np
 
 from repro.core.engines.base import (
     DeltaTEngine,
-    Engine,
     MeasurementRequest,
+    is_engine,
     supports,
 )
 from repro.core.engines.registry import EngineLike, resolve_engine
@@ -143,7 +143,7 @@ class PrebondTestSession:
 
     def measure(self, tsv: Tsv, m: int = 1) -> TestOutcome:
         """Measure DeltaT for ``tsv`` and classify it."""
-        if isinstance(self.engine, Engine):
+        if is_engine(self.engine):
             delta_t = self.engine.measure(
                 MeasurementRequest(tsv=tsv, m=m)
             ).delta_t

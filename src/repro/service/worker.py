@@ -28,7 +28,7 @@ import asyncio
 from concurrent.futures import Executor
 from typing import Callable, Dict, List, Sequence
 
-from repro.core.engines.base import Engine, MeasurementResult
+from repro.core.engines.base import Engine, MeasurementResult, is_engine
 from repro.core.engines.registry import EngineLike, resolve_engine
 from repro.service.batcher import Batch, DispatchQueue
 from repro.service.request import (
@@ -60,7 +60,7 @@ class EngineCache:
         return len(self._memo)
 
     def resolve(self, obj: EngineLike) -> Engine:
-        if isinstance(obj, Engine):
+        if is_engine(obj):
             return obj
         key = fingerprint("service.engine", obj)
         engine = self._memo.get(key)

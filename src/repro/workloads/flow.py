@@ -31,7 +31,7 @@ from repro.cascade.characterize import (
     quant_guard,
 )
 from repro.cascade.policy import CascadeConfig
-from repro.core.engines.base import Engine, MeasurementRequest, supports
+from repro.core.engines.base import MeasurementRequest, is_engine, supports
 from repro.core.engines.registry import as_engine_factory
 from repro.core.session import ReferenceBand
 from repro.core.tsv import Tsv
@@ -343,7 +343,7 @@ class ScreeningFlow:
         variation = self.measurement_variation
 
         def compute() -> float:
-            if isinstance(engine, Engine):
+            if is_engine(engine):
                 result = engine.measure(MeasurementRequest(
                     tsv=tsv, m=m, seed=seed, variation=variation,
                     num_samples=1 if variation is not None else None,
