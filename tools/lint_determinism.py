@@ -1,71 +1,40 @@
 #!/usr/bin/env python
-"""AST lint: every random stream in ``src/`` must be explicitly seeded.
+"""Compatibility shim: the determinism lint now lives in ``repro.lint``.
 
-The repo's headline reproducibility claim -- sharded wafer screens are
-bit-identical to serial ones -- only holds if no code path draws from an
-unseeded or implicitly-global random source.  This lint walks the AST of
-every python file (no imports, no execution) and rejects:
-
-=======  ==============================================================
-rule     what it catches
-=======  ==============================================================
-DET001   ``numpy.random.default_rng()`` with no seed (or ``None``)
-DET002   ``numpy.random.SeedSequence()`` with no entropy argument
-DET003   legacy ``numpy.random.<sampler>()`` module calls
-         (``np.random.normal``, ``np.random.seed``, ``RandomState``,
-         ...): hidden global state, order-dependent results
-DET004   wall-clock or entropy-derived seeds (``time.time``,
-         ``datetime.now``, ``os.urandom``, ``uuid.uuid4``,
-         ``secrets.*``) fed to a generator or a ``seed=`` argument
-=======  ==============================================================
-
-Suppress a single line with a ``# det: allow`` comment (e.g. in a
-script whose whole point is fresh entropy).
-
-Usage::
+The DET001-DET004 checks (unseeded generators, legacy numpy.random
+module calls, wall-clock seeds) moved into the unified codebase
+analyzer -- :mod:`repro.lint.passes.det` -- where they run next to the
+concurrency and serialization passes with one diagnostic schema and one
+CLI (``python -m repro.lint``).  This script keeps the historical entry
+point and output format alive for existing automation:
 
     python tools/lint_determinism.py src/ [more paths...]
 
-Exit status 1 when findings exist, 0 otherwise.
+Same rules, same ``# det: allow`` suppression marker, same
+``path:line:col: RULE message`` lines, exit status 1 on findings.
+Prefer ``python -m repro.lint src --select DET`` in new scripts.
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
 import sys
 from pathlib import Path
-from typing import Iterator, List, NamedTuple, Optional, Set
+from typing import Iterator, List, NamedTuple, Optional
 
-#: numpy.random attributes that are deterministic-safe to call.
-SAFE_RANDOM_ATTRS = {"default_rng", "SeedSequence"}
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-#: Dotted call names whose value is wall-clock or OS entropy.
-NONDETERMINISTIC_SOURCES = {
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "datetime.now",
-    "datetime.utcnow",
-    "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-    "os.urandom",
-    "os.getrandom",
-    "uuid.uuid1",
-    "uuid.uuid4",
-    "secrets.token_bytes",
-    "secrets.token_hex",
-    "secrets.randbits",
-    "secrets.randbelow",
-}
-
-SUPPRESS_MARKER = "# det: allow"
+from repro.lint.framework import LintContext, suppressed_by_comment  # noqa: E402
+from repro.lint.modgraph import ModuleGraph  # noqa: E402
+from repro.lint.modgraph import iter_python_files as _iter_python_files  # noqa: E402
+from repro.lint.passes.det import det_seeding  # noqa: E402
 
 
 class Finding(NamedTuple):
+    """One lint finding, in the legacy shape this CLI always printed."""
+
     path: Path
     line: int
     col: int
@@ -76,141 +45,32 @@ class Finding(NamedTuple):
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
 
-def dotted_name(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _tail(dotted: str, n: int) -> str:
-    return ".".join(dotted.split(".")[-n:])
-
-
-class DeterminismChecker(ast.NodeVisitor):
-    """Collects findings; one instance per file."""
-
-    def __init__(self, path: Path):
-        self.path = path
-        self.findings: List[Finding] = []
-        # Names bound by `from numpy.random import default_rng, ...`.
-        self.random_imports: Set[str] = set()
-
-    # -- helpers ---------------------------------------------------------
-    def report(self, node: ast.AST, rule: str, message: str) -> None:
-        self.findings.append(Finding(
-            self.path, node.lineno, node.col_offset, rule, message
-        ))
-
-    def _is_numpy_random(self, dotted: str) -> bool:
-        head = dotted.rsplit(".", 1)[0] if "." in dotted else ""
-        return head in ("np.random", "numpy.random")
-
-    def _seed_args(self, call: ast.Call) -> List[ast.expr]:
-        return list(call.args) + [
-            kw.value for kw in call.keywords if kw.arg is not None
-        ]
-
-    def _check_entropy_sources(self, node: ast.AST, where: str) -> None:
-        for sub in ast.walk(node):
-            if not isinstance(sub, ast.Call):
-                continue
-            name = dotted_name(sub.func)
-            if name is None:
-                continue
-            if (name in NONDETERMINISTIC_SOURCES
-                    or _tail(name, 2) in NONDETERMINISTIC_SOURCES):
-                self.report(
-                    sub, "DET004",
-                    f"wall-clock/entropy value {name}() used as {where}; "
-                    "derive seeds from configuration, never the clock",
-                )
-
-    # -- visitors --------------------------------------------------------
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module == "numpy.random":
-            for alias in node.names:
-                self.random_imports.add(alias.asname or alias.name)
-        self.generic_visit(node)
-
-    def visit_keyword(self, node: ast.keyword) -> None:
-        if node.arg == "seed":
-            self._check_entropy_sources(node.value, "a seed= argument")
-        self.generic_visit(node)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        name = dotted_name(node.func)
-        if name is not None:
-            base = name.rsplit(".", 1)[-1]
-            is_np_random = self._is_numpy_random(name)
-            is_imported = (
-                "." not in name and name in self.random_imports
-            )
-            if is_np_random and base not in SAFE_RANDOM_ATTRS:
-                self.report(
-                    node, "DET003",
-                    f"legacy {name}() uses numpy's hidden global stream; "
-                    "use a seeded np.random.default_rng(...) generator",
-                )
-            elif (is_np_random or is_imported) and base == "default_rng":
-                args = self._seed_args(node)
-                if not args or (
-                    len(node.args) == 1
-                    and isinstance(node.args[0], ast.Constant)
-                    and node.args[0].value is None
-                ):
-                    self.report(
-                        node, "DET001",
-                        "default_rng() without a seed draws fresh OS "
-                        "entropy; pass an explicit seed or SeedSequence",
-                    )
-                for arg in args:
-                    self._check_entropy_sources(arg, "a generator seed")
-            elif (is_np_random or is_imported) and base == "SeedSequence":
-                args = self._seed_args(node)
-                if not args:
-                    self.report(
-                        node, "DET002",
-                        "SeedSequence() without entropy is drawn from the "
-                        "OS; pass an explicit integer entropy",
-                    )
-                for arg in args:
-                    self._check_entropy_sources(arg, "seed entropy")
-        self.generic_visit(node)
-
-
 def lint_file(path: Path) -> List[Finding]:
-    source = path.read_text(encoding="utf-8")
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [Finding(path, exc.lineno or 0, exc.offset or 0,
-                        "DET000", f"syntax error: {exc.msg}")]
-    checker = DeterminismChecker(path)
-    checker.visit(tree)
-    lines = source.splitlines()
+    """Run the DET pass over one file, applying allow-comment suppression."""
+    graph = ModuleGraph()
+    module = graph.add_file(path)
+    if module is None:
+        return [
+            Finding(path, failure.line, failure.col, "DET000",
+                    f"syntax error: {failure.message}")
+            for failure in graph.failures
+        ]
+    ctx = LintContext(graph)
     return [
-        f for f in checker.findings
-        if f.line > len(lines) or SUPPRESS_MARKER not in lines[f.line - 1]
+        Finding(path, f.line, f.col, f.rule, f.message)
+        for f in det_seeding(module, ctx)
+        if not suppressed_by_comment(module.line_text(f.line), f.rule)
     ]
 
 
 def iter_python_files(targets: List[Path]) -> Iterator[Path]:
-    for target in targets:
-        if target.is_dir():
-            yield from sorted(target.rglob("*.py"))
-        else:
-            yield target
+    yield from _iter_python_files(targets)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Lint python sources for unseeded randomness.",
+        description="Lint python sources for unseeded randomness "
+                    "(shim over `python -m repro.lint --select DET`).",
     )
     parser.add_argument("targets", nargs="+", type=Path,
                         help="files or directories to lint")
