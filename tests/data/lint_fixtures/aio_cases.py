@@ -1,0 +1,19 @@
+"""AIO fixture: blocking calls inside async def bodies."""
+
+import time
+
+
+async def blocking_sleep():
+    time.sleep(0.1)
+
+
+async def blocking_wait(future):
+    return future.result()
+
+
+async def blocking_shutdown(executor):
+    executor.shutdown(wait=True)
+
+
+async def suppressed_sleep():
+    time.sleep(0.1)  # lint: allow[AIO]

@@ -1,0 +1,19 @@
+"""CAP fixture: engine access outside the declared capability surface."""
+
+from repro.core.engines.base import Engine
+
+
+def type_probe(engine):
+    return isinstance(engine, Engine)
+
+
+def attr_probe(engine):
+    return hasattr(engine, "delta_t_mc")
+
+
+def off_surface(engine):
+    return engine.solver_state
+
+
+def suppressed_probe(engine):
+    return isinstance(engine, Engine)  # lint: allow[CAP001]

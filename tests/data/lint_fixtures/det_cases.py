@@ -1,0 +1,25 @@
+"""DET fixture: unseeded or clock-seeded random streams."""
+
+import time
+
+import numpy as np
+
+
+def unseeded():
+    return np.random.default_rng()
+
+
+def unseeded_sequence():
+    return np.random.SeedSequence()
+
+
+def legacy_sampler():
+    return np.random.normal(0, 1, 10)
+
+
+def clock_seed():
+    return np.random.default_rng(int(time.time()))
+
+
+def suppressed_entropy():
+    return np.random.default_rng()  # det: allow

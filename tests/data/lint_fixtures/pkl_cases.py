@@ -1,0 +1,26 @@
+"""PKL fixture: values that cannot cross a process-pool boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.engines.base import Engine
+
+
+def submit_lambda():
+    pool = ProcessPoolExecutor()
+    return pool.submit(lambda: 1)
+
+
+def submit_engine(engine: Engine, solve):
+    pool = ProcessPoolExecutor()
+    return pool.submit(solve, engine)
+
+
+def submit_handle(parse):
+    handle = open("data.txt")
+    pool = ProcessPoolExecutor()
+    return pool.submit(parse, handle)
+
+
+def submit_suppressed():
+    pool = ProcessPoolExecutor()
+    return pool.submit(lambda: 1)  # lint: allow[PKL001]

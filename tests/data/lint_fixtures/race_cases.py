@@ -1,0 +1,22 @@
+"""RACE fixture: unsynchronized shared state on thread worker paths."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_CACHE = {}
+_LOCK = threading.Lock()
+
+
+def unlocked_worker(key):
+    _CACHE[key] = 1
+
+
+def locked_worker(key):
+    with _LOCK:
+        _CACHE[key] = 1
+
+
+def run(keys):
+    with ThreadPoolExecutor() as pool:
+        pool.map(unlocked_worker, keys)
+        pool.map(locked_worker, keys)

@@ -1,0 +1,21 @@
+"""TEL fixture: metric names the registry does not sanction."""
+
+from repro.telemetry import get_telemetry
+
+tele = get_telemetry()
+
+
+def orphaned():
+    tele.incr("bogus.metric")
+
+
+def kind_collision():
+    tele.observe("ragged.packs", 1.0)
+
+
+def malformed():
+    tele.incr("Bad.Name")
+
+
+def suppressed():
+    tele.incr("bogus.metric")  # lint: allow[TEL]

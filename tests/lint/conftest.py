@@ -1,0 +1,31 @@
+"""Shared helpers for the repro.lint test suite."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+FIXTURE_DIR = REPO_ROOT / "tests" / "data" / "lint_fixtures"
+
+
+@pytest.fixture
+def lint_source(tmp_path):
+    """Write dedented ``source`` to a temp module and lint just it."""
+
+    def run(source, name="fixture_mod.py", rules=None):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_lint(
+            [path], rules=rules, record_telemetry=False, root=tmp_path
+        )
+
+    return run
+
+
+def rules_of(result):
+    return [d.rule for d in result.diagnostics]

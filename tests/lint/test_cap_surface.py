@@ -1,0 +1,36 @@
+"""ENGINE_SURFACE must track the real Engine ABC, or fail loudly."""
+
+from repro.core.engines.base import Engine
+from repro.lint.passes.cap import ENGINE_SURFACE
+
+
+def real_engine_surface():
+    """Public attributes the Engine class actually declares."""
+    names = set()
+    for klass in Engine.__mro__:
+        if klass is object:
+            continue
+        names.update(
+            name for name in vars(klass)
+            if not name.startswith("_")
+        )
+    names.update(
+        name for name in getattr(Engine, "__annotations__", {})
+        if not name.startswith("_")
+    )
+    return names
+
+
+def test_engine_surface_matches_the_abc():
+    real = real_engine_surface()
+    missing = real - ENGINE_SURFACE
+    stale = ENGINE_SURFACE - real
+    assert not missing, (
+        f"Engine grew public attributes the CAP002 surface misses: "
+        f"{sorted(missing)}; add them to ENGINE_SURFACE (and DESIGN.md "
+        "Sec. 3.8) deliberately"
+    )
+    assert not stale, (
+        f"ENGINE_SURFACE lists attributes Engine no longer has: "
+        f"{sorted(stale)}"
+    )

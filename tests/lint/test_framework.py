@@ -1,0 +1,197 @@
+"""Unit tests for the rule registry, suppression, and run driver."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.lint import RULES, registered_rules, rule, run_lint
+from repro.lint.framework import (
+    allowed_rules,
+    baseline_keys,
+    lint_pass,
+    load_baseline,
+    suppressed_by_comment,
+    write_baseline,
+)
+from repro.telemetry import use_telemetry
+
+from .conftest import rules_of
+
+
+class TestRegistry:
+    def test_expected_rule_families_registered(self):
+        families = {r.rule_id[:3] for r in registered_rules()}
+        assert {"PKL", "AIO", "CAP", "TEL", "RAC", "DET"} <= families
+
+    def test_at_least_five_fleet_passes(self):
+        families = {r.rule_id.rstrip("0123456789")
+                    for r in registered_rules()}
+        assert len(families) >= 5
+
+    def test_duplicate_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            rule("PKL001", Severity.ERROR, "dup")
+
+    def test_pass_for_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            @lint_pass("NOPE001")
+            def bogus(module, ctx):
+                yield from ()
+
+    def test_every_rule_has_severity_and_summary(self):
+        for spec in RULES.values():
+            assert isinstance(spec.severity, Severity)
+            assert spec.summary
+
+
+class TestSuppressionParsing:
+    def test_single_rule(self):
+        assert allowed_rules("x = 1  # lint: allow[PKL001]") == {"PKL001"}
+
+    def test_comma_separated_and_spaces(self):
+        assert allowed_rules("# lint: allow[PKL001, AIO]") == \
+            {"PKL001", "AIO"}
+
+    def test_legacy_det_marker_maps_to_det_family(self):
+        assert allowed_rules("rng = default_rng()  # det: allow") == {"DET"}
+
+    def test_family_prefix_covers_members_only(self):
+        assert suppressed_by_comment("# lint: allow[PKL]", "PKL002")
+        assert not suppressed_by_comment("# lint: allow[PKL]", "AIO001")
+        # A family token must match the full prefix, not a substring.
+        assert not suppressed_by_comment("# lint: allow[PK]", "PKL001")
+
+    def test_plain_line_suppresses_nothing(self):
+        assert allowed_rules("x = 1  # a normal comment") == set()
+
+
+class TestRuleSelection:
+    def test_select_family(self, lint_source):
+        result = lint_source(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()\n"
+            "import time\n"
+            "async def f():\n"
+            "    time.sleep(1)\n",
+            rules=["DET"],
+        )
+        assert rules_of(result) == ["DET001"]
+
+    def test_unknown_rule_raises(self, lint_source):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_source("x = 1\n", rules=["BOGUS999"])
+
+
+class TestRunDriver:
+    def test_syntax_error_becomes_lint000_diagnostic(self, lint_source):
+        result = lint_source("def broken(:\n")
+        assert rules_of(result) == ["LINT000"]
+        assert result.failed(strict=False)
+
+    def test_diagnostics_carry_symbol_and_location(self, lint_source):
+        result = lint_source(
+            "import time\n"
+            "class Service:\n"
+            "    async def close(self):\n"
+            "        time.sleep(1)\n",
+        )
+        (diag,) = result.diagnostics
+        assert diag.element == "Service.close"
+        assert diag.location == "fixture_mod.py:4"
+        assert diag.subject == "fixture_mod"
+
+    def test_suppressed_findings_are_counted_not_silent(self, lint_source):
+        result = lint_source(
+            "import time\n"
+            "async def f():\n"
+            "    time.sleep(1)  # lint: allow[AIO001]\n",
+        )
+        assert result.diagnostics == []
+        assert result.suppressed == {"AIO001": 1}
+        assert result.suppressed_total == 1
+
+    def test_clean_run_passes_strict(self, lint_source):
+        result = lint_source("x = 1\n")
+        assert not result.failed(strict=True)
+        assert result.modules_checked == 1
+
+    def test_telemetry_counters_recorded(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n"
+            "async def f():\n"
+            "    time.sleep(1)\n"
+            "    time.sleep(2)  # lint: allow[AIO]\n",
+            encoding="utf-8",
+        )
+        with use_telemetry() as tele:
+            run_lint([path], record_telemetry=True, root=tmp_path)
+        assert tele.counters.get("diag_emitted.AIO001") == 1
+        assert tele.counters.get("diag_suppressed.AIO001") == 1
+
+    def test_json_schema(self, lint_source):
+        result = lint_source(
+            "import time\n"
+            "async def f():\n"
+            "    time.sleep(1)\n",
+        )
+        payload = result.to_json()
+        assert payload["version"] == 1
+        assert payload["modules_checked"] == 1
+        (entry,) = payload["diagnostics"]
+        assert entry["rule"] == "AIO001"
+        assert entry["severity"] == "error"
+        assert entry["symbol"] == "f"
+        assert entry["location"].endswith("fixture_mod.py:3")
+
+
+class TestBaseline:
+    SOURCE = (
+        "import time\n"
+        "async def f():\n"
+        "    time.sleep(1)\n"
+    )
+
+    def test_keys_are_stable_and_line_free(self, lint_source):
+        result = lint_source(self.SOURCE)
+        (key,) = baseline_keys(result.diagnostics)
+        assert key == "fixture_mod:AIO001:f#1"
+
+    def test_round_trip_subtracts_old_findings(self, tmp_path, lint_source):
+        result = lint_source(self.SOURCE)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, result)
+        baseline = load_baseline(baseline_path)
+
+        # Same source, shifted down two lines: the key still matches.
+        shifted = "# pad\n# pad\n" + self.SOURCE
+        path = tmp_path / "fixture_mod.py"
+        path.write_text(shifted, encoding="utf-8")
+        again = run_lint(
+            [path], baseline=baseline, record_telemetry=False,
+            root=tmp_path,
+        )
+        assert again.diagnostics == []
+        assert again.baselined == 1
+        assert not again.failed(strict=True)
+
+    def test_new_findings_survive_baseline(self, tmp_path, lint_source):
+        result = lint_source(self.SOURCE)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, result)
+        baseline = load_baseline(baseline_path)
+
+        grown = self.SOURCE + (
+            "async def g():\n"
+            "    time.sleep(2)\n"
+        )
+        path = tmp_path / "fixture_mod.py"
+        path.write_text(grown, encoding="utf-8")
+        again = run_lint(
+            [path], baseline=baseline, record_telemetry=False,
+            root=tmp_path,
+        )
+        assert rules_of(again) == ["AIO001"]
+        assert again.diagnostics[0].element == "g"
+        assert again.baselined == 1

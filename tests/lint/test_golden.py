@@ -1,0 +1,56 @@
+"""Golden diagnostics: the analyzer's full output over fixture modules.
+
+``tests/data/lint_fixtures/`` holds one synthetic module per rule
+family, each triggering its rules once plus one suppressed case;
+``tests/data/lint_diagnostics.json`` is the exact JSON report the
+analyzer must produce over them.  Regenerate deliberately after a rule
+change::
+
+    PYTHONPATH=src python -c "
+    import json
+    from pathlib import Path
+    from repro.lint import run_lint
+    fixtures = Path('tests/data/lint_fixtures')
+    result = run_lint([fixtures], record_telemetry=False, root=fixtures)
+    Path('tests/data/lint_diagnostics.json').write_text(
+        json.dumps(result.to_json(), indent=2) + '\n')"
+"""
+
+import json
+
+from repro.lint import run_lint
+
+from .conftest import FIXTURE_DIR, REPO_ROOT
+
+GOLDEN = REPO_ROOT / "tests" / "data" / "lint_diagnostics.json"
+
+
+def run_fixtures():
+    return run_lint(
+        [FIXTURE_DIR], record_telemetry=False, root=FIXTURE_DIR
+    )
+
+
+def test_fixture_diagnostics_match_golden():
+    got = run_fixtures().to_json()
+    want = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert got == want
+
+
+def test_every_rule_family_covered_by_fixtures():
+    rules = {d["rule"] for d in
+             json.loads(GOLDEN.read_text())["diagnostics"]}
+    families = {r.rstrip("0123456789") for r in rules}
+    assert {"PKL", "AIO", "CAP", "TEL", "RACE", "DET"} <= families
+
+
+def test_every_family_has_a_suppressed_case():
+    suppressed = json.loads(GOLDEN.read_text())["suppressed"]
+    families = {r.rstrip("0123456789") for r in suppressed}
+    assert {"PKL", "AIO", "CAP", "TEL", "DET"} <= families
+
+
+def test_golden_locations_are_symbolic():
+    for entry in json.loads(GOLDEN.read_text())["diagnostics"]:
+        assert entry["symbol"], entry
+        assert ":" in entry["location"], entry

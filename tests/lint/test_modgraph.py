@@ -1,0 +1,98 @@
+"""Unit tests for the module graph substrate (repro.lint.modgraph)."""
+
+import textwrap
+
+from repro.lint.modgraph import (
+    ModuleGraph,
+    iter_python_files,
+    module_name_for,
+)
+
+
+def write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+class TestModuleNames:
+    def test_package_module_gets_dotted_name(self, tmp_path):
+        write(tmp_path, "pkg/__init__.py", "")
+        write(tmp_path, "pkg/sub/__init__.py", "")
+        path = write(tmp_path, "pkg/sub/mod.py", "x = 1\n")
+        assert module_name_for(path) == "pkg.sub.mod"
+
+    def test_loose_file_maps_to_stem(self, tmp_path):
+        path = write(tmp_path, "script.py", "x = 1\n")
+        assert module_name_for(path) == "script"
+
+    def test_package_init_names_the_package(self, tmp_path):
+        write(tmp_path, "pkg/__init__.py", "")
+        path = tmp_path / "pkg" / "__init__.py"
+        assert module_name_for(path) == "pkg"
+
+
+class TestImportMap:
+    def test_aliases_resolve_through_imports(self, tmp_path):
+        path = write(tmp_path, "mod.py", """\
+            import numpy as np
+            from concurrent.futures import ProcessPoolExecutor as Pool
+            from repro.core.engines.base import Engine
+        """)
+        graph = ModuleGraph.build([path])
+        module = graph.get("mod")
+        assert module.resolve("np.random.default_rng") == \
+            "numpy.random.default_rng"
+        assert module.resolve("Pool") == \
+            "concurrent.futures.ProcessPoolExecutor"
+        assert module.resolve("Engine") == "repro.core.engines.base.Engine"
+
+    def test_unimported_names_resolve_to_themselves(self, tmp_path):
+        path = write(tmp_path, "mod.py", "pool = object()\n")
+        module = ModuleGraph.build([path]).get("mod")
+        assert module.resolve("pool.submit") == "pool.submit"
+
+
+class TestSymbols:
+    def test_qualname_at_nested_lines(self, tmp_path):
+        path = write(tmp_path, "mod.py", """\
+            top = 1
+
+            class Screen:
+                def measure(self):
+                    def inner():
+                        return 2
+                    return inner()
+        """)
+        module = ModuleGraph.build([path]).get("mod")
+        assert module.qualname_at(1) == "<module>"
+        assert module.qualname_at(4) == "Screen.measure"
+        assert module.qualname_at(6) == "Screen.measure.inner"
+
+    def test_nested_functions_are_recorded(self, tmp_path):
+        path = write(tmp_path, "mod.py", """\
+            def outer():
+                def closure():
+                    pass
+                return closure
+        """)
+        module = ModuleGraph.build([path]).get("mod")
+        assert module.nested_functions == {"closure"}
+        assert "outer" in module.toplevel
+
+
+class TestGraphBuild:
+    def test_syntax_error_becomes_failure_not_crash(self, tmp_path):
+        write(tmp_path, "ok.py", "x = 1\n")
+        write(tmp_path, "broken.py", "def broken(:\n")
+        graph = ModuleGraph.build([tmp_path])
+        assert len(graph) == 1
+        assert len(graph.failures) == 1
+        assert graph.failures[0].path.name == "broken.py"
+
+    def test_iter_python_files_dedups_and_sorts(self, tmp_path):
+        a = write(tmp_path, "a.py", "")
+        write(tmp_path, "b.py", "")
+        files = list(iter_python_files([tmp_path, a]))
+        assert [f.name for f in files] == ["a.py", "b.py"]

@@ -1,0 +1,125 @@
+"""AIO rule tests: blocking calls reachable inside ``async def``."""
+
+from .conftest import rules_of
+
+
+class TestAIO001:
+    def test_time_sleep_in_async_def(self, lint_source):
+        result = lint_source(
+            "import time\n"
+            "async def tick():\n"
+            "    time.sleep(0.1)\n",
+        )
+        assert rules_of(result) == ["AIO001"]
+
+    def test_open_in_async_def(self, lint_source):
+        result = lint_source(
+            "async def load(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh\n",
+        )
+        assert rules_of(result) == ["AIO001"]
+
+    def test_pathlib_io_tail_in_async_def(self, lint_source):
+        result = lint_source(
+            "async def load(path):\n"
+            "    return path.read_text()\n",
+        )
+        assert rules_of(result) == ["AIO001"]
+
+    def test_subprocess_resolved_through_alias(self, lint_source):
+        result = lint_source(
+            "import subprocess as sp\n"
+            "async def spawn():\n"
+            "    sp.run(['true'])\n",
+        )
+        assert rules_of(result) == ["AIO001"]
+
+    def test_sleep_in_sync_def_is_clean(self, lint_source):
+        result = lint_source(
+            "import time\n"
+            "def tick():\n"
+            "    time.sleep(0.1)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_nested_sync_def_body_is_skipped(self, lint_source):
+        result = lint_source(
+            "import time\n"
+            "async def schedule(loop):\n"
+            "    def blocking_work():\n"
+            "        time.sleep(1)\n"
+            "    await loop.run_in_executor(None, blocking_work)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_asyncio_sleep_is_clean(self, lint_source):
+        result = lint_source(
+            "import asyncio\n"
+            "async def tick():\n"
+            "    await asyncio.sleep(0.1)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_allow_comment_suppresses(self, lint_source):
+        result = lint_source(
+            "import time\n"
+            "async def tick():\n"
+            "    time.sleep(0.1)  # lint: allow[AIO001]\n",
+        )
+        assert result.diagnostics == []
+        assert result.suppressed == {"AIO001": 1}
+
+
+class TestAIO002:
+    def test_bare_result_wait(self, lint_source):
+        result = lint_source(
+            "async def wait(future):\n"
+            "    return future.result()\n",
+        )
+        assert rules_of(result) == ["AIO002"]
+
+    def test_executor_shutdown_wait_true(self, lint_source):
+        result = lint_source(
+            "async def close(self):\n"
+            "    self._executor.shutdown(wait=True)\n",
+        )
+        assert rules_of(result) == ["AIO002"]
+
+    def test_executor_shutdown_default_wait(self, lint_source):
+        result = lint_source(
+            "async def close(self):\n"
+            "    self._executor.shutdown()\n",
+        )
+        assert rules_of(result) == ["AIO002"]
+
+    def test_shutdown_wait_false_is_clean(self, lint_source):
+        result = lint_source(
+            "async def close(self):\n"
+            "    self._executor.shutdown(wait=False)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_thread_join(self, lint_source):
+        result = lint_source(
+            "async def stop(self):\n"
+            "    self._thread.join()\n",
+        )
+        assert rules_of(result) == ["AIO002"]
+
+    def test_result_with_timeout_is_clean(self, lint_source):
+        # result(timeout=...) is a deliberate bounded wait; the bare
+        # unbounded form is the hang the rule exists for.
+        result = lint_source(
+            "async def wait(future):\n"
+            "    return future.result(timeout=0)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_allow_comment_suppresses(self, lint_source):
+        result = lint_source(
+            "async def wait(future):\n"
+            "    return future.result()  # lint: allow[AIO002]\n",
+        )
+        assert result.diagnostics == []
+        assert result.suppressed == {"AIO002": 1}

@@ -1,0 +1,104 @@
+"""CAP rule tests: engine access routed through declared capabilities."""
+
+from .conftest import rules_of
+
+ENGINE_IMPORT = "from repro.core.engines.base import Engine\n"
+
+
+class TestCAP001:
+    def test_isinstance_engine(self, lint_source):
+        result = lint_source(
+            ENGINE_IMPORT +
+            "def probe(engine):\n"
+            "    return isinstance(engine, Engine)\n",
+        )
+        assert rules_of(result) == ["CAP001"]
+
+    def test_isinstance_engine_in_tuple(self, lint_source):
+        result = lint_source(
+            ENGINE_IMPORT +
+            "def probe(engine):\n"
+            "    return isinstance(engine, (int, Engine))\n",
+        )
+        assert rules_of(result) == ["CAP001"]
+
+    def test_hasattr_probe_on_engine(self, lint_source):
+        result = lint_source(
+            "def probe(engine):\n"
+            "    return hasattr(engine, 'delta_t_mc')\n",
+        )
+        assert rules_of(result) == ["CAP001"]
+
+    def test_getattr_probe_on_self_engine(self, lint_source):
+        result = lint_source(
+            "class Flow:\n"
+            "    def probe(self):\n"
+            "        return getattr(self._engine, 'measure', None)\n",
+        )
+        assert rules_of(result) == ["CAP001"]
+
+    def test_isinstance_unrelated_class_is_clean(self, lint_source):
+        result = lint_source(
+            "def probe(engine):\n"
+            "    return isinstance(engine, dict)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_hasattr_on_non_engine_name_is_clean(self, lint_source):
+        result = lint_source(
+            "def probe(config):\n"
+            "    return hasattr(config, 'vdd')\n",
+        )
+        assert result.diagnostics == []
+
+    def test_allow_comment_suppresses(self, lint_source):
+        result = lint_source(
+            ENGINE_IMPORT +
+            "def probe(engine):\n"
+            "    return isinstance(engine, Engine)  # lint: allow[CAP001]\n",
+        )
+        assert result.diagnostics == []
+        assert result.suppressed == {"CAP001": 1}
+
+
+class TestCAP002:
+    def test_off_surface_attribute(self, lint_source):
+        result = lint_source(
+            "def poke(engine):\n"
+            "    return engine.solver_state\n",
+        )
+        assert rules_of(result) == ["CAP002"]
+        assert result.diagnostics[0].nodes == ("engine", "solver_state")
+
+    def test_self_engine_off_surface(self, lint_source):
+        result = lint_source(
+            "class Flow:\n"
+            "    def poke(self):\n"
+            "        return self.engine._lu_cache\n",
+        )
+        assert rules_of(result) == ["CAP002"]
+
+    def test_declared_surface_is_clean(self, lint_source):
+        result = lint_source(
+            "def use(engine, tsv):\n"
+            "    engine.measure(tsv)\n"
+            "    engine.capabilities\n"
+            "    engine.config\n"
+            "    return engine.delta_t(tsv)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_non_engine_receiver_is_clean(self, lint_source):
+        result = lint_source(
+            "def use(batcher):\n"
+            "    return batcher.queue_depth\n",
+        )
+        assert result.diagnostics == []
+
+    def test_allow_comment_suppresses(self, lint_source):
+        result = lint_source(
+            "def poke(engine):\n"
+            "    return engine.solver_state  # lint: allow[CAP]\n",
+        )
+        assert result.diagnostics == []
+        assert result.suppressed == {"CAP002": 1}

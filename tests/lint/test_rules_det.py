@@ -1,0 +1,126 @@
+"""DET rule tests, migrated from tests/tools/test_lint_determinism.py.
+
+Same cases as the original standalone lint's suite, now exercised
+through the unified analyzer (``run_lint`` with the DET family).
+"""
+
+import pytest
+
+from .conftest import rules_of
+
+
+class TestUnseededGenerators:
+    def test_default_rng_no_args(self, lint_source):
+        result = lint_source(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert rules_of(result) == ["DET001"]
+
+    def test_default_rng_none(self, lint_source):
+        result = lint_source(
+            "import numpy as np\nrng = np.random.default_rng(None)\n",
+        )
+        assert rules_of(result) == ["DET001"]
+
+    def test_imported_default_rng(self, lint_source):
+        result = lint_source(
+            "from numpy.random import default_rng\nrng = default_rng()\n",
+        )
+        assert rules_of(result) == ["DET001"]
+
+    def test_seeded_default_rng_is_clean(self, lint_source):
+        result = lint_source(
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_seed_sequence_without_entropy(self, lint_source):
+        result = lint_source(
+            "import numpy as np\nseq = np.random.SeedSequence()\n",
+        )
+        assert rules_of(result) == ["DET002"]
+
+    def test_seed_sequence_with_entropy_is_clean(self, lint_source):
+        result = lint_source(
+            "import numpy as np\nseq = np.random.SeedSequence(7)\n",
+        )
+        assert result.diagnostics == []
+
+
+class TestLegacyModuleSamplers:
+    @pytest.mark.parametrize("call", [
+        "np.random.normal(0, 1, 10)",
+        "np.random.rand(4)",
+        "np.random.seed(0)",
+        "np.random.RandomState(0)",
+        "numpy.random.uniform()",
+    ])
+    def test_legacy_call_flagged(self, lint_source, call):
+        result = lint_source(
+            f"import numpy\nimport numpy as np\nx = {call}\n",
+        )
+        assert "DET003" in rules_of(result)
+
+    def test_generator_method_is_clean(self, lint_source):
+        result = lint_source(
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)\n"
+            "x = rng.normal(0, 1, 10)\n",
+        )
+        assert result.diagnostics == []
+
+
+class TestWallClockSeeds:
+    def test_time_seed_in_default_rng(self, lint_source):
+        result = lint_source(
+            "import time\nimport numpy as np\n"
+            "rng = np.random.default_rng(int(time.time()))\n",
+        )
+        assert "DET004" in rules_of(result)
+
+    def test_time_ns_in_seed_kwarg(self, lint_source):
+        result = lint_source(
+            "import time\ndef f(seed=0): pass\nf(seed=time.time_ns())\n",
+        )
+        assert rules_of(result) == ["DET004"]
+
+    def test_datetime_now_entropy(self, lint_source):
+        result = lint_source(
+            "from datetime import datetime\nimport numpy as np\n"
+            "seq = np.random.SeedSequence(datetime.now().microsecond)\n",
+        )
+        assert "DET004" in rules_of(result)
+
+    def test_config_derived_seed_is_clean(self, lint_source):
+        result = lint_source(
+            "import numpy as np\n"
+            "def build(seed):\n"
+            "    return np.random.default_rng(seed ^ 0x5F5F)\n",
+        )
+        assert result.diagnostics == []
+
+
+class TestSuppression:
+    def test_legacy_det_marker_suppresses(self, lint_source):
+        result = lint_source(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # det: allow\n",
+        )
+        assert result.diagnostics == []
+        assert result.suppressed == {"DET001": 1}
+
+    @pytest.mark.parametrize("comment,rule_id,source", [
+        ("# lint: allow[DET001]", "DET001",
+         "import numpy as np\nrng = np.random.default_rng()  {c}\n"),
+        ("# lint: allow[DET002]", "DET002",
+         "import numpy as np\nseq = np.random.SeedSequence()  {c}\n"),
+        ("# lint: allow[DET003]", "DET003",
+         "import numpy as np\nx = np.random.rand(4)  {c}\n"),
+        ("# lint: allow[DET004]", "DET004",
+         "import time\ndef f(seed=0): pass\nf(seed=time.time_ns())  {c}\n"),
+    ])
+    def test_unified_allow_per_rule(self, lint_source, comment, rule_id,
+                                    source):
+        result = lint_source(source.format(c=comment))
+        assert result.diagnostics == []
+        assert result.suppressed == {rule_id: 1}

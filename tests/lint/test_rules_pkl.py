@@ -1,0 +1,189 @@
+"""PKL rule tests: picklability across process-pool boundaries."""
+
+from .conftest import rules_of
+
+POOL_IMPORT = "from concurrent.futures import ProcessPoolExecutor\n"
+
+
+class TestPKL001:
+    def test_lambda_literal_in_submit(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def run():\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(lambda: 1)\n",
+        )
+        assert rules_of(result) == ["PKL001"]
+
+    def test_lambda_bound_name_in_map(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def run(items):\n"
+            "    work = lambda x: x + 1\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.map(work, items)\n",
+        )
+        assert rules_of(result) == ["PKL001"]
+        assert result.diagnostics[0].nodes == ("work",)
+
+    def test_closure_in_submit(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def run():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(inner)\n",
+        )
+        assert rules_of(result) == ["PKL001"]
+
+    def test_lambda_initializer(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def run():\n"
+            "    pool = ProcessPoolExecutor(initializer=lambda: None)\n",
+        )
+        assert rules_of(result) == ["PKL001"]
+
+    def test_module_level_function_is_clean(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def work(x):\n"
+            "    return x\n"
+            "def run(items):\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.map(work, items)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_allow_comment_suppresses(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def run():\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(lambda: 1)  # lint: allow[PKL001]\n",
+        )
+        assert result.diagnostics == []
+        assert result.suppressed == {"PKL001": 1}
+
+
+class TestPKL002:
+    ENGINE_IMPORT = "from repro.core.engines.base import Engine\n"
+
+    def test_engine_annotated_param_in_submit(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT + self.ENGINE_IMPORT +
+            "def run(engine: Engine, solve):\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(solve, engine)\n",
+        )
+        assert rules_of(result) == ["PKL002"]
+        assert result.diagnostics[0].nodes == ("engine",)
+
+    def test_resolve_engine_binding_in_submit(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "from repro.core.engines.registry import resolve_engine\n"
+            "def run(spec, solve):\n"
+            "    engine = resolve_engine(spec)\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(solve, engine)\n",
+        )
+        assert rules_of(result) == ["PKL002"]
+
+    def test_opaque_spec_argument_is_clean(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def run(spec, solve):\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(solve, spec)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_allow_comment_suppresses(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT + self.ENGINE_IMPORT +
+            "def run(engine: Engine, solve):\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(solve, engine)  # lint: allow[PKL002]\n",
+        )
+        assert result.diagnostics == []
+        assert result.suppressed == {"PKL002": 1}
+
+
+class TestPKL003:
+    def test_open_handle_binding_in_submit(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def run(parse):\n"
+            "    handle = open('data.txt')\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(parse, handle)\n",
+        )
+        assert rules_of(result) == ["PKL003"]
+
+    def test_inline_sqlite_connect_in_initargs(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "import sqlite3\n"
+            "def setup(db):\n"
+            "    pass\n"
+            "def run():\n"
+            "    pool = ProcessPoolExecutor(\n"
+            "        initializer=setup,\n"
+            "        initargs=(sqlite3.connect('db.sqlite'),),\n"
+            "    )\n",
+        )
+        assert rules_of(result) == ["PKL003"]
+
+    def test_with_bound_handle_in_submit(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def run(parse):\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    with open('data.txt') as fh:\n"
+            "        pool.submit(parse, fh)\n",
+        )
+        assert rules_of(result) == ["PKL003"]
+
+    def test_path_string_is_clean(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def run(parse):\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(parse, 'data.txt')\n",
+        )
+        assert result.diagnostics == []
+
+    def test_allow_comment_suppresses(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def run(parse):\n"
+            "    handle = open('data.txt')\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(parse, handle)  # lint: allow[PKL]\n",
+        )
+        assert result.diagnostics == []
+        assert result.suppressed == {"PKL003": 1}
+
+
+class TestScoping:
+    def test_thread_pool_is_not_a_pickle_boundary(self, lint_source):
+        result = lint_source(
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "def run():\n"
+            "    pool = ThreadPoolExecutor()\n"
+            "    pool.submit(lambda: 1)\n",
+        )
+        assert "PKL001" not in rules_of(result)
+
+    def test_rebinding_clears_the_kind(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def run(parse, reopen):\n"
+            "    handle = open('data.txt')\n"
+            "    handle = reopen()\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(parse, handle)\n",
+        )
+        assert result.diagnostics == []

@@ -1,0 +1,113 @@
+"""RACE rule tests: shared-state mutation on thread worker paths."""
+
+from .conftest import rules_of
+
+POOL = "from concurrent.futures import ThreadPoolExecutor\n"
+
+
+class TestRACE001:
+    def test_unlocked_dict_write_from_mapped_worker(self, lint_source):
+        result = lint_source(
+            POOL +
+            "_CACHE = {}\n"
+            "def worker(key):\n"
+            "    _CACHE[key] = 1\n"
+            "def run(keys):\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        pool.map(worker, keys)\n",
+        )
+        assert rules_of(result) == ["RACE001"]
+        assert result.diagnostics[0].nodes == ("_CACHE",)
+
+    def test_global_rebind_from_submitted_worker(self, lint_source):
+        result = lint_source(
+            POOL +
+            "_TOTAL = 0\n"
+            "def worker(x):\n"
+            "    global _TOTAL\n"
+            "    _TOTAL += x\n"
+            "def run(xs):\n"
+            "    pool = ThreadPoolExecutor()\n"
+            "    for x in xs:\n"
+            "        pool.submit(worker, x)\n",
+        )
+        assert rules_of(result) == ["RACE001"]
+
+    def test_mutating_method_via_transitive_callee(self, lint_source):
+        result = lint_source(
+            POOL +
+            "_RESULTS = []\n"
+            "def record(value):\n"
+            "    _RESULTS.append(value)\n"
+            "def worker(x):\n"
+            "    record(x * 2)\n"
+            "def run(xs):\n"
+            "    pool = ThreadPoolExecutor()\n"
+            "    pool.map(worker, xs)\n",
+        )
+        assert rules_of(result) == ["RACE001"]
+
+    def test_run_in_executor_entry(self, lint_source):
+        result = lint_source(
+            "_STATE = {}\n"
+            "def worker():\n"
+            "    _STATE['k'] = 1\n"
+            "async def go(loop, executor):\n"
+            "    await loop.run_in_executor(executor, worker)\n",
+        )
+        assert rules_of(result) == ["RACE001"]
+
+    def test_lock_guarded_mutation_is_clean(self, lint_source):
+        result = lint_source(
+            POOL +
+            "import threading\n"
+            "_CACHE = {}\n"
+            "_LOCK = threading.Lock()\n"
+            "def worker(key):\n"
+            "    with _LOCK:\n"
+            "        _CACHE[key] = 1\n"
+            "def run(keys):\n"
+            "    pool = ThreadPoolExecutor()\n"
+            "    pool.map(worker, keys)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_local_mutation_is_clean(self, lint_source):
+        result = lint_source(
+            POOL +
+            "def worker(key):\n"
+            "    local = {}\n"
+            "    local[key] = 1\n"
+            "    return local\n"
+            "def run(keys):\n"
+            "    pool = ThreadPoolExecutor()\n"
+            "    pool.map(worker, keys)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_mutation_off_worker_path_is_clean(self, lint_source):
+        result = lint_source(
+            POOL +
+            "_CACHE = {}\n"
+            "def warm(key):\n"
+            "    _CACHE[key] = 1\n"
+            "def worker(key):\n"
+            "    return key\n"
+            "def run(keys):\n"
+            "    pool = ThreadPoolExecutor()\n"
+            "    pool.map(worker, keys)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_allow_comment_suppresses(self, lint_source):
+        result = lint_source(
+            POOL +
+            "_CACHE = {}\n"
+            "def worker(key):\n"
+            "    _CACHE[key] = 1  # lint: allow[RACE001]\n"
+            "def run(keys):\n"
+            "    pool = ThreadPoolExecutor()\n"
+            "    pool.map(worker, keys)\n",
+        )
+        assert result.diagnostics == []
+        assert result.suppressed == {"RACE001": 1}
