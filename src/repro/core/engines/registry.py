@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import dataclasses
 import importlib
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type, TypeVar, Union
 
-from repro.core.engines.base import Engine
+from repro.core.engines.base import Engine, is_engine
 from repro.core.segments import RingOscillatorConfig
 
 EngineClassT = TypeVar("EngineClassT", bound=Type[Engine])
@@ -209,3 +210,104 @@ def as_engine_factory(
     if callable(obj):
         return obj
     raise TypeError(f"cannot make an engine factory from {obj!r}")
+
+
+#: Default LRU bound of an :class:`EngineCache`; generous for any real
+#: voltage plan (a few supplies x a few engine recipes) while keeping a
+#: worker that sees an unbounded stream of distinct specs flat.
+DEFAULT_ENGINE_CACHE_SIZE = 64
+
+
+class EngineCache:
+    """LRU-bounded rehydration point: spec/name -> one live engine.
+
+    The serving and wafer tiers ship :class:`EngineSpec` recipes across
+    their pipelines and process boundaries, never engines; this cache
+    is the one place recipes become instances.  Keys are content
+    fingerprints of the recipe (plus the supply it was built at), so
+    two equal specs arriving through different requests share one
+    engine -- and one warm compile path.  Engine *instances* pass
+    through untouched and are never cached.
+
+    Eviction is least-recently-used at ``max_entries`` and counts into
+    the ``service.engine_cache_evicted`` telemetry counter, so a worker
+    fed pathological spec churn degrades to rebuild cost instead of
+    unbounded memory growth.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_ENGINE_CACHE_SIZE):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._memo: "OrderedDict[str, Engine]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def resolve(
+        self, obj: EngineLike, vdd: Optional[float] = None
+    ) -> Engine:
+        """The engine for ``obj`` (built at ``vdd`` when given)."""
+        if is_engine(obj):
+            return obj if vdd is None else obj.at_vdd(vdd)
+        from repro.spice.cache import fingerprint
+
+        key = fingerprint(
+            "service.engine", obj if vdd is None else (obj, vdd)
+        )
+        engine = self._memo.get(key)
+        if engine is None:
+            engine = resolve_engine(obj, vdd=vdd)
+            self._memo[key] = engine
+            if len(self._memo) > self.max_entries:
+                self._memo.popitem(last=False)
+                from repro.telemetry import get_telemetry
+
+                get_telemetry().incr("service.engine_cache_evicted")
+        else:
+            self._memo.move_to_end(key)
+        return engine
+
+    def cached_factory(
+        self, factory: Union[EngineLike, Callable[[float], Any]]
+    ) -> Callable[[float], Any]:
+        """Wrap a ``vdd -> engine`` factory to build through this cache.
+
+        Spec-shaped factories (names, :class:`EngineSpec`, registered
+        engine instances) rehydrate via :meth:`resolve`, so every
+        consumer in the process shares one engine per (recipe, supply);
+        opaque callables pass through uncached.
+        """
+        base = as_engine_factory(factory)
+        if not isinstance(base, EngineSpec):
+            return base
+
+        def build(vdd: float) -> Engine:
+            return self.resolve(base, vdd=vdd)
+
+        return build
+
+
+#: The per-process shared cache; built lazily so forked workers that
+#: never rehydrate an engine pay nothing.
+_PROCESS_ENGINE_CACHE: Optional[EngineCache] = None
+
+
+def process_engine_cache(
+    max_entries: Optional[int] = None,
+) -> EngineCache:
+    """This process's shared :class:`EngineCache`.
+
+    The one audited rehydration boundary for every process pool (the
+    service's process transport and the sharded wafer engine alike).
+    ``max_entries`` resizes the bound on an existing cache -- worker
+    initializers call this to apply the parent's configuration.
+    """
+    global _PROCESS_ENGINE_CACHE
+    if _PROCESS_ENGINE_CACHE is None:
+        _PROCESS_ENGINE_CACHE = EngineCache(
+            max_entries=max_entries or DEFAULT_ENGINE_CACHE_SIZE
+        )
+    elif max_entries is not None:
+        _PROCESS_ENGINE_CACHE.max_entries = max_entries
+    return _PROCESS_ENGINE_CACHE

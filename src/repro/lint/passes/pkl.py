@@ -11,11 +11,23 @@ pickle but is the wrong contract: engines cross process boundaries as
 workers rehydrate bit-identical engines instead of dragging solver
 state through pickle.
 
+The service's process transport (PR 9) added two more surfaces the
+pass understands: pools stored on ``self`` (``self._pool =
+ProcessPoolExecutor(...)`` followed by ``self._pool.submit(...)`` or
+``loop.run_in_executor(self._pool, fn, *args)`` is a boundary like any
+other), and raw shared-memory segments.  Segment lifecycle belongs to
+:mod:`repro.service.arena` -- exactly one module creates, attaches,
+and audits ``SharedMemory`` -- so a raw
+``multiprocessing.shared_memory.SharedMemory`` anywhere else (or one
+shipped across a pool boundary) is flagged; everything outside the
+arena module talks in picklable ``ArenaHandle`` descriptors.
+
 The pass is deliberately precise rather than complete: it flags only
 what it can *prove* locally (lambdas, nested defs, names bound to
 ``open()``/``sqlite3.connect()``, names annotated or resolved as
-``Engine``).  Opaque expressions pass -- runtime pickling still guards
-them -- so a finding from this pass is always actionable.
+``Engine``, names bound to ``SharedMemory(...)``).  Opaque expressions
+pass -- runtime pickling still guards them -- so a finding from this
+pass is always actionable.
 
 =========  =============================================================
 ``PKL001`` lambda or closure handed across a process-pool boundary
@@ -23,6 +35,9 @@ them -- so a finding from this pass is always actionable.
            ``EngineSpec``)
 ``PKL003`` open OS handle (file, sqlite connection) across a
            process-pool boundary
+``PKL004`` raw ``SharedMemory`` outside ``repro.service.arena`` (or
+           shipped across a pool boundary); segments stay behind the
+           ``Arena`` allocator, handles travel
 =========  =============================================================
 """
 
@@ -55,6 +70,14 @@ _HANDLE_CALLS = {
     "tempfile.TemporaryFile",
 }
 
+#: Raw shared-memory segment constructors (PKL004).
+_SHM_CALLS = {
+    "multiprocessing.shared_memory.SharedMemory",
+}
+
+#: The one module allowed to construct raw shared-memory segments.
+_ARENA_MODULE = "repro.service.arena"
+
 #: Resolved type names that mean "a live engine, not a spec".
 _ENGINE_TYPE_PREFIX = "repro.core.engines"
 
@@ -77,7 +100,7 @@ class _Scope:
     def __init__(self, parent: Optional["_Scope"] = None):
         self.parent = parent
         #: name -> kind: "lambda" | "nested-func" | "handle" | "engine"
-        #: | "pool"
+        #: | "pool" | "shm"
         self.kinds: Dict[str, str] = {}
 
     def lookup(self, name: str) -> Optional[str]:
@@ -96,6 +119,8 @@ class _BoundaryVisitor(ast.NodeVisitor):
         self.module = module
         self.scope = _Scope()
         self.depth = 0  # function nesting depth
+        #: ``self.<attr>`` -> kind, for pools (etc.) stored on instances.
+        self.self_kinds: Dict[str, str] = {}
         self.findings: List[LintFinding] = []
 
     # -- binding classification ------------------------------------------
@@ -110,8 +135,30 @@ class _BoundaryVisitor(ast.NodeVisitor):
                     return "pool"
                 if resolved in _HANDLE_CALLS:
                     return "handle"
+                if resolved in _SHM_CALLS:
+                    return "shm"
                 if resolved.split(".")[-1] == "resolve_engine":
                     return "engine"
+        return None
+
+    @staticmethod
+    def _self_attr(expr: ast.expr) -> Optional[str]:
+        """``attr`` when ``expr`` is ``self.<attr>``, else None."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr
+        return None
+
+    def _expr_kind(self, expr: ast.expr) -> Optional[str]:
+        """The tracked kind of a name or ``self.<attr>`` expression."""
+        if isinstance(expr, ast.Name):
+            return self.scope.lookup(expr.id)
+        attr = self._self_attr(expr)
+        if attr is not None:
+            return self.self_kinds.get(attr)
         return None
 
     def _bind_target(self, target: ast.expr, kind: Optional[str]) -> None:
@@ -120,6 +167,13 @@ class _BoundaryVisitor(ast.NodeVisitor):
                 self.scope.kinds[target.id] = kind
             else:
                 self.scope.kinds.pop(target.id, None)
+            return
+        attr = self._self_attr(target)
+        if attr is not None:
+            if kind is not None:
+                self.self_kinds[attr] = kind
+            else:
+                self.self_kinds.pop(attr, None)
 
     def visit_Assign(self, node: ast.Assign) -> None:
         kind = self._value_kind(node.value)
@@ -181,22 +235,46 @@ class _BoundaryVisitor(ast.NodeVisitor):
         boundary: Optional[str] = None
         crossing: List[Tuple[ast.expr, str]] = []
 
+        if (
+            func_name is not None
+            and self.module.resolve(func_name) in _SHM_CALLS
+            and self.module.name != _ARENA_MODULE
+        ):
+            self._report(
+                node, "PKL004",
+                "raw SharedMemory constructed outside "
+                f"{_ARENA_MODULE}; segment lifecycle belongs to the "
+                "Arena allocator",
+                hint="create/attach through repro.service.arena.Arena "
+                     "and pass ArenaHandle descriptors around",
+            )
+
         if isinstance(node.func, ast.Attribute) and node.func.attr in (
             "submit", "map", "apply_async", "map_async"
         ):
             receiver = dotted_name(node.func.value)
             head = receiver.split(".")[-1] if receiver else None
-            if head is not None and (
-                self.scope.lookup(head) == "pool"
+            if (
+                self._expr_kind(node.func.value) == "pool"
                 or (receiver is not None
                     and self.module.resolve(receiver) in _POOL_TYPES)
             ):
-                boundary = f"{head}.{node.func.attr}"
+                boundary = f"{head or 'pool'}.{node.func.attr}"
                 crossing.extend((arg, "argument") for arg in node.args)
                 crossing.extend(
                     (kw.value, f"{kw.arg}=") for kw in node.keywords
                     if kw.arg is not None
                 )
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "run_in_executor"
+            and node.args
+            and self._expr_kind(node.args[0]) == "pool"
+        ):
+            # loop.run_in_executor(self._pool, fn, *args): everything
+            # after the executor is pickled to a worker process.
+            boundary = "run_in_executor"
+            crossing.extend((arg, "argument") for arg in node.args[1:])
         elif func_name is not None and (
             self.module.resolve(func_name) in _POOL_TYPES
         ):
@@ -248,6 +326,15 @@ class _BoundaryVisitor(ast.NodeVisitor):
         kind = self.scope.lookup(expr.id)
         if kind is None and expr.id in self.module.nested_functions:
             kind = "nested-func"
+        if kind == "shm":
+            self._report(
+                expr, "PKL004",
+                f"raw SharedMemory {expr.id!r} as {where}; segments "
+                "stay behind the Arena allocator, handles travel",
+                names=(expr.id,),
+                hint="ship an ArenaHandle and attach in the worker",
+            )
+            return
         if kind in ("lambda", "nested-func"):
             what = "lambda" if kind == "lambda" else "closure"
             self._report(
@@ -305,9 +392,13 @@ rule(
     "PKL003", Severity.ERROR,
     "open OS handle across a process-pool boundary",
 )
+rule(
+    "PKL004", Severity.ERROR,
+    "raw SharedMemory outside the arena module (ArenaHandle required)",
+)
 
 
-@lint_pass("PKL001", "PKL002", "PKL003")
+@lint_pass("PKL001", "PKL002", "PKL003", "PKL004")
 def pkl_boundaries(
     module: ModuleInfo, ctx: LintContext
 ) -> Iterator[LintFinding]:

@@ -5,7 +5,10 @@ batch-mode measurement engines: requests are admitted through a bounded
 queue (backpressure or load-shedding), dynamically micro-batched by
 engine compatibility key so concurrent requests share one stacked
 Monte-Carlo solve, scheduled deadline-aware, and answered with typed
-responses carrying per-stage latency breakdowns.
+responses carrying per-stage latency breakdowns.  Solves run on a
+configurable transport: in-process worker threads (default) or worker
+processes fed through shared-memory arenas
+(``ServiceConfig(transport="process")``).
 
 Quickstart::
 
@@ -19,6 +22,7 @@ See ``DESIGN.md`` section 3.5 for the pipeline architecture.
 """
 
 from repro.service.admission import AdmissionPolicy, AdmissionQueue
+from repro.service.arena import Arena, ArenaHandle, ArenaLeakError
 from repro.service.batcher import Batch, DispatchQueue, MicroBatcher
 from repro.service.request import (
     ResponseStatus,
@@ -26,21 +30,40 @@ from repro.service.request import (
     ScreenResponse,
     StageLatency,
 )
-from repro.service.service import ScreeningService, ServiceConfig
-from repro.service.worker import EngineCache, WorkerPool
+from repro.service.service import (
+    TRANSPORTS,
+    ScreeningService,
+    ServiceConfig,
+)
+from repro.service.worker import (
+    EngineCache,
+    ProcessTransport,
+    ThreadTransport,
+    WorkerPool,
+    WorkerTransport,
+    make_transport,
+)
 
 __all__ = [
     "AdmissionPolicy",
     "AdmissionQueue",
+    "Arena",
+    "ArenaHandle",
+    "ArenaLeakError",
     "Batch",
     "DispatchQueue",
     "EngineCache",
     "MicroBatcher",
+    "ProcessTransport",
     "ResponseStatus",
     "ScreenRequest",
     "ScreenResponse",
     "ScreeningService",
     "ServiceConfig",
     "StageLatency",
+    "ThreadTransport",
+    "TRANSPORTS",
     "WorkerPool",
+    "WorkerTransport",
+    "make_transport",
 ]

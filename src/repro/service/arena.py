@@ -1,0 +1,310 @@
+"""Shared-memory arenas: segment lifecycle for the process transport.
+
+The process worker transport ships batches to long-lived worker
+processes through ``multiprocessing.shared_memory`` segments instead of
+pushing every array through the executor's pickle pipe.  This module
+owns the segments: the :class:`Arena` allocator creates, attaches,
+releases, and audits them; everything outside talks in picklable
+:class:`ArenaHandle` / :class:`ShippedPayload` descriptors.
+
+Design rules:
+
+* The **parent** (event-loop side) creates every segment -- request and
+  result alike -- so exactly one process owns create/unlink and the
+  multiprocessing resource tracker never ends a run holding a segment
+  it cannot account for.  Workers only :meth:`Arena.attach` and
+  :meth:`Arena.detach`.
+* Raw :class:`~multiprocessing.shared_memory.SharedMemory` objects
+  never leave this module (lint rule ``PKL004``); handles cross the
+  process boundary, segments do not.
+* Every create/attach is counted and audited: :meth:`Arena.drain`
+  force-releases stragglers and raises :class:`ArenaLeakError` naming
+  them, so a leaked segment is a loud failure at service drain, never
+  silent ``/dev/shm`` growth on a tester rig.
+
+Payloads travel with pickle protocol 5: :func:`dump` extracts every
+array buffer out-of-band into the segment (the pickle body rides in the
+same segment), so the executor pipe carries only the small
+:class:`ShippedPayload` descriptor and :func:`load` can rebuild arrays
+as zero-copy views over the mapped segment.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.telemetry import get_telemetry
+
+__all__ = [
+    "Arena",
+    "ArenaHandle",
+    "ArenaLeakError",
+    "BufferSpec",
+    "SEGMENT_PREFIX",
+    "ShippedPayload",
+    "aligned",
+    "dump",
+    "load",
+    "ndarray_at",
+]
+
+#: Segment names carry this prefix so leak audits (and the tests that
+#: scan ``/dev/shm``) can tell the service's segments from everything
+#: else on the machine.
+SEGMENT_PREFIX = "repro-arena"
+
+#: Buffer alignment inside a segment; 64 keeps every array slot on a
+#: cache-line boundary so zero-copy views never split loads.
+_ALIGN = 64
+
+#: Process-wide name counter: segments are created only by the parent,
+#: so (pid, counter) is unique for the life of the machine's /dev/shm.
+_NAMES = itertools.count()
+
+
+def aligned(nbytes: int) -> int:
+    """``nbytes`` rounded up to the arena's buffer alignment."""
+    return -(-nbytes // _ALIGN) * _ALIGN
+
+
+class ArenaLeakError(RuntimeError):
+    """A drained arena still held live segments (now force-released)."""
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable reference to one shared-memory segment.
+
+    Attributes:
+        name: The OS-level segment name (``/dev/shm`` entry on Linux).
+        nbytes: Usable payload size; the segment may be slightly larger
+            (the OS rounds allocations up).
+    """
+
+    name: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """Location and dtype/shape of one array slot inside a segment."""
+
+    offset: int
+    nbytes: int
+    dtype: str = "u1"
+    shape: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ShippedPayload:
+    """Descriptor of one pickled object shipped through a segment.
+
+    ``body`` locates the protocol-5 pickle stream inside the segment;
+    ``buffers`` locate the out-of-band array buffers, in the order the
+    pickler emitted them.  The descriptor itself is tiny and picklable,
+    so the executor pipe never carries array content.
+    """
+
+    handle: ArenaHandle
+    body: BufferSpec
+    buffers: Tuple[BufferSpec, ...] = ()
+
+
+def ndarray_at(buf: memoryview, spec: BufferSpec) -> np.ndarray:
+    """A writable ndarray view over one :class:`BufferSpec` slot."""
+    window = buf[spec.offset:spec.offset + spec.nbytes]
+    return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=window)
+
+
+class Arena:
+    """Ref-counted allocator over ``multiprocessing.shared_memory``.
+
+    One arena per role: the service's process transport keeps a creator
+    arena on the event-loop side and each worker process keeps an
+    attacher arena.  Creation and attachment are tracked separately --
+    :meth:`release` closes *and unlinks* a segment this arena created;
+    :meth:`detach` drops one attachment reference and closes the local
+    mapping when the count reaches zero.
+
+    Memoryviews handed out by :meth:`buffer`/:meth:`attach` (and any
+    ndarray built over them) must be dropped before the segment is
+    released or detached; a still-exported view turns the close into a
+    ``BufferError``, which is the correct loud failure for a dangling
+    zero-copy reference.
+    """
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self._created: Dict[str, shared_memory.SharedMemory] = {}
+        #: name -> [segment, attach refcount]
+        self._attached: Dict[str, List[Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self._created) + len(self._attached)
+
+    @property
+    def live_segments(self) -> List[str]:
+        """Names of every segment this arena still holds open."""
+        return sorted(self._created) + sorted(self._attached)
+
+    # -- creator side ----------------------------------------------------
+    def create(self, nbytes: int) -> ArenaHandle:
+        """Create a fresh segment of at least ``nbytes`` usable bytes."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_NAMES)}"
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(nbytes, 1)
+        )
+        self._created[segment.name] = segment
+        tele = get_telemetry()
+        tele.incr("arena.created")
+        tele.observe("arena.segment_bytes", max(nbytes, 1))
+        return ArenaHandle(name=segment.name, nbytes=nbytes)
+
+    def buffer(self, handle: ArenaHandle) -> memoryview:
+        """Writable view of a segment this arena created or attached."""
+        segment = self._created.get(handle.name)
+        if segment is None:
+            entry = self._attached.get(handle.name)
+            if entry is None:
+                raise KeyError(
+                    f"segment {handle.name!r} is not held by this arena"
+                )
+            segment = entry[0]
+        return segment.buf[:handle.nbytes]
+
+    def release(self, handle: ArenaHandle) -> None:
+        """Close and unlink a segment this arena created."""
+        segment = self._created.pop(handle.name, None)
+        if segment is None:
+            raise KeyError(
+                f"segment {handle.name!r} was not created by this arena"
+            )
+        segment.close()
+        segment.unlink()
+        get_telemetry().incr("arena.unlinked")
+
+    # -- worker side -----------------------------------------------------
+    def attach(self, handle: ArenaHandle) -> memoryview:
+        """Map an existing segment (ref-counted); returns its view."""
+        entry = self._attached.get(handle.name)
+        if entry is None:
+            segment = shared_memory.SharedMemory(name=handle.name)
+            entry = self._attached[handle.name] = [segment, 0]
+            get_telemetry().incr("arena.attached")
+        entry[1] += 1
+        return entry[0].buf[:handle.nbytes]
+
+    def detach(self, handle: ArenaHandle) -> None:
+        """Drop one attachment; unmaps when the count reaches zero."""
+        entry = self._attached.get(handle.name)
+        if entry is None:
+            raise KeyError(
+                f"segment {handle.name!r} is not attached to this arena"
+            )
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self._attached[handle.name]
+            entry[0].close()
+
+    # -- audit -----------------------------------------------------------
+    def drain(self) -> None:
+        """Audit for leaks; force-release stragglers and raise on any.
+
+        A clean shutdown releases every segment before draining, so
+        this is a no-op.  Anything still held is closed (and unlinked,
+        for created segments) *first* -- the machine never keeps the
+        leak -- and then reported via :class:`ArenaLeakError`.
+        """
+        leaked = self.live_segments
+        tele = get_telemetry()
+        for name, segment in list(self._created.items()):
+            segment.close()
+            segment.unlink()
+            tele.incr("arena.leaked")
+        for name, entry in list(self._attached.items()):
+            entry[0].close()
+            tele.incr("arena.leaked")
+        self._created.clear()
+        self._attached.clear()
+        if leaked:
+            raise ArenaLeakError(
+                f"arena {self.label or id(self)} drained with "
+                f"{len(leaked)} live segment(s): {', '.join(leaked)}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Protocol-5 payload transport
+# ----------------------------------------------------------------------
+def dump(arena: Arena, obj: object) -> ShippedPayload:
+    """Pickle ``obj`` into a fresh segment, array buffers out-of-band.
+
+    The pickle body and every ``PickleBuffer`` the pickler emits land in
+    one segment created on ``arena``; the caller owns the returned
+    payload's handle and must :meth:`Arena.release` it when the other
+    side is done.
+    """
+    raws: List[pickle.PickleBuffer] = []
+    body = pickle.dumps(obj, protocol=5, buffer_callback=raws.append)
+    # .raw() yields the flat byte view; numpy only hands the pickler
+    # contiguous buffers, so this never raises for our payloads.
+    views = [raw.raw() for raw in raws]
+    body_spec = BufferSpec(offset=0, nbytes=len(body))
+    cursor = aligned(len(body))
+    specs: List[BufferSpec] = []
+    for view in views:
+        specs.append(BufferSpec(offset=cursor, nbytes=view.nbytes))
+        cursor += aligned(view.nbytes)
+    handle = arena.create(cursor)
+    buf = arena.buffer(handle)
+    buf[:len(body)] = body
+    for view, spec in zip(views, specs):
+        buf[spec.offset:spec.offset + spec.nbytes] = view
+    del buf
+    return ShippedPayload(
+        handle=handle, body=body_spec, buffers=tuple(specs)
+    )
+
+
+def load(arena: Arena, payload: ShippedPayload, copy: bool = True) -> Any:
+    """Rebuild the object a :func:`dump` call shipped.
+
+    With ``copy`` (the default) every array is copied out of the
+    segment and the attachment is dropped before returning -- the
+    result is self-contained and the caller owes nothing.  With
+    ``copy=False`` arrays are zero-copy views over the mapped segment;
+    the caller must drop every reference into the object and then
+    :meth:`Arena.detach` the payload's handle.
+    """
+    buf = arena.attach(payload.handle)
+    buffers: Optional[List[Any]] = None
+    try:
+        body = bytes(buf[payload.body.offset:
+                         payload.body.offset + payload.body.nbytes])
+        # Comprehension scope keeps the per-slot slice views from
+        # outliving this list -- a leaked view would turn the detach
+        # below into a BufferError.
+        buffers = [
+            bytearray(buf[spec.offset:spec.offset + spec.nbytes])
+            if copy else buf[spec.offset:spec.offset + spec.nbytes]
+            for spec in payload.buffers
+        ]
+        obj = pickle.loads(body, buffers=buffers)
+    except BaseException:
+        buffers = None
+        del buf
+        arena.detach(payload.handle)
+        raise
+    del buffers, buf
+    if copy:
+        arena.detach(payload.handle)
+    return obj

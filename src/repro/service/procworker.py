@@ -1,0 +1,131 @@
+"""In-worker-process half of the service's process transport.
+
+Everything in this module runs inside a ``ProcessPoolExecutor`` worker:
+the initializer that sizes the per-process engine cache, the lazily
+built attach-only :class:`~repro.service.arena.Arena`, and
+:func:`solve_shipped` -- the one function the event-loop side ever
+submits.  Keeping it separate from :mod:`repro.service.worker` keeps
+the roles honest: that module owns event-loop state, this one owns
+worker-process state, and only picklable descriptors travel between
+them (an :class:`~repro.core.engines.registry.EngineSpec` plus arena
+handles -- the ``PKL`` lint rules hold that boundary).
+
+Workers never create or unlink segments (the parent owns segment
+lifecycle; see :mod:`repro.service.arena`), and every attachment made
+here is dropped before :func:`solve_shipped` returns, so a drained
+service audits clean no matter how solves interleaved.
+
+Engine rehydration goes through
+:func:`~repro.core.engines.registry.process_engine_cache`, the same
+audited boundary the sharded wafer engine uses, so repeated batches for
+one recipe reuse one warm engine per process.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engines.registry import EngineSpec, process_engine_cache
+from repro.service.arena import (
+    Arena,
+    ArenaHandle,
+    BufferSpec,
+    ShippedPayload,
+    load,
+    ndarray_at,
+)
+from repro.telemetry import Telemetry, use_telemetry
+
+__all__ = ["ResultRow", "init_worker", "solve_shipped", "worker_arena"]
+
+#: This process's attach-only arena; built on first use so pool workers
+#: that never receive a batch pay nothing.
+_WORKER_ARENA: Optional[Arena] = None
+
+
+def worker_arena() -> Arena:
+    """The per-process arena workers attach parent segments through."""
+    global _WORKER_ARENA
+    if _WORKER_ARENA is None:
+        _WORKER_ARENA = Arena(label=f"worker-{os.getpid()}")
+    return _WORKER_ARENA
+
+
+def init_worker(engine_cache_size: int) -> None:
+    """Pool initializer: apply the parent's engine-cache bound."""
+    process_engine_cache(max_entries=engine_cache_size)
+
+
+class ResultRow(NamedTuple):
+    """Pipe-sized summary of one solved request.
+
+    The scalar fields mirror
+    :class:`~repro.core.engines.base.MeasurementResult`; sample
+    populations travel through the result arena (``in_arena``) and only
+    fall back to ``inline_samples`` when an engine returned a
+    population that does not fit the slot the parent laid out.
+    """
+
+    delta_t: float
+    engine: str
+    vdd: float
+    m: int
+    seed: int
+    tags: Dict[str, str]
+    in_arena: bool
+    inline_samples: Optional[np.ndarray]
+
+
+def solve_shipped(
+    spec: EngineSpec,
+    payload: ShippedPayload,
+    result_handle: ArenaHandle,
+    slots: Tuple[Optional[BufferSpec], ...],
+) -> Tuple[List[ResultRow], Dict[str, Dict[str, Any]]]:
+    """Solve one shipped batch inside a pool worker.
+
+    Rehydrates the engine from ``spec`` via the process-wide cache,
+    loads the request list out of the request segment, runs the
+    coalesced ``measure_batch``, and writes each request's sample
+    population into its pre-laid-out slot of the result segment.
+    Returns the scalar result rows plus this solve's telemetry
+    snapshot, which the parent merges -- so ``measure.*``/``ragged.*``
+    counters survive the process boundary exactly like the wafer
+    engine's do.
+    """
+    arena = worker_arena()
+    tele = Telemetry()
+    with use_telemetry(tele):
+        requests = load(arena, payload, copy=True)
+        engine = process_engine_cache().resolve(spec)
+        results = engine.measure_batch(list(requests))
+    rows: List[ResultRow] = []
+    buf = arena.attach(result_handle)
+    try:
+        for result, slot in zip(results, slots):
+            in_arena = False
+            inline: Optional[np.ndarray] = None
+            if result.samples is not None:
+                samples = np.asarray(result.samples, dtype=float)
+                if slot is not None and samples.shape == slot.shape:
+                    ndarray_at(buf, slot)[:] = samples
+                    in_arena = True
+                else:
+                    inline = samples
+            rows.append(ResultRow(
+                delta_t=result.delta_t,
+                engine=result.engine,
+                vdd=result.vdd,
+                m=result.m,
+                seed=result.seed,
+                tags=result.tags,
+                in_arena=in_arena,
+                inline_samples=inline,
+            ))
+    finally:
+        del buf
+        arena.detach(result_handle)
+    return rows, tele.snapshot()

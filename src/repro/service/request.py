@@ -24,7 +24,7 @@ from repro.core.engines.base import (
     MeasurementRequest,
     StopTimePolicy,
 )
-from repro.core.engines.registry import EngineLike
+from repro.core.engines.registry import EngineLike, EngineSpec
 from repro.core.tsv import Tsv
 from repro.spice.montecarlo import ProcessVariation
 
@@ -114,7 +114,9 @@ class StageLatency:
     ``queue_wait_s`` covers admission (including backpressure blocking)
     until the micro-batcher claimed the request; ``batch_form_s`` covers
     batch forming plus dispatch-queue residency; ``solve_s`` is the
-    shared engine solve of the request's batch; ``post_s`` the result
+    shared engine solve of the request's batch; ``transport_s`` the
+    serialize/deserialize cost of shipping the batch to its worker
+    (zero on the in-process thread transport); ``post_s`` the result
     fan-out.  ``total_s`` is submit-to-response and includes whatever
     the stages do not itemize.
     """
@@ -122,6 +124,7 @@ class StageLatency:
     queue_wait_s: float = 0.0
     batch_form_s: float = 0.0
     solve_s: float = 0.0
+    transport_s: float = 0.0
     post_s: float = 0.0
     total_s: float = 0.0
     #: Which cascade fidelity stage issued this request (the
@@ -178,13 +181,20 @@ class PendingEntry:
     #: alongside ``key`` -- which may be the coarser family key -- so
     #: workers can report how many exact groups a flushed batch spans.
     exact_key: Optional[str] = None
+    #: Picklable recipe of ``engine``; set at admission when the service
+    #: runs the process transport (which ships specs, never engines).
+    spec: Optional["EngineSpec"] = None
     joined_at: float = 0.0
     solve_started_at: float = 0.0
     attempts: int = 0
     watchdog: Optional[asyncio.TimerHandle] = None
 
     def stage_latency(
-        self, now: float, solve_s: float = 0.0, post_s: float = 0.0
+        self,
+        now: float,
+        solve_s: float = 0.0,
+        post_s: float = 0.0,
+        transport_s: float = 0.0,
     ) -> StageLatency:
         """Latency breakdown as of ``now`` (unreached stages read zero)."""
         joined = self.joined_at or now
@@ -193,6 +203,7 @@ class PendingEntry:
             queue_wait_s=max(joined - self.submitted_at, 0.0),
             batch_form_s=max(solve_started - joined, 0.0),
             solve_s=solve_s,
+            transport_s=transport_s,
             post_s=post_s,
             total_s=max(now - self.submitted_at, 0.0),
             cascade_stage=self.request.tags.get("cascade_stage", ""),

@@ -10,8 +10,16 @@ pipeline::
                                      key, window)      order)
                                                           |
                  response future  <--  WorkerPool  <------+
-                                       (thread-pool solves,
+                                       (thread or process transport,
                                         retry-once, telemetry)
+
+The worker pool solves through a configurable transport
+(:attr:`ServiceConfig.transport`): ``"thread"`` keeps every solve
+in-process on a thread pool; ``"process"`` ships batches to long-lived
+worker processes over shared-memory arenas, buying GIL-free parallelism
+for Python-heavy engines; ``"auto"`` picks ``"process"`` when the
+machine has the cores for it and the configured engine is
+spec-resolvable, else ``"thread"``.
 
 Every request is answered exactly once with a structured
 :class:`~repro.service.request.ScreenResponse`; overload, deadlines,
@@ -24,13 +32,17 @@ from __future__ import annotations
 
 import asyncio
 import math
+import os
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.engines.base import supports_batching
-from repro.core.engines.registry import EngineLike
+from repro.core.engines.registry import (
+    EngineLike,
+    EngineSpec,
+    as_engine_factory,
+)
 from repro.service.admission import AdmissionPolicy, AdmissionQueue
 from repro.service.batcher import DispatchQueue, MicroBatcher
 from repro.service.request import (
@@ -39,10 +51,20 @@ from repro.service.request import (
     ScreenRequest,
     ScreenResponse,
 )
-from repro.service.worker import EngineCache, WorkerPool
+from repro.service.worker import (
+    EngineCache,
+    WorkerPool,
+    WorkerTransport,
+    make_transport,
+)
 from repro.telemetry import get_telemetry
 
-__all__ = ["COALESCE_POLICIES", "ScreeningService", "ServiceConfig"]
+__all__ = [
+    "COALESCE_POLICIES",
+    "TRANSPORTS",
+    "ScreeningService",
+    "ServiceConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -60,9 +82,21 @@ class ServiceConfig:
             partners before it is dispatched anyway.
         max_batch_size: Corner-stacking cap per dispatched batch.
         num_workers: Concurrent batch solves (worker coroutines and
-            executor threads).
+            executor threads or processes).
         deadline_slack_s: Dispatch a batch early when a member deadline
             comes within this margin.
+        transport: Where solves run: ``"thread"`` (default) keeps them
+            in-process; ``"process"`` ships batches to worker processes
+            over shared-memory arenas (requests must resolve to
+            picklable :class:`~repro.core.engines.registry.EngineSpec`
+            recipes -- raw engine instances are rejected); ``"auto"``
+            picks ``"process"`` when the machine has more than one core
+            and the configured engine is spec-resolvable.
+        mp_start_method: Multiprocessing start method for the process
+            transport (``None`` prefers ``fork`` where available, so
+            workers inherit runtime registry state).
+        engine_cache_size: LRU bound of the engine rehydration caches
+            (the service's own and each worker process's).
         coalesce: Request-grouping policy: ``"family"`` (default) groups
             by the engine's coarse topology-family key, so requests that
             differ only in circuit content -- distinct fault values on a
@@ -81,11 +115,17 @@ class ServiceConfig:
     num_workers: int = 2
     deadline_slack_s: float = 0.0
     coalesce: str = "family"
+    transport: str = "thread"
+    mp_start_method: Optional[str] = None
+    engine_cache_size: int = 64
     clock: Callable[[], float] = time.monotonic
 
 
 #: Valid :attr:`ServiceConfig.coalesce` policies.
 COALESCE_POLICIES = ("family", "exact", "none")
+
+#: Valid :attr:`ServiceConfig.transport` kinds.
+TRANSPORTS = ("thread", "process", "auto")
 
 
 class ScreeningService:
@@ -112,9 +152,14 @@ class ScreeningService:
                 f"unknown coalesce policy {base.coalesce!r}; "
                 f"expected one of {COALESCE_POLICIES}"
             )
+        if base.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {base.transport!r}; "
+                f"expected one of {TRANSPORTS}"
+            )
         self._policy = AdmissionPolicy.coerce(base.admission)
         self._clock = base.clock
-        self._engines = EngineCache()
+        self._engines = EngineCache(max_entries=base.engine_cache_size)
         self._inflight: Dict[int, PendingEntry] = {}
         self._seq = 0
         self._started = False
@@ -123,7 +168,40 @@ class ScreeningService:
         self._dispatch: Optional[DispatchQueue] = None
         self._batcher_task: Optional["asyncio.Task[None]"] = None
         self._workers: Optional[WorkerPool] = None
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._transport: Optional[WorkerTransport] = None
+        self._transport_kind = ""
+
+    @property
+    def transport(self) -> str:
+        """The resolved transport kind (``"auto"`` resolves at start)."""
+        return self._transport_kind or self.config.transport
+
+    def _resolve_transport_kind(self) -> str:
+        """Resolve ``"auto"`` against the machine and the engine.
+
+        ``"process"`` only pays for its serialization when solves can
+        actually run in parallel, so auto requires more than one core
+        -- and an engine that survives the process boundary (i.e. one
+        that normalizes to a picklable spec).
+        """
+        kind = self.config.transport
+        if kind != "auto":
+            return kind
+        if (os.cpu_count() or 1) <= 1:
+            return "thread"
+        try:
+            factory = as_engine_factory(self.config.engine)
+        except (KeyError, TypeError):
+            return "thread"
+        return "process" if isinstance(factory, EngineSpec) else "thread"
+
+    def _spec_for(self, engine_like: EngineLike) -> Optional[EngineSpec]:
+        """The picklable recipe for ``engine_like``, or None."""
+        try:
+            factory = as_engine_factory(engine_like)
+        except (KeyError, TypeError):
+            return None
+        return factory if isinstance(factory, EngineSpec) else None
 
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> None:
@@ -141,13 +219,17 @@ class ScreeningService:
             deadline_slack_s=cfg.deadline_slack_s,
             clock=self._clock,
         )
-        self._executor = ThreadPoolExecutor(
-            max_workers=cfg.num_workers,
-            thread_name_prefix="repro-service",
+        self._transport_kind = self._resolve_transport_kind()
+        self._transport = make_transport(
+            self._transport_kind,
+            num_workers=cfg.num_workers,
+            clock=self._clock,
+            engine_cache_size=cfg.engine_cache_size,
+            mp_start_method=cfg.mp_start_method,
         )
         self._workers = WorkerPool(
             self._dispatch,
-            self._executor,
+            self._transport,
             num_workers=cfg.num_workers,
             clock=self._clock,
         )
@@ -168,13 +250,18 @@ class ScreeningService:
         answered ``REJECTED`` (reason ``"service shutdown"``) instead of
         solved; a solve already running on the executor finishes but its
         results are discarded.
+
+        Either way the transport is closed last, which joins its
+        executor *and* audits its resources -- on the process transport
+        that means verifying every shared-memory segment was unlinked
+        (:class:`~repro.service.arena.ArenaLeakError` otherwise).
         """
         if not self._started:
             return
         assert self._admission is not None
         assert self._dispatch is not None
         assert self._workers is not None
-        assert self._executor is not None
+        assert self._transport is not None
         self._closing = True
         self._admission.close()
         if not drain:
@@ -185,9 +272,7 @@ class ScreeningService:
             self._batcher_task = None
         self._dispatch.close(self._workers.num_workers)
         await self._workers.join()
-        # Joining worker threads can take a full solve; do it off-loop
-        # so concurrent submitters see timely rejections (AIO002).
-        await asyncio.to_thread(self._executor.shutdown, True)
+        await self._transport.close()
         self._started = False
 
     async def __aenter__(self) -> "ScreeningService":
@@ -215,10 +300,18 @@ class ScreeningService:
         loop = asyncio.get_running_loop()
         now = self._clock()
         self._seq += 1
-        engine = self._engines.resolve(
+        engine_like = (
             request.engine if request.engine is not None else
             self.config.engine
         )
+        engine = self._engines.resolve(engine_like)
+        spec: Optional[EngineSpec] = None
+        if self._transport_kind == "process":
+            # The process transport ships specs, never engines; a
+            # request whose engine cannot be spec-normalized gets a
+            # structured rejection here rather than a pickle error
+            # (or silent divergence) deep in the pipeline.
+            spec = self._spec_for(engine_like)
         measurement = request.to_measurement()
         exact: Optional[str] = None
         key: Optional[str] = None
@@ -240,6 +333,7 @@ class ScreeningService:
             engine=engine,
             key=key if key is not None else f"!solo:{self._seq}",
             exact_key=exact,
+            spec=spec,
             future=loop.create_future(),
             submitted_at=now,
             deadline_at=(
@@ -251,6 +345,14 @@ class ScreeningService:
         entry.future.add_done_callback(
             lambda _f, seq=entry.seq: self._inflight.pop(seq, None)
         )
+        if self._transport_kind == "process" and spec is None:
+            self._reject(
+                entry,
+                "engine is not spec-resolvable under the process "
+                "transport (pass a registry name, an EngineSpec, or a "
+                "registered engine instance)",
+            )
+            return entry.future
         if self._closing:
             self._reject(entry, "service shutting down")
             return entry.future

@@ -54,7 +54,11 @@ Counter names used by the stack (all optional -- absent means zero):
                            (:mod:`repro.service`): ``submitted``,
                            ``completed``, ``rejected``, ``expired``,
                            ``failed``, ``batches``, ``batch_retries``,
-                           ``coalesced``.
+                           ``coalesced``, ``engine_cache_evicted``.
+``arena.*``                Shared-memory segment lifecycle of the process
+                           worker transport (:mod:`repro.service.arena`):
+                           ``created``, ``attached``, ``unlinked``,
+                           ``leaked``.
 ``service.cascade.<s>``    Completed service requests tagged with cascade
                            fidelity stage ``<s>`` (the ``cascade_stage``
                            request tag).
@@ -74,7 +78,10 @@ Histogram names used by the screening service (latency distributions;
 ``service.solve_s``         Engine solve time per batch.
 ``service.post_s``          Post-processing (result fan-out) per batch.
 ``service.total_s``         Submit-to-response latency per request.
+``service.transport_s``     Shared-memory serialize/deserialize time per
+                            batch (process transport; zero under threads).
 ``service.batch_occupancy`` Requests coalesced into each dispatched batch.
+``arena.segment_bytes``     Bytes per created shared-memory segment.
 ==========================  ===================================================
 """
 
@@ -440,6 +447,16 @@ for _name, _kind, _desc in [
     ("service.total_s", "histogram", "submit-to-response latency"),
     ("service.batch_occupancy", "histogram", "requests per dispatched batch"),
     ("service.family_span", "histogram", "exact-key groups per batch"),
+    ("service.engine_cache_evicted", "counter",
+     "engines evicted by the bounded rehydration cache"),
+    ("service.transport_s", "histogram",
+     "shared-memory serialize/deserialize time per batch"),
+    ("arena.created", "counter", "shared-memory segments created"),
+    ("arena.attached", "counter", "shared-memory segments attached"),
+    ("arena.unlinked", "counter", "shared-memory segments unlinked"),
+    ("arena.leaked", "counter",
+     "segments still live at drain (force-released)"),
+    ("arena.segment_bytes", "histogram", "bytes per created segment"),
 ]:
     register_metric(_name, _kind, "service", _desc)
 

@@ -44,7 +44,10 @@ import numpy as np
 from repro.analysis.diagnostics import DiagnosticReport, PreflightError
 from repro.cascade.cascade import CascadeState
 from repro.cascade.policy import CascadeConfig
-from repro.core.engines.registry import as_engine_factory
+from repro.core.engines.registry import (
+    as_engine_factory,
+    process_engine_cache,
+)
 from repro.core.session import ReferenceBand
 from repro.core.tsv import TsvParameters
 from repro.dft.control import MeasurementPlan
@@ -226,10 +229,20 @@ def _worker_init(
     the parent's :class:`PersistentSolveCache`
     (pickled as its path), installed process-wide so every worker shares
     the same on-disk characterization and escalated-solve entries.
+
+    The shipped engine factory is rebound through this process's
+    :func:`~repro.core.engines.registry.process_engine_cache` -- the
+    same audited rehydration boundary the service's process transport
+    uses -- so the flow's per-supply engines are built once per worker
+    and shared with any other spec consumer in the process.
     """
     global _WORKER_FLOW
     if cache is not None:
         install_cache(cache)
+    flow_kwargs = dict(flow_kwargs)
+    flow_kwargs["engine_factory"] = process_engine_cache().cached_factory(
+        flow_kwargs["engine_factory"]
+    )
     _WORKER_FLOW = ScreeningFlow(
         bands=bands, cascade_state=cascade_state, **flow_kwargs
     )

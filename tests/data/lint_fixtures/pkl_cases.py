@@ -1,6 +1,8 @@
 """PKL fixture: values that cannot cross a process-pool boundary."""
 
 from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from multiprocessing.shared_memory import SharedMemory
 
 from repro.core.engines.base import Engine
 
@@ -24,3 +26,24 @@ def submit_handle(parse):
 def submit_suppressed():
     pool = ProcessPoolExecutor()
     return pool.submit(lambda: 1)  # lint: allow[PKL001]
+
+
+def raw_segment():
+    return SharedMemory(create=True, size=64)
+
+
+def ship_segment(worker):
+    segment = shared_memory.SharedMemory(create=True, size=64)  # lint: allow[PKL004]
+    pool = ProcessPoolExecutor()
+    return pool.submit(worker, segment)
+
+
+class SelfPool:
+    def __init__(self):
+        self._pool = ProcessPoolExecutor()
+
+    def submit_via_attr(self):
+        return self._pool.submit(lambda: 1)
+
+    async def run_in_executor_via_attr(self, loop, engine: Engine, solve):
+        return await loop.run_in_executor(self._pool, solve, engine)

@@ -167,6 +167,113 @@ class TestPKL003:
         assert result.suppressed == {"PKL003": 1}
 
 
+class TestPKL004:
+    SHM_IMPORT = (
+        "from multiprocessing.shared_memory import SharedMemory\n"
+    )
+
+    def test_raw_constructor_outside_arena_module(self, lint_source):
+        result = lint_source(
+            self.SHM_IMPORT +
+            "def grab():\n"
+            "    return SharedMemory(create=True, size=64)\n",
+        )
+        assert rules_of(result) == ["PKL004"]
+
+    def test_via_module_alias(self, lint_source):
+        result = lint_source(
+            "from multiprocessing import shared_memory\n"
+            "def grab():\n"
+            "    return shared_memory.SharedMemory(name='seg')\n",
+        )
+        assert rules_of(result) == ["PKL004"]
+
+    def test_segment_across_pool_boundary(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT + self.SHM_IMPORT +
+            "def run(worker):\n"
+            "    seg = SharedMemory(create=True, size=64)"
+            "  # lint: allow[PKL004]\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(worker, seg)\n",
+        )
+        assert rules_of(result) == ["PKL004"]
+        assert result.diagnostics[0].nodes == ("seg",)
+
+    def test_handle_dataclass_is_clean(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def run(worker, handle):\n"
+            "    pool = ProcessPoolExecutor()\n"
+            "    pool.submit(worker, handle)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_allow_comment_suppresses(self, lint_source):
+        result = lint_source(
+            self.SHM_IMPORT +
+            "def grab():\n"
+            "    return SharedMemory(create=True)  # lint: allow[PKL004]\n",
+        )
+        assert result.diagnostics == []
+        assert result.suppressed == {"PKL004": 1}
+
+
+class TestProcessWorkerSurface:
+    """The service's process-transport submit surfaces (PR 9)."""
+
+    def test_self_attribute_pool_submit(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "class Transport:\n"
+            "    def __init__(self):\n"
+            "        self._pool = ProcessPoolExecutor()\n"
+            "    def go(self):\n"
+            "        return self._pool.submit(lambda: 1)\n",
+        )
+        assert rules_of(result) == ["PKL001"]
+
+    def test_run_in_executor_with_engine(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "from repro.core.engines.base import Engine\n"
+            "class Transport:\n"
+            "    def __init__(self):\n"
+            "        self._pool = ProcessPoolExecutor()\n"
+            "    async def go(self, loop, engine: Engine, solve):\n"
+            "        return await loop.run_in_executor(\n"
+            "            self._pool, solve, engine)\n",
+        )
+        assert rules_of(result) == ["PKL002"]
+        assert result.diagnostics[0].nodes == ("engine",)
+
+    def test_run_in_executor_specs_and_handles_clean(self, lint_source):
+        result = lint_source(
+            POOL_IMPORT +
+            "def solve(spec, payload, handle):\n"
+            "    return None\n"
+            "class Transport:\n"
+            "    def __init__(self):\n"
+            "        self._pool = ProcessPoolExecutor()\n"
+            "    async def go(self, loop, spec, payload, handle):\n"
+            "        return await loop.run_in_executor(\n"
+            "            self._pool, solve, spec, payload, handle)\n",
+        )
+        assert result.diagnostics == []
+
+    def test_run_in_executor_on_thread_pool_is_clean(self, lint_source):
+        result = lint_source(
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "class Transport:\n"
+            "    def __init__(self):\n"
+            "        self._pool = ThreadPoolExecutor()\n"
+            "    async def go(self, loop, engine):\n"
+            "        return await loop.run_in_executor(\n"
+            "            self._pool, engine.measure_batch, [])\n",
+        )
+        assert result.diagnostics == []
+
+
 class TestScoping:
     def test_thread_pool_is_not_a_pickle_boundary(self, lint_source):
         result = lint_source(

@@ -1,0 +1,232 @@
+"""Arena allocator: segment lifecycle, leak audits, payload shipping.
+
+The arena is the resource-safety backbone of the process transport:
+every shared-memory segment must be accounted for (created, attached,
+released, or loudly reported leaked at drain), and payloads shipped
+through :func:`~repro.service.arena.dump`/`load` must round-trip
+bit-identically -- in-process and across a real worker process.
+"""
+
+import glob
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.service.arena import (
+    SEGMENT_PREFIX,
+    Arena,
+    ArenaHandle,
+    ArenaLeakError,
+    BufferSpec,
+    aligned,
+    dump,
+    load,
+    ndarray_at,
+)
+from repro.spice.batch import BatchParameters
+from repro.telemetry import use_telemetry
+
+
+def shm_segments() -> list:
+    """This machine's live ``/dev/shm`` entries with our prefix."""
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+
+
+class TestAlignment:
+    def test_rounds_up_to_cache_lines(self):
+        assert aligned(0) == 0
+        assert aligned(1) == 64
+        assert aligned(64) == 64
+        assert aligned(65) == 128
+
+
+class TestSegmentLifecycle:
+    def test_create_buffer_release(self):
+        arena = Arena(label="t")
+        handle = arena.create(128)
+        assert handle.name.startswith(SEGMENT_PREFIX)
+        assert len(arena) == 1
+        buf = arena.buffer(handle)
+        buf[:4] = b"\x01\x02\x03\x04"
+        assert bytes(buf[:4]) == b"\x01\x02\x03\x04"
+        del buf
+        arena.release(handle)
+        assert len(arena) == 0
+        assert not shm_segments()
+
+    def test_zero_byte_payloads_are_legal(self):
+        arena = Arena()
+        handle = arena.create(0)
+        arena.release(handle)
+
+    def test_release_of_foreign_segment_raises(self):
+        arena = Arena()
+        with pytest.raises(KeyError):
+            arena.release(ArenaHandle(name="repro-arena-nope", nbytes=1))
+
+    def test_attach_is_refcounted(self):
+        creator = Arena(label="creator")
+        attacher = Arena(label="attacher")
+        handle = creator.create(64)
+        view_a = attacher.attach(handle)
+        view_b = attacher.attach(handle)
+        assert len(attacher) == 1
+        view_a[:1] = b"\x07"
+        assert bytes(view_b[:1]) == b"\x07"
+        del view_a, view_b
+        attacher.detach(handle)
+        assert len(attacher) == 1  # one reference still out
+        attacher.detach(handle)
+        assert len(attacher) == 0
+        creator.release(handle)
+
+    def test_detach_without_attach_raises(self):
+        arena = Arena()
+        with pytest.raises(KeyError):
+            arena.detach(ArenaHandle(name="repro-arena-nope", nbytes=1))
+
+    def test_writes_are_visible_across_arenas(self):
+        creator = Arena()
+        attacher = Arena()
+        handle = creator.create(64)
+        view = attacher.attach(handle)
+        ndarray_at(view, BufferSpec(0, 32, "float64", (4,)))[:] = [
+            1.0, 2.0, 3.0, 4.0,
+        ]
+        del view
+        attacher.detach(handle)
+        buf = creator.buffer(handle)
+        got = np.array(ndarray_at(buf, BufferSpec(0, 32, "float64", (4,))))
+        del buf
+        creator.release(handle)
+        assert got.tolist() == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestDrainAudit:
+    def test_clean_drain_is_a_noop(self):
+        arena = Arena()
+        handle = arena.create(64)
+        arena.release(handle)
+        arena.drain()  # nothing held: no error
+
+    def test_leaked_segment_is_force_released_and_reported(self):
+        with use_telemetry() as telemetry:
+            arena = Arena(label="leaky")
+            handle = arena.create(64)
+            with pytest.raises(ArenaLeakError) as excinfo:
+                arena.drain()
+        assert handle.name in str(excinfo.value)
+        assert len(arena) == 0
+        assert not shm_segments()  # force-released, not kept leaked
+        assert telemetry.snapshot()["counters"]["arena.leaked"] == 1
+
+    def test_lifecycle_telemetry_balances(self):
+        with use_telemetry() as telemetry:
+            creator = Arena()
+            attacher = Arena()
+            first = creator.create(64)
+            second = creator.create(64)
+            attacher.attach(first)
+            attacher.detach(first)
+            creator.release(first)
+            creator.release(second)
+        counters = telemetry.snapshot()["counters"]
+        assert counters["arena.created"] == 2
+        assert counters["arena.unlinked"] == 2
+        assert counters["arena.attached"] == 1
+        assert "arena.leaked" not in counters
+
+
+class TestPayloadShipping:
+    def payload(self):
+        return {
+            "arrays": [np.arange(100, dtype=np.float64),
+                       np.ones((3, 5), dtype=np.float32)],
+            "meta": ("tag", 7),
+        }
+
+    def test_dump_load_copy_roundtrip(self):
+        arena = Arena()
+        shipped = dump(arena, self.payload())
+        got = load(arena, shipped, copy=True)
+        arena.release(shipped.handle)  # copy owes nothing to the segment
+        want = self.payload()
+        assert np.array_equal(got["arrays"][0], want["arrays"][0])
+        assert got["arrays"][1].dtype == np.float32
+        assert got["meta"] == want["meta"]
+        assert len(arena) == 0
+
+    def test_dump_load_zero_copy_views(self):
+        arena = Arena()
+        shipped = dump(arena, self.payload())
+        got = load(arena, shipped, copy=False)
+        assert np.array_equal(got["arrays"][0], self.payload()["arrays"][0])
+        # Zero-copy: the caller must drop the views before detach.
+        del got
+        arena.detach(shipped.handle)
+        arena.release(shipped.handle)
+        assert len(arena) == 0
+
+    def test_body_and_buffers_are_aligned(self):
+        arena = Arena()
+        shipped = dump(arena, self.payload())
+        assert shipped.body.offset == 0
+        for spec in shipped.buffers:
+            assert spec.offset % 64 == 0
+        arena.release(shipped.handle)
+
+    def test_payload_descriptor_is_small_and_picklable(self):
+        arena = Arena()
+        shipped = dump(arena, self.payload())
+        wire = pickle.dumps(shipped)
+        # The point of the arena: the pipe carries a descriptor, not
+        # the ~1 KB of array content.
+        assert len(wire) < 600
+        assert pickle.loads(wire) == shipped
+        arena.release(shipped.handle)
+
+
+class TestBatchParametersTransport:
+    def params(self):
+        rng = np.random.default_rng(3)
+        return BatchParameters(
+            num_corners=8,
+            mosfet_dvth=rng.normal(0.0, 0.02, (8, 6)),
+            mosfet_dl_rel=rng.normal(0.0, 0.01, (8, 6)),
+            resistor_values={"rtsv": rng.uniform(50.0, 90.0, (8, 1))},
+        )
+
+    def assert_equal(self, got, want):
+        assert got.num_corners == want.num_corners
+        assert np.array_equal(got.mosfet_dvth, want.mosfet_dvth)
+        assert np.array_equal(got.mosfet_dl_rel, want.mosfet_dl_rel)
+        assert sorted(got.resistor_values) == sorted(want.resistor_values)
+        for name, values in want.resistor_values.items():
+            assert np.array_equal(got.resistor_values[name], values)
+
+    def test_roundtrip_zero_copy(self):
+        arena = Arena()
+        want = self.params()
+        shipped = want.to_arena(arena)
+        got = BatchParameters.from_arena(arena, shipped, copy=False)
+        self.assert_equal(got, want)
+        del got
+        arena.detach(shipped.handle)
+        arena.release(shipped.handle)
+        assert len(arena) == 0
+
+    def test_roundtrip_copy_outlives_segment(self):
+        arena = Arena()
+        want = self.params()
+        shipped = want.to_arena(arena)
+        got = BatchParameters.from_arena(arena, shipped, copy=True)
+        arena.release(shipped.handle)
+        self.assert_equal(got, want)  # segment gone, copy intact
+
+    def test_from_arena_rejects_wrong_payload_type(self):
+        arena = Arena()
+        shipped = dump(arena, ["not", "parameters"])
+        with pytest.raises(TypeError):
+            BatchParameters.from_arena(arena, shipped, copy=True)
+        arena.release(shipped.handle)
