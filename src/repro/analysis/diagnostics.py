@@ -31,8 +31,17 @@ __all__ = [
     "Diagnostic",
     "DiagnosticReport",
     "PreflightError",
+    "SpecError",
+    "raise_spec_errors",
     "record_diagnostics",
+    "spec_field_diagnostic",
 ]
+
+#: Rule id of every spec-field validation diagnostic (declarative
+#: configuration errors: DfT architecture knobs, die specs, area-model
+#: parameters).  Machine consumers key on it to map a failure back to
+#: the offending field.
+SPEC_FIELD_RULE = "spec-field"
 
 
 class Severity(enum.Enum):
@@ -114,6 +123,48 @@ class PreflightError(ValueError):
     def __init__(self, message: str, report: "DiagnosticReport"):
         super().__init__(message)
         self.report = report
+
+
+class SpecError(PreflightError):
+    """A declarative spec (DfT architecture, die spec, area model) is invalid.
+
+    Every carried diagnostic uses rule :data:`SPEC_FIELD_RULE` and names
+    the offending field in :attr:`Diagnostic.element`, so machine
+    consumers -- the :mod:`repro.compiler` subsystem above all -- can map
+    a failed compile back to the spec field that caused it instead of
+    parsing an assert message.  Subclasses :class:`PreflightError` (and
+    therefore :class:`ValueError`), keeping historical ``ValueError``
+    call sites working.
+
+    Attributes:
+        fields: Names of the offending fields, in diagnostic order.
+    """
+
+    @property
+    def fields(self) -> List[str]:
+        return [d.element for d in self.report.errors if d.element]
+
+
+def spec_field_diagnostic(
+    field_name: str,
+    message: str,
+    subject: str = "",
+    hint: Optional[str] = None,
+) -> Diagnostic:
+    """An error :class:`Diagnostic` blaming one spec field.
+
+    The rule id is always :data:`SPEC_FIELD_RULE`; ``field_name`` lands
+    in :attr:`Diagnostic.element` (the analyzer convention: *names*,
+    never positions).
+    """
+    return Diagnostic(
+        rule=SPEC_FIELD_RULE,
+        severity=Severity.ERROR,
+        message=message,
+        element=field_name,
+        hint=hint,
+        subject=subject,
+    )
 
 
 @dataclass
@@ -203,6 +254,25 @@ class DiagnosticReport:
         raise PreflightError(
             f"pre-flight check rejected {where}: {body}{more}", self
         )
+
+
+def raise_spec_errors(
+    subject: str, diagnostics: Iterable[Diagnostic]
+) -> None:
+    """Raise :class:`SpecError` when ``diagnostics`` is non-empty.
+
+    The one-stop gate for dataclass ``__post_init__`` validation:
+    collects the findings into a :class:`DiagnosticReport`, records them
+    in telemetry (``diag_emitted.spec-field``), and raises with every
+    offending field named.  A no-op on an empty iterable.
+    """
+    collected = list(diagnostics)
+    if not collected:
+        return
+    report = DiagnosticReport(subject=subject, diagnostics=collected)
+    record_diagnostics(report)
+    body = "; ".join(d.format() for d in report.errors)
+    raise SpecError(f"invalid {subject}: {body}", report)
 
 
 def record_diagnostics(

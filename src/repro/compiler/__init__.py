@@ -1,0 +1,56 @@
+"""DfT-architecture compiler: floorplan spec -> verified screening fleet.
+
+The paper gives the sizing rules -- window from the quantization bound,
+counter width from the maximum count, supply set from the per-voltage
+leakage windows, group size from the area/parallelism trade-off -- but a
+deployment has to apply them *together*, consistently, for every die
+design it screens.  This package is that step as a compiler:
+
+* :class:`~repro.compiler.spec.DieSpec` -- the declarative input (TSV
+  count, RC corner, area budget, coverage targets, ``"auto"`` knobs);
+* :func:`~repro.compiler.compile.compile_die` -- resolution passes plus
+  a static verification gate over the actual group netlists; emits a
+  :class:`~repro.compiler.compile.CompiledArchitecture` that prices
+  itself and constructs its die population, wafer, and
+  :class:`~repro.workloads.flow.ScreeningFlow` on demand;
+* :func:`~repro.compiler.sweep.sweep` -- design-space grids with a
+  Pareto frontier over (area, DeltaT resolution), Fig. 10 at any scale;
+* :class:`~repro.compiler.stream.ScenarioStream` -- heterogeneous
+  compiled scenarios as a family-coalescible service load.
+
+Quickstart (a 1024-TSV die, everything derived)::
+
+    from repro.compiler import DieSpec, compile_die
+
+    compiled = compile_die(DieSpec(num_tsvs=1024))
+    print(compiled.summary())
+    metrics = compiled.flow().screen_die(compiled.population())
+"""
+
+from repro.compiler.compile import (
+    CompileError,
+    CompiledArchitecture,
+    PricePoint,
+    compile_die,
+)
+from repro.compiler.netlists import GroupNetlist, build_group_netlists, group_signature
+from repro.compiler.spec import AUTO, CORNER_CAP_SCALE, DieSpec
+from repro.compiler.stream import ScenarioStream
+from repro.compiler.sweep import SweepResult, SweepVariant, sweep
+
+__all__ = [
+    "AUTO",
+    "CORNER_CAP_SCALE",
+    "CompileError",
+    "CompiledArchitecture",
+    "DieSpec",
+    "GroupNetlist",
+    "PricePoint",
+    "ScenarioStream",
+    "SweepResult",
+    "SweepVariant",
+    "build_group_netlists",
+    "compile_die",
+    "group_signature",
+    "sweep",
+]

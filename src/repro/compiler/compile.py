@@ -1,0 +1,657 @@
+"""The DfT-architecture compiler: spec in, verified screening fleet out.
+
+:func:`compile_die` turns a declarative :class:`~repro.compiler.spec.DieSpec`
+into a :class:`CompiledArchitecture` -- every ``"auto"`` knob resolved
+through the paper's sizing rules, every resulting artifact concrete:
+
+1. **Supply set** (Secs. III-B, V): with ``voltages="auto"``, each
+   candidate supply's leakage-detection window is characterized via
+   :func:`~repro.core.multivoltage.detectable_leakage_range`; the chosen
+   set always contains the highest candidate (best for resistive opens),
+   the highest supply whose window closes the requested coverage range,
+   and evenly spaced intermediates up to ``max_supplies`` so the windows
+   tile the decades in between (Fig. 8).
+2. **Group size** (Sec. IV-D, Fig. 10): with ``group_size="auto"``, the
+   largest N within ``max_group_size`` whose priced area fits the die
+   budget; area shrinks with N (fewer shared inverters) while the
+   measured period -- and therefore the quantization error -- grows, the
+   exact trade-off the sweep explorer maps.
+3. **Window and width** (Sec. IV-C): ``window = T_max^2 / E`` at the
+   longest planned period (slowest supply, all TSVs in the loop), and
+   the counter sized for the maximum count at the shortest planned
+   period (fastest supply, all bypassed).  Explicit values are honored
+   as user overrides.  An LFSR measurement block must land on a
+   maximal-length width (2..24).
+4. **Verification**: the die population bound to the spec's defect
+   statistics passes :func:`~repro.spice.staticcheck.check_die`, and the
+   groups' actual transistor netlists -- built by
+   :mod:`repro.compiler.netlists` in the harshest test configuration --
+   pass :func:`~repro.spice.staticcheck.check_circuit`.  Any
+   error-severity diagnostic aborts the compile with a
+   :class:`CompileError` naming the spec field that caused it.
+
+The result prices itself (:class:`PricePoint`: area, test time, DeltaT
+resolution), regenerates its die population on demand, and constructs a
+ready-to-run :class:`~repro.workloads.flow.ScreeningFlow` -- including
+``fidelity="cascade"`` -- that is bit-identical to a hand-built flow
+with the same knobs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    SpecError,
+    record_diagnostics,
+    spec_field_diagnostic,
+)
+from repro.compiler.netlists import GroupNetlist, build_group_netlists
+from repro.compiler.spec import AUTO, DieSpec
+from repro.core.area import DftAreaModel
+from repro.core.engines.base import supports
+from repro.core.engines.registry import EngineSpec
+from repro.core.multivoltage import (
+    MultiVoltagePlan,
+    VoltagePlanEntry,
+    detectable_leakage_range,
+)
+from repro.core.segments import RingOscillatorConfig
+from repro.core.tsv import Tsv
+from repro.dft.architecture import DftArchitecture
+from repro.dft.control import MeasurementPlan
+from repro.dft.counter import (
+    measurement_error_bound,
+    required_counter_bits,
+    required_window,
+)
+from repro.dft.lfsr import MAXIMAL_TAPS
+from repro.spice import cache as solve_cache
+from repro.spice.staticcheck import check_circuit, check_die
+from repro.telemetry import get_telemetry
+from repro.workloads.flow import ScreeningFlow
+from repro.workloads.generator import DiePopulation
+from repro.workloads.wafer import WaferPopulation
+
+__all__ = [
+    "CompileError",
+    "CompiledArchitecture",
+    "PricePoint",
+    "compile_die",
+]
+
+#: Static-check rule id -> the spec field a netlist/die error maps to.
+#: ``spec-field`` diagnostics already name their field and pass through.
+_RULE_TO_FIELD: Dict[str, str] = {
+    "fault-range": "defects",
+    "nonphysical-value": "tsv",
+}
+_DEFAULT_FIELD = "group_size"
+
+
+class CompileError(SpecError):
+    """A spec could not be compiled into a valid architecture.
+
+    Subclasses :class:`~repro.analysis.diagnostics.SpecError`, so
+    :attr:`fields` names the spec fields responsible and the carried
+    :class:`~repro.analysis.diagnostics.DiagnosticReport` holds the full
+    findings (including, for verification failures, the original
+    static-check diagnostics alongside their spec-field mapping).
+    """
+
+
+def _fail(
+    subject: str,
+    diags: Sequence[Diagnostic],
+    extra: Sequence[Diagnostic] = (),
+) -> "CompileError":
+    """Build (and count) a :class:`CompileError` from field diagnostics."""
+    report = DiagnosticReport(
+        subject=subject, diagnostics=list(diags) + list(extra)
+    )
+    record_diagnostics(report)
+    get_telemetry().incr("compiler.failed")
+    body = "; ".join(d.format() for d in report.errors[:6])
+    more = "" if len(report.errors) <= 6 else (
+        f" (+{len(report.errors) - 6} more)"
+    )
+    return CompileError(f"cannot compile {subject}: {body}{more}", report)
+
+
+@dataclass(frozen=True)
+class PricePoint:
+    """What one compiled architecture costs -- the axes of Fig. 10.
+
+    Attributes:
+        total_area_um2: DfT standard-cell area (muxes, inverters, shared
+            measurement block, control/decoder).
+        area_fraction: ``total_area_um2`` over the spec's die area.
+        test_time_s: Full-die multi-voltage test time, per-TSV isolation,
+            ragged final group charged for its actual members.
+        delta_t_resolution_s: Smallest trustworthy DeltaT step:
+            ``2 * E+`` at the longest planned period (two period
+            estimates, each off by at most ``T^2 / (t - T)``).
+        measurements: Hardware measurements for one full-die screen
+            across all supplies.
+        num_groups: Ring-oscillator groups on the die.
+        group_size: N.
+        counter_bits: Width of the shared measurement block.
+        use_lfsr: Whether the block is an LFSR.
+        num_supplies: Voltages in the plan.
+    """
+
+    total_area_um2: float
+    area_fraction: float
+    test_time_s: float
+    delta_t_resolution_s: float
+    measurements: int
+    num_groups: int
+    group_size: int
+    counter_bits: int
+    use_lfsr: bool
+    num_supplies: int
+
+    def as_row(self) -> Dict[str, float]:
+        """Table/JSON-friendly rendering (all values numeric)."""
+        return {
+            "total_area_um2": self.total_area_um2,
+            "area_fraction": self.area_fraction,
+            "test_time_s": self.test_time_s,
+            "delta_t_resolution_s": self.delta_t_resolution_s,
+            "measurements": float(self.measurements),
+            "num_groups": float(self.num_groups),
+            "group_size": float(self.group_size),
+            "counter_bits": float(self.counter_bits),
+            "use_lfsr": float(self.use_lfsr),
+            "num_supplies": float(self.num_supplies),
+        }
+
+
+@dataclass
+class CompiledArchitecture:
+    """A verified, priced, ready-to-run screening deployment.
+
+    Attributes:
+        spec: The source spec, untouched.
+        engine_spec: Picklable ``vdd -> engine`` factory.
+        architecture: The Fig. 5 plan (groups, decoder, timing, area).
+        plan: The resolved measurement timing plan.
+        voltage_plan: Supply set with per-voltage leakage windows.
+        price: Area / test-time / resolution price of this architecture.
+        preflight: Merged verification report (die check plus every
+            checked group netlist); zero errors by construction.
+        verified_circuits: Group netlists the verification pass checked.
+        shortest_period_s: Fastest planned period (T2, highest supply).
+        longest_period_s: Slowest planned period (T1, lowest supply).
+    """
+
+    spec: DieSpec
+    engine_spec: EngineSpec
+    architecture: DftArchitecture
+    plan: MeasurementPlan
+    voltage_plan: MultiVoltagePlan
+    price: PricePoint
+    preflight: DiagnosticReport
+    verified_circuits: int
+    shortest_period_s: float
+    longest_period_s: float
+    _population: Optional[DiePopulation] = field(default=None, repr=False)
+
+    @property
+    def voltages(self) -> Tuple[float, ...]:
+        return tuple(self.architecture.voltages)
+
+    @property
+    def label(self) -> str:
+        return self.spec.label or (
+            f"{self.spec.num_tsvs}tsv-n{self.architecture.group_size}"
+            f"-{self.spec.measurement}"
+        )
+
+    # -- artifacts -------------------------------------------------------
+    def population(self, seed: Optional[int] = None) -> DiePopulation:
+        """The die population bound to the spec's defect statistics.
+
+        Deterministic in ``seed`` (default: the spec's
+        ``population_seed``); the default-seed population built during
+        verification is reused, so repeated calls are free.
+        """
+        if seed is None or seed == self.spec.population_seed:
+            if self._population is None:
+                self._population = self._build_population(
+                    self.spec.population_seed
+                )
+            return self._population
+        return self._build_population(seed)
+
+    def _build_population(self, seed: int) -> DiePopulation:
+        return DiePopulation(
+            num_tsvs=self.spec.num_tsvs,
+            stats=self.spec.defects,
+            params=self.spec.effective_tsv(),
+            seed=seed,
+        )
+
+    def wafer(self, num_dies: int, seed: int = 0) -> WaferPopulation:
+        """A wafer of this die -- the sharded-screening tier's input."""
+        return WaferPopulation(
+            num_dies=num_dies,
+            tsvs_per_die=self.spec.num_tsvs,
+            stats=self.spec.defects,
+            params=self.spec.effective_tsv(),
+            seed=seed,
+        )
+
+    def flow(self, **overrides: Any) -> ScreeningFlow:
+        """The ready-to-run screening flow this architecture implies.
+
+        Bit-identical to a hand-built
+        :class:`~repro.workloads.flow.ScreeningFlow` with the same knobs
+        (same engine spec, voltages, plan, seeds).  ``overrides`` are
+        passed through -- e.g. ``fidelity="cascade"`` or a
+        :class:`~repro.cascade.policy.CascadeConfig` -- without
+        re-deriving anything.
+        """
+        kwargs: Dict[str, Any] = dict(
+            engine_factory=self.engine_spec,
+            voltages=self.voltages,
+            variation=self.spec.variation,
+            group_size=self.architecture.group_size,
+            plan=self.plan,
+            characterization_samples=self.spec.characterization_samples,
+            tsv_cap_variation_rel=self.spec.tsv_cap_variation_rel,
+            seed=self.spec.flow_seed,
+            fidelity=self.spec.fidelity,
+        )
+        kwargs.update(overrides)
+        return ScreeningFlow(**kwargs)
+
+    def group_netlists(
+        self,
+        voltages: Optional[Sequence[float]] = None,
+        unique: bool = False,
+    ) -> List[GroupNetlist]:
+        """Concrete ring-oscillator netlists for every group.
+
+        Defaults to *every* group at every planned supply (the emitted
+        hardware); ``unique=True`` returns one representative per
+        structural signature, the verification pass's scope.
+        """
+        return build_group_netlists(
+            self.population(),
+            self.architecture.group_size,
+            tuple(voltages) if voltages is not None else self.voltages,
+            unique=unique,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numeric summary: architecture plus price."""
+        out = self.architecture.summary(self.spec.die_area_mm2)
+        out.update(self.price.as_row())
+        out["shortest_period_s"] = self.shortest_period_s
+        out["longest_period_s"] = self.longest_period_s
+        return out
+
+
+# ----------------------------------------------------------------------
+# Resolution passes
+# ----------------------------------------------------------------------
+def _leakage_window(
+    factory: EngineSpec, vdd: float, min_shift: float
+) -> VoltagePlanEntry:
+    """One supply's leakage window, memoized content-addressed.
+
+    A sweep re-characterizes the same (engine recipe, supply) pair for
+    every grid point; the bisections behind
+    :func:`~repro.core.multivoltage.detectable_leakage_range` are pure
+    in those inputs, so they are served from the solve cache after the
+    first variant pays for them.
+    """
+    key = solve_cache.fingerprint(
+        "compiler.leakage_window", factory, vdd, min_shift
+    )
+    r_stop, r_max = solve_cache.memoize(
+        key, lambda: detectable_leakage_range(factory, vdd, min_shift)
+    )
+    return VoltagePlanEntry(vdd, float(r_stop), float(r_max))
+
+
+def _resolve_voltages(
+    spec: DieSpec, subject: str
+) -> Tuple[Tuple[float, ...], MultiVoltagePlan]:
+    """Pass 1: the supply set and its leakage windows."""
+    factory = spec.engine_factory()
+    if not isinstance(spec.voltages, str):
+        voltages = tuple(sorted(set(spec.voltages), reverse=True))
+        plan = MultiVoltagePlan(entries=[
+            _leakage_window(factory, vdd, spec.min_delta_t_shift)
+            for vdd in voltages
+        ])
+        return voltages, plan
+
+    candidates = tuple(sorted(set(spec.supply_candidates), reverse=True))
+    entries = [
+        _leakage_window(factory, vdd, spec.min_delta_t_shift)
+        for vdd in candidates
+    ]
+    _, r_hi = spec.leakage_coverage_ohm
+    # The highest candidate is always in (resistive opens separate best
+    # at the top of the range); the *closer* is the highest supply whose
+    # window ceiling reaches the requested coverage.
+    closer_idx = next(
+        (i for i, e in enumerate(entries) if e.r_max_detectable >= r_hi),
+        None,
+    )
+    if closer_idx is None:
+        best = max(e.r_max_detectable for e in entries)
+        raise _fail(subject, [spec_field_diagnostic(
+            "leakage_coverage_ohm",
+            f"no candidate supply detects leakage up to {r_hi:.0f} Ohm "
+            f"(best ceiling: {best:.0f} Ohm at "
+            f"{min(candidates):.2f} V)",
+            subject=subject,
+            hint="lower the coverage ceiling, add lower supply "
+                 "candidates, or relax min_delta_t_shift",
+        ), spec_field_diagnostic(
+            "supply_candidates",
+            f"candidates {candidates} cannot tile "
+            f"{spec.leakage_coverage_ohm}",
+            subject=subject,
+        )])
+    chosen = {0, closer_idx}
+    # Tile the decades in between with evenly spaced intermediates,
+    # up to the supply budget.
+    between = list(range(1, closer_idx))
+    slots = max(spec.max_supplies - len(chosen), 0)
+    if between and slots:
+        take = min(slots, len(between))
+        if take == len(between):
+            chosen.update(between)
+        else:
+            step = (len(between) - 1) / max(take - 1, 1)
+            chosen.update(
+                between[round(i * step)] for i in range(take)
+            )
+    picked = sorted(chosen)
+    voltages = tuple(entries[i].vdd for i in picked)
+    plan = MultiVoltagePlan(entries=[entries[i] for i in picked])
+    return voltages, plan
+
+
+@dataclass(frozen=True)
+class _Timing:
+    """Resolved measurement timing for one candidate group size."""
+
+    window: float
+    counter_bits: int
+    shortest_period: float
+    longest_period: float
+
+
+def _resolve_timing(
+    spec: DieSpec,
+    group_size: int,
+    voltages: Tuple[float, ...],
+    subject: str,
+) -> _Timing:
+    """Pass 2: count window and signature width at group size N.
+
+    The longest period (lowest supply, all N TSVs in the loop) sizes the
+    window via ``t = T^2 / E``; the shortest (highest supply, all
+    bypassed) sizes the counter for the maximum count.  Explicit values
+    are honored as overrides -- the paper itself quotes a 10-bit counter
+    for its 5 ns / 5 us example, and the screening flow's quantization
+    guard depends only on the window.
+    """
+    base = spec.engine_factory()
+    config = base.config or RingOscillatorConfig()
+    factory = replace(
+        base, config=replace(config, num_segments=group_size)
+    )
+    healthy = Tsv(params=spec.effective_tsv())
+    tsvs = [healthy] * group_size
+    shortest = math.inf
+    longest = 0.0
+    for vdd in voltages:
+        engine = factory(vdd)
+        t2 = float(engine.period(tsvs, [False] * group_size))
+        t1 = float(engine.period(tsvs, [True] * group_size))
+        if not (math.isfinite(t2) and math.isfinite(t1)):
+            raise _fail(subject, [spec_field_diagnostic(
+                "engine",
+                f"engine {base.name!r} reports a stuck fault-free "
+                f"oscillator at {vdd:.2f} V (period T2={t2}, T1={t1})",
+                subject=subject,
+                hint="the fault-free group must oscillate at every "
+                     "planned supply",
+            )])
+        shortest = min(shortest, t2)
+        longest = max(longest, t1)
+
+    if isinstance(spec.window, str):
+        window = required_window(longest, spec.max_period_error)
+    else:
+        window = spec.window
+        if window <= longest:
+            raise _fail(subject, [spec_field_diagnostic(
+                "window",
+                f"window {window:.3e} s does not exceed the longest "
+                f"planned period {longest:.3e} s",
+                subject=subject,
+                hint="the count window must span many periods "
+                     "(Sec. IV-C)",
+            )])
+
+    if isinstance(spec.counter_bits, str):
+        bits = required_counter_bits(shortest, window)
+        if spec.use_lfsr:
+            bits = max(bits, min(MAXIMAL_TAPS))
+            if bits not in MAXIMAL_TAPS:
+                raise _fail(subject, [spec_field_diagnostic(
+                    "measurement",
+                    f"auto-sized signature needs {bits} bits but the "
+                    f"maximal-length LFSR table stops at "
+                    f"{max(MAXIMAL_TAPS)}",
+                    subject=subject,
+                    hint="shorten the window, raise max_period_error, "
+                         "or use measurement='counter'",
+                ), spec_field_diagnostic(
+                    "window",
+                    f"window {window:.3e} s at shortest period "
+                    f"{shortest:.3e} s overflows every supported LFSR",
+                    subject=subject,
+                )])
+    else:
+        bits = spec.counter_bits
+    return _Timing(
+        window=window,
+        counter_bits=bits,
+        shortest_period=shortest,
+        longest_period=longest,
+    )
+
+
+def _resolve_group_size(
+    spec: DieSpec,
+    voltages: Tuple[float, ...],
+    subject: str,
+) -> Tuple[int, _Timing]:
+    """Pass 3: group size under the area budget (Fig. 10 trade-off)."""
+    if isinstance(spec.group_size, int):
+        candidates: Sequence[int] = (spec.group_size,)
+    else:
+        upper = min(spec.max_group_size, spec.num_tsvs)
+        candidates = range(upper, 0, -1)
+
+    last_fraction = math.nan
+    for n in candidates:
+        timing = _resolve_timing(spec, n, voltages, subject)
+        model = DftAreaModel(num_tsvs=spec.num_tsvs, group_size=n)
+        fraction = model.fraction_of_die(
+            spec.die_area_mm2,
+            counter_bits=timing.counter_bits,
+            use_lfsr=spec.use_lfsr,
+        )
+        if fraction <= spec.max_area_fraction:
+            return n, timing
+        last_fraction = fraction
+
+    diags = [spec_field_diagnostic(
+        "max_area_fraction",
+        f"no group size within "
+        f"{spec.group_size if isinstance(spec.group_size, int) else spec.max_group_size} "
+        f"fits the area budget {spec.max_area_fraction:.4%} "
+        f"(best attempt: {last_fraction:.4%} of "
+        f"{spec.die_area_mm2:g} mm^2)",
+        subject=subject,
+        hint="raise the budget, the die area, or max_group_size",
+    )]
+    if isinstance(spec.group_size, int):
+        diags.append(spec_field_diagnostic(
+            "group_size",
+            f"pinned group size {spec.group_size} exceeds the budget",
+            subject=subject,
+        ))
+    raise _fail(subject, diags)
+
+
+def _verify(
+    spec: DieSpec,
+    population: DiePopulation,
+    group_size: int,
+    voltages: Tuple[float, ...],
+    factory: EngineSpec,
+    subject: str,
+) -> Tuple[DiagnosticReport, int]:
+    """Pass 4: static verification of the die and its group netlists."""
+    floors = []
+    for vdd in voltages:
+        engine = factory(vdd)
+        if supports(engine, "oscillation_stop"):
+            floor = float(engine.oscillation_stop_r_leak())
+            if math.isfinite(floor) and floor > 0.0:
+                floors.append(floor)
+    stop_floor = max(floors) if floors else None
+
+    merged = DiagnosticReport(subject=subject)
+    merged.extend(check_die(
+        population, stop_floor=stop_floor, label=subject
+    ))
+    checked = 0
+    if spec.verify_groups != "none":
+        unique = spec.verify_groups == "unique"
+        check_at = (
+            (max(voltages), min(voltages)) if unique and len(voltages) > 1
+            else voltages
+        )
+        for netlist in build_group_netlists(
+            population, group_size, check_at, unique=unique
+        ):
+            report = check_circuit(
+                netlist.oscillator.circuit,
+                ics=netlist.oscillator.startup_ics,
+            )
+            merged.extend(report)
+            checked += 1
+    record_diagnostics(merged)
+    get_telemetry().incr("compiler.verified_circuits", checked)
+
+    if merged.has_errors:
+        mapped = [
+            spec_field_diagnostic(
+                _RULE_TO_FIELD.get(d.rule, _DEFAULT_FIELD),
+                f"verification rule {d.rule!r} rejected "
+                f"{d.subject or subject}: {d.message}",
+                subject=subject,
+            )
+            for d in merged.errors
+        ]
+        # Dedupe mapped fields while keeping the originals attached.
+        seen = set()
+        fields = []
+        for d in mapped:
+            if d.element not in seen:
+                seen.add(d.element)
+                fields.append(d)
+        raise _fail(subject, fields, extra=merged.errors)
+    return merged, checked
+
+
+# ----------------------------------------------------------------------
+def compile_die(spec: DieSpec) -> CompiledArchitecture:
+    """Compile a :class:`DieSpec` into a verified architecture.
+
+    Raises:
+        CompileError: When any resolution pass fails or the verification
+            pass finds error-severity diagnostics; :attr:`CompileError.fields`
+            names the responsible spec fields.
+    """
+    subject = spec.label or f"DieSpec({spec.num_tsvs} TSVs)"
+    tele = get_telemetry()
+
+    voltages, voltage_plan = _resolve_voltages(spec, subject)
+    group_size, timing = _resolve_group_size(spec, voltages, subject)
+    plan = MeasurementPlan(
+        window=timing.window,
+        shift_clock_hz=spec.shift_clock_hz,
+        config_cycles=spec.config_cycles,
+        counter_bits=timing.counter_bits,
+    )
+    try:
+        architecture = DftArchitecture(
+            num_tsvs=spec.num_tsvs,
+            group_size=group_size,
+            plan=plan,
+            voltages=voltages,
+            use_lfsr=spec.use_lfsr,
+        )
+    except SpecError as exc:  # pragma: no cover - spec validation first
+        tele.incr("compiler.failed")
+        raise CompileError(str(exc), exc.report) from exc
+
+    population = DiePopulation(
+        num_tsvs=spec.num_tsvs,
+        stats=spec.defects,
+        params=spec.effective_tsv(),
+        seed=spec.population_seed,
+    )
+    factory = spec.engine_factory()
+    preflight, checked = _verify(
+        spec, population, group_size, voltages, factory, subject
+    )
+
+    _, e_plus = measurement_error_bound(
+        timing.longest_period, timing.window
+    )
+    price = PricePoint(
+        total_area_um2=architecture.total_area_um2(),
+        area_fraction=architecture.area_fraction(spec.die_area_mm2),
+        test_time_s=architecture.test_time(per_tsv=True),
+        delta_t_resolution_s=2.0 * e_plus,
+        measurements=(
+            len(voltages) * architecture.total_measurements(per_tsv=True)
+        ),
+        num_groups=architecture.num_groups,
+        group_size=group_size,
+        counter_bits=timing.counter_bits,
+        use_lfsr=spec.use_lfsr,
+        num_supplies=len(voltages),
+    )
+    tele.incr("compiler.compiled")
+    return CompiledArchitecture(
+        spec=spec,
+        engine_spec=factory,
+        architecture=architecture,
+        plan=plan,
+        voltage_plan=voltage_plan,
+        price=price,
+        preflight=preflight,
+        verified_circuits=checked,
+        shortest_period_s=timing.shortest_period,
+        longest_period_s=timing.longest_period,
+        _population=population,
+    )

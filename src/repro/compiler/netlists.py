@@ -1,0 +1,127 @@
+"""Concrete ring-oscillator netlists for a compiled architecture.
+
+The compiler's verification pass does not trust the area/timing models
+alone: every compiled architecture is backed by the actual Fig. 3
+transistor netlists its groups would synthesize to, and those netlists
+go through the :mod:`repro.spice.staticcheck` rule registry before the
+compile is declared good.  This module builds them.
+
+Because a die population repeats group *structures* (a fault-free group
+of N, a group with one micro-void, ...) far more often than it repeats
+exact fault values, the default scope dedupes by structural signature --
+the multiset of member fault kinds -- and checks one representative
+netlist per structure at the extreme supplies.  ``verify_groups="all"``
+builds every group at every supply instead (the exhaustive mode used by
+the compiler's own test suite on small dies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core.segments import RingOscillator, RingOscillatorConfig, build_ring_oscillator
+from repro.workloads.generator import DiePopulation, TsvRecord
+
+__all__ = ["GroupNetlist", "build_group_netlists", "group_signature"]
+
+
+def group_signature(group: Sequence[TsvRecord]) -> Tuple[str, ...]:
+    """Structural signature of one group: sorted member fault kinds.
+
+    Two groups with the same signature synthesize to the same netlist
+    *topology* (element counts and connectivity); only element values
+    differ.  The static checker's rules are structural, so one
+    representative per signature is sufficient for the default
+    verification scope.
+    """
+    return tuple(sorted(r.fault_kind for r in group))
+
+
+@dataclass
+class GroupNetlist:
+    """One built ring-oscillator group of a compiled architecture.
+
+    Attributes:
+        group_index: Position of the group on the die (0-based).
+        vdd: Supply voltage the netlist was built at.
+        oscillator: The built Fig. 3 circuit with its bookkeeping
+            (``oscillator.circuit``, ``oscillator.startup_ics``).
+        tsv_ids: Die-level indices of the member TSVs.
+        signature: Structural signature (see :func:`group_signature`).
+    """
+
+    group_index: int
+    vdd: float
+    oscillator: RingOscillator
+    tsv_ids: Tuple[int, ...]
+    signature: Tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.tsv_ids)
+
+
+def _representative_groups(
+    population: DiePopulation, group_size: int, unique: bool
+) -> Iterator[Tuple[int, List[TsvRecord]]]:
+    """Groups to build: all of them, or one per structural signature.
+
+    Signatures include the group *size* implicitly (a ragged final group
+    of a different size is always its own structure).
+    """
+    seen: Dict[Tuple[int, Tuple[str, ...]], bool] = {}
+    for index, group in enumerate(population.groups(group_size)):
+        if not unique:
+            yield index, group
+            continue
+        key = (len(group), group_signature(group))
+        if key in seen:
+            continue
+        seen[key] = True
+        yield index, group
+
+
+def build_group_netlists(
+    population: DiePopulation,
+    group_size: int,
+    voltages: Sequence[float],
+    unique: bool = True,
+) -> List[GroupNetlist]:
+    """Build the test-mode oscillator netlists of a compiled die.
+
+    Every returned netlist is configured the way the screen stresses it
+    hardest: TE asserted and *all* member TSVs enabled in the loop (the
+    T1 measurement with M = N, the configuration with the most elements
+    live).  The per-group startup initial conditions travel with the
+    circuit so connectivity rules treat IC-clamped nodes as driven.
+
+    Args:
+        population: The die's TSVs (ground truth attached).
+        group_size: N; the final group may be ragged.
+        voltages: Supplies to build at.  The default verification scope
+            passes the extreme supplies only; ``verify_groups="all"``
+            passes the full plan.
+        unique: Dedupe groups by structural signature (default) or build
+            every group (exhaustive).
+    """
+    out: List[GroupNetlist] = []
+    for index, group in _representative_groups(population, group_size,
+                                               unique):
+        members = [r.tsv for r in group]
+        ids = tuple(r.index for r in group)
+        signature = group_signature(group)
+        for vdd in voltages:
+            oscillator = build_ring_oscillator(
+                members,
+                RingOscillatorConfig(num_segments=len(members), vdd=vdd),
+                enabled=[True] * len(members),
+            )
+            out.append(GroupNetlist(
+                group_index=index,
+                vdd=vdd,
+                oscillator=oscillator,
+                tsv_ids=ids,
+                signature=signature,
+            ))
+    return out

@@ -1,0 +1,323 @@
+"""Declarative die specifications for the DfT-architecture compiler.
+
+A :class:`DieSpec` says *what* a pre-bond TSV screening deployment needs
+-- how many TSVs, which technology corner, how accurate the period
+measurement must be, which leakage decades the multi-voltage plan has to
+tile, how much die area the DfT may burn -- and leaves *how* to
+:func:`repro.compiler.compile.compile_die`, which resolves every
+``"auto"`` knob into concrete hardware (group size N, count window,
+counter/LFSR width, supply set) using the paper's sizing rules:
+
+* window from Sec. IV-C's ``t >= T^2 / E`` bound at the longest planned
+  period;
+* counter width from the maximum count at the shortest planned period;
+* supply set from the per-voltage leakage-detection windows of Fig. 8
+  (each supply covers leakage up to its detectability ceiling; a tiered
+  set covers the requested decade span);
+* group size from the Fig. 10 area/parallelism trade-off under the die
+  area budget.
+
+Specs are frozen, picklable, and comparable, so a design-space sweep is
+just a grid of ``spec.with_(...)`` variants and a compiled artifact can
+name the exact spec it came from.  Validation happens in
+``__post_init__`` through the structured
+:func:`~repro.analysis.diagnostics.spec_field_diagnostic` machinery:
+an invalid spec raises :class:`~repro.analysis.diagnostics.SpecError`
+naming every offending field, never a bare assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    raise_spec_errors,
+    spec_field_diagnostic,
+)
+from repro.core.engines.registry import EngineSpec, as_engine_factory
+from repro.core.tsv import TsvParameters
+from repro.dft.lfsr import MAXIMAL_TAPS
+from repro.spice.montecarlo import ProcessVariation
+from repro.workloads.generator import DefectStatistics
+
+__all__ = ["AUTO", "CORNER_CAP_SCALE", "DieSpec"]
+
+#: Sentinel value for knobs the compiler should derive.
+AUTO = "auto"
+
+#: TSV capacitance scale per technology corner.  A fast corner etches
+#: slimmer (lower-C) vias, a slow corner fatter ones; the scale feeds
+#: :meth:`TsvParameters.scaled` so every derived period, band, and
+#: leakage window sees the corner consistently.
+CORNER_CAP_SCALE: Dict[str, float] = {
+    "typical": 1.0,
+    "fast": 0.9,
+    "slow": 1.1,
+}
+
+#: Valid measurement-block choices (paper Sec. IV-C/IV-D).
+MEASUREMENT_KINDS = ("counter", "lfsr")
+
+#: Valid netlist-verification scopes (see ``compile_die``).
+VERIFY_SCOPES = ("unique", "all", "none")
+
+
+@dataclass(frozen=True)
+class DieSpec:
+    """One die's declarative DfT requirements.
+
+    Attributes:
+        num_tsvs: TSVs in the functional design.
+        tsv: Nominal TSV RC parameters (pre-corner).
+        corner: Technology corner; scales the TSV capacitance via
+            :data:`CORNER_CAP_SCALE` before any derivation.
+        group_size: N (TSVs per ring oscillator) or ``"auto"`` to pick
+            the largest N within ``max_group_size`` that fits the die
+            area budget.
+        max_group_size: Ceiling of the ``"auto"`` group-size search
+            (the paper's experiments stop at modest N because aliasing
+            grows with M = N).
+        measurement: ``"counter"`` (binary counter) or ``"lfsr"``
+            (maximal-length LFSR, fewer gates, tester-side decode).
+        window: Count-window length in seconds, or ``"auto"`` to derive
+            ``t = T_max^2 / max_period_error`` (Sec. IV-C).
+        max_period_error: Worst-case period-estimate error the window
+            must guarantee (the paper's worked example: 5 ps).
+        counter_bits: Signature width, or ``"auto"`` to size for the
+            maximum count at the shortest planned period.
+        shift_clock_hz: Tester shift clock of the measurement plan.
+        config_cycles: Tester cycles per oscillator (re)configuration.
+        voltages: Explicit supply set, or ``"auto"`` to select a tiered
+            subset of ``supply_candidates`` whose leakage windows cover
+            ``leakage_coverage_ohm``.
+        supply_candidates: Candidate supplies for ``"auto"`` selection,
+            any order; the compiler works top-down.
+        max_supplies: Ceiling on the ``"auto"`` supply count (test time
+            is linear in it).
+        min_delta_t_shift: DeltaT shift that makes a leakage detectable
+            (threshold proxy for band width + counter error).
+        leakage_coverage_ohm: ``(r_low, r_high)`` leakage range the
+            chosen supply set must cover; enforced when ``voltages`` is
+            ``"auto"`` (an explicit set is the user's override and is
+            reported, not gated).
+        engine: Period/DeltaT backend -- a registry name or a picklable
+            :class:`~repro.core.engines.registry.EngineSpec`.  Instances
+            and closures are rejected so every compiled artifact can
+            cross process boundaries.
+        die_area_mm2: Die area the DfT fraction is measured against.
+        max_area_fraction: DfT area budget as a fraction of the die.
+        defects: Defect statistics the compiled
+            :class:`~repro.workloads.generator.DiePopulation` draws from.
+        population_seed: Seed of the bound die population.
+        flow_seed: Seed of the compiled screening flow (characterization
+            and simulated measurement noise).
+        characterization_samples: Monte Carlo samples per supply for the
+            fault-free bands.
+        variation: Process-variation model shared by characterization
+            and measurements.
+        tsv_cap_variation_rel: Healthy-TSV capacitance variation the
+            characterization absorbs.
+        fidelity: ``"full"`` or ``"cascade"`` -- forwarded to the
+            compiled :class:`~repro.workloads.flow.ScreeningFlow`.
+        verify_groups: Netlist-verification scope: ``"unique"`` checks
+            one netlist per distinct group fault structure at the
+            extreme supplies, ``"all"`` checks every group at every
+            supply, ``"none"`` skips circuit checks (die-level TSV
+            validation always runs).
+        label: Optional human-readable scenario name.
+    """
+
+    num_tsvs: int
+    tsv: TsvParameters = TsvParameters()
+    corner: str = "typical"
+    group_size: Union[int, str] = AUTO
+    max_group_size: int = 8
+    measurement: str = "counter"
+    window: Union[float, str] = AUTO
+    max_period_error: float = 5e-12
+    counter_bits: Union[int, str] = AUTO
+    shift_clock_hz: float = 50e6
+    config_cycles: int = 8
+    voltages: Union[Tuple[float, ...], str] = AUTO
+    supply_candidates: Tuple[float, ...] = (1.1, 0.95, 0.8, 0.75, 0.70)
+    max_supplies: int = 4
+    min_delta_t_shift: float = 20e-12
+    leakage_coverage_ohm: Tuple[float, float] = (500.0, 2_500.0)
+    engine: Union[str, EngineSpec] = "analytic"
+    die_area_mm2: float = 25.0
+    max_area_fraction: float = 0.01
+    defects: DefectStatistics = DefectStatistics()
+    population_seed: int = 0
+    flow_seed: int = 2024
+    characterization_samples: int = 200
+    variation: ProcessVariation = ProcessVariation()
+    tsv_cap_variation_rel: float = 0.02
+    fidelity: str = "full"
+    verify_groups: str = "unique"
+    label: str = ""
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        diags: List[Diagnostic] = []
+        subject = self.label or type(self).__name__
+
+        def bad(fld: str, message: str, hint: str = "") -> None:
+            diags.append(spec_field_diagnostic(
+                fld, message, subject=subject, hint=hint or None
+            ))
+
+        if self.num_tsvs < 1:
+            bad("num_tsvs", f"num_tsvs must be >= 1, got {self.num_tsvs}")
+        if self.corner not in CORNER_CAP_SCALE:
+            bad("corner",
+                f"unknown corner {self.corner!r}",
+                hint="one of " + ", ".join(sorted(CORNER_CAP_SCALE)))
+        if isinstance(self.group_size, str):
+            if self.group_size != AUTO:
+                bad("group_size",
+                    f"group_size must be a positive int or {AUTO!r}, "
+                    f"got {self.group_size!r}")
+        elif self.group_size < 1:
+            bad("group_size",
+                f"group_size must be >= 1, got {self.group_size}")
+        if self.max_group_size < 1:
+            bad("max_group_size",
+                f"max_group_size must be >= 1, got {self.max_group_size}")
+        if self.measurement not in MEASUREMENT_KINDS:
+            bad("measurement",
+                f"measurement must be one of {MEASUREMENT_KINDS}, "
+                f"got {self.measurement!r}")
+        if isinstance(self.window, str):
+            if self.window != AUTO:
+                bad("window",
+                    f"window must be a positive float or {AUTO!r}, "
+                    f"got {self.window!r}")
+        elif not (self.window > 0 and math.isfinite(self.window)):
+            bad("window",
+                f"window must be positive and finite, got {self.window}")
+        if not (self.max_period_error > 0
+                and math.isfinite(self.max_period_error)):
+            bad("max_period_error",
+                f"max_period_error must be positive and finite, "
+                f"got {self.max_period_error}")
+        if isinstance(self.counter_bits, str):
+            if self.counter_bits != AUTO:
+                bad("counter_bits",
+                    f"counter_bits must be a positive int or {AUTO!r}, "
+                    f"got {self.counter_bits!r}")
+        else:
+            if self.counter_bits < 1:
+                bad("counter_bits",
+                    f"counter_bits must be >= 1, got {self.counter_bits}")
+            elif (self.measurement == "lfsr"
+                  and self.counter_bits not in MAXIMAL_TAPS):
+                bad("counter_bits",
+                    f"no maximal-length LFSR tap table for "
+                    f"{self.counter_bits} bits",
+                    hint=f"supported widths: {min(MAXIMAL_TAPS)}.."
+                         f"{max(MAXIMAL_TAPS)}")
+        if not (self.shift_clock_hz > 0
+                and math.isfinite(self.shift_clock_hz)):
+            bad("shift_clock_hz",
+                f"shift_clock_hz must be positive and finite, "
+                f"got {self.shift_clock_hz}")
+        if self.config_cycles < 0:
+            bad("config_cycles",
+                f"config_cycles must be >= 0, got {self.config_cycles}")
+        if isinstance(self.voltages, str):
+            if self.voltages != AUTO:
+                bad("voltages",
+                    f"voltages must be a non-empty tuple or {AUTO!r}, "
+                    f"got {self.voltages!r}")
+        else:
+            if not self.voltages:
+                bad("voltages", "voltages must name at least one supply")
+            for vdd in self.voltages:
+                if not (vdd > 0 and math.isfinite(vdd)):
+                    bad("voltages",
+                        f"supply voltages must be positive and finite, "
+                        f"got {vdd}")
+                    break
+        if not self.supply_candidates:
+            bad("supply_candidates",
+                "supply_candidates must name at least one supply")
+        else:
+            for vdd in self.supply_candidates:
+                if not (vdd > 0 and math.isfinite(vdd)):
+                    bad("supply_candidates",
+                        f"candidate supplies must be positive and finite, "
+                        f"got {vdd}")
+                    break
+        if self.max_supplies < 1:
+            bad("max_supplies",
+                f"max_supplies must be >= 1, got {self.max_supplies}")
+        r_lo, r_hi = self.leakage_coverage_ohm
+        if not (r_lo > 0 and math.isfinite(r_hi) and r_hi >= r_lo):
+            bad("leakage_coverage_ohm",
+                f"leakage_coverage_ohm must satisfy 0 < low <= high, "
+                f"got {self.leakage_coverage_ohm}")
+        if not isinstance(self.engine, (str, EngineSpec)):
+            bad("engine",
+                f"engine must be a registry name or EngineSpec (picklable), "
+                f"got {type(self.engine).__name__}",
+                hint="instances and closures cannot cross process "
+                     "boundaries")
+        if not (self.die_area_mm2 > 0 and math.isfinite(self.die_area_mm2)):
+            bad("die_area_mm2",
+                f"die_area_mm2 must be positive and finite, "
+                f"got {self.die_area_mm2}")
+        if not (self.max_area_fraction > 0
+                and math.isfinite(self.max_area_fraction)):
+            bad("max_area_fraction",
+                f"max_area_fraction must be positive and finite, "
+                f"got {self.max_area_fraction}")
+        if self.characterization_samples < 1:
+            bad("characterization_samples",
+                f"characterization_samples must be >= 1, "
+                f"got {self.characterization_samples}")
+        if self.fidelity not in ("full", "cascade"):
+            bad("fidelity",
+                f"fidelity must be 'full' or 'cascade', "
+                f"got {self.fidelity!r}")
+        if self.verify_groups not in VERIFY_SCOPES:
+            bad("verify_groups",
+                f"verify_groups must be one of {VERIFY_SCOPES}, "
+                f"got {self.verify_groups!r}")
+        raise_spec_errors(subject, diags)
+
+    # ------------------------------------------------------------------
+    def with_(self, **changes: Any) -> "DieSpec":
+        """A modified copy; the unit step of every design-space sweep."""
+        return replace(self, **changes)
+
+    def effective_tsv(self) -> TsvParameters:
+        """TSV parameters after the technology-corner capacitance scale."""
+        scale = CORNER_CAP_SCALE[self.corner]
+        if scale == 1.0:
+            return self.tsv
+        return self.tsv.scaled(scale)
+
+    def engine_factory(self) -> EngineSpec:
+        """The picklable ``vdd -> engine`` factory this spec names."""
+        factory = as_engine_factory(self.engine)
+        if not isinstance(factory, EngineSpec):  # pragma: no cover
+            raise TypeError(f"engine {self.engine!r} is not spec-shaped")
+        return factory
+
+    @property
+    def use_lfsr(self) -> bool:
+        return self.measurement == "lfsr"
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        name = self.label or f"{self.num_tsvs}-TSV die"
+        return (
+            f"{name}: corner={self.corner}, N={self.group_size}, "
+            f"{self.measurement}, window={self.window}, "
+            f"voltages={self.voltages}, "
+            f"budget={self.max_area_fraction:.2%} of "
+            f"{self.die_area_mm2:g} mm^2"
+        )

@@ -1,0 +1,161 @@
+"""Design-space exploration over die-spec grids (paper Fig. 10, priced).
+
+The paper's Fig. 10 shows the one-axis trade-off: larger ring-oscillator
+groups amortize the shared inverter (less area) but lengthen the
+measured period, and the counter's quantization error grows as T^2 -- so
+parallelism is bought with DeltaT resolution.  :func:`sweep` maps the
+full multi-axis version of that picture at arbitrary TSV counts: it
+enumerates a grid of :meth:`~repro.compiler.spec.DieSpec.with_` variants
+(group size x measurement block x supply set x anything else), compiles
+each through the verifying compiler, prices the survivors, and reports
+the Pareto frontier over (area fraction, DeltaT resolution).
+
+Variants that fail to compile are kept in the result with their
+offending spec fields -- a design-space map that silently dropped the
+infeasible region would misread as "everything works".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.compiler.compile import CompiledArchitecture, CompileError, compile_die
+from repro.compiler.spec import DieSpec
+from repro.telemetry import get_telemetry
+
+__all__ = ["SweepResult", "SweepVariant", "sweep"]
+
+
+@dataclass
+class SweepVariant:
+    """One grid point: the overrides applied and what became of them."""
+
+    overrides: Dict[str, Any]
+    spec: DieSpec
+    compiled: Optional[CompiledArchitecture] = None
+    error: str = ""
+    error_fields: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.compiled is not None
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat row for tables and the bench JSON."""
+        row: Dict[str, Any] = {
+            str(k): (
+                v if isinstance(v, (int, float, str, bool)) else repr(v)
+            )
+            for k, v in self.overrides.items()
+        }
+        row["ok"] = self.ok
+        if self.compiled is not None:
+            row.update(self.compiled.price.as_row())
+        else:
+            row["error"] = self.error
+            row["error_fields"] = list(self.error_fields)
+        return row
+
+
+@dataclass
+class SweepResult:
+    """Every grid point of one sweep, compiled or diagnosed."""
+
+    base: DieSpec
+    variants: List[SweepVariant] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+    @property
+    def compiled(self) -> List[SweepVariant]:
+        return [v for v in self.variants if v.ok]
+
+    @property
+    def failed(self) -> List[SweepVariant]:
+        return [v for v in self.variants if not v.ok]
+
+    def pareto_frontier(self) -> List[SweepVariant]:
+        """Non-dominated variants over (area fraction, DeltaT resolution).
+
+        Both axes are minimized.  The frontier is returned in ascending
+        area order, so plotting it directly re-draws the Fig. 10 curve
+        at this sweep's TSV count: walking toward cheaper area means
+        accepting coarser resolution.
+        """
+        ranked = sorted(
+            self.compiled,
+            key=lambda v: (
+                v.compiled.price.area_fraction,      # type: ignore[union-attr]
+                v.compiled.price.delta_t_resolution_s,  # type: ignore[union-attr]
+            ),
+        )
+        frontier: List[SweepVariant] = []
+        best = float("inf")
+        for variant in ranked:
+            assert variant.compiled is not None
+            resolution = variant.compiled.price.delta_t_resolution_s
+            if resolution < best:
+                frontier.append(variant)
+                best = resolution
+        return frontier
+
+    def as_rows(self) -> List[Dict[str, Any]]:
+        return [v.as_row() for v in self.variants]
+
+    def as_json_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload for the ``compiler-smoke`` bench artifact."""
+        frontier = self.pareto_frontier()
+        return {
+            "num_tsvs": self.base.num_tsvs,
+            "grid_points": len(self.variants),
+            "compiled": len(self.compiled),
+            "failed": len(self.failed),
+            "variants": self.as_rows(),
+            "pareto": [v.as_row() for v in frontier],
+        }
+
+
+def sweep(
+    base: DieSpec, axes: Mapping[str, Sequence[Any]]
+) -> SweepResult:
+    """Compile every point of the grid ``base x axes``.
+
+    Args:
+        base: The spec every variant derives from.
+        axes: Field name -> candidate values.  The grid is the cartesian
+            product, enumerated with axes in sorted-name order so the
+            result ordering is deterministic regardless of mapping
+            order.
+
+    Example:
+        >>> grid = sweep(DieSpec(num_tsvs=256), {
+        ...     "group_size": (2, 4, 8),
+        ...     "measurement": ("counter", "lfsr"),
+        ... })  # doctest: +SKIP
+    """
+    if not axes:
+        raise ValueError("axes must name at least one spec field")
+    names = sorted(axes)
+    tele = get_telemetry()
+    result = SweepResult(base=base)
+    for values in itertools.product(*(axes[name] for name in names)):
+        overrides = dict(zip(names, values))
+        tele.incr("compiler.sweep_variants")
+        variant_spec = base.with_(**overrides)
+        try:
+            compiled = compile_die(variant_spec)
+        except CompileError as exc:
+            result.variants.append(SweepVariant(
+                overrides=overrides,
+                spec=variant_spec,
+                error=str(exc),
+                error_fields=tuple(exc.fields),
+            ))
+            continue
+        result.variants.append(SweepVariant(
+            overrides=overrides, spec=variant_spec, compiled=compiled
+        ))
+    return result

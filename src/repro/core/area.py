@@ -16,8 +16,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    raise_spec_errors,
+    spec_field_diagnostic,
+)
 from repro.cells.technology import CELL_AREAS_UM2
 
 
@@ -40,8 +45,50 @@ class DftAreaModel:
     muxes_per_tsv: int = 2
 
     def __post_init__(self) -> None:
-        if self.num_tsvs < 1 or self.group_size < 1:
-            raise ValueError("num_tsvs and group_size must be positive")
+        """Validate with field-level diagnostics, never bare asserts.
+
+        Invalid values raise
+        :class:`~repro.analysis.diagnostics.SpecError` (a
+        ``ValueError``) whose report names every offending field -- the
+        machine-readable form :mod:`repro.compiler` maps back to die
+        specs.
+        """
+        diags: List[Diagnostic] = []
+        subject = type(self).__name__
+        if self.num_tsvs < 1:
+            diags.append(spec_field_diagnostic(
+                "num_tsvs", f"num_tsvs must be >= 1, got {self.num_tsvs}",
+                subject=subject,
+            ))
+        if self.group_size < 1:
+            diags.append(spec_field_diagnostic(
+                "group_size",
+                f"group_size must be >= 1, got {self.group_size}",
+                subject=subject,
+            ))
+        if not self.mux_area_um2 > 0 or not math.isfinite(self.mux_area_um2):
+            diags.append(spec_field_diagnostic(
+                "mux_area_um2",
+                f"mux_area_um2 must be a positive finite cell area, "
+                f"got {self.mux_area_um2}",
+                subject=subject,
+            ))
+        if (not self.inverter_area_um2 > 0
+                or not math.isfinite(self.inverter_area_um2)):
+            diags.append(spec_field_diagnostic(
+                "inverter_area_um2",
+                f"inverter_area_um2 must be a positive finite cell area, "
+                f"got {self.inverter_area_um2}",
+                subject=subject,
+            ))
+        if self.muxes_per_tsv < 1:
+            diags.append(spec_field_diagnostic(
+                "muxes_per_tsv",
+                f"muxes_per_tsv must be >= 1 (the paper's architecture "
+                f"uses 2), got {self.muxes_per_tsv}",
+                subject=subject,
+            ))
+        raise_spec_errors(subject, diags)
 
     @property
     def num_groups(self) -> int:
@@ -88,9 +135,13 @@ class DftAreaModel:
         )
 
     def fraction_of_die(self, die_area_mm2: float = 25.0,
-                        counter_bits: int = 10) -> float:
+                        counter_bits: int = 10,
+                        use_lfsr: bool = False) -> float:
         """Total DfT area as a fraction of the die area."""
-        return self.total_area_um2(counter_bits) / (die_area_mm2 * 1e6)
+        return (
+            self.total_area_um2(counter_bits, use_lfsr)
+            / (die_area_mm2 * 1e6)
+        )
 
     def report(self, die_area_mm2: float = 25.0) -> Dict[str, float]:
         """All the numbers of Sec. IV-D in one dictionary."""

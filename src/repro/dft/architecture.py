@@ -6,6 +6,14 @@ oscillator to the shared measurement logic; the control block sequences
 the measurements.  This module plans that architecture for a given die --
 group assignment, per-group measurement schedule, area (via
 :class:`repro.core.area.DftAreaModel`), and total test time.
+
+When ``num_tsvs`` is not divisible by ``group_size`` the final group is
+*ragged* (it holds ``num_tsvs % group_size`` TSVs).  Every accounting
+method here -- :meth:`DftArchitecture.total_measurements`,
+:meth:`DftArchitecture.test_time` -- charges the ragged group for
+exactly its own members, matching both
+:meth:`repro.workloads.generator.DiePopulation.groups` and the
+measurement counts of :class:`repro.workloads.flow.ScreeningFlow`.
 """
 
 from __future__ import annotations
@@ -14,6 +22,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    raise_spec_errors,
+    spec_field_diagnostic,
+)
 from repro.core.area import DftAreaModel
 from repro.dft.control import MeasurementPlan
 
@@ -44,27 +57,79 @@ class DftArchitecture:
 
     Attributes:
         num_tsvs: TSVs in the functional design.
-        group_size: N (TSVs per oscillator).
+        group_size: N (TSVs per oscillator).  The final group is ragged
+            when ``num_tsvs % group_size != 0``; see :meth:`groups`.
         plan: Measurement timing plan (counter window, shift clock).
         voltages: Supply voltages of the multi-voltage test.
+        use_lfsr: Price the shared measurement block as a maximal-length
+            LFSR (a couple of XORs) instead of a binary counter (an
+            incrementer per bit) -- the gate-count alternative the paper
+            discusses alongside Sec. IV-D.
     """
 
     num_tsvs: int
     group_size: int = 5
     plan: MeasurementPlan = field(default_factory=MeasurementPlan)
     voltages: Sequence[float] = (1.1, 0.95, 0.8, 0.75)
+    use_lfsr: bool = False
 
     def __post_init__(self) -> None:
-        if self.num_tsvs < 1 or self.group_size < 1:
-            raise ValueError("num_tsvs and group_size must be positive")
+        """Validate with field-level diagnostics, never bare asserts.
+
+        Invalid values raise
+        :class:`~repro.analysis.diagnostics.SpecError` (a
+        ``ValueError``) whose report names every offending field -- the
+        machine-readable form :mod:`repro.compiler` maps back to die
+        specs.
+        """
+        diags: List[Diagnostic] = []
+        subject = type(self).__name__
+        if self.num_tsvs < 1:
+            diags.append(spec_field_diagnostic(
+                "num_tsvs", f"num_tsvs must be >= 1, got {self.num_tsvs}",
+                subject=subject,
+            ))
+        if self.group_size < 1:
+            diags.append(spec_field_diagnostic(
+                "group_size",
+                f"group_size must be >= 1, got {self.group_size}",
+                subject=subject,
+            ))
+        if not self.voltages:
+            diags.append(spec_field_diagnostic(
+                "voltages", "voltages must name at least one supply",
+                subject=subject,
+            ))
+        for vdd in self.voltages:
+            if not vdd > 0 or not math.isfinite(vdd):
+                diags.append(spec_field_diagnostic(
+                    "voltages",
+                    f"supply voltages must be positive and finite, "
+                    f"got {vdd}",
+                    subject=subject,
+                ))
+                break
+        raise_spec_errors(subject, diags)
 
     # ------------------------------------------------------------------
     @property
     def num_groups(self) -> int:
         return math.ceil(self.num_tsvs / self.group_size)
 
+    @property
+    def ragged_group_size(self) -> int:
+        """Size of the final group: ``group_size`` when divisible."""
+        rem = self.num_tsvs % self.group_size
+        return rem if rem else self.group_size
+
     def groups(self) -> List[GroupPlan]:
-        """Partition TSV ids 0..num_tsvs-1 into consecutive groups."""
+        """Partition TSV ids 0..num_tsvs-1 into consecutive groups.
+
+        The final group is ragged (smaller than ``group_size``) when
+        the TSV count is not divisible -- the same partition
+        :meth:`repro.workloads.generator.DiePopulation.groups` makes,
+        asserted by the compiler's invariant tests.
+        """
         out = []
         for g in range(self.num_groups):
             lo = g * self.group_size
@@ -82,17 +147,38 @@ class DftArchitecture:
 
     def total_area_um2(self) -> float:
         return self.area_model().total_area_um2(
-            counter_bits=self.plan.counter_bits
+            counter_bits=self.plan.counter_bits, use_lfsr=self.use_lfsr
         )
 
     def area_fraction(self, die_area_mm2: float = 25.0) -> float:
         return self.area_model().fraction_of_die(
-            die_area_mm2, counter_bits=self.plan.counter_bits
+            die_area_mm2, counter_bits=self.plan.counter_bits,
+            use_lfsr=self.use_lfsr,
         )
 
     # ------------------------------------------------------------------
     def measurements_per_group(self, per_tsv: bool = True) -> int:
+        """Measurements for one *full* group of ``group_size`` TSVs.
+
+        The ragged final group needs fewer (one T1 per actual member);
+        :meth:`total_measurements` is the die-exact account.
+        """
         return GroupPlan(0, tuple(range(self.group_size))).measurements(per_tsv)
+
+    def total_measurements(self, per_tsv: bool = True) -> int:
+        """Die-exact measurement count at one voltage, ragged group incl.
+
+        Closed form of ``sum(g.measurements(per_tsv) for g in
+        self.groups())``: every group pays one T2; per-TSV isolation
+        pays one T1 per *actual* member (``num_tsvs`` total), group
+        screening one T1 per group.  Bit-identical to the groups() sum
+        -- and to what :class:`~repro.workloads.flow.ScreeningFlow`
+        counts on a defect-free die -- for any TSV count, divisible or
+        not.
+        """
+        if per_tsv:
+            return self.num_groups + self.num_tsvs
+        return 2 * self.num_groups
 
     def test_time(self, per_tsv: bool = True,
                   num_voltages: Optional[int] = None) -> float:
@@ -101,11 +187,11 @@ class DftArchitecture:
         The paper's observation that multi-voltage testing stays cheap
         holds because each measurement is a short count window with no
         scan payload: the time scales linearly in the (small) number of
-        voltage levels.
+        voltage levels.  The ragged final group is charged for its
+        actual members only (see :meth:`total_measurements`).
         """
         nv = len(self.voltages) if num_voltages is None else num_voltages
-        per_group = self.measurements_per_group(per_tsv)
-        return nv * self.num_groups * per_group * self.plan.measurement_time()
+        return nv * self.total_measurements(per_tsv) * self.plan.measurement_time()
 
     def summary(self, die_area_mm2: float = 25.0) -> Dict[str, float]:
         return {

@@ -66,6 +66,10 @@ Counter names used by the stack (all optional -- absent means zero):
                            ``<s>`` (:mod:`repro.cascade`).
 ``cascade.escalations.*``  Cascade escalations by reason: ``near_band``,
                            ``low_agreement``, ``novel``, ``preflight``.
+``compiler.*``             DfT-architecture compiler accounting
+                           (:mod:`repro.compiler`): ``compiled``,
+                           ``failed``, ``verified_circuits``,
+                           ``sweep_variants``, ``stream_requests``.
 =========================  ====================================================
 
 Histogram names used by the screening service (latency distributions;
@@ -419,6 +423,15 @@ for _name, _desc in [
     ("ragged.padded_solves", "members solved identity-padded"),
     ("cascade.stage.*", "TSV screening passes per cascade stage"),
     ("cascade.escalations.*", "cascade escalations by reason"),
+    ("compiler.compiled", "die specs compiled into verified architectures"),
+    ("compiler.failed", "compiles rejected (invalid spec or preflight "
+                        "errors)"),
+    ("compiler.verified_circuits", "group netlists preflighted by the "
+                                   "compiler's verification pass"),
+    ("compiler.sweep_variants", "spec variants compiled by the "
+                                "design-space explorer"),
+    ("compiler.stream_requests", "service requests drawn from compiled "
+                                 "scenario streams"),
 ]:
     register_metric(_name, "counter", "telemetry", _desc)
 

@@ -155,7 +155,17 @@ class DiePopulation:
         }
 
     def groups(self, group_size: int) -> List[List[TsvRecord]]:
-        """Partition into consecutive ring-oscillator groups."""
+        """Partition into consecutive ring-oscillator groups.
+
+        Produces ``ceil(num_tsvs / group_size)`` groups -- the same
+        count :attr:`repro.dft.architecture.DftArchitecture.num_groups`
+        and :attr:`repro.core.area.DftAreaModel.num_groups` price.  When
+        ``num_tsvs`` is not divisible by ``group_size`` the final group
+        is *ragged*: it holds the remaining ``num_tsvs % group_size``
+        TSVs (never padding, never dropping), and the architecture's
+        :meth:`~repro.dft.architecture.DftArchitecture.total_measurements`
+        charges it for exactly those members.
+        """
         if group_size < 1:
             raise ValueError("group_size must be positive")
         return [

@@ -1,0 +1,244 @@
+"""Property tests for the die compiler (structure, price, diagnostics)."""
+
+import math
+
+import pytest
+
+from repro.compiler import CompileError, DieSpec, compile_die
+from repro.core.area import DftAreaModel
+from repro.dft.counter import required_counter_bits, required_window
+
+# Specs chosen to cover even groups, a ragged final group, N = 1, and an
+# LFSR measurement block.  Explicit voltages keep each compile to two
+# leakage-window characterizations (memoized across the session anyway).
+PROPERTY_SPECS = [
+    DieSpec(num_tsvs=40, group_size=4, voltages=(1.1, 0.8)),
+    DieSpec(num_tsvs=23, group_size=5, voltages=(1.1, 0.7)),
+    DieSpec(num_tsvs=9, group_size=1, voltages=(1.1,)),
+    DieSpec(num_tsvs=30, group_size=6, measurement="lfsr",
+            voltages=(1.1, 0.8, 0.7)),
+]
+
+
+def _mux_instances(circuit, tag):
+    """Distinct MUX2 instances whose hierarchical name contains ``tag``."""
+    return {
+        m.name.rsplit(".", 2)[0]
+        for m in circuit.mosfets
+        if f".{tag}." in m.name or m.name.startswith(f"{tag}.")
+    }
+
+
+@pytest.fixture(scope="module", params=range(len(PROPERTY_SPECS)))
+def compiled(request):
+    return compile_die(PROPERTY_SPECS[request.param])
+
+
+class TestStructuralProperties:
+    def test_area_model_charges_two_muxes_per_tsv(self, compiled):
+        model = compiled.architecture.area_model()
+        assert model.muxes_per_tsv == 2
+        assert (model.muxes_per_tsv * model.num_tsvs
+                == 2 * compiled.spec.num_tsvs)
+
+    def test_netlist_mux_count_matches_tsvs(self, compiled):
+        """Every TSV gets one bypass mux; every group one TE mux."""
+        netlists = compiled.group_netlists(
+            voltages=(compiled.voltages[0],), unique=False
+        )
+        bypass = sum(
+            len(_mux_instances(n.oscillator.circuit, "bymux"))
+            for n in netlists
+        )
+        test_enable = sum(
+            len(_mux_instances(n.oscillator.circuit, "te_mux"))
+            for n in netlists
+        )
+        assert bypass == compiled.spec.num_tsvs
+        assert test_enable == compiled.architecture.num_groups
+
+    def test_one_shared_inverter_per_group(self, compiled):
+        netlists = compiled.group_netlists(
+            voltages=(compiled.voltages[0],), unique=False
+        )
+        assert len(netlists) == compiled.architecture.num_groups
+        for netlist in netlists:
+            loop_inv = {
+                m.name for m in netlist.oscillator.circuit.mosfets
+                if m.name.startswith("loop_inv.")
+            }
+            assert loop_inv == {"loop_inv.mp", "loop_inv.mn"}
+
+    def test_decoder_bits_cover_the_groups(self, compiled):
+        groups = compiled.architecture.num_groups
+        assert compiled.architecture.decoder_select_bits == max(
+            1, math.ceil(math.log2(max(groups, 2)))
+        )
+
+    def test_group_sizes_partition_the_die(self, compiled):
+        netlists = compiled.group_netlists(
+            voltages=(compiled.voltages[0],), unique=False
+        )
+        assert sum(n.size for n in netlists) == compiled.spec.num_tsvs
+        covered = sorted(i for n in netlists for i in n.tsv_ids)
+        assert covered == list(range(compiled.spec.num_tsvs))
+
+    def test_preflight_is_clean(self, compiled):
+        assert not compiled.preflight.has_errors
+        assert compiled.verified_circuits > 0
+
+    def test_price_area_is_bit_identical_to_hand_built_model(self, compiled):
+        hand = DftAreaModel(
+            num_tsvs=compiled.spec.num_tsvs,
+            group_size=compiled.architecture.group_size,
+        )
+        assert compiled.price.total_area_um2 == hand.total_area_um2(
+            counter_bits=compiled.plan.counter_bits,
+            use_lfsr=compiled.spec.use_lfsr,
+        )
+        assert compiled.price.area_fraction == hand.fraction_of_die(
+            compiled.spec.die_area_mm2,
+            counter_bits=compiled.plan.counter_bits,
+            use_lfsr=compiled.spec.use_lfsr,
+        )
+
+    def test_price_measurements_span_all_supplies(self, compiled):
+        arch = compiled.architecture
+        assert compiled.price.measurements == (
+            len(compiled.voltages) * arch.total_measurements(per_tsv=True)
+        )
+        assert compiled.price.num_supplies == len(compiled.voltages)
+        assert compiled.price.test_time_s > 0
+
+    def test_resolution_follows_the_counting_bound(self, compiled):
+        t_max = compiled.longest_period_s
+        window = compiled.plan.window
+        e_plus = t_max * t_max / (window - t_max)
+        assert compiled.price.delta_t_resolution_s == pytest.approx(
+            2.0 * e_plus, rel=1e-12
+        )
+
+
+class TestAutoResolution:
+    @pytest.fixture(scope="class")
+    def auto(self):
+        return compile_die(DieSpec(num_tsvs=50))
+
+    def test_auto_supplies_bracket_the_coverage(self, auto):
+        spec = auto.spec
+        assert auto.voltages[0] == max(spec.supply_candidates)
+        assert len(auto.voltages) <= spec.max_supplies
+        assert auto.voltages == tuple(sorted(auto.voltages, reverse=True))
+        # The lowest chosen supply's window must reach the requested
+        # coverage ceiling -- that is what it was chosen for.
+        lowest = auto.voltage_plan.entries[-1]
+        assert lowest.vdd == min(auto.voltages)
+        assert lowest.r_max_detectable >= spec.leakage_coverage_ohm[1]
+
+    def test_auto_window_from_quantization_bound(self, auto):
+        assert auto.plan.window == required_window(
+            auto.longest_period_s, auto.spec.max_period_error
+        )
+        assert auto.plan.counter_bits == required_counter_bits(
+            auto.shortest_period_s, auto.plan.window
+        )
+
+    def test_auto_group_size_is_largest_fitting(self, auto):
+        n = auto.architecture.group_size
+        assert n == auto.spec.max_group_size
+        assert auto.price.area_fraction <= auto.spec.max_area_fraction
+
+    def test_explicit_values_are_honored(self):
+        compiled = compile_die(DieSpec(
+            num_tsvs=20, group_size=5, window=5e-6, counter_bits=10,
+            voltages=(1.1, 0.7),
+        ))
+        assert compiled.architecture.group_size == 5
+        assert compiled.plan.window == 5e-6
+        assert compiled.plan.counter_bits == 10
+        assert compiled.voltages == (1.1, 0.7)
+
+
+class TestArtifacts:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return compile_die(
+            DieSpec(num_tsvs=12, group_size=4, voltages=(1.1, 0.8),
+                    label="artifact-die")
+        )
+
+    def test_population_is_cached_and_seed_addressable(self, small):
+        default = small.population()
+        assert default is small.population()
+        assert len(default.records) == small.spec.num_tsvs
+        other = small.population(seed=99)
+        assert other is not default
+
+    def test_wafer_matches_the_spec(self, small):
+        wafer = small.wafer(num_dies=3, seed=1)
+        assert wafer.num_dies == 3
+        assert wafer.tsvs_per_die == small.spec.num_tsvs
+
+    def test_flow_overrides_pass_through(self, small):
+        flow = small.flow(fidelity="cascade")
+        assert flow.fidelity == "cascade"
+
+    def test_label_and_summary(self, small):
+        assert small.label == "artifact-die"
+        summary = small.summary()
+        assert summary["total_area_um2"] == small.price.total_area_um2
+        assert summary["longest_period_s"] == small.longest_period_s
+
+    def test_verify_scope_none_skips_circuit_checks(self):
+        compiled = compile_die(DieSpec(
+            num_tsvs=12, group_size=4, voltages=(1.1,),
+            verify_groups="none",
+        ))
+        assert compiled.verified_circuits == 0
+        assert not compiled.preflight.has_errors
+
+    def test_verify_scope_all_checks_every_group_every_supply(self):
+        compiled = compile_die(DieSpec(
+            num_tsvs=12, group_size=4, voltages=(1.1, 0.8),
+            verify_groups="all",
+        ))
+        assert compiled.verified_circuits == 3 * 2
+
+
+class TestCompileFailures:
+    def test_uncoverable_leakage_names_the_fields(self):
+        with pytest.raises(CompileError) as info:
+            compile_die(DieSpec(
+                num_tsvs=10, leakage_coverage_ohm=(500.0, 50_000.0)
+            ))
+        assert "leakage_coverage_ohm" in info.value.fields
+        assert "supply_candidates" in info.value.fields
+
+    def test_unfit_area_budget_names_the_field(self):
+        with pytest.raises(CompileError) as info:
+            compile_die(DieSpec(
+                num_tsvs=10, voltages=(1.1,), max_area_fraction=1e-9
+            ))
+        assert "max_area_fraction" in info.value.fields
+
+    def test_pinned_group_size_over_budget_is_blamed_too(self):
+        with pytest.raises(CompileError) as info:
+            compile_die(DieSpec(
+                num_tsvs=10, group_size=2, voltages=(1.1,),
+                max_area_fraction=1e-9,
+            ))
+        assert set(info.value.fields) >= {"max_area_fraction", "group_size"}
+
+    def test_too_small_window_names_the_field(self):
+        with pytest.raises(CompileError) as info:
+            compile_die(DieSpec(
+                num_tsvs=10, group_size=5, voltages=(1.1, 0.7),
+                window=1e-10,
+            ))
+        assert info.value.fields == ["window"]
+
+    def test_compile_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            compile_die(DieSpec(
+                num_tsvs=10, leakage_coverage_ohm=(500.0, 50_000.0)
+            ))

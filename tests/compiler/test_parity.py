@@ -1,0 +1,114 @@
+"""A compiled flow must be bit-identical to a hand-built one.
+
+The compiler's promise is that it adds *no* behavior: compiling the
+production example's configuration and running the resulting flow gives
+exactly the same ``FlowMetrics`` -- every escape, every measurement
+count -- as building ``ScreeningFlow`` and ``DiePopulation`` by hand the
+way ``examples/production_die_screening.py`` does.
+"""
+
+import pytest
+
+from repro.cascade import CascadeConfig
+from repro.compiler import DieSpec, compile_die
+from repro.core.engines import registry as engine_registry
+from repro.spice.montecarlo import ProcessVariation
+from repro.workloads.flow import ScreeningFlow
+from repro.workloads.generator import DefectStatistics, DiePopulation
+
+PRODUCTION_STATS = DefectStatistics(
+    void_rate=0.015, pinhole_rate=0.015, full_open_fraction=0.15
+)
+
+
+def _parity_pair(num_tsvs, samples):
+    """(compiled metrics, hand-built metrics) for one configuration."""
+    spec = DieSpec(
+        num_tsvs=num_tsvs,
+        group_size=5,
+        window=5e-6,
+        counter_bits=10,
+        voltages=(1.1, 0.95, 0.8, 0.75, 0.70),
+        defects=PRODUCTION_STATS,
+        population_seed=42,
+        flow_seed=7,
+        characterization_samples=samples,
+    )
+    compiled = compile_die(spec)
+    hand_flow = ScreeningFlow(
+        engine_registry.spec("analytic"),
+        voltages=(1.1, 0.95, 0.8, 0.75, 0.70),
+        variation=ProcessVariation(),
+        characterization_samples=samples,
+        seed=7,
+    )
+    hand_population = DiePopulation(
+        num_tsvs=num_tsvs, stats=PRODUCTION_STATS, seed=42
+    )
+    return (
+        compiled.flow().screen_die(compiled.population()),
+        hand_flow.screen_die(hand_population),
+    )
+
+
+class TestParity:
+    def test_small_die_metrics_are_bit_identical(self):
+        compiled, hand = _parity_pair(num_tsvs=100, samples=40)
+        assert compiled == hand
+        assert compiled.measurements == hand.measurements
+        assert compiled.test_time == hand.test_time
+
+    @pytest.mark.slow
+    def test_production_example_metrics_are_bit_identical(self):
+        """The acceptance configuration: 1000 TSVs, 5 supplies."""
+        compiled, hand = _parity_pair(num_tsvs=1000, samples=150)
+        assert compiled == hand
+        assert compiled.true_faulty == 27
+        assert compiled.detected == 14
+        assert compiled.measurements == 5856
+
+    @pytest.mark.slow
+    def test_cascade_fidelity_parity(self):
+        """``fidelity="cascade"`` rides the same parity guarantee.
+
+        The coarse stagedelay escalation and deterministic measurement
+        mode mirror ``tests/cascade/conftest.py`` -- the top-stage
+        characterization is the multi-second part; the solve cache makes
+        the second (hand-built) screen nearly free.
+        """
+        config = CascadeConfig(
+            escalation=(engine_registry.spec("stagedelay",
+                                             timestep=8e-12),),
+            stage_characterization_samples=16,
+        )
+        spec = DieSpec(
+            num_tsvs=20,
+            group_size=5,
+            window=5e-6,
+            counter_bits=10,
+            voltages=(1.1, 0.8),
+            defects=PRODUCTION_STATS,
+            population_seed=42,
+            flow_seed=7,
+            characterization_samples=20,
+            fidelity="cascade",
+        )
+        compiled = compile_die(spec)
+        hand = ScreeningFlow(
+            engine_registry.spec("analytic"),
+            voltages=(1.1, 0.8),
+            variation=ProcessVariation(),
+            characterization_samples=20,
+            seed=7,
+            cascade=config,
+            preflight=False,
+            measurement_variation=None,
+        )
+        population = DiePopulation(
+            num_tsvs=20, stats=PRODUCTION_STATS, seed=42
+        )
+        compiled_metrics = compiled.flow(
+            cascade=config, preflight=False, measurement_variation=None
+        ).screen_die(compiled.population())
+        assert compiled_metrics == hand.screen_die(population)
+        assert compiled_metrics.escalated > 0

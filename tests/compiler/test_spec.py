@@ -1,0 +1,112 @@
+"""Unit tests for the declarative die spec and its validation."""
+
+import pickle
+
+import pytest
+
+from repro.analysis.diagnostics import SpecError
+from repro.compiler import AUTO, DieSpec
+from repro.core.engines.registry import EngineSpec, spec as engine_spec
+from repro.core.tsv import TsvParameters
+
+
+class TestValidation:
+    def test_valid_default_spec(self):
+        spec = DieSpec(num_tsvs=100)
+        assert spec.group_size == AUTO
+        assert spec.voltages == AUTO
+
+    def test_invalid_fields_are_named(self):
+        with pytest.raises(SpecError) as info:
+            DieSpec(num_tsvs=0, corner="cosmic", measurement="abacus")
+        assert set(info.value.fields) == {
+            "num_tsvs", "corner", "measurement"
+        }
+
+    def test_spec_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            DieSpec(num_tsvs=-1)
+
+    @pytest.mark.parametrize("changes", [
+        {"group_size": 0},
+        {"group_size": "five"},
+        {"max_group_size": 0},
+        {"window": -1.0},
+        {"window": "later"},
+        {"max_period_error": 0.0},
+        {"counter_bits": 0},
+        {"counter_bits": "wide"},
+        {"shift_clock_hz": 0.0},
+        {"config_cycles": -1},
+        {"voltages": ()},
+        {"voltages": (1.1, -0.8)},
+        {"voltages": "pick"},
+        {"supply_candidates": ()},
+        {"max_supplies": 0},
+        {"leakage_coverage_ohm": (0.0, 100.0)},
+        {"leakage_coverage_ohm": (200.0, 100.0)},
+        {"die_area_mm2": 0.0},
+        {"max_area_fraction": 0.0},
+        {"characterization_samples": 0},
+        {"fidelity": "mixed"},
+        {"verify_groups": "some"},
+    ])
+    def test_each_bad_field_rejected(self, changes):
+        with pytest.raises(SpecError) as info:
+            DieSpec(num_tsvs=10, **changes)
+        (fld,) = changes
+        assert fld in info.value.fields
+
+    def test_lfsr_width_must_have_taps(self):
+        with pytest.raises(SpecError) as info:
+            DieSpec(num_tsvs=10, measurement="lfsr", counter_bits=30)
+        assert "counter_bits" in info.value.fields
+        # The same width is fine for a binary counter.
+        DieSpec(num_tsvs=10, measurement="counter", counter_bits=30)
+
+    def test_engine_must_be_picklable_recipe(self):
+        with pytest.raises(SpecError) as info:
+            DieSpec(num_tsvs=10, engine=lambda vdd: None)
+        assert info.value.fields == ["engine"]
+        DieSpec(num_tsvs=10, engine=engine_spec("analytic"))
+
+
+class TestDerivedHelpers:
+    def test_with_replaces_fields(self):
+        base = DieSpec(num_tsvs=100)
+        variant = base.with_(group_size=4, measurement="lfsr",
+                             counter_bits=12)
+        assert variant.group_size == 4
+        assert variant.use_lfsr
+        assert base.group_size == AUTO  # base untouched
+
+    def test_with_revalidates(self):
+        base = DieSpec(num_tsvs=100)
+        with pytest.raises(SpecError):
+            base.with_(group_size=-2)
+
+    def test_corner_scales_capacitance(self):
+        base = DieSpec(num_tsvs=10, tsv=TsvParameters(capacitance=60e-15))
+        assert base.effective_tsv().capacitance == 60e-15
+        fast = base.with_(corner="fast")
+        slow = base.with_(corner="slow")
+        assert fast.effective_tsv().capacitance == pytest.approx(54e-15)
+        assert slow.effective_tsv().capacitance == pytest.approx(66e-15)
+        # The typical corner returns the very same object (bit-identity
+        # of every downstream derivation).
+        assert base.effective_tsv() is base.tsv
+
+    def test_engine_factory_is_a_spec(self):
+        factory = DieSpec(num_tsvs=10).engine_factory()
+        assert isinstance(factory, EngineSpec)
+        assert factory.name == "analytic"
+
+    def test_spec_is_picklable_and_comparable(self):
+        spec = DieSpec(num_tsvs=64, label="pickle-me")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.label == "pickle-me"
+
+    def test_describe_mentions_label(self):
+        text = DieSpec(num_tsvs=64, label="prod-die").describe()
+        assert "prod-die" in text

@@ -1,0 +1,67 @@
+"""Tests for the heterogeneous compiled-scenario request stream."""
+
+import pytest
+
+from repro.compiler import DieSpec, ScenarioStream, compile_die
+from repro.workloads.loadgen import ServiceLoadGenerator
+
+SPEC_A = DieSpec(num_tsvs=8, group_size=4, voltages=(1.1, 0.8),
+                 label="die-a", population_seed=1)
+SPEC_B = DieSpec(num_tsvs=6, group_size=3, voltages=(1.1, 0.8),
+                 label="die-b", population_seed=2)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return ScenarioStream([compile_die(SPEC_A), compile_die(SPEC_B)],
+                          seed=7)
+
+
+class TestStream:
+    def test_is_a_service_load_generator(self, stream):
+        assert isinstance(stream, ServiceLoadGenerator)
+
+    def test_accepts_raw_specs_and_compiles_them(self):
+        raw = ScenarioStream([SPEC_A, SPEC_B], seed=7)
+        assert [s.label for s in raw.scenarios] == ["die-a", "die-b"]
+
+    def test_needs_at_least_one_scenario(self):
+        with pytest.raises(ValueError):
+            ScenarioStream([])
+
+    def test_round_robin_interleaving(self, stream):
+        reqs = stream.requests(8)
+        labels = [r.tags["scenario"] for r in reqs]
+        assert labels == ["die-a", "die-b"] * 4
+
+    def test_supply_cycles_fastest_within_a_scenario(self, stream):
+        reqs = stream.requests(12)
+        die_a = [r for r in reqs if r.tags["scenario"] == "die-a"]
+        assert [r.vdd for r in die_a] == [1.1, 0.8] * 3
+        # One round of k consecutive requests sits at the same supply
+        # position across scenarios -- the family-coalescible ordering.
+        assert reqs[0].vdd == reqs[1].vdd == 1.1
+        assert reqs[2].vdd == reqs[3].vdd == 0.8
+
+    def test_walks_each_population_in_order(self, stream):
+        reqs = stream.requests(2 * 2 * 8)  # full die-a TSV walk
+        die_a = [r for r in reqs if r.tags["scenario"] == "die-a"]
+        indices = [int(r.tags["tsv_index"]) for r in die_a]
+        assert indices == [0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7]
+
+    def test_stream_is_deterministic_and_seed_sensitive(self):
+        a = ScenarioStream([SPEC_A, SPEC_B], seed=7).requests(10)
+        b = ScenarioStream([SPEC_A, SPEC_B], seed=7).requests(10)
+        c = ScenarioStream([SPEC_A, SPEC_B], seed=8).requests(10)
+        assert [r.seed for r in a] == [r.seed for r in b]
+        assert [r.seed for r in a] != [r.seed for r in c]
+        assert len({r.seed for r in a}) == len(a)
+
+    def test_variation_defaults_to_first_scenario(self, stream):
+        assert stream.variation is SPEC_A.variation
+        for req in stream.requests(4):
+            assert req.variation is SPEC_A.variation
+
+    def test_load_model_plumbing_uses_first_scenario(self, stream):
+        assert stream.voltages == (1.1, 0.8)
+        assert len(stream.population.records) == SPEC_A.num_tsvs

@@ -1,0 +1,103 @@
+"""Tests for the design-space sweep and its Pareto frontier."""
+
+import pytest
+
+from repro.compiler import DieSpec, sweep
+
+BASE = DieSpec(num_tsvs=24, voltages=(1.1, 0.7), window=5e-6,
+               counter_bits=13)
+
+
+class TestGrid:
+    def test_grid_is_the_cartesian_product(self):
+        result = sweep(BASE, {
+            "group_size": (2, 4, 6),
+            "measurement": ("counter", "lfsr"),
+        })
+        assert len(result) == 6
+        assert all(v.ok for v in result.variants)
+        # Axes enumerate in sorted-name order: group_size before
+        # measurement, so the measurement axis cycles fastest.
+        kinds = [v.overrides["measurement"] for v in result.variants]
+        assert kinds == ["counter", "lfsr"] * 3
+        sizes = [v.overrides["group_size"] for v in result.variants]
+        assert sizes == [2, 2, 4, 4, 6, 6]
+
+    def test_sweep_is_deterministic(self):
+        axes = {"group_size": (2, 4), "measurement": ("counter", "lfsr")}
+        first = sweep(BASE, axes)
+        second = sweep(BASE, axes)
+        assert first.as_rows() == second.as_rows()
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(BASE, {})
+
+    def test_failed_variants_are_kept_with_fields(self):
+        result = sweep(BASE, {
+            "group_size": (2, 4),
+            "window": (5e-6, 1e-10),  # 1e-10 < any period: infeasible
+        })
+        assert len(result) == 4
+        assert len(result.compiled) == 2
+        assert len(result.failed) == 2
+        for variant in result.failed:
+            assert variant.overrides["window"] == 1e-10
+            assert "window" in variant.error_fields
+            assert variant.error
+            assert not variant.ok
+
+    def test_variant_rows_carry_price_or_error(self):
+        result = sweep(BASE, {"window": (5e-6, 1e-10)})
+        ok_row = next(r for r in result.as_rows() if r["ok"])
+        bad_row = next(r for r in result.as_rows() if not r["ok"])
+        assert "total_area_um2" in ok_row
+        assert "error_fields" in bad_row
+
+
+class TestPareto:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sweep(BASE, {
+            "group_size": (1, 2, 3, 4, 6),
+            "measurement": ("counter", "lfsr"),
+        })
+
+    def test_frontier_is_nonempty_and_compiled(self, result):
+        frontier = result.pareto_frontier()
+        assert frontier
+        assert all(v.ok for v in frontier)
+
+    def test_frontier_axes_are_monotone(self, result):
+        """Fig. 10 shape: cheaper area always costs resolution."""
+        frontier = result.pareto_frontier()
+        areas = [v.compiled.price.area_fraction for v in frontier]
+        resolutions = [
+            v.compiled.price.delta_t_resolution_s for v in frontier
+        ]
+        assert areas == sorted(areas)
+        assert resolutions == sorted(resolutions, reverse=True)
+        assert len(set(resolutions)) == len(resolutions)
+
+    def test_frontier_members_are_non_dominated(self, result):
+        frontier = result.pareto_frontier()
+        for member in frontier:
+            mp = member.compiled.price
+            for other in result.compiled:
+                op = other.compiled.price
+                dominates = (
+                    op.area_fraction <= mp.area_fraction
+                    and op.delta_t_resolution_s < mp.delta_t_resolution_s
+                ) or (
+                    op.area_fraction < mp.area_fraction
+                    and op.delta_t_resolution_s <= mp.delta_t_resolution_s
+                )
+                assert not dominates
+
+    def test_json_payload_shape(self, result):
+        payload = result.as_json_dict()
+        assert payload["num_tsvs"] == BASE.num_tsvs
+        assert payload["grid_points"] == len(result)
+        assert payload["compiled"] + payload["failed"] == len(result)
+        assert len(payload["variants"]) == len(result)
+        assert len(payload["pareto"]) == len(result.pareto_frontier())

@@ -1,0 +1,95 @@
+"""Ragged-final-group invariants across the architecture stack.
+
+When the TSV count is not divisible by N, the final ring-oscillator
+group holds the remainder -- never padded, never dropped.  These tests
+pin the agreement between the three places that partition or price the
+die: :class:`~repro.dft.architecture.DftArchitecture`,
+:class:`~repro.core.area.DftAreaModel`, and
+:meth:`~repro.workloads.generator.DiePopulation.groups` -- and that the
+closed-form measurement count charges the ragged group for its actual
+members only.
+"""
+
+import math
+
+import pytest
+
+from repro.core.area import DftAreaModel
+from repro.dft.architecture import DftArchitecture
+from repro.workloads.generator import DiePopulation
+
+# (num_tsvs, group_size): divisible, ragged remainders 1 and N-1, a
+# group bigger than the die, and N = 1.
+CASES = [
+    (20, 5),
+    (21, 5),
+    (24, 5),
+    (7, 3),
+    (3, 8),
+    (6, 1),
+    (1000, 7),
+]
+
+
+@pytest.mark.parametrize("num_tsvs,group_size", CASES)
+class TestRaggedPartition:
+    def test_num_groups_agree_everywhere(self, num_tsvs, group_size):
+        arch = DftArchitecture(num_tsvs=num_tsvs, group_size=group_size)
+        area = DftAreaModel(num_tsvs=num_tsvs, group_size=group_size)
+        population = DiePopulation(num_tsvs=num_tsvs, seed=0)
+        expected = math.ceil(num_tsvs / group_size)
+        assert arch.num_groups == expected
+        assert area.num_groups == expected
+        assert len(population.groups(group_size)) == expected
+
+    def test_partitions_are_identical(self, num_tsvs, group_size):
+        arch = DftArchitecture(num_tsvs=num_tsvs, group_size=group_size)
+        population = DiePopulation(num_tsvs=num_tsvs, seed=0)
+        arch_ids = [list(g.tsv_ids) for g in arch.groups()]
+        pop_ids = [
+            [r.index for r in g] for g in population.groups(group_size)
+        ]
+        assert arch_ids == pop_ids
+
+    def test_final_group_is_ragged_not_padded(self, num_tsvs, group_size):
+        arch = DftArchitecture(num_tsvs=num_tsvs, group_size=group_size)
+        groups = arch.groups()
+        remainder = num_tsvs % group_size
+        expected_last = remainder if remainder else min(group_size,
+                                                        num_tsvs)
+        assert groups[-1].size == expected_last
+        assert arch.ragged_group_size == expected_last
+        assert all(g.size == group_size for g in groups[:-1])
+        # Every TSV appears exactly once.
+        flat = [i for g in groups for i in g.tsv_ids]
+        assert flat == list(range(num_tsvs))
+
+    def test_closed_form_matches_the_groups_sum(self, num_tsvs,
+                                                group_size):
+        arch = DftArchitecture(num_tsvs=num_tsvs, group_size=group_size)
+        for per_tsv in (True, False):
+            assert arch.total_measurements(per_tsv) == sum(
+                g.measurements(per_tsv) for g in arch.groups()
+            )
+
+    def test_ragged_group_charged_for_actual_members(self, num_tsvs,
+                                                     group_size):
+        """Per-TSV isolation pays num_tsvs + num_groups, not a padded
+        num_groups * (group_size + 1)."""
+        arch = DftArchitecture(num_tsvs=num_tsvs, group_size=group_size)
+        assert arch.total_measurements(per_tsv=True) == (
+            num_tsvs + arch.num_groups
+        )
+        padded = arch.num_groups * (group_size + 1)
+        if num_tsvs % group_size:
+            assert arch.total_measurements(per_tsv=True) < padded
+
+    def test_test_time_scales_with_actual_measurements(self, num_tsvs,
+                                                       group_size):
+        arch = DftArchitecture(num_tsvs=num_tsvs, group_size=group_size)
+        per_voltage = (
+            arch.total_measurements(True) * arch.plan.measurement_time()
+        )
+        assert arch.test_time(per_tsv=True) == pytest.approx(
+            len(arch.voltages) * per_voltage
+        )
